@@ -1,0 +1,165 @@
+//! Weighted k-center clustering (the final step of YPS09).
+//!
+//! YPS09 places the database's tables into `k` clusters with a weighted
+//! k-center algorithm, where a table's weight is its importance; the cluster
+//! centres form the summary. This module implements the standard greedy
+//! 2-approximation: start from the heaviest table, then repeatedly add the
+//! table maximising its weighted distance to the nearest chosen centre, and
+//! finally assign every table to its closest centre.
+
+use entity_graph::TypeId;
+
+/// Result of the clustering: chosen centres and the assignment of every table
+/// to a centre.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KCenterResult {
+    /// The `k` cluster centres, in the order they were chosen.
+    pub centers: Vec<TypeId>,
+    /// `assignment[t]` is the index (into `centers`) of the centre that table
+    /// `t` belongs to.
+    pub assignment: Vec<usize>,
+}
+
+impl KCenterResult {
+    /// The members of each cluster, indexed like `centers`.
+    pub fn clusters(&self) -> Vec<Vec<TypeId>> {
+        let mut clusters = vec![Vec::new(); self.centers.len()];
+        for (table, &center) in self.assignment.iter().enumerate() {
+            clusters[center].push(TypeId::from_usize(table));
+        }
+        clusters
+    }
+}
+
+/// Greedy weighted k-center over `n` tables.
+///
+/// * `distances[i][j]` — pairwise table distance (symmetric, zero diagonal),
+/// * `weights[i]` — table importance,
+/// * `k` — number of clusters (clamped to `n`).
+///
+/// Returns `None` when there are no tables or `k == 0`.
+pub fn weighted_k_center(
+    distances: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+) -> Option<KCenterResult> {
+    let n = weights.len();
+    if n == 0 || k == 0 {
+        return None;
+    }
+    let k = k.min(n);
+
+    // First centre: the heaviest table.
+    let first = (0..n)
+        .max_by(|&a, &b| weights[a].partial_cmp(&weights[b]).expect("weights must not be NaN"))
+        .expect("n > 0");
+    let mut centers = vec![first];
+    // dist_to_nearest[i]: distance from table i to its nearest chosen centre.
+    let mut dist_to_nearest: Vec<f64> = (0..n).map(|i| distances[i][first]).collect();
+
+    while centers.len() < k {
+        let next = (0..n)
+            .filter(|i| !centers.contains(i))
+            .max_by(|&a, &b| {
+                let wa = weights[a] * dist_to_nearest[a];
+                let wb = weights[b] * dist_to_nearest[b];
+                wa.partial_cmp(&wb)
+                    .expect("weighted distances must not be NaN")
+                    .then_with(|| b.cmp(&a))
+            });
+        let next = match next {
+            Some(i) => i,
+            None => break,
+        };
+        centers.push(next);
+        for i in 0..n {
+            if distances[i][next] < dist_to_nearest[i] {
+                dist_to_nearest[i] = distances[i][next];
+            }
+        }
+    }
+
+    let assignment = (0..n)
+        .map(|i| {
+            centers
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    distances[i][a]
+                        .partial_cmp(&distances[i][b])
+                        .expect("distances must not be NaN")
+                })
+                .map(|(idx, _)| idx)
+                .expect("at least one centre")
+        })
+        .collect();
+
+    Some(KCenterResult {
+        centers: centers.into_iter().map(TypeId::from_usize).collect(),
+        assignment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated groups of points on a line: {0, 1} near 0 and
+    /// {2, 3} near 10.
+    fn line_distances() -> Vec<Vec<f64>> {
+        let pos = [0.0, 1.0, 10.0, 11.0];
+        pos.iter()
+            .map(|&a| pos.iter().map(|&b| (a - b) as f64).map(f64::abs).collect())
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let d = line_distances();
+        let w = vec![1.0, 0.5, 0.9, 0.4];
+        let result = weighted_k_center(&d, &w, 2).unwrap();
+        assert_eq!(result.centers.len(), 2);
+        let clusters = result.clusters();
+        let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 2]);
+        // Tables 0 and 1 end up together, as do 2 and 3.
+        assert_eq!(result.assignment[0], result.assignment[1]);
+        assert_eq!(result.assignment[2], result.assignment[3]);
+        assert_ne!(result.assignment[0], result.assignment[2]);
+    }
+
+    #[test]
+    fn first_center_is_heaviest_table() {
+        let d = line_distances();
+        let w = vec![0.1, 0.2, 5.0, 0.3];
+        let result = weighted_k_center(&d, &w, 1).unwrap();
+        assert_eq!(result.centers, vec![TypeId::new(2)]);
+        assert!(result.assignment.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn k_is_clamped_to_table_count() {
+        let d = line_distances();
+        let w = vec![1.0; 4];
+        let result = weighted_k_center(&d, &w, 10).unwrap();
+        assert_eq!(result.centers.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(weighted_k_center(&[], &[], 3).is_none());
+        let d = line_distances();
+        let w = vec![1.0; 4];
+        assert!(weighted_k_center(&d, &w, 0).is_none());
+    }
+
+    #[test]
+    fn every_table_is_assigned_to_an_existing_center() {
+        let d = line_distances();
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        let result = weighted_k_center(&d, &w, 3).unwrap();
+        for &c in &result.assignment {
+            assert!(c < result.centers.len());
+        }
+    }
+}

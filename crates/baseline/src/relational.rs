@@ -1,0 +1,251 @@
+//! Conversion of an entity graph into a relational view, as required by the
+//! YPS09 adaptation (Sec. 6.1.1 of the paper under reproduction).
+//!
+//! For each entity type `τ` a relational table is created whose first column
+//! holds the entities of `τ` and which has one additional column per
+//! relationship type incident on `τ` in the schema graph. The values of such a
+//! column are the entities adjacent through that relationship type. (The paper
+//! materialises the Cartesian product of the columns into tuples; for
+//! importance and similarity computation only the per-column statistics are
+//! needed, so this view stores column value multisets rather than exploded
+//! tuples.)
+
+use std::collections::HashMap;
+
+use entity_graph::{Direction, EntityGraph, EntityId, SchemaGraph, TypeId};
+
+/// One column of a relational table derived from an entity type.
+#[derive(Debug, Clone)]
+pub struct RelationalColumn {
+    /// Human-readable column name, e.g. `"Director"` or `"name"` for the key
+    /// column.
+    pub name: String,
+    /// Index of the schema edge this column was derived from, or `None` for
+    /// the key column.
+    pub schema_edge: Option<usize>,
+    /// Orientation of the relationship relative to the table's entity type
+    /// (meaningless for the key column).
+    pub direction: Direction,
+    /// How many distinct values appear in the column.
+    pub distinct_values: usize,
+    /// Total number of (row, value) pairs — i.e. the number of edges feeding
+    /// the column, or the number of entities for the key column.
+    pub total_values: usize,
+    /// Shannon entropy (base 2) of the column's value distribution — the
+    /// column's information content in YPS09's model.
+    pub entropy: f64,
+}
+
+/// A relational table derived from one entity type.
+#[derive(Debug, Clone)]
+pub struct RelationalTable {
+    /// The entity type this table was derived from.
+    pub entity_type: TypeId,
+    /// Name of the entity type.
+    pub type_name: String,
+    /// Number of rows (entities of the type).
+    pub rows: usize,
+    /// The key column followed by one column per incident relationship type.
+    pub columns: Vec<RelationalColumn>,
+}
+
+impl RelationalTable {
+    /// Total information content of the table: the sum of its columns'
+    /// entropies, as in YPS09's table-importance definition.
+    pub fn information_content(&self) -> f64 {
+        self.columns.iter().map(|c| c.entropy).sum()
+    }
+}
+
+/// The relational view of an entity graph: one table per entity type.
+#[derive(Debug, Clone)]
+pub struct RelationalView {
+    tables: Vec<RelationalTable>,
+}
+
+impl RelationalView {
+    /// Builds the relational view of `graph` using `schema` (normally
+    /// `graph.schema_graph()`).
+    pub fn build(graph: &EntityGraph, schema: &SchemaGraph) -> Self {
+        let tables = schema
+            .types()
+            .map(|ty| build_table(graph, schema, ty))
+            .collect();
+        Self { tables }
+    }
+
+    /// The tables, indexed by [`TypeId`].
+    pub fn tables(&self) -> &[RelationalTable] {
+        &self.tables
+    }
+
+    /// The table for one entity type.
+    pub fn table(&self, ty: TypeId) -> &RelationalTable {
+        &self.tables[ty.index()]
+    }
+
+    /// Number of tables (= number of entity types).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the view has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+fn build_table(graph: &EntityGraph, schema: &SchemaGraph, ty: TypeId) -> RelationalTable {
+    let type_name = schema.type_name(ty).to_string();
+    let graph_ty = graph.type_by_name(&type_name);
+    let entities: &[EntityId] = graph_ty.map(|t| graph.entities_of_type(t)).unwrap_or(&[]);
+    let rows = entities.len();
+
+    let mut columns = Vec::new();
+    // Key column: every entity is distinct, so its entropy is log2(rows).
+    columns.push(RelationalColumn {
+        name: "name".to_string(),
+        schema_edge: None,
+        direction: Direction::Outgoing,
+        distinct_values: rows,
+        total_values: rows,
+        entropy: if rows > 1 { (rows as f64).log2() } else { 0.0 },
+    });
+
+    for &edge_idx in schema.incident_edges(ty) {
+        let edge = schema.edge(edge_idx);
+        let directions: &[Direction] = if edge.src == edge.dst {
+            &[Direction::Outgoing, Direction::Incoming]
+        } else if edge.src == ty {
+            &[Direction::Outgoing]
+        } else {
+            &[Direction::Incoming]
+        };
+        for &direction in directions {
+            columns.push(build_column(graph, schema, edge_idx, direction, entities));
+        }
+    }
+
+    RelationalTable {
+        entity_type: ty,
+        type_name,
+        rows,
+        columns,
+    }
+}
+
+fn build_column(
+    graph: &EntityGraph,
+    schema: &SchemaGraph,
+    edge_idx: usize,
+    direction: Direction,
+    entities: &[EntityId],
+) -> RelationalColumn {
+    let edge = schema.edge(edge_idx);
+    let rel = graph
+        .type_by_name(schema.type_name(edge.src))
+        .zip(graph.type_by_name(schema.type_name(edge.dst)))
+        .and_then(|(src, dst)| graph.rel_type_by_key(&edge.name, src, dst));
+
+    let mut value_counts: HashMap<EntityId, usize> = HashMap::new();
+    let mut total = 0usize;
+    if let Some(rel) = rel {
+        for &entity in entities {
+            for value in graph.neighbors_via(entity, rel, direction) {
+                *value_counts.entry(value).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    let entropy = if total > 0 {
+        value_counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    } else {
+        0.0
+    };
+    RelationalColumn {
+        name: edge.name.clone(),
+        schema_edge: Some(edge_idx),
+        direction,
+        distinct_values: value_counts.len(),
+        total_values: total,
+        entropy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures::{self, types};
+
+    fn view() -> (EntityGraph, SchemaGraph, RelationalView) {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let v = RelationalView::build(&g, &s);
+        (g, s, v)
+    }
+
+    #[test]
+    fn one_table_per_entity_type() {
+        let (_, s, v) = view();
+        assert_eq!(v.len(), s.type_count());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn film_table_shape() {
+        let (_, s, v) = view();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let t = v.table(film);
+        assert_eq!(t.type_name, "FILM");
+        assert_eq!(t.rows, 4);
+        // Key column + 5 incident relationship types.
+        assert_eq!(t.columns.len(), 6);
+        // Key column entropy = log2(4) = 2.
+        assert!((t.columns[0].entropy - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn director_column_statistics() {
+        let (_, s, v) = view();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let t = v.table(film);
+        let director = t.columns.iter().find(|c| c.name == "Director").unwrap();
+        // Four Director edges, three distinct directors.
+        assert_eq!(director.total_values, 4);
+        assert_eq!(director.distinct_values, 3);
+        // Entropy of {Barry: 2, Berg: 1, Proyas: 1} = 1.5 bits.
+        assert!((director.entropy - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn information_content_is_positive_for_rich_tables() {
+        let (_, s, v) = view();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let genre = s.type_by_name(types::FILM_GENRE).unwrap();
+        assert!(v.table(film).information_content() > v.table(genre).information_content());
+    }
+
+    #[test]
+    fn empty_type_has_zero_entropy_columns() {
+        use entity_graph::EntityGraphBuilder;
+        let mut b = EntityGraphBuilder::new();
+        let a = b.entity_type("A");
+        let c = b.entity_type("B");
+        b.relationship_type("r", a, c);
+        // No entities, no edges.
+        let g = b.build();
+        let s = g.schema_graph();
+        let v = RelationalView::build(&g, &s);
+        assert_eq!(v.len(), 2);
+        for t in v.tables() {
+            assert_eq!(t.rows, 0);
+            assert_eq!(t.information_content(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Table similarity / distance for the YPS09 adaptation.
+//!
+//! YPS09 clusters tables by a distance that reflects how strongly two tables
+//! are related through joins. Our adaptation defines the similarity between
+//! two entity types as the strength of their direct connection (entity-graph
+//! edges between them, normalised by the smaller table) and propagates it
+//! along schema paths, so that tables joined only indirectly are "further
+//! apart" than directly joined ones but closer than unrelated ones.
+
+use entity_graph::{SchemaGraph, TypeId};
+
+/// Pairwise similarity matrix between entity types, values in `[0, 1]`.
+///
+/// Direct similarity of types `a` and `b` is
+/// `w(a, b) / min(|a|, |b|)` clamped to 1, where `w` is the number of
+/// entity-graph edges between them and `|·|` the entity counts; the similarity
+/// of a type with itself is 1. Indirect similarity along a path is the product
+/// of the direct similarities on its hops, and the matrix holds the maximum
+/// over all paths (computed with a Floyd–Warshall-style max-product pass).
+pub fn similarity_matrix(schema: &SchemaGraph) -> Vec<Vec<f64>> {
+    let n = schema.type_count();
+    let mut sim = vec![vec![0.0f64; n]; n];
+    for (i, row) in sim.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for edge in schema.edges() {
+        let (a, b) = (edge.src.index(), edge.dst.index());
+        if a == b {
+            continue;
+        }
+        let ca = schema.entity_count_of(TypeId::from_usize(a)).max(1) as f64;
+        let cb = schema.entity_count_of(TypeId::from_usize(b)).max(1) as f64;
+        let s = (edge.edge_count as f64 / ca.min(cb)).min(1.0);
+        if s > sim[a][b] {
+            sim[a][b] = s;
+            sim[b][a] = s;
+        }
+    }
+    // Max-product closure: indirect connections contribute the product of the
+    // similarities along the best path.
+    for k in 0..n {
+        for i in 0..n {
+            if sim[i][k] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let via = sim[i][k] * sim[k][j];
+                if via > sim[i][j] {
+                    sim[i][j] = via;
+                }
+            }
+        }
+    }
+    sim
+}
+
+/// Distance between two tables: `1 − similarity`.
+pub fn table_distance(similarity: &[Vec<f64>], a: TypeId, b: TypeId) -> f64 {
+    1.0 - similarity[a.index()][b.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures::{self, types};
+
+    fn matrix() -> (SchemaGraph, Vec<Vec<f64>>) {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let m = similarity_matrix(&s);
+        (s, m)
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let (s, m) = matrix();
+        for ty in s.types() {
+            assert_eq!(m[ty.index()][ty.index()], 1.0);
+            assert_eq!(table_distance(&m, ty, ty), 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_bounded() {
+        let (s, m) = matrix();
+        for a in s.types() {
+            for b in s.types() {
+                let v = m[a.index()][b.index()];
+                assert!((0.0..=1.0).contains(&v));
+                assert!((v - m[b.index()][a.index()]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn directly_joined_types_are_closer_than_indirect_ones() {
+        let (s, m) = matrix();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let actor = s.type_by_name(types::FILM_ACTOR).unwrap();
+        let award = s.type_by_name(types::AWARD).unwrap();
+        // FILM–FILM ACTOR are directly joined; FILM–AWARD only through
+        // FILM ACTOR / FILM DIRECTOR.
+        assert!(table_distance(&m, film, actor) <= table_distance(&m, film, award));
+    }
+
+    #[test]
+    fn disconnected_types_have_distance_one() {
+        use entity_graph::EntityGraphBuilder;
+        let mut b = EntityGraphBuilder::new();
+        let a = b.entity_type("A");
+        let c = b.entity_type("B");
+        let iso = b.entity_type("ISOLATED");
+        let r = b.relationship_type("r", a, c);
+        let x = b.entity("x", &[a]);
+        let y = b.entity("y", &[c]);
+        let _z = b.entity("z", &[iso]);
+        b.edge(x, r, y).unwrap();
+        let g = b.build();
+        let s = g.schema_graph();
+        let m = similarity_matrix(&s);
+        let a_ty = s.type_by_name("A").unwrap();
+        let iso_ty = s.type_by_name("ISOLATED").unwrap();
+        assert_eq!(table_distance(&m, a_ty, iso_ty), 1.0);
+    }
+}

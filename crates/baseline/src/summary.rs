@@ -1,0 +1,128 @@
+//! The end-to-end YPS09 summariser used as the paper's competitor.
+
+use entity_graph::{EntityGraph, SchemaGraph, TypeId};
+
+use crate::importance::{ranked_by_importance, table_importance, ImportanceConfig};
+use crate::kcenter::weighted_k_center;
+use crate::relational::RelationalView;
+use crate::similarity::similarity_matrix;
+
+/// A database summary in the YPS09 sense: `k` cluster centres over the tables
+/// derived from the entity types, plus the per-table importance used to pick
+/// them.
+#[derive(Debug, Clone)]
+pub struct Yps09Summary {
+    /// The cluster centres (entity types), in selection order.
+    pub centers: Vec<TypeId>,
+    /// The members of each cluster, parallel to `centers`.
+    pub clusters: Vec<Vec<TypeId>>,
+    /// Importance of every entity type, indexed by [`TypeId`].
+    pub importance: Vec<f64>,
+    /// All entity types ranked by descending importance.
+    pub ranked: Vec<TypeId>,
+}
+
+/// The YPS09 summariser adapted to entity graphs (Sec. 6.1.1).
+#[derive(Debug, Clone, Default)]
+pub struct Yps09Summarizer {
+    config: ImportanceConfig,
+}
+
+impl Yps09Summarizer {
+    /// Creates a summariser with the default importance configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a summariser with a custom importance configuration.
+    pub fn with_config(config: ImportanceConfig) -> Self {
+        Self { config }
+    }
+
+    /// Ranks the entity types of a graph by YPS09 table importance — the
+    /// ranking the paper compares against in Figs. 5–7 and Table 4.
+    pub fn ranked_tables(&self, graph: &EntityGraph, schema: &SchemaGraph) -> Vec<TypeId> {
+        let view = RelationalView::build(graph, schema);
+        let importance = table_importance(&view, schema, &self.config);
+        ranked_by_importance(&importance)
+    }
+
+    /// Produces the `k`-cluster summary of a graph (the "YPS09" arm of the
+    /// user study). Returns `None` for an empty schema or `k == 0`.
+    pub fn summarize(&self, graph: &EntityGraph, schema: &SchemaGraph, k: usize) -> Option<Yps09Summary> {
+        let view = RelationalView::build(graph, schema);
+        let importance = table_importance(&view, schema, &self.config);
+        if importance.is_empty() {
+            return None;
+        }
+        let sim = similarity_matrix(schema);
+        let distances: Vec<Vec<f64>> = sim
+            .iter()
+            .map(|row| row.iter().map(|s| 1.0 - s).collect())
+            .collect();
+        let clustering = weighted_k_center(&distances, &importance, k)?;
+        let ranked = ranked_by_importance(&importance);
+        let clusters = clustering.clusters();
+        Some(Yps09Summary {
+            centers: clustering.centers,
+            clusters,
+            importance,
+            ranked,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures::{self, types};
+
+    #[test]
+    fn ranked_tables_cover_every_type_once() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let ranked = Yps09Summarizer::new().ranked_tables(&g, &s);
+        assert_eq!(ranked.len(), s.type_count());
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), s.type_count());
+    }
+
+    #[test]
+    fn summary_has_k_centers_and_full_assignment() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let summary = Yps09Summarizer::new().summarize(&g, &s, 3).unwrap();
+        assert_eq!(summary.centers.len(), 3);
+        let total: usize = summary.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, s.type_count());
+        // FILM, the most important table, is one of the centres.
+        let film = s.type_by_name(types::FILM).unwrap();
+        assert!(summary.centers.contains(&film));
+    }
+
+    #[test]
+    fn summarize_rejects_degenerate_inputs() {
+        use entity_graph::EntityGraphBuilder;
+        let g = EntityGraphBuilder::new().build();
+        let s = g.schema_graph();
+        assert!(Yps09Summarizer::new().summarize(&g, &s, 3).is_none());
+
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        assert!(Yps09Summarizer::new().summarize(&g, &s, 0).is_none());
+    }
+
+    #[test]
+    fn custom_config_is_honoured() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let config = ImportanceConfig {
+            restart: 0.5,
+            ..ImportanceConfig::default()
+        };
+        let ranked = Yps09Summarizer::with_config(config).ranked_tables(&g, &s);
+        assert_eq!(ranked.len(), s.type_count());
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion bench for Fig. 8: optimal *concise* preview discovery,
+//! Brute-Force vs. Dynamic-Programming, across domains and size constraints.
+//!
+//! The brute force is only benchmarked on the domains/settings where its
+//! subset count is small enough to finish in reasonable time (basketball and
+//! architecture); the extrapolated large-domain numbers are produced by the
+//! `experiments -- fig8` binary instead.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::context::DomainContext;
+use datagen::FreebaseDomain;
+use preview_core::{
+    BruteForceDiscovery, DynamicProgrammingDiscovery, PreviewDiscovery, PreviewSpace, ScoringConfig,
+};
+
+const SCALE: f64 = 1e-4;
+const SEED: u64 = 2016;
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/domains_k5_n10");
+    let space = PreviewSpace::concise(5, 10).expect("valid constraint");
+    for domain in [FreebaseDomain::Basketball, FreebaseDomain::Architecture, FreebaseDomain::Music] {
+        let ctx = DomainContext::build(domain, SCALE, SEED);
+        let scored = ctx.scored(&ScoringConfig::coverage());
+        // Brute force only where feasible (C(K,5) small).
+        if ctx.schema.type_count() <= 25 {
+            group.bench_with_input(BenchmarkId::new("brute-force", domain.name()), &scored, |b, scored| {
+                b.iter(|| BruteForceDiscovery::new().discover(scored, &space).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("dynamic-programming", domain.name()), &scored, |b, scored| {
+            b.iter(|| DynamicProgrammingDiscovery::new().discover(scored, &space).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_music_vary_k(c: &mut Criterion) {
+    let ctx = DomainContext::build(FreebaseDomain::Music, SCALE, SEED);
+    let scored = ctx.scored(&ScoringConfig::coverage());
+    let mut group = c.benchmark_group("fig8/music_n20_vary_k");
+    for k in [3usize, 6, 9] {
+        let space = PreviewSpace::concise(k, 20).expect("valid constraint");
+        group.bench_with_input(BenchmarkId::new("dynamic-programming", k), &space, |b, space| {
+            b.iter(|| DynamicProgrammingDiscovery::new().discover(&scored, space).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_music_vary_n(c: &mut Criterion) {
+    let ctx = DomainContext::build(FreebaseDomain::Music, SCALE, SEED);
+    let scored = ctx.scored(&ScoringConfig::coverage());
+    let mut group = c.benchmark_group("fig8/music_k6_vary_n");
+    for n in [8usize, 14, 20] {
+        let space = PreviewSpace::concise(6, n).expect("valid constraint");
+        group.bench_with_input(BenchmarkId::new("dynamic-programming", n), &space, |b, space| {
+            b.iter(|| DynamicProgrammingDiscovery::new().discover(&scored, space).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = fig8;
+    config = configure(&mut Criterion::default());
+    targets = bench_domains, bench_music_vary_k, bench_music_vary_n
+}
+criterion_main!(fig8);

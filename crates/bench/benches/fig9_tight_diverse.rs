@@ -1,0 +1,92 @@
+//! Criterion bench for Fig. 9: optimal *tight/diverse* preview discovery,
+//! Brute-Force vs. Apriori, across domains, `k`, `n` and `d`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::context::DomainContext;
+use datagen::FreebaseDomain;
+use preview_core::{
+    AprioriDiscovery, BruteForceDiscovery, PreviewDiscovery, PreviewSpace, ScoringConfig,
+};
+
+const SCALE: f64 = 1e-4;
+const SEED: u64 = 2016;
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_domains(c: &mut Criterion) {
+    for (flavor, space) in [
+        ("tight_d2", PreviewSpace::tight(5, 10, 2).expect("valid")),
+        ("diverse_d4", PreviewSpace::diverse(5, 10, 4).expect("valid")),
+    ] {
+        let mut group = c.benchmark_group(format!("fig9/domains_k5_n10_{flavor}"));
+        for domain in [FreebaseDomain::Basketball, FreebaseDomain::Architecture, FreebaseDomain::Music] {
+            let ctx = DomainContext::build(domain, SCALE, SEED);
+            let scored = ctx.scored(&ScoringConfig::coverage());
+            if ctx.schema.type_count() <= 25 {
+                group.bench_with_input(
+                    BenchmarkId::new("brute-force", domain.name()),
+                    &scored,
+                    |b, scored| b.iter(|| BruteForceDiscovery::new().discover(scored, &space).unwrap()),
+                );
+            }
+            group.bench_with_input(BenchmarkId::new("apriori", domain.name()), &scored, |b, scored| {
+                b.iter(|| AprioriDiscovery::new().discover(scored, &space).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_music_vary_k(c: &mut Criterion) {
+    let ctx = DomainContext::build(FreebaseDomain::Music, SCALE, SEED);
+    let scored = ctx.scored(&ScoringConfig::coverage());
+    let mut group = c.benchmark_group("fig9/music_n20_vary_k");
+    for k in [3usize, 4, 5, 6] {
+        for (flavor, space) in [
+            ("tight_d2", PreviewSpace::tight(k, 20, 2).expect("valid")),
+            ("diverse_d4", PreviewSpace::diverse(k, 20, 4).expect("valid")),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("apriori_{flavor}"), k),
+                &space,
+                |b, space| b.iter(|| AprioriDiscovery::new().discover(&scored, space).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_music_vary_d(c: &mut Criterion) {
+    let ctx = DomainContext::build(FreebaseDomain::Music, SCALE, SEED);
+    let scored = ctx.scored(&ScoringConfig::coverage());
+    let mut group = c.benchmark_group("fig9/music_k5_n16_vary_d");
+    for d in [2u32, 3, 4] {
+        let space = PreviewSpace::tight(5, 16, d).expect("valid");
+        group.bench_with_input(BenchmarkId::new("apriori_tight", d), &space, |b, space| {
+            b.iter(|| AprioriDiscovery::new().discover(&scored, space).unwrap())
+        });
+    }
+    for d in [3u32, 4, 5] {
+        let space = PreviewSpace::diverse(5, 16, d).expect("valid");
+        group.bench_with_input(BenchmarkId::new("apriori_diverse", d), &space, |b, space| {
+            b.iter(|| AprioriDiscovery::new().discover(&scored, space).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = fig9;
+    config = configure(&mut Criterion::default());
+    targets = bench_domains, bench_music_vary_k, bench_music_vary_d
+}
+criterion_main!(fig9);

@@ -1,0 +1,43 @@
+//! Criterion bench for the entity-graph substrate: graph generation, schema
+//! derivation and the all-pairs distance matrix used by the tight/diverse
+//! constraints.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::{FreebaseDomain, SyntheticGenerator};
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    for domain in [FreebaseDomain::Basketball, FreebaseDomain::Film] {
+        let spec = domain.spec(1e-4);
+        group.bench_with_input(BenchmarkId::new("generate_graph", domain.name()), &spec, |b, spec| {
+            b.iter(|| SyntheticGenerator::new(2016).generate(spec))
+        });
+        let graph = SyntheticGenerator::new(2016).generate(&spec);
+        group.bench_with_input(BenchmarkId::new("derive_schema", domain.name()), &graph, |b, graph| {
+            b.iter(|| graph.schema_graph())
+        });
+        let schema = graph.schema_graph();
+        group.bench_with_input(BenchmarkId::new("distance_matrix", domain.name()), &schema, |b, schema| {
+            b.iter(|| schema.distance_matrix())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = substrate;
+    config = configure(&mut Criterion::default());
+    targets = bench_substrate
+}
+criterion_main!(substrate);

@@ -1,0 +1,46 @@
+//! Criterion bench for the scoring substrate (Sec. 3): building a
+//! [`ScoredSchema`] under each key/non-key measure combination.
+//!
+//! The paper pre-computes scores once per graph and reuses them across all
+//! constraint settings; this bench verifies that the pre-computation itself is
+//! cheap relative to discovery.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::context::DomainContext;
+use datagen::FreebaseDomain;
+use preview_core::{KeyScoring, NonKeyScoring, ScoredSchema, ScoringConfig};
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let ctx = DomainContext::build(FreebaseDomain::Film, 2e-4, 2016);
+    let mut group = c.benchmark_group("scoring/build_scored_schema");
+    let configs = [
+        ("coverage_coverage", ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Coverage)),
+        ("randomwalk_coverage", ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage)),
+        ("coverage_entropy", ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy)),
+        ("randomwalk_entropy", ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy)),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| ScoredSchema::build(&ctx.graph, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = scoring;
+    config = configure(&mut Criterion::default());
+    targets = bench_scoring
+}
+criterion_main!(scoring);

@@ -1,0 +1,171 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments -- list
+//! cargo run -p bench --release --bin experiments -- table3
+//! cargo run -p bench --release --bin experiments -- all
+//! cargo run -p bench --release --bin experiments -- all --scale 5e-4 --seed 7
+//! ```
+
+use std::process::ExitCode;
+
+use bench::context::{DomainContext, DEFAULT_SCALE, DEFAULT_SEED};
+use bench::efficiency::{fig8_concise, fig9_tight_diverse, EfficiencyConfig};
+use bench::experiment_catalog;
+use bench::samples::{table10, table11, table12, table2, tables22_23};
+use bench::scoring_accuracy::{key_accuracy_figure, table3_mrr, table4_pcc, KeyMetric};
+use bench::userstudy_exp::{
+    experience_table, pairwise_z_table, run_all_studies, table5, table6, table8, table9,
+    time_boxplot, DomainStudy,
+};
+use datagen::FreebaseDomain;
+
+struct Options {
+    ids: Vec<String>,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut ids = Vec::new();
+    let mut scale = DEFAULT_SCALE;
+    let mut seed = DEFAULT_SEED;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale requires a value")?;
+                scale = value.parse().map_err(|_| format!("invalid scale {value:?}"))?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed requires a value")?;
+                seed = value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("list".to_string());
+    }
+    Ok(Options { ids, scale, seed })
+}
+
+/// Lazily-built shared state so `all` only generates each domain once.
+struct Harness {
+    scale: f64,
+    seed: u64,
+    gold_contexts: Option<Vec<DomainContext>>,
+    studies: Option<Vec<DomainStudy>>,
+}
+
+impl Harness {
+    fn new(scale: f64, seed: u64) -> Self {
+        Self { scale, seed, gold_contexts: None, studies: None }
+    }
+
+    fn gold_contexts(&mut self) -> &Vec<DomainContext> {
+        let (scale, seed) = (self.scale, self.seed);
+        self.gold_contexts.get_or_insert_with(|| {
+            eprintln!("[experiments] generating the five gold-standard domains (scale={scale}) ...");
+            FreebaseDomain::GOLD
+                .iter()
+                .map(|&d| DomainContext::build(d, scale, seed))
+                .collect()
+        })
+    }
+
+    fn studies(&mut self) -> Vec<DomainStudy> {
+        if self.studies.is_none() {
+            let contexts = self.gold_contexts().clone();
+            eprintln!("[experiments] running the simulated user study ...");
+            self.studies = Some(run_all_studies(&contexts));
+        }
+        self.studies.clone().expect("studies just built")
+    }
+
+    fn run(&mut self, id: &str) -> Option<String> {
+        let efficiency = EfficiencyConfig {
+            scale: self.scale.min(2e-4),
+            seed: self.seed,
+            ..EfficiencyConfig::default()
+        };
+        let output = match id {
+            "table2" => table2(self.scale, self.seed),
+            "table3" => table3_mrr(self.gold_contexts()),
+            "table4" => table4_pcc(self.gold_contexts()),
+            "fig5" => key_accuracy_figure(self.gold_contexts(), KeyMetric::PrecisionAtK),
+            "fig6" => key_accuracy_figure(self.gold_contexts(), KeyMetric::AveragePrecision),
+            "fig7" => key_accuracy_figure(self.gold_contexts(), KeyMetric::Ndcg),
+            "fig8" => fig8_concise(&efficiency),
+            "fig9" => fig9_tight_diverse(&efficiency),
+            "table5" => table5(&self.studies()),
+            "table6" => table6(&self.studies()),
+            "table7" => pairwise_z_table(&self.studies(), FreebaseDomain::Music),
+            "table8" => table8(),
+            "table9" => table9(&self.studies()),
+            "fig10" => time_boxplot(&self.studies(), FreebaseDomain::Music),
+            "fig11" => time_boxplot(&self.studies(), FreebaseDomain::Books),
+            "fig12" => time_boxplot(&self.studies(), FreebaseDomain::Film),
+            "fig13" => time_boxplot(&self.studies(), FreebaseDomain::Tv),
+            "fig14" => time_boxplot(&self.studies(), FreebaseDomain::People),
+            "table10" => table10(),
+            "table11" => table11(self.gold_contexts()),
+            "table12" => table12(self.gold_contexts()),
+            "table13" => pairwise_z_table(&self.studies(), FreebaseDomain::Books),
+            "table14" => pairwise_z_table(&self.studies(), FreebaseDomain::Film),
+            "table15" => pairwise_z_table(&self.studies(), FreebaseDomain::Tv),
+            "table16" => pairwise_z_table(&self.studies(), FreebaseDomain::People),
+            "table17" => experience_table(&self.studies(), FreebaseDomain::Books),
+            "table18" => experience_table(&self.studies(), FreebaseDomain::Film),
+            "table19" => experience_table(&self.studies(), FreebaseDomain::Music),
+            "table20" => experience_table(&self.studies(), FreebaseDomain::Tv),
+            "table21" => experience_table(&self.studies(), FreebaseDomain::People),
+            "table22" | "table23" => tables22_23(),
+            _ => return None,
+        };
+        Some(output)
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let catalog = experiment_catalog();
+    let mut harness = Harness::new(options.scale, options.seed);
+
+    for id in &options.ids {
+        match id.as_str() {
+            "list" => {
+                println!("Available experiments (run with `experiments <id>` or `all`):");
+                for (name, description) in &catalog {
+                    println!("  {name:<8} {description}");
+                }
+            }
+            "all" => {
+                // `table22`/`table23` print together; avoid a duplicate block.
+                for (name, _) in catalog.iter().filter(|(n, _)| *n != "table23") {
+                    println!("================================================================");
+                    match harness.run(name) {
+                        Some(output) => println!("{output}"),
+                        None => println!("(unknown experiment {name})"),
+                    }
+                }
+            }
+            other => match harness.run(other) {
+                Some(output) => println!("{output}"),
+                None => {
+                    eprintln!("error: unknown experiment {other:?}; use `list` to see the catalog");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    ExitCode::SUCCESS
+}

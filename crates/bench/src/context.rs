@@ -1,0 +1,144 @@
+//! Shared per-domain experiment context: generated graph, schema and scores.
+
+use baseline::Yps09Summarizer;
+use datagen::{DomainSpec, FreebaseDomain, SyntheticGenerator};
+use entity_graph::{EntityGraph, SchemaGraph, TypeId};
+use preview_core::{ScoredSchema, ScoringConfig};
+
+/// Default scale factor applied to the paper's Table 2 entity/edge totals.
+///
+/// At `1e-3` the largest domain ("music") has ~27 K entities and ~187 K edges,
+/// which keeps every experiment laptop-sized while preserving the skew and
+/// schema shape the algorithms care about.
+pub const DEFAULT_SCALE: f64 = 1e-3;
+
+/// Default generator seed used by the experiment harness.
+pub const DEFAULT_SEED: u64 = 2016;
+
+/// Everything the experiments need about one synthetic domain.
+#[derive(Debug, Clone)]
+pub struct DomainContext {
+    /// Which Freebase domain this is.
+    pub domain: FreebaseDomain,
+    /// The synthetic specification the graph was generated from.
+    pub spec: DomainSpec,
+    /// The generated entity graph.
+    pub graph: EntityGraph,
+    /// The derived schema graph.
+    pub schema: SchemaGraph,
+}
+
+impl DomainContext {
+    /// Generates the context for a domain at the given scale and seed.
+    pub fn build(domain: FreebaseDomain, scale: f64, seed: u64) -> Self {
+        let spec = domain.spec(scale);
+        let graph = SyntheticGenerator::new(seed).generate(&spec);
+        let schema = graph.schema_graph();
+        Self { domain, spec, graph, schema }
+    }
+
+    /// Generates the context with the harness defaults.
+    pub fn default_for(domain: FreebaseDomain) -> Self {
+        Self::build(domain, DEFAULT_SCALE, DEFAULT_SEED)
+    }
+
+    /// Pre-computes scores for a scoring configuration.
+    pub fn scored(&self, config: &ScoringConfig) -> ScoredSchema {
+        ScoredSchema::build_with_schema(&self.graph, self.schema.clone(), config)
+            .expect("scoring the synthetic domains always succeeds")
+    }
+
+    /// The gold-standard key attributes resolved to [`TypeId`]s of this
+    /// domain's schema graph (empty for the domains without a gold standard).
+    pub fn gold_key_types(&self) -> Vec<TypeId> {
+        self.domain
+            .gold_standard()
+            .map(|gold| {
+                gold.key_attributes()
+                    .iter()
+                    .filter_map(|name| self.schema.type_by_name(name))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Latent ground-truth importance of every entity type, used to drive the
+    /// simulated crowd (Sec. 6.1.3 substitution): the logarithm of the type's
+    /// entity count plus a fixed bonus for entrance-page (gold-standard)
+    /// types, which captures "commonsense importance" beyond raw size.
+    pub fn latent_key_importance(&self) -> Vec<f64> {
+        let gold: Vec<TypeId> = self.gold_key_types();
+        self.schema
+            .types()
+            .map(|ty| {
+                let base = (self.schema.entity_count_of(ty) as f64 + 1.0).log10();
+                let bonus = if gold.contains(&ty) { 1.5 } else { 0.0 };
+                base + bonus
+            })
+            .collect()
+    }
+
+    /// Latent ground-truth importance of every schema edge (relationship
+    /// type), analogous to [`latent_key_importance`](Self::latent_key_importance).
+    pub fn latent_nonkey_importance(&self) -> Vec<f64> {
+        let gold = self.domain.gold_standard();
+        self.schema
+            .edges()
+            .iter()
+            .map(|edge| {
+                let base = (edge.edge_count as f64 + 1.0).log10();
+                let is_gold = gold
+                    .map(|g| {
+                        let src_name = self.schema.type_name(edge.src);
+                        g.non_keys_of(src_name)
+                            .map(|attrs| attrs.contains(&edge.name.as_str()))
+                            .unwrap_or(false)
+                    })
+                    .unwrap_or(false);
+                base + if is_gold { 1.5 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    /// The YPS09 baseline's importance-ranked entity types.
+    pub fn yps09_ranking(&self) -> Vec<TypeId> {
+        Yps09Summarizer::new().ranked_tables(&self.graph, &self.schema)
+    }
+
+    /// Names of a ranked list of types (convenience for reports).
+    pub fn type_names(&self, ranked: &[TypeId]) -> Vec<String> {
+        ranked.iter().map(|&t| self.schema.type_name(t).to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_for_the_smallest_domain() {
+        let ctx = DomainContext::build(FreebaseDomain::Basketball, 1e-3, 1);
+        assert_eq!(ctx.schema.type_count(), 6);
+        assert_eq!(ctx.schema.relationship_type_count(), 21);
+        assert!(ctx.graph.entity_count() > 0);
+        assert!(ctx.gold_key_types().is_empty());
+    }
+
+    #[test]
+    fn gold_types_resolve_for_film() {
+        let ctx = DomainContext::build(FreebaseDomain::Film, 1e-4, 1);
+        assert_eq!(ctx.gold_key_types().len(), 6);
+        let importance = ctx.latent_key_importance();
+        assert_eq!(importance.len(), ctx.schema.type_count());
+        let nonkey = ctx.latent_nonkey_importance();
+        assert_eq!(nonkey.len(), ctx.schema.relationship_type_count());
+    }
+
+    #[test]
+    fn scored_and_yps09_cover_all_types() {
+        let ctx = DomainContext::build(FreebaseDomain::Architecture, 1e-3, 1);
+        let scored = ctx.scored(&ScoringConfig::coverage());
+        assert_eq!(scored.key_scores().len(), ctx.schema.type_count());
+        assert_eq!(ctx.yps09_ranking().len(), ctx.schema.type_count());
+    }
+}

@@ -1,0 +1,74 @@
+//! Benchmark and experiment harness.
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! section (see `EXPERIMENTS.md` at the workspace root for the mapping and the
+//! recorded outputs). It is organised as a library of experiment functions —
+//! each returning a printable report — plus:
+//!
+//! * the `experiments` binary (`cargo run -p bench --release --bin
+//!   experiments -- <id|all>`), which prints paper-style tables, and
+//! * Criterion benches (`cargo bench -p bench`) for the efficiency figures
+//!   (Figs. 8–9) and the scoring/schema substrate.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod efficiency;
+pub mod samples;
+pub mod scoring_accuracy;
+pub mod userstudy_exp;
+pub mod util;
+
+/// All experiment identifiers understood by the `experiments` binary, with a
+/// one-line description each.
+pub fn experiment_catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("table2", "Sizes of entity/schema graphs for the seven domains"),
+        ("table3", "MRR of non-key attribute scoring (coverage, entropy)"),
+        ("table4", "PCC of key/non-key scoring vs. simulated crowd ranking"),
+        ("fig5", "Precision-at-K of key attribute scoring"),
+        ("fig6", "Average precision of key attribute scoring"),
+        ("fig7", "nDCG of key attribute scoring"),
+        ("fig8", "Execution time of optimal concise preview discovery (BF vs DP)"),
+        ("fig9", "Execution time of optimal tight/diverse preview discovery (BF vs Apriori)"),
+        ("table5", "User-study sample sizes and conversion rates"),
+        ("table6", "Approaches sorted by median existence-test time"),
+        ("table7", "Pairwise z-tests of conversion rates, domain=music"),
+        ("table8", "User experience questionnaire"),
+        ("table9", "Approaches sorted by average user-experience score"),
+        ("fig10", "Time per existence-test task, domain=music (box plot)"),
+        ("fig11", "Time per existence-test task, domain=books (box plot)"),
+        ("fig12", "Time per existence-test task, domain=film (box plot)"),
+        ("fig13", "Time per existence-test task, domain=TV (box plot)"),
+        ("fig14", "Time per existence-test task, domain=people (box plot)"),
+        ("table10", "Freebase gold standard preview schemas"),
+        ("table11", "Sample optimal concise previews"),
+        ("table12", "Sample optimal tight/diverse previews (film)"),
+        ("table13", "Pairwise z-tests of conversion rates, domain=books"),
+        ("table14", "Pairwise z-tests of conversion rates, domain=film"),
+        ("table15", "Pairwise z-tests of conversion rates, domain=TV"),
+        ("table16", "Pairwise z-tests of conversion rates, domain=people"),
+        ("table17", "User experience scores, domain=books"),
+        ("table18", "User experience scores, domain=film"),
+        ("table19", "User experience scores, domain=music"),
+        ("table20", "User experience scores, domain=TV"),
+        ("table21", "User experience scores, domain=people"),
+        ("table22", "P@K of Freebase key attributes against the Experts ground truth"),
+        ("table23", "P@K of Experts key attributes against the Freebase ground truth"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn catalog_covers_every_table_and_figure() {
+        let catalog = super::experiment_catalog();
+        assert_eq!(catalog.len(), 32);
+        for figure in 5..=14 {
+            assert!(catalog.iter().any(|(id, _)| *id == format!("fig{figure}")));
+        }
+        for table in 2..=23 {
+            assert!(catalog.iter().any(|(id, _)| *id == format!("table{table}")));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Data-oriented tables: Table 2 (graph sizes), Table 10 (gold standard),
+//! Tables 11–12 (sample optimal previews) and Tables 22–23 (Freebase vs.
+//! Experts overlap).
+
+use std::collections::HashSet;
+
+use datagen::{expert_preview, FreebaseDomain};
+use eval::ranking::precision_at_k;
+use preview_core::{
+    AprioriDiscovery, DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring, PreviewDiscovery,
+    PreviewSpace, ScoringConfig,
+};
+
+use crate::context::DomainContext;
+use crate::util::{fmt3, TextTable};
+
+/// Table 2: sizes of the (synthetic) entity and schema graphs, alongside the
+/// paper's original sizes.
+pub fn table2(scale: f64, seed: u64) -> String {
+    let mut out = format!("Table 2: Sizes of entity/schema graphs (synthetic, scale={scale})\n");
+    let mut table = TextTable::new(vec![
+        "Domain",
+        "# vertices (paper)",
+        "# vertices (generated)",
+        "# edges (paper)",
+        "# edges (generated)",
+    ]);
+    for domain in FreebaseDomain::ALL {
+        let stats = domain.paper_stats();
+        let ctx = DomainContext::build(domain, scale, seed);
+        let generated = ctx.graph.stats();
+        table.row(vec![
+            domain.name().to_string(),
+            format!("{} / {}", stats.entities, stats.entity_types),
+            format!("{} / {}", generated.entities, generated.entity_types),
+            format!("{} / {}", stats.edges, stats.relationship_types),
+            format!("{} / {}", generated.edges, generated.relationship_types),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table 10: the Freebase gold standard, verbatim.
+pub fn table10() -> String {
+    let mut out = String::from("Table 10: Gold standard (\"Freebase\")\n");
+    for domain in FreebaseDomain::GOLD {
+        let gold = domain.gold_standard().expect("gold domain");
+        out.push_str(&format!(
+            "\nDomain \"{}\" (k={}, n={}):\n",
+            gold.domain,
+            gold.table_count(),
+            gold.non_key_count()
+        ));
+        let mut table = TextTable::new(vec!["Key attribute", "Non-key attributes"]);
+        for t in gold.tables {
+            table.row(vec![t.key.to_string(), t.non_keys.join(", ")]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Table 11: sample optimal concise previews for three domains and three
+/// scoring combinations (k=5, n=10).
+pub fn table11(contexts: &[DomainContext]) -> String {
+    let mut out = String::from("Table 11: Sample optimal concise previews (k=5, n=10)\n");
+    let cases: [(FreebaseDomain, KeyScoring, NonKeyScoring); 3] = [
+        (FreebaseDomain::Film, KeyScoring::Coverage, NonKeyScoring::Coverage),
+        (FreebaseDomain::Music, KeyScoring::RandomWalk, NonKeyScoring::Coverage),
+        (FreebaseDomain::Tv, KeyScoring::RandomWalk, NonKeyScoring::Entropy),
+    ];
+    for (domain, key, non_key) in cases {
+        let Some(ctx) = contexts.iter().find(|c| c.domain == domain) else { continue };
+        out.push_str(&format!(
+            "\nDomain \"{}\", KS={}, NKS={}, k=5, n=10:\n",
+            domain.name(),
+            key.label(),
+            non_key.label()
+        ));
+        let scored = ctx.scored(&ScoringConfig::new(key, non_key));
+        let space = PreviewSpace::concise(5, 10).expect("valid constraint");
+        match DynamicProgrammingDiscovery::new().discover(&scored, &space) {
+            Ok(Some(preview)) => {
+                out.push_str(&preview.describe(&ctx.schema));
+                out.push('\n');
+                out.push_str(&format!("(preview score: {})\n", fmt3(scored.preview_score(&preview))));
+            }
+            _ => out.push_str("(no preview found)\n"),
+        }
+    }
+    out
+}
+
+/// Table 12: sample optimal tight (d=2) and diverse (d=4) previews for the
+/// "film" domain (coverage/coverage, k=5, n=10).
+pub fn table12(contexts: &[DomainContext]) -> String {
+    let mut out = String::from("Table 12: Sample optimal tight and diverse previews (film, k=5, n=10)\n");
+    let Some(ctx) = contexts.iter().find(|c| c.domain == FreebaseDomain::Film) else {
+        return out + "(film context unavailable)\n";
+    };
+    let scored = ctx.scored(&ScoringConfig::coverage());
+    for (label, space) in [
+        ("tight, d=2", PreviewSpace::tight(5, 10, 2).expect("valid")),
+        ("diverse, d=4", PreviewSpace::diverse(5, 10, 4).expect("valid")),
+    ] {
+        out.push_str(&format!("\n{label}:\n"));
+        match AprioriDiscovery::new().discover(&scored, &space) {
+            Ok(Some(preview)) => {
+                out.push_str(&preview.describe(&ctx.schema));
+                out.push('\n');
+                // Report the realised pairwise distances for transparency.
+                let keys: Vec<_> = preview.tables().iter().map(|t| t.key()).collect();
+                let mut dists = Vec::new();
+                for (i, &a) in keys.iter().enumerate() {
+                    for &b in keys.iter().skip(i + 1) {
+                        dists.push(scored.distances().distance(a, b).to_string());
+                    }
+                }
+                out.push_str(&format!("(pairwise key distances: {})\n", dists.join(", ")));
+            }
+            _ => out.push_str("(no preview satisfies the constraint)\n"),
+        }
+    }
+    out
+}
+
+/// Tables 22–23: Precision-at-K between the "Freebase" gold standard and the
+/// "Experts" previews, in both directions.
+pub fn tables22_23() -> String {
+    let mut out = String::new();
+    for (title, experts_as_truth) in [
+        ("Table 22: P@K of Freebase key attributes, using Experts as ground truth", true),
+        ("Table 23: P@K of Experts key attributes, using Freebase as ground truth", false),
+    ] {
+        out.push_str(title);
+        out.push('\n');
+        let mut header = vec!["K".to_string()];
+        header.extend(FreebaseDomain::GOLD.iter().map(|d| d.name().to_string()));
+        let mut table = TextTable::new(header);
+        for k in 1..=6usize {
+            let mut row = vec![k.to_string()];
+            for domain in FreebaseDomain::GOLD {
+                let gold: Vec<String> = domain
+                    .gold_standard()
+                    .expect("gold domain")
+                    .key_attributes()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                let experts = expert_preview(domain).expect("expert preview").keys;
+                let (ranked, truth): (&[String], HashSet<String>) = if experts_as_truth {
+                    (&gold, experts.iter().cloned().collect())
+                } else {
+                    (&experts, gold.iter().cloned().collect())
+                };
+                row.push(fmt3(precision_at_k(ranked, &truth, k)));
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_seven_domains() {
+        let t = table2(1e-4, 1);
+        for domain in FreebaseDomain::ALL {
+            assert!(t.contains(domain.name()), "{}", domain.name());
+        }
+        assert!(t.contains("27000000"));
+    }
+
+    #[test]
+    fn table10_contains_gold_tables() {
+        let t = table10();
+        assert!(t.contains("MUSICAL ARTIST"));
+        assert!(t.contains("Films Directed"));
+        assert!(t.contains("k=6"));
+    }
+
+    #[test]
+    fn tables11_and_12_render_previews() {
+        let contexts = vec![
+            DomainContext::build(FreebaseDomain::Film, 2e-4, 7),
+            DomainContext::build(FreebaseDomain::Music, 2e-4, 7),
+            DomainContext::build(FreebaseDomain::Tv, 2e-4, 7),
+        ];
+        let t11 = table11(&contexts);
+        assert!(t11.contains("KS=Coverage"));
+        assert!(t11.contains("preview score"));
+        let t12 = table12(&contexts);
+        assert!(t12.contains("tight, d=2"));
+        assert!(t12.contains("diverse, d=4"));
+    }
+
+    #[test]
+    fn tables22_23_reproduce_the_paper_diagonal() {
+        let t = tables22_23();
+        assert!(t.contains("Table 22"));
+        assert!(t.contains("Table 23"));
+        // P@1 is 1.0 for every domain in both tables (first expert pick always
+        // agrees with the gold standard).
+        let p1_line = t
+            .lines()
+            .find(|l| l.trim_start().starts_with('1') && l.contains("1.000"))
+            .unwrap();
+        assert_eq!(p1_line.matches("1.000").count(), 5);
+    }
+}

@@ -1,0 +1,292 @@
+//! Scoring-accuracy experiments: Figs. 5–7, Table 3 and Table 4.
+
+use std::collections::HashSet;
+
+use datagen::crowd::{correlation_samples, simulate_pairwise_judgments, CrowdConfig};
+use datagen::FreebaseDomain;
+use entity_graph::TypeId;
+use eval::ranking::{average_precision, ndcg_at_k, precision_at_k, reciprocal_rank};
+use preview_core::{KeyScoring, NonKeyScoring, ScoringConfig};
+
+use crate::context::DomainContext;
+use crate::util::{fmt2, fmt3, TextTable};
+
+/// The K values reported in Figs. 5–7.
+pub const K_VALUES: [usize; 5] = [1, 5, 10, 15, 20];
+
+/// One key-attribute ranking method compared in Figs. 5–7 and Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyRankingMethod {
+    /// Coverage-based scoring (Sec. 3.2).
+    Coverage,
+    /// Random-walk-based scoring (Sec. 3.2).
+    RandomWalk,
+    /// The YPS09 table-importance baseline.
+    Yps09,
+}
+
+impl KeyRankingMethod {
+    /// All methods, in the paper's column order.
+    pub const ALL: [KeyRankingMethod; 3] = [
+        KeyRankingMethod::Coverage,
+        KeyRankingMethod::RandomWalk,
+        KeyRankingMethod::Yps09,
+    ];
+
+    /// Label used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyRankingMethod::Coverage => "Coverage",
+            KeyRankingMethod::RandomWalk => "Random Walk",
+            KeyRankingMethod::Yps09 => "YPS09",
+        }
+    }
+}
+
+/// Ranks the entity types of a domain under one method.
+pub fn key_ranking(ctx: &DomainContext, method: KeyRankingMethod) -> Vec<TypeId> {
+    match method {
+        KeyRankingMethod::Coverage => ctx
+            .scored(&ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Coverage))
+            .ranked_key_attributes(),
+        KeyRankingMethod::RandomWalk => ctx
+            .scored(&ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage))
+            .ranked_key_attributes(),
+        KeyRankingMethod::Yps09 => ctx.yps09_ranking(),
+    }
+}
+
+/// The ranking metric reproduced by one of Figs. 5–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyMetric {
+    /// Fig. 5.
+    PrecisionAtK,
+    /// Fig. 6.
+    AveragePrecision,
+    /// Fig. 7.
+    Ndcg,
+}
+
+impl KeyMetric {
+    fn evaluate(self, ranked: &[TypeId], gold: &HashSet<TypeId>, k: usize) -> f64 {
+        match self {
+            KeyMetric::PrecisionAtK => precision_at_k(ranked, gold, k),
+            KeyMetric::AveragePrecision => average_precision(ranked, gold, k),
+            KeyMetric::Ndcg => ndcg_at_k(ranked, gold, k),
+        }
+    }
+
+    /// The best value any method could achieve (the paper's "Optimal" curve).
+    fn optimal(self, gold_size: usize, k: usize) -> f64 {
+        let ideal: Vec<TypeId> = (0..gold_size as u32).map(TypeId::new).collect();
+        let gold: HashSet<TypeId> = ideal.iter().copied().collect();
+        self.evaluate(&ideal, &gold, k)
+    }
+
+    fn figure_name(self) -> &'static str {
+        match self {
+            KeyMetric::PrecisionAtK => "Figure 5: Precision-at-K of key attribute scoring",
+            KeyMetric::AveragePrecision => "Figure 6: Average precision of key attribute scoring",
+            KeyMetric::Ndcg => "Figure 7: nDCG of key attribute scoring",
+        }
+    }
+}
+
+/// Regenerates one of Figs. 5–7 over the five gold-standard domains, using
+/// already-built domain contexts (so the expensive generation is shared).
+pub fn key_accuracy_figure(contexts: &[DomainContext], metric: KeyMetric) -> String {
+    let mut out = String::new();
+    out.push_str(metric.figure_name());
+    out.push('\n');
+    let mut table = TextTable::new(vec!["Domain", "K", "Coverage", "Random Walk", "YPS09", "Optimal"]);
+    for ctx in contexts {
+        let gold: HashSet<TypeId> = ctx.gold_key_types().into_iter().collect();
+        if gold.is_empty() {
+            continue;
+        }
+        let rankings: Vec<(KeyRankingMethod, Vec<TypeId>)> = KeyRankingMethod::ALL
+            .iter()
+            .map(|&m| (m, key_ranking(ctx, m)))
+            .collect();
+        for &k in &K_VALUES {
+            let mut cells = vec![ctx.domain.name().to_string(), k.to_string()];
+            for (_, ranking) in &rankings {
+                cells.push(fmt3(metric.evaluate(ranking, &gold, k)));
+            }
+            cells.push(fmt3(metric.optimal(gold.len(), k)));
+            table.row(cells);
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Regenerates Table 3: MRR of non-key attribute scoring for the coverage- and
+/// entropy-based measures, per domain.
+pub fn table3_mrr(contexts: &[DomainContext]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: MRR of non-key attribute scoring\n");
+    let mut table = TextTable::new(vec!["Domain", "Coverage", "Entropy"]);
+    for ctx in contexts {
+        let Some(gold) = ctx.domain.gold_standard() else { continue };
+        let mut row = vec![ctx.domain.name().to_string()];
+        for non_key in [NonKeyScoring::Coverage, NonKeyScoring::Entropy] {
+            let scored = ctx.scored(&ScoringConfig::new(KeyScoring::Coverage, non_key));
+            let mut reciprocal_ranks = Vec::new();
+            for table_spec in gold.tables {
+                let Some(key_ty) = ctx.schema.type_by_name(table_spec.key) else { continue };
+                let candidates = scored.candidates(key_ty);
+                // The paper only evaluates entity types with at least five
+                // candidate non-key attributes.
+                if candidates.len() < 5 {
+                    continue;
+                }
+                let ranked: Vec<String> = candidates
+                    .iter()
+                    .map(|c| ctx.schema.edge(c.edge).name.clone())
+                    .collect();
+                let gold_set: HashSet<String> =
+                    table_spec.non_keys.iter().map(|s| s.to_string()).collect();
+                reciprocal_ranks.push(reciprocal_rank(&ranked, &gold_set));
+            }
+            let mrr = if reciprocal_ranks.is_empty() {
+                0.0
+            } else {
+                reciprocal_ranks.iter().sum::<f64>() / reciprocal_ranks.len() as f64
+            };
+            row.push(fmt3(mrr));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Regenerates Table 4: Pearson correlation between the methods' rankings and
+/// the (simulated) crowd's pairwise preferences, for key and non-key
+/// attributes.
+pub fn table4_pcc(contexts: &[DomainContext]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4: PCC of key and non-key attribute scoring vs. crowd ranking\n");
+    let mut table = TextTable::new(vec![
+        "Domain",
+        "YPS09 (key)",
+        "Coverage (key)",
+        "Random Walk (key)",
+        "Coverage (non-key)",
+        "Entropy (non-key)",
+    ]);
+    for ctx in contexts {
+        if ctx.domain.gold_standard().is_none() {
+            continue;
+        }
+        let crowd_config = CrowdConfig { seed: 2016 + ctx.domain as u64, ..CrowdConfig::default() };
+
+        // Key attributes: 50 simulated pairs of entity types.
+        let key_judgments = simulate_pairwise_judgments(&ctx.latent_key_importance(), &crowd_config);
+        let key_pcc = |ranking: &[TypeId]| -> f64 {
+            let order: Vec<usize> = ranking.iter().map(|t| t.index()).collect();
+            let (x, y) = correlation_samples(&key_judgments, &order);
+            eval::pearson(&x, &y).unwrap_or(0.0)
+        };
+
+        // Non-key attributes: 50 simulated pairs of relationship types,
+        // compared against the score-induced ranking of all schema edges.
+        let nonkey_judgments =
+            simulate_pairwise_judgments(&ctx.latent_nonkey_importance(), &crowd_config);
+        let nonkey_pcc = |non_key: NonKeyScoring| -> f64 {
+            let scored = ctx.scored(&ScoringConfig::new(KeyScoring::Coverage, non_key));
+            let mut edges: Vec<usize> = (0..ctx.schema.relationship_type_count()).collect();
+            edges.sort_by(|&a, &b| {
+                let sa = scored
+                    .non_key_score(a, entity_graph::Direction::Outgoing)
+                    .max(scored.non_key_score(a, entity_graph::Direction::Incoming));
+                let sb = scored
+                    .non_key_score(b, entity_graph::Direction::Outgoing)
+                    .max(scored.non_key_score(b, entity_graph::Direction::Incoming));
+                sb.partial_cmp(&sa).expect("scores are finite").then_with(|| a.cmp(&b))
+            });
+            let (x, y) = correlation_samples(&nonkey_judgments, &edges);
+            eval::pearson(&x, &y).unwrap_or(0.0)
+        };
+
+        table.row(vec![
+            ctx.domain.name().to_string(),
+            fmt2(key_pcc(&key_ranking(ctx, KeyRankingMethod::Yps09))),
+            fmt2(key_pcc(&key_ranking(ctx, KeyRankingMethod::Coverage))),
+            fmt2(key_pcc(&key_ranking(ctx, KeyRankingMethod::RandomWalk))),
+            fmt2(nonkey_pcc(NonKeyScoring::Coverage)),
+            fmt2(nonkey_pcc(NonKeyScoring::Entropy)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Builds the contexts for the five gold-standard domains at a given scale.
+pub fn gold_domain_contexts(scale: f64, seed: u64) -> Vec<DomainContext> {
+    FreebaseDomain::GOLD
+        .iter()
+        .map(|&d| DomainContext::build(d, scale, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contexts() -> Vec<DomainContext> {
+        // A small scale keeps the test fast; the schema shape is scale-free.
+        vec![
+            DomainContext::build(FreebaseDomain::Film, 2e-4, 7),
+            DomainContext::build(FreebaseDomain::People, 2e-4, 7),
+        ]
+    }
+
+    #[test]
+    fn key_rankings_are_permutations() {
+        let ctx = &contexts()[0];
+        for method in KeyRankingMethod::ALL {
+            let ranking = key_ranking(ctx, method);
+            assert_eq!(ranking.len(), ctx.schema.type_count(), "{}", method.label());
+            let mut sorted = ranking.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ctx.schema.type_count());
+        }
+    }
+
+    #[test]
+    fn coverage_beats_random_guessing_on_gold_types() {
+        let ctx = &contexts()[0];
+        let gold: HashSet<TypeId> = ctx.gold_key_types().into_iter().collect();
+        let ranking = key_ranking(ctx, KeyRankingMethod::Coverage);
+        let p10 = precision_at_k(&ranking, &gold, 10);
+        // Random guessing over 63 types would give ~6/63 ≈ 0.1; the synthetic
+        // domains make gold types large, so coverage should do much better.
+        assert!(p10 >= 0.3, "P@10 = {p10}");
+    }
+
+    #[test]
+    fn figures_and_tables_render_for_every_domain_row() {
+        let ctxs = contexts();
+        let fig5 = key_accuracy_figure(&ctxs, KeyMetric::PrecisionAtK);
+        assert!(fig5.contains("film"));
+        assert!(fig5.contains("people"));
+        assert_eq!(fig5.lines().count(), 2 + 2 * K_VALUES.len() + 1);
+        let fig7 = key_accuracy_figure(&ctxs, KeyMetric::Ndcg);
+        assert!(fig7.contains("nDCG"));
+
+        let t3 = table3_mrr(&ctxs);
+        assert!(t3.contains("Coverage"));
+        let t4 = table4_pcc(&ctxs);
+        assert!(t4.contains("Random Walk"));
+    }
+
+    #[test]
+    fn optimal_curve_caps_precision() {
+        assert!((KeyMetric::PrecisionAtK.optimal(6, 10) - 0.6).abs() < 1e-12);
+        assert!((KeyMetric::PrecisionAtK.optimal(6, 5) - 1.0).abs() < 1e-12);
+        assert!((KeyMetric::Ndcg.optimal(6, 20) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,434 @@
+//! User-study experiments: Tables 5–9, 13–21 and Figs. 10–14.
+//!
+//! The behavioural simulation lives in `datagen::userstudy`; this module
+//! derives the per-approach summary descriptors from the *actual* artefacts
+//! (discovered previews, the YPS09 summary, the raw schema graph, the gold
+//! standard and the expert previews) and turns the simulated responses into
+//! the paper's tables.
+
+use std::collections::HashSet;
+
+use baseline::Yps09Summarizer;
+use datagen::userstudy::{
+    default_profiles, simulate, Approach, ApproachOutcome, StudyConfig, StudyOutcome,
+    SummaryProfile, QUESTIONS,
+};
+use datagen::{expert_preview, FreebaseDomain};
+use eval::{five_number_summary, median, two_proportion_z_test};
+use preview_core::{
+    AprioriDiscovery, DynamicProgrammingDiscovery, Preview, PreviewDiscovery, PreviewSpace,
+    ScoringConfig,
+};
+
+use crate::context::DomainContext;
+use crate::util::{fmt2, fmt3, TextTable};
+
+/// All artefacts of one domain's user study: the derived profiles and the
+/// simulated outcome.
+#[derive(Debug, Clone)]
+pub struct DomainStudy {
+    /// The domain.
+    pub domain: FreebaseDomain,
+    /// Per-approach behavioural descriptors.
+    pub profiles: Vec<SummaryProfile>,
+    /// Simulated responses.
+    pub outcome: StudyOutcome,
+}
+
+impl DomainStudy {
+    /// The aggregate for one approach.
+    pub fn approach(&self, approach: Approach) -> &ApproachOutcome {
+        self.outcome
+            .by_approach
+            .iter()
+            .find(|a| a.approach == approach)
+            .expect("every approach is simulated")
+    }
+}
+
+/// Elements of a domain considered "important" for coverage purposes: the
+/// gold-standard key attributes and their editor-selected non-key attributes.
+fn important_elements(ctx: &DomainContext) -> HashSet<String> {
+    let mut set = HashSet::new();
+    if let Some(gold) = ctx.domain.gold_standard() {
+        for table in gold.tables {
+            set.insert(table.key.to_string());
+            for &attr in table.non_keys {
+                set.insert(format!("{}::{attr}", table.key));
+            }
+        }
+    }
+    set
+}
+
+/// Coverage of the important elements by a discovered preview.
+fn preview_coverage(ctx: &DomainContext, preview: &Preview, important: &HashSet<String>) -> f64 {
+    if important.is_empty() {
+        return 0.5;
+    }
+    let mut covered = 0usize;
+    for element in important {
+        let hit = match element.split_once("::") {
+            None => preview
+                .tables()
+                .iter()
+                .any(|t| ctx.schema.type_name(t.key()) == element),
+            Some((key, attr)) => preview.tables().iter().any(|t| {
+                ctx.schema.type_name(t.key()) == key
+                    && t.non_keys()
+                        .iter()
+                        .any(|a| ctx.schema.edge(a.edge).name == attr)
+            }),
+        };
+        if hit {
+            covered += 1;
+        }
+    }
+    covered as f64 / important.len() as f64
+}
+
+/// Normalised visual complexity of a presentation showing `elements` schema
+/// elements, relative to the full schema graph.
+fn complexity(ctx: &DomainContext, elements: usize) -> f64 {
+    let full = ctx.schema.type_count() + ctx.schema.relationship_type_count();
+    (elements as f64 / full as f64).min(1.0)
+}
+
+/// Derives the seven approach profiles of one domain from its artefacts.
+pub fn derive_profiles(ctx: &DomainContext) -> Vec<SummaryProfile> {
+    let Some(gold) = ctx.domain.gold_standard() else {
+        return default_profiles();
+    };
+    let important = important_elements(ctx);
+    let k = gold.table_count();
+    let n = gold.non_key_count().max(k);
+    let scored = ctx.scored(&ScoringConfig::coverage());
+
+    let discovered = |space: PreviewSpace| -> Option<Preview> {
+        let algo: Box<dyn PreviewDiscovery> = match space {
+            PreviewSpace::Concise(_) => Box::new(DynamicProgrammingDiscovery::new()),
+            _ => Box::new(AprioriDiscovery::new()),
+        };
+        algo.discover(&scored, &space).ok().flatten()
+    };
+    let preview_profile = |approach: Approach, preview: Option<Preview>| -> SummaryProfile {
+        match preview {
+            Some(p) => SummaryProfile {
+                approach,
+                coverage: preview_coverage(ctx, &p, &important),
+                complexity: complexity(ctx, p.tables().len() + p.non_key_count()),
+            },
+            // Infeasible constraint (e.g. no diverse preview exists): fall
+            // back to the documented defaults for that approach.
+            None => *default_profiles()
+                .iter()
+                .find(|p| p.approach == approach)
+                .expect("default profile exists"),
+        }
+    };
+
+    let concise = preview_profile(
+        Approach::Concise,
+        discovered(PreviewSpace::concise(k, n).expect("valid size")),
+    );
+    let tight = preview_profile(
+        Approach::Tight,
+        discovered(PreviewSpace::tight(k, n, 2).expect("valid size")),
+    );
+    let diverse = preview_profile(
+        Approach::Diverse,
+        discovered(PreviewSpace::diverse(k, n, 3).expect("valid size")),
+    );
+
+    // Freebase gold standard: covers all of its own elements by definition.
+    let freebase = SummaryProfile {
+        approach: Approach::Freebase,
+        coverage: 1.0,
+        complexity: complexity(ctx, k + gold.non_key_count()),
+    };
+
+    // Experts: covers the shared key attributes plus their attributes.
+    let expert_cov = expert_preview(ctx.domain)
+        .map(|e| {
+            let gold_keys = gold.key_attributes();
+            let shared = e.keys.iter().filter(|k| gold_keys.contains(&k.as_str())).count();
+            // Shared keys and their attributes are covered; the rest are not.
+            shared as f64 / gold_keys.len() as f64
+        })
+        .unwrap_or(0.7);
+    let experts = SummaryProfile {
+        approach: Approach::Experts,
+        coverage: expert_cov,
+        complexity: complexity(ctx, k + n),
+    };
+
+    // YPS09: k cluster-centre tables, each showing *all* incident relationship
+    // types (Sec. 6.3.1 explains the resulting tables are wide).
+    let yps09_summary = Yps09Summarizer::new().summarize(&ctx.graph, &ctx.schema, k);
+    let (yps_cov, yps_elems) = match &yps09_summary {
+        Some(summary) => {
+            let center_names: HashSet<&str> = summary
+                .centers
+                .iter()
+                .map(|&t| ctx.schema.type_name(t))
+                .collect();
+            let covered = important
+                .iter()
+                .filter(|e| {
+                    let key = e.split_once("::").map(|(k, _)| k).unwrap_or(e.as_str());
+                    center_names.contains(key)
+                })
+                .count();
+            let width: usize = summary
+                .centers
+                .iter()
+                .map(|&t| 1 + ctx.schema.incident_edges(t).len())
+                .sum();
+            (covered as f64 / important.len().max(1) as f64, width)
+        }
+        None => (0.5, ctx.schema.type_count()),
+    };
+    let yps09 = SummaryProfile {
+        approach: Approach::Yps09,
+        coverage: yps_cov,
+        complexity: complexity(ctx, yps_elems),
+    };
+
+    // Raw schema graph: complete but maximally complex.
+    let graph = SummaryProfile { approach: Approach::Graph, coverage: 1.0, complexity: 1.0 };
+
+    vec![concise, tight, diverse, freebase, experts, yps09, graph]
+}
+
+/// Runs the simulated user study for one domain.
+pub fn run_domain_study(ctx: &DomainContext) -> DomainStudy {
+    let profiles = derive_profiles(ctx);
+    let config = StudyConfig { seed: 84 + ctx.domain as u64, ..StudyConfig::default() };
+    let outcome = simulate(&profiles, &config);
+    DomainStudy { domain: ctx.domain, profiles, outcome }
+}
+
+/// Runs the study for all five gold-standard domains.
+pub fn run_all_studies(contexts: &[DomainContext]) -> Vec<DomainStudy> {
+    contexts
+        .iter()
+        .filter(|c| c.domain.gold_standard().is_some())
+        .map(run_domain_study)
+        .collect()
+}
+
+/// Table 5: sample sizes and conversion rates.
+pub fn table5(studies: &[DomainStudy]) -> String {
+    let mut out = String::from("Table 5: Sample sizes and conversion rates (simulated study)\n");
+    let mut header = vec!["Approach".to_string()];
+    header.extend(studies.iter().map(|s| s.domain.name().to_string()));
+    let mut table = TextTable::new(header);
+    for approach in Approach::ALL {
+        let mut row = vec![approach.label().to_string()];
+        for study in studies {
+            let a = study.approach(approach);
+            row.push(format!("n={} c={}", a.responses, fmt3(a.conversion_rate())));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table 6: approaches sorted by median existence-test time per domain.
+pub fn table6(studies: &[DomainStudy]) -> String {
+    let mut out = String::from("Table 6: Approaches in ascending order of median existence-test time\n");
+    let mut table = TextTable::new(vec!["Domain", "1", "2", "3", "4", "5", "6", "7"]);
+    for study in studies {
+        let mut order: Vec<(Approach, f64)> = Approach::ALL
+            .iter()
+            .map(|&a| (a, median(&study.approach(a).times).unwrap_or(f64::MAX)))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"));
+        let mut row = vec![study.domain.name().to_string()];
+        row.extend(order.iter().map(|(a, _)| a.label().to_string()));
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Tables 7 and 13–16: pairwise z-tests of conversion rates for one domain.
+pub fn pairwise_z_table(studies: &[DomainStudy], domain: FreebaseDomain) -> String {
+    let Some(study) = studies.iter().find(|s| s.domain == domain) else {
+        return format!("no study available for domain {}", domain.name());
+    };
+    let mut out = format!(
+        "Pairwise two-proportion one-tailed z-tests of conversion rates, domain={} (alpha=0.1)\n",
+        domain.name()
+    );
+    let mut header = vec!["".to_string()];
+    header.extend(Approach::ALL.iter().skip(1).map(|a| a.label().to_string()));
+    let mut table = TextTable::new(header);
+    for (i, &row_approach) in Approach::ALL.iter().enumerate() {
+        if i + 1 >= Approach::ALL.len() {
+            break;
+        }
+        let mut row = vec![row_approach.label().to_string()];
+        for (j, &col_approach) in Approach::ALL.iter().enumerate().skip(1) {
+            if j <= i {
+                row.push(String::new());
+                continue;
+            }
+            let a = study.approach(row_approach);
+            let b = study.approach(col_approach);
+            match two_proportion_z_test(a.correct, a.responses, b.correct, b.responses) {
+                Some(result) => {
+                    let marker = if result.significant(0.1) { "*" } else { "" };
+                    row.push(format!("z={}{} p={}", fmt2(result.z), marker, fmt3(result.p_value)));
+                }
+                None => row.push("n/a".to_string()),
+            }
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str("(* = statistically significant at alpha = 0.1; the row approach is more accurate when z > 0)\n");
+    out
+}
+
+/// Table 8: the user-experience questionnaire.
+pub fn table8() -> String {
+    let mut out = String::from("Table 8: User experience questionnaire (5-point Likert scale)\n");
+    for q in QUESTIONS {
+        out.push_str(q);
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 9: approaches sorted by average user-experience score across domains.
+pub fn table9(studies: &[DomainStudy]) -> String {
+    let mut out =
+        String::from("Table 9: Approaches in descending order of average user-experience score\n");
+    let mut table = TextTable::new(vec!["Question", "1", "2", "3", "4", "5", "6", "7"]);
+    for q in 0..4 {
+        let mut averages: Vec<(Approach, f64)> = Approach::ALL
+            .iter()
+            .map(|&a| {
+                let mean = studies
+                    .iter()
+                    .map(|s| s.approach(a).experience_means[q])
+                    .sum::<f64>()
+                    / studies.len().max(1) as f64;
+                (a, mean)
+            })
+            .collect();
+        averages.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        let mut row = vec![format!("Q{}", q + 1)];
+        row.extend(averages.iter().map(|(a, _)| a.label().to_string()));
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Tables 17–21: per-domain user-experience scores.
+pub fn experience_table(studies: &[DomainStudy], domain: FreebaseDomain) -> String {
+    let Some(study) = studies.iter().find(|s| s.domain == domain) else {
+        return format!("no study available for domain {}", domain.name());
+    };
+    let mut out = format!("User experience scores, domain={}\n", domain.name());
+    let mut table = TextTable::new(vec!["System", "Q1", "Q2", "Q3", "Q4"]);
+    for approach in Approach::ALL {
+        let a = study.approach(approach);
+        table.row(vec![
+            approach.label().to_string(),
+            fmt2(a.experience_means[0]),
+            fmt2(a.experience_means[1]),
+            fmt2(a.experience_means[2]),
+            fmt2(a.experience_means[3]),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Figs. 10–14: box-plot statistics of time per existence-test task.
+pub fn time_boxplot(studies: &[DomainStudy], domain: FreebaseDomain) -> String {
+    let Some(study) = studies.iter().find(|s| s.domain == domain) else {
+        return format!("no study available for domain {}", domain.name());
+    };
+    let mut out = format!("Time per existence-test task (seconds), domain={}\n", domain.name());
+    let mut table = TextTable::new(vec!["Approach", "min", "q1", "median", "q3", "max"]);
+    for approach in Approach::ALL {
+        let times = &study.approach(approach).times;
+        if let Some(s) = five_number_summary(times) {
+            table.row(vec![
+                approach.label().to_string(),
+                fmt2(s.min),
+                fmt2(s.q1),
+                fmt2(s.median),
+                fmt2(s.q3),
+                fmt2(s.max),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn studies() -> Vec<DomainStudy> {
+        let ctxs = vec![
+            DomainContext::build(FreebaseDomain::Film, 2e-4, 7),
+            DomainContext::build(FreebaseDomain::Tv, 2e-4, 7),
+        ];
+        run_all_studies(&ctxs)
+    }
+
+    #[test]
+    fn profiles_are_derived_for_all_seven_approaches() {
+        let ctx = DomainContext::build(FreebaseDomain::Film, 2e-4, 7);
+        let profiles = derive_profiles(&ctx);
+        assert_eq!(profiles.len(), 7);
+        for p in &profiles {
+            assert!((0.0..=1.0).contains(&p.coverage), "{:?}", p);
+            assert!((0.0..=1.0).contains(&p.complexity), "{:?}", p);
+        }
+        // The raw schema graph is the most complex presentation.
+        let graph = profiles.iter().find(|p| p.approach == Approach::Graph).unwrap();
+        let concise = profiles.iter().find(|p| p.approach == Approach::Concise).unwrap();
+        assert!(graph.complexity > concise.complexity);
+    }
+
+    #[test]
+    fn previews_cover_a_reasonable_share_of_gold_elements() {
+        let ctx = DomainContext::build(FreebaseDomain::Film, 2e-4, 7);
+        let profiles = derive_profiles(&ctx);
+        let concise = profiles.iter().find(|p| p.approach == Approach::Concise).unwrap();
+        assert!(concise.coverage > 0.2, "coverage {}", concise.coverage);
+    }
+
+    #[test]
+    fn all_user_study_tables_render() {
+        let studies = studies();
+        assert_eq!(studies.len(), 2);
+        assert!(table5(&studies).contains("Concise"));
+        assert!(table6(&studies).contains("film"));
+        assert!(pairwise_z_table(&studies, FreebaseDomain::Film).contains("z="));
+        assert!(table8().contains("Q4"));
+        assert!(table9(&studies).contains("Q1"));
+        assert!(experience_table(&studies, FreebaseDomain::Tv).contains("YPS09"));
+        assert!(time_boxplot(&studies, FreebaseDomain::Film).contains("median"));
+        assert!(pairwise_z_table(&studies, FreebaseDomain::Books).contains("no study available"));
+    }
+
+    #[test]
+    fn compact_approaches_answer_faster_than_graph() {
+        let studies = studies();
+        for study in &studies {
+            let tight = median(&study.approach(Approach::Tight).times).unwrap();
+            let graph = median(&study.approach(Approach::Graph).times).unwrap();
+            assert!(tight < graph, "{}: tight {tight} graph {graph}", study.domain.name());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Small formatting and timing helpers shared by the experiments.
+
+use std::time::{Duration, Instant};
+
+/// A simple fixed-width text table builder for paper-style output.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration in the paper's milliseconds-with-floor-of-one style
+/// ("execution time less than 1 millisecond is rounded to 1 millisecond").
+pub fn format_millis(duration: Duration) -> String {
+    let ms = duration.as_secs_f64() * 1e3;
+    if ms < 1.0 {
+        "1".to_string()
+    } else if ms < 100.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{:.0}", ms)
+    }
+}
+
+/// Formats a float with three decimals (the paper's usual precision).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a float with two decimals.
+pub fn fmt2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Domain", "Coverage"]);
+        t.row(vec!["books", "0.800"]);
+        t.row(vec!["film", "0.2"]);
+        let rendered = t.render();
+        assert!(rendered.contains("Domain"));
+        assert!(rendered.contains("books"));
+        assert_eq!(rendered.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only one"]);
+        assert!(t.render().contains("only one"));
+    }
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (value, duration) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn millis_formatting_floors_at_one() {
+        assert_eq!(format_millis(Duration::from_micros(10)), "1");
+        assert_eq!(format_millis(Duration::from_millis(2)), "2.0");
+        assert_eq!(format_millis(Duration::from_millis(1500)), "1500");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt2(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulated crowdsourced pairwise-preference collection (Sec. 6.1.3).
+//!
+//! The paper collected 1 000 opinions per domain from Amazon Mechanical Turk:
+//! 50 random pairs of candidate key attributes (or non-key attributes), each
+//! judged by 20 screened workers who picked the more important element of the
+//! pair. Human workers are unavailable here, so this module simulates them
+//! with a Bradley–Terry-style model: each worker prefers the element with the
+//! higher *latent importance* with a probability that grows with the
+//! importance gap, modulated by a per-worker reliability. Latent importance is
+//! supplied by the caller (the experiment harness derives it from entity
+//! counts plus gold-standard membership), so the simulation reproduces the
+//! *kind* of noisy agreement the paper's PCC analysis measures without
+//! hard-coding any method's ranking.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Number of random pairs per domain (the paper uses 50).
+    pub pairs: usize,
+    /// Number of workers judging each pair (the paper uses 20).
+    pub workers_per_pair: usize,
+    /// Sensitivity of the Bradley–Terry preference to the importance gap:
+    /// larger values make workers more decisive.
+    pub sensitivity: f64,
+    /// Fraction of workers that pass the screening questions; the rest answer
+    /// uniformly at random (the paper discards them, we keep them out of the
+    /// tally the same way).
+    pub screening_pass_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        Self {
+            pairs: 50,
+            workers_per_pair: 20,
+            sensitivity: 4.0,
+            screening_pass_rate: 0.85,
+            seed: 2016,
+        }
+    }
+}
+
+/// The aggregated judgement of one pair of candidate items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairJudgment {
+    /// Index (into the caller's item list) of the first element of the pair.
+    pub first: usize,
+    /// Index of the second element of the pair.
+    pub second: usize,
+    /// Number of screened workers favouring the first element.
+    pub votes_first: u32,
+    /// Number of screened workers favouring the second element.
+    pub votes_second: u32,
+}
+
+impl PairJudgment {
+    /// The difference in worker counts favouring first over second — the `Y`
+    /// values of the paper's PCC computation.
+    pub fn vote_difference(&self) -> f64 {
+        f64::from(self.votes_first) - f64::from(self.votes_second)
+    }
+}
+
+/// Simulates the AMT study for one item universe.
+///
+/// `latent_importance[i]` is the ground-truth importance of item `i` (any
+/// positive scale); `config.pairs` random pairs of *distinct* items are drawn
+/// and judged. Returns an empty vector if fewer than two items exist.
+pub fn simulate_pairwise_judgments(latent_importance: &[f64], config: &CrowdConfig) -> Vec<PairJudgment> {
+    let n = latent_importance.len();
+    if n < 2 || config.pairs == 0 || config.workers_per_pair == 0 {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // Normalise importances to [0, 1] so the sensitivity parameter has a
+    // scale-free meaning.
+    let max = latent_importance.iter().cloned().fold(f64::MIN, f64::max);
+    let min = latent_importance.iter().cloned().fold(f64::MAX, f64::min);
+    let range = (max - min).max(f64::EPSILON);
+    let norm: Vec<f64> = latent_importance.iter().map(|v| (v - min) / range).collect();
+
+    let mut judgments = Vec::with_capacity(config.pairs);
+    for _ in 0..config.pairs {
+        let first = rng.gen_range(0..n);
+        let mut second = rng.gen_range(0..n);
+        while second == first {
+            second = rng.gen_range(0..n);
+        }
+        let gap = norm[first] - norm[second];
+        // Probability a reliable worker prefers `first`.
+        let p_first = 1.0 / (1.0 + (-config.sensitivity * gap).exp());
+        let mut votes_first = 0u32;
+        let mut votes_second = 0u32;
+        for _ in 0..config.workers_per_pair {
+            let passes_screening = rng.gen::<f64>() < config.screening_pass_rate;
+            if !passes_screening {
+                // Screened out: the response is not considered (Sec. 6.1.3).
+                continue;
+            }
+            if rng.gen::<f64>() < p_first {
+                votes_first += 1;
+            } else {
+                votes_second += 1;
+            }
+        }
+        judgments.push(PairJudgment { first, second, votes_first, votes_second });
+    }
+    judgments
+}
+
+/// Builds the paired `(X, Y)` samples of the paper's PCC computation:
+/// `X` is the difference in ranking position of the two items under the
+/// method being evaluated (position of `second` minus position of `first`, so
+/// a method ranking `first` higher yields a positive value), and `Y` is the
+/// difference in worker votes favouring `first`.
+pub fn correlation_samples(judgments: &[PairJudgment], ranking: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    // position[i] = rank of item i under the method (0 = best).
+    let mut position = vec![0usize; ranking.len()];
+    for (pos, &item) in ranking.iter().enumerate() {
+        position[item] = pos;
+    }
+    let mut xs = Vec::with_capacity(judgments.len());
+    let mut ys = Vec::with_capacity(judgments.len());
+    for j in judgments {
+        if j.first >= position.len() || j.second >= position.len() {
+            continue;
+        }
+        xs.push(position[j.second] as f64 - position[j.first] as f64);
+        ys.push(j.vote_difference());
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn importances() -> Vec<f64> {
+        // Item 0 is hugely important, then a smooth decay.
+        (0..20).map(|i| 1000.0 / (i as f64 + 1.0)).collect()
+    }
+
+    #[test]
+    fn produces_requested_number_of_pairs() {
+        let judgments = simulate_pairwise_judgments(&importances(), &CrowdConfig::default());
+        assert_eq!(judgments.len(), 50);
+        for j in &judgments {
+            assert_ne!(j.first, j.second);
+            assert!(j.votes_first + j.votes_second <= 20);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate_pairwise_judgments(&importances(), &CrowdConfig::default());
+        let b = simulate_pairwise_judgments(&importances(), &CrowdConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workers_prefer_more_important_items() {
+        let imp = importances();
+        let config = CrowdConfig { pairs: 200, ..CrowdConfig::default() };
+        let judgments = simulate_pairwise_judgments(&imp, &config);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for j in &judgments {
+            let truly_first = imp[j.first] > imp[j.second];
+            let crowd_first = j.votes_first > j.votes_second;
+            if j.votes_first != j.votes_second {
+                total += 1;
+                if truly_first == crowd_first {
+                    agree += 1;
+                }
+            }
+        }
+        // Workers agree with the latent ordering more often than not, but far
+        // from perfectly — the realistic noise level the PCC analysis needs.
+        assert!(agree as f64 / total as f64 > 0.6, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn good_ranking_correlates_better_than_bad_ranking() {
+        let imp = importances();
+        let judgments = simulate_pairwise_judgments(&imp, &CrowdConfig::default());
+        let good: Vec<usize> = (0..imp.len()).collect(); // true order
+        let bad: Vec<usize> = (0..imp.len()).rev().collect(); // reversed
+        let (gx, gy) = correlation_samples(&judgments, &good);
+        let (bx, by) = correlation_samples(&judgments, &bad);
+        let good_pcc = eval::pearson(&gx, &gy).unwrap();
+        let bad_pcc = eval::pearson(&bx, &by).unwrap();
+        assert!(good_pcc > 0.4, "good ranking PCC {good_pcc}");
+        assert!(bad_pcc < -0.4, "bad ranking PCC {bad_pcc}");
+    }
+
+    #[test]
+    fn degenerate_inputs_give_empty_output() {
+        assert!(simulate_pairwise_judgments(&[], &CrowdConfig::default()).is_empty());
+        assert!(simulate_pairwise_judgments(&[1.0], &CrowdConfig::default()).is_empty());
+        let zero_pairs = CrowdConfig { pairs: 0, ..CrowdConfig::default() };
+        assert!(simulate_pairwise_judgments(&[1.0, 2.0], &zero_pairs).is_empty());
+    }
+}

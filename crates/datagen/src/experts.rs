@@ -1,0 +1,136 @@
+//! Hand-crafted "Experts" previews (Sec. 6.3 of the paper).
+//!
+//! The paper's expert previews were produced by ten database Ph.D. students
+//! and consolidated per domain; the originals are not published, but Tables 22
+//! and 23 report the overlap between the expert key attributes and the
+//! Freebase gold standard (e.g. P@6 = 0.833 for "music": five of the six
+//! expert key attributes are also entrance-page types). This module embeds
+//! expert key-attribute lists that reproduce exactly those overlap counts:
+//! the first expert choice always agrees with the gold standard (P@1 = 1 in
+//! both tables), the remaining overlap slots take further gold types, and the
+//! non-overlapping slots are filled with the domain's large infrastructure
+//! types — the kind of "important but not entrance-page" types experts
+//! plausibly pick.
+
+use crate::domains::FreebaseDomain;
+
+/// An expert-made preview schema for one domain: six key attributes, each with
+/// the attributes the experts would show (for overlap-based experiments only
+/// the key attributes matter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpertPreview {
+    /// The domain.
+    pub domain: FreebaseDomain,
+    /// The six expert-chosen key attributes (entity-type names).
+    pub keys: Vec<String>,
+}
+
+/// Number of expert key attributes that coincide with the gold standard, per
+/// domain (derived from Table 23: P@6 × 6).
+pub fn gold_overlap(domain: FreebaseDomain) -> Option<usize> {
+    match domain {
+        FreebaseDomain::Books => Some(2),
+        FreebaseDomain::Film => Some(3),
+        FreebaseDomain::Music => Some(5),
+        FreebaseDomain::Tv => Some(3),
+        FreebaseDomain::People => Some(3),
+        _ => None,
+    }
+}
+
+/// Builds the expert preview of a gold-standard domain.
+///
+/// Returns `None` for the two domains without a gold standard (basketball and
+/// architecture), which the user study does not cover.
+pub fn expert_preview(domain: FreebaseDomain) -> Option<ExpertPreview> {
+    let gold = domain.gold_standard()?;
+    let overlap = gold_overlap(domain)?;
+    let gold_keys = gold.key_attributes();
+    let infra = domain.infrastructure_types();
+
+    let mut keys: Vec<String> = Vec::with_capacity(6);
+    // Shared picks: the first `overlap` gold-standard types.
+    for &k in gold_keys.iter().take(overlap) {
+        keys.push(k.to_string());
+    }
+    // Non-shared picks: infrastructure types not in the gold standard.
+    for &t in infra {
+        if keys.len() >= 6 {
+            break;
+        }
+        if !gold_keys.contains(&t) {
+            keys.push(t.to_string());
+        }
+    }
+    // Top up from the remaining gold types if the domain has too few
+    // infrastructure types (keeps the list at six entries; this can raise the
+    // overlap slightly for such domains, which only happens off the five
+    // gold-standard domains in practice).
+    for &k in gold_keys.iter().skip(overlap) {
+        if keys.len() >= 6 {
+            break;
+        }
+        keys.push(k.to_string());
+    }
+    Some(ExpertPreview { domain, keys })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expert_previews_exist_for_gold_domains_only() {
+        for domain in FreebaseDomain::GOLD {
+            assert!(expert_preview(domain).is_some(), "{}", domain.name());
+        }
+        assert!(expert_preview(FreebaseDomain::Basketball).is_none());
+        assert!(expert_preview(FreebaseDomain::Architecture).is_none());
+    }
+
+    #[test]
+    fn expert_previews_have_six_distinct_keys() {
+        for domain in FreebaseDomain::GOLD {
+            let preview = expert_preview(domain).unwrap();
+            assert_eq!(preview.keys.len(), 6, "{}", domain.name());
+            let mut sorted = preview.keys.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6, "{}", domain.name());
+        }
+    }
+
+    #[test]
+    fn overlap_with_gold_matches_table23() {
+        for domain in FreebaseDomain::GOLD {
+            let preview = expert_preview(domain).unwrap();
+            let gold_keys = domain.gold_standard().unwrap().key_attributes();
+            let shared = preview
+                .keys
+                .iter()
+                .filter(|k| gold_keys.contains(&k.as_str()))
+                .count();
+            assert_eq!(shared, gold_overlap(domain).unwrap(), "{}", domain.name());
+        }
+    }
+
+    #[test]
+    fn first_pick_agrees_with_gold() {
+        for domain in FreebaseDomain::GOLD {
+            let preview = expert_preview(domain).unwrap();
+            let gold_keys = domain.gold_standard().unwrap().key_attributes();
+            assert_eq!(preview.keys[0], gold_keys[0], "{}", domain.name());
+        }
+    }
+
+    #[test]
+    fn expert_keys_exist_in_the_domain_spec() {
+        for domain in FreebaseDomain::GOLD {
+            let spec = domain.spec(1e-4);
+            let preview = expert_preview(domain).unwrap();
+            for key in &preview.keys {
+                assert!(spec.type_index(key).is_some(), "{}: {key}", domain.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The Freebase gold standard (Table 10 of the paper).
+//!
+//! For each of the five largest Freebase domains, the gold standard consists
+//! of the six entity types shown on the domain's manually curated entrance
+//! page (the gold-standard *key attributes*) and, for each such type, the up
+//! to three type-dependent attributes selected by Freebase editors (the
+//! gold-standard *non-key attributes*). The paper uses these as ground truth
+//! for the scoring-accuracy experiments (Figs. 5–7, Table 3) and as the
+//! "Freebase" arm of the user study.
+
+/// One gold-standard preview table: a key attribute and its non-key
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldTable {
+    /// The key attribute (entity type name).
+    pub key: &'static str,
+    /// The editor-selected non-key attributes (relationship-type surface
+    /// names), at most three.
+    pub non_keys: &'static [&'static str],
+}
+
+/// The gold standard of one domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldStandard {
+    /// Domain name as used in the paper ("books", "film", "music", "TV",
+    /// "people").
+    pub domain: &'static str,
+    /// The six gold-standard preview tables.
+    pub tables: &'static [GoldTable],
+}
+
+impl GoldStandard {
+    /// The gold-standard key attributes (entity-type names).
+    pub fn key_attributes(&self) -> Vec<&'static str> {
+        self.tables.iter().map(|t| t.key).collect()
+    }
+
+    /// The gold-standard non-key attributes of one key attribute, if present.
+    pub fn non_keys_of(&self, key: &str) -> Option<&'static [&'static str]> {
+        self.tables.iter().find(|t| t.key == key).map(|t| t.non_keys)
+    }
+
+    /// Total number of gold-standard non-key attributes (the `n` used for the
+    /// expert previews and the size constraints in the user study).
+    pub fn non_key_count(&self) -> usize {
+        self.tables.iter().map(|t| t.non_keys.len()).sum()
+    }
+
+    /// Number of gold-standard tables (always 6 in the paper).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Gold standard of the "books" domain.
+pub const BOOKS: GoldStandard = GoldStandard {
+    domain: "books",
+    tables: &[
+        GoldTable { key: "BOOK", non_keys: &["Characters", "Genre", "Editions"] },
+        GoldTable { key: "BOOK EDITION", non_keys: &["Publication Date", "Publisher", "Credited To"] },
+        GoldTable { key: "SHORT STORY", non_keys: &["Genre", "Characters"] },
+        GoldTable { key: "POEM", non_keys: &["Characters", "Meter", "Verse Form"] },
+        GoldTable { key: "SHORT NON-FICTION", non_keys: &["Mode Of Writing", "Verse Form"] },
+        GoldTable {
+            key: "AUTHOR",
+            non_keys: &["Series Written (Or Contributed To)", "Works Edited", "Works Written"],
+        },
+    ],
+};
+
+/// Gold standard of the "film" domain.
+pub const FILM: GoldStandard = GoldStandard {
+    domain: "film",
+    tables: &[
+        GoldTable { key: "FILM", non_keys: &["Directed By", "Tagline", "Initial Release Date"] },
+        GoldTable { key: "FILM ACTOR", non_keys: &["Film Performances"] },
+        GoldTable { key: "FILM GENRE", non_keys: &["Films Of This Genre"] },
+        GoldTable { key: "FILM DIRECTOR", non_keys: &["Films Directed"] },
+        GoldTable { key: "FILM PRODUCER", non_keys: &["Films Executive Produced", "Films Produced"] },
+        GoldTable { key: "FILM WRITER", non_keys: &["Film Writing Credits"] },
+    ],
+};
+
+/// Gold standard of the "music" domain.
+pub const MUSIC: GoldStandard = GoldStandard {
+    domain: "music",
+    tables: &[
+        GoldTable { key: "COMPOSITION", non_keys: &["Includes", "Lyricist", "Composer"] },
+        GoldTable { key: "CONCERT", non_keys: &["Venue", "Start Date", "Concert Tour"] },
+        GoldTable { key: "MUSIC VIDEO", non_keys: &["Song", "Initial Release Date", "Artist"] },
+        GoldTable { key: "MUSICAL ALBUM", non_keys: &["Release Type", "Initial Release Date", "Artist"] },
+        GoldTable {
+            key: "MUSICAL ARTIST",
+            non_keys: &["Albums", "Place Musical Career Began", "Musical Genres"],
+        },
+        GoldTable { key: "MUSICAL RECORDING", non_keys: &["Length", "Featured Artists", "Recorded By"] },
+    ],
+};
+
+/// Gold standard of the "TV" domain.
+pub const TV: GoldStandard = GoldStandard {
+    domain: "TV",
+    tables: &[
+        GoldTable {
+            key: "TV PROGRAM",
+            non_keys: &["Program Creator", "Air Date Of First Episode", "Air Date Of Final Episode"],
+        },
+        GoldTable { key: "TV ACTOR", non_keys: &["Starring TV Roles"] },
+        GoldTable {
+            key: "TV CHARACTER",
+            non_keys: &["Programs In Which This Was A Regular Character"],
+        },
+        GoldTable { key: "TV WRITER", non_keys: &["TV Programs (Recurring Writer)"] },
+        GoldTable { key: "TV PRODUCER", non_keys: &["TV Programs Produced"] },
+        GoldTable { key: "TV DIRECTOR", non_keys: &["TV Episodes Directed", "TV Segments Directed"] },
+    ],
+};
+
+/// Gold standard of the "people" domain.
+pub const PEOPLE: GoldStandard = GoldStandard {
+    domain: "people",
+    tables: &[
+        GoldTable { key: "PERSON", non_keys: &["Profession", "Country Of Nationality", "Date Of Birth"] },
+        GoldTable { key: "DECEASED PERSON", non_keys: &["Cause Of Death", "Place Of Death", "Date Of Death"] },
+        GoldTable {
+            key: "CAUSE OF DEATH",
+            non_keys: &["People Who Died This Way", "Includes Causes Of Death", "Parent Cause Of Death"],
+        },
+        GoldTable {
+            key: "ETHNICITY",
+            non_keys: &["Geographic Distribution", "Includes Group(s)", "Included In Group(s)"],
+        },
+        GoldTable {
+            key: "PROFESSION",
+            non_keys: &["Specializations", "Specialization Of", "People With This Profession"],
+        },
+        GoldTable { key: "PROFESSIONAL FIELD", non_keys: &["Professions In This Field"] },
+    ],
+};
+
+/// All five gold standards.
+pub const ALL: [&GoldStandard; 5] = [&BOOKS, &FILM, &MUSIC, &TV, &PEOPLE];
+
+/// Looks up the gold standard of a domain by (case-insensitive) name.
+pub fn for_domain(domain: &str) -> Option<&'static GoldStandard> {
+    ALL.iter().copied().find(|g| g.domain.eq_ignore_ascii_case(domain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_domain_has_six_tables() {
+        for gold in ALL {
+            assert_eq!(gold.table_count(), 6, "domain {}", gold.domain);
+            for table in gold.tables {
+                assert!(!table.non_keys.is_empty());
+                assert!(table.non_keys.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn key_attributes_are_distinct() {
+        for gold in ALL {
+            let mut keys = gold.key_attributes();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 6, "domain {}", gold.domain);
+        }
+    }
+
+    #[test]
+    fn non_key_counts_match_paper_sizes() {
+        // Table 10 headers: film n=9, TV n=9, music n=18, people n=16.
+        assert_eq!(FILM.non_key_count(), 9);
+        assert_eq!(TV.non_key_count(), 9);
+        assert_eq!(MUSIC.non_key_count(), 18);
+        assert_eq!(PEOPLE.non_key_count(), 16);
+        assert!(BOOKS.non_key_count() >= 15);
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(for_domain("film").unwrap().domain, "film");
+        assert_eq!(for_domain("TV").unwrap().domain, "TV");
+        assert_eq!(for_domain("tv").unwrap().domain, "TV");
+        assert!(for_domain("sports").is_none());
+    }
+
+    #[test]
+    fn non_keys_of_known_and_unknown_keys() {
+        assert_eq!(FILM.non_keys_of("FILM DIRECTOR"), Some(["Films Directed"].as_slice()));
+        assert!(FILM.non_keys_of("MUSICAL ARTIST").is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic data generation for the preview-tables reproduction.
+//!
+//! The paper's evaluation runs on a 2012 Freebase dump, Amazon Mechanical
+//! Turk workers and 84 human study participants — none of which can be
+//! redistributed. This crate provides seeded, documented substitutes (see
+//! `DESIGN.md`, "Substitutions"):
+//!
+//! * [`domains`] — the seven Freebase domains of Table 2 as synthetic
+//!   [`DomainSpec`]s whose schema-graph shape matches the paper exactly and
+//!   whose entity/edge totals are scaled by a user-chosen factor,
+//! * [`generator`] — instantiates entity graphs from specifications with
+//!   Zipf-skewed endpoint popularity,
+//! * [`goldstandard`] — the Freebase gold standard of Table 10, verbatim,
+//! * [`experts`] — expert preview schemas reproducing the gold-standard
+//!   overlap reported in Tables 22–23,
+//! * [`crowd`] — a Bradley–Terry crowd simulator standing in for the AMT
+//!   study of Sec. 6.1.3,
+//! * [`userstudy`] — a behavioural simulation of the seven-approach user
+//!   study of Sec. 6.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crowd;
+pub mod domains;
+pub mod experts;
+pub mod generator;
+pub mod goldstandard;
+pub mod spec;
+pub mod userstudy;
+pub mod zipf;
+
+pub use crowd::{simulate_pairwise_judgments, CrowdConfig, PairJudgment};
+pub use domains::{FreebaseDomain, PaperStats};
+pub use experts::{expert_preview, ExpertPreview};
+pub use generator::SyntheticGenerator;
+pub use goldstandard::{GoldStandard, GoldTable};
+pub use spec::{DomainSpec, EntityTypeSpec, RelTypeSpec, SpecError};
+pub use userstudy::{Approach, StudyConfig, StudyOutcome, SummaryProfile};

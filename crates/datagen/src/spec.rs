@@ -1,0 +1,187 @@
+//! Declarative domain specifications consumed by the synthetic generator.
+
+use serde::{Deserialize, Serialize};
+
+/// Specification of one entity type in a synthetic domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityTypeSpec {
+    /// Entity-type name (e.g. `"FILM"`).
+    pub name: String,
+    /// Number of entities of this type to generate.
+    pub entities: u64,
+}
+
+/// Specification of one relationship type in a synthetic domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelTypeSpec {
+    /// Surface name (e.g. `"Directed By"`). Different relationship types may
+    /// share a surface name as long as their endpoint types differ.
+    pub name: String,
+    /// Index into [`DomainSpec::entity_types`] of the source type.
+    pub src: usize,
+    /// Index into [`DomainSpec::entity_types`] of the destination type.
+    pub dst: usize,
+    /// Number of relationship instances (entity-graph edges) to generate.
+    pub edges: u64,
+}
+
+/// A complete synthetic-domain specification: the schema graph shape plus the
+/// per-type / per-relationship cardinalities the generator instantiates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Domain name (e.g. `"film"`).
+    pub name: String,
+    /// Entity types with their target entity counts.
+    pub entity_types: Vec<EntityTypeSpec>,
+    /// Relationship types with their target edge counts.
+    pub relationship_types: Vec<RelTypeSpec>,
+}
+
+/// Errors detected while validating a [`DomainSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A relationship type references an entity type index that does not exist.
+    DanglingTypeIndex {
+        /// The offending relationship type name.
+        relationship: String,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// Two entity types share the same name.
+    DuplicateTypeName(String),
+    /// Two relationship types share name *and* endpoints.
+    DuplicateRelationship(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::DanglingTypeIndex { relationship, index } => {
+                write!(f, "relationship {relationship:?} references unknown entity type index {index}")
+            }
+            SpecError::DuplicateTypeName(name) => write!(f, "duplicate entity type name {name:?}"),
+            SpecError::DuplicateRelationship(name) => {
+                write!(f, "duplicate relationship type {name:?} (same name and endpoints)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl DomainSpec {
+    /// Total number of entities across all types.
+    pub fn total_entities(&self) -> u64 {
+        self.entity_types.iter().map(|t| t.entities).sum()
+    }
+
+    /// Total number of edges across all relationship types.
+    pub fn total_edges(&self) -> u64 {
+        self.relationship_types.iter().map(|r| r.edges).sum()
+    }
+
+    /// Number of entity types (schema-graph vertices).
+    pub fn type_count(&self) -> usize {
+        self.entity_types.len()
+    }
+
+    /// Number of relationship types (schema-graph edges).
+    pub fn relationship_type_count(&self) -> usize {
+        self.relationship_types.len()
+    }
+
+    /// Index of an entity type by name.
+    pub fn type_index(&self, name: &str) -> Option<usize> {
+        self.entity_types.iter().position(|t| t.name == name)
+    }
+
+    /// Validates internal consistency of the specification.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let mut names = std::collections::HashSet::new();
+        for t in &self.entity_types {
+            if !names.insert(t.name.as_str()) {
+                return Err(SpecError::DuplicateTypeName(t.name.clone()));
+            }
+        }
+        let mut rel_keys = std::collections::HashSet::new();
+        for r in &self.relationship_types {
+            for idx in [r.src, r.dst] {
+                if idx >= self.entity_types.len() {
+                    return Err(SpecError::DanglingTypeIndex {
+                        relationship: r.name.clone(),
+                        index: idx,
+                    });
+                }
+            }
+            if !rel_keys.insert((r.name.as_str(), r.src, r.dst)) {
+                return Err(SpecError::DuplicateRelationship(r.name.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DomainSpec {
+        DomainSpec {
+            name: "tiny".into(),
+            entity_types: vec![
+                EntityTypeSpec { name: "A".into(), entities: 10 },
+                EntityTypeSpec { name: "B".into(), entities: 5 },
+            ],
+            relationship_types: vec![RelTypeSpec {
+                name: "rel".into(),
+                src: 0,
+                dst: 1,
+                edges: 20,
+            }],
+        }
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let spec = tiny_spec();
+        assert_eq!(spec.total_entities(), 15);
+        assert_eq!(spec.total_edges(), 20);
+        assert_eq!(spec.type_count(), 2);
+        assert_eq!(spec.relationship_type_count(), 1);
+        assert_eq!(spec.type_index("B"), Some(1));
+        assert_eq!(spec.type_index("C"), None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_spec() {
+        assert!(tiny_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_index() {
+        let mut spec = tiny_spec();
+        spec.relationship_types[0].dst = 7;
+        assert!(matches!(spec.validate(), Err(SpecError::DanglingTypeIndex { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_type_names() {
+        let mut spec = tiny_spec();
+        spec.entity_types.push(EntityTypeSpec { name: "A".into(), entities: 1 });
+        assert!(matches!(spec.validate(), Err(SpecError::DuplicateTypeName(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_relationships() {
+        let mut spec = tiny_spec();
+        let dup = spec.relationship_types[0].clone();
+        spec.relationship_types.push(dup);
+        assert!(matches!(spec.validate(), Err(SpecError::DuplicateRelationship(_))));
+    }
+
+    #[test]
+    fn spec_error_display() {
+        let e = SpecError::DanglingTypeIndex { relationship: "r".into(), index: 3 };
+        assert!(e.to_string().contains("unknown entity type index 3"));
+    }
+}

@@ -1,0 +1,156 @@
+//! A small Zipf-distribution helper used to skew entity and edge counts.
+//!
+//! Real Freebase domains have highly skewed type sizes (a handful of types
+//! hold most entities); the synthetic generator reproduces that shape with a
+//! Zipf law over ranks.
+
+use rand::Rng;
+
+/// Zipf weights for ranks `1..=n` with exponent `s`, normalised to sum to 1.
+///
+/// Returns an empty vector for `n == 0`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let raw: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Splits `total` items over `n` ranks following a Zipf law with exponent `s`,
+/// guaranteeing every rank receives at least `minimum` items (as long as
+/// `total >= n * minimum`).
+pub fn zipf_partition(total: u64, n: usize, s: f64, minimum: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let reserved = minimum.saturating_mul(n as u64).min(total);
+    let distributable = total - reserved;
+    let weights = zipf_weights(n, s);
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| minimum + (w * distributable as f64).floor() as u64)
+        .collect();
+    // Give any rounding remainder to the largest rank so the sum matches.
+    let assigned: u64 = counts.iter().sum();
+    if assigned < total {
+        counts[0] += total - assigned;
+    }
+    counts
+}
+
+/// A cheap Zipf-like sampler over `0..n` using inverse-CDF on pre-computed
+/// cumulative weights. Sampling is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let weights = zipf_weights(n, s);
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (smaller ranks are more likely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(!self.cumulative.is_empty(), "cannot sample from an empty Zipf sampler");
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn weights_are_normalised_and_decreasing() {
+        let w = zipf_weights(10, 1.0);
+        assert_eq!(w.len(), 10);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!(zipf_weights(0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn partition_preserves_total_and_minimum() {
+        let counts = zipf_partition(1000, 7, 1.1, 5);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert!(counts.iter().all(|&c| c >= 5));
+        assert!(counts[0] > counts[6]);
+    }
+
+    #[test]
+    fn partition_handles_tight_totals() {
+        let counts = zipf_partition(7, 7, 1.0, 1);
+        assert_eq!(counts.iter().sum::<u64>(), 7);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn sampler_prefers_small_ranks() {
+        let sampler = ZipfSampler::new(50, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_for_a_seed() {
+        let sampler = ZipfSampler::new(20, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            (0..100).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            (0..100).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Zipf sampler")]
+    fn empty_sampler_panics_on_sample() {
+        let sampler = ZipfSampler::new(0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = sampler.sample(&mut rng);
+    }
+}

@@ -1,0 +1,298 @@
+//! Incremental construction of [`EntityGraph`]s.
+
+use std::collections::HashMap;
+
+use crate::entity::{Edge, Entity, RelType};
+use crate::error::{Error, Result};
+use crate::graph::EntityGraph;
+use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
+
+/// Builder for [`EntityGraph`].
+///
+/// The builder interns entity types, relationship types and entities as they
+/// are first mentioned, validates that edge endpoints carry the entity types
+/// required by their relationship type, and finally freezes everything into an
+/// immutable [`EntityGraph`] with all adjacency indexes pre-computed.
+#[derive(Debug, Default, Clone)]
+pub struct EntityGraphBuilder {
+    entities: Vec<Entity>,
+    entity_by_name: HashMap<String, EntityId>,
+    type_names: Vec<String>,
+    type_by_name: HashMap<String, TypeId>,
+    rel_types: Vec<RelType>,
+    rel_by_key: HashMap<(String, TypeId, TypeId), RelTypeId>,
+    edges: Vec<Edge>,
+}
+
+impl EntityGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder sized for roughly the given number of entities and
+    /// edges.
+    pub fn with_capacity(entities: usize, edges: usize) -> Self {
+        Self {
+            entities: Vec::with_capacity(entities),
+            entity_by_name: HashMap::with_capacity(entities),
+            edges: Vec::with_capacity(edges),
+            ..Self::default()
+        }
+    }
+
+    /// Interns an entity type, returning its id. Idempotent.
+    pub fn entity_type(&mut self, name: &str) -> TypeId {
+        if let Some(&id) = self.type_by_name.get(name) {
+            return id;
+        }
+        let id = TypeId::from_usize(self.type_names.len());
+        self.type_names.push(name.to_owned());
+        self.type_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a relationship type `γ(src, dst)` with the given surface name.
+    /// Idempotent for identical `(name, src, dst)` triples; the same surface
+    /// name with different endpoint types yields a distinct relationship type,
+    /// mirroring the paper's `Award Winners` example.
+    pub fn relationship_type(&mut self, name: &str, src: TypeId, dst: TypeId) -> RelTypeId {
+        let key = (name.to_owned(), src, dst);
+        if let Some(&id) = self.rel_by_key.get(&key) {
+            return id;
+        }
+        let id = RelTypeId::from_usize(self.rel_types.len());
+        self.rel_types.push(RelType {
+            name: name.to_owned(),
+            src_type: src,
+            dst_type: dst,
+        });
+        self.rel_by_key.insert(key, id);
+        id
+    }
+
+    /// Adds an entity with the given name and types, or extends the type set
+    /// of an existing entity with the same name. Returns the entity id.
+    pub fn entity(&mut self, name: &str, types: &[TypeId]) -> EntityId {
+        if let Some(&id) = self.entity_by_name.get(name) {
+            let entity = &mut self.entities[id.index()];
+            for &ty in types {
+                if entity.types.binary_search(&ty).is_err() {
+                    entity.types.push(ty);
+                    entity.types.sort_unstable();
+                }
+            }
+            return id;
+        }
+        let id = EntityId::from_usize(self.entities.len());
+        let mut tys: Vec<TypeId> = types.to_vec();
+        tys.sort_unstable();
+        tys.dedup();
+        self.entities.push(Entity {
+            name: name.to_owned(),
+            types: tys,
+        });
+        self.entity_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds a directed relationship instance from `src` to `dst` of the given
+    /// relationship type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownId`] if any id is out of range and
+    /// [`Error::TypeMismatch`] if an endpoint does not carry the entity type
+    /// required by the relationship type.
+    pub fn edge(&mut self, src: EntityId, rel: RelTypeId, dst: EntityId) -> Result<EdgeId> {
+        let rel_record = self
+            .rel_types
+            .get(rel.index())
+            .ok_or(Error::UnknownId {
+                kind: "relationship type",
+                index: rel.raw(),
+            })?
+            .clone();
+        let src_entity = self.entities.get(src.index()).ok_or(Error::UnknownId {
+            kind: "entity",
+            index: src.raw(),
+        })?;
+        let dst_entity = self.entities.get(dst.index()).ok_or(Error::UnknownId {
+            kind: "entity",
+            index: dst.raw(),
+        })?;
+        if !src_entity.has_type(rel_record.src_type) {
+            return Err(Error::TypeMismatch {
+                detail: format!(
+                    "source entity {:?} lacks type {:?} required by relationship {:?}",
+                    src_entity.name,
+                    self.type_names[rel_record.src_type.index()],
+                    rel_record.name
+                ),
+            });
+        }
+        if !dst_entity.has_type(rel_record.dst_type) {
+            return Err(Error::TypeMismatch {
+                detail: format!(
+                    "destination entity {:?} lacks type {:?} required by relationship {:?}",
+                    dst_entity.name,
+                    self.type_names[rel_record.dst_type.index()],
+                    rel_record.name
+                ),
+            });
+        }
+        let id = EdgeId::from_usize(self.edges.len());
+        self.edges.push(Edge { src, dst, rel });
+        Ok(id)
+    }
+
+    /// Number of entities added so far.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable [`EntityGraph`], computing the
+    /// per-type, per-relationship-type and per-entity adjacency indexes.
+    pub fn build(self) -> EntityGraph {
+        let mut entities_by_type: Vec<Vec<EntityId>> = vec![Vec::new(); self.type_names.len()];
+        for (idx, entity) in self.entities.iter().enumerate() {
+            let id = EntityId::from_usize(idx);
+            for &ty in &entity.types {
+                entities_by_type[ty.index()].push(id);
+            }
+        }
+        let mut edges_by_rel: Vec<Vec<EdgeId>> = vec![Vec::new(); self.rel_types.len()];
+        let mut out_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); self.entities.len()];
+        let mut in_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); self.entities.len()];
+        for (idx, edge) in self.edges.iter().enumerate() {
+            let id = EdgeId::from_usize(idx);
+            edges_by_rel[edge.rel.index()].push(id);
+            out_edges[edge.src.index()].push(id);
+            in_edges[edge.dst.index()].push(id);
+        }
+        EntityGraph {
+            entities: self.entities,
+            entity_by_name: self.entity_by_name,
+            type_names: self.type_names,
+            type_by_name: self.type_by_name,
+            rel_types: self.rel_types,
+            rel_by_key: self.rel_by_key,
+            edges: self.edges,
+            entities_by_type,
+            edges_by_rel,
+            out_edges,
+            in_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_type_is_idempotent() {
+        let mut b = EntityGraphBuilder::new();
+        let a = b.entity_type("FILM");
+        let c = b.entity_type("FILM");
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn relationship_types_distinguished_by_endpoints() {
+        let mut b = EntityGraphBuilder::new();
+        let actor = b.entity_type("FILM ACTOR");
+        let director = b.entity_type("FILM DIRECTOR");
+        let award = b.entity_type("AWARD");
+        let r1 = b.relationship_type("Award Winners", actor, award);
+        let r2 = b.relationship_type("Award Winners", director, award);
+        let r1_again = b.relationship_type("Award Winners", actor, award);
+        assert_ne!(r1, r2);
+        assert_eq!(r1, r1_again);
+    }
+
+    #[test]
+    fn entity_merges_types_on_repeat() {
+        let mut b = EntityGraphBuilder::new();
+        let actor = b.entity_type("FILM ACTOR");
+        let producer = b.entity_type("FILM PRODUCER");
+        let e1 = b.entity("Will Smith", &[actor]);
+        let e2 = b.entity("Will Smith", &[producer]);
+        assert_eq!(e1, e2);
+        let g = b.build();
+        assert_eq!(g.entity(e1).types.len(), 2);
+    }
+
+    #[test]
+    fn edge_rejects_type_mismatch() {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let acted = b.relationship_type("Actor", actor, film);
+        let mib = b.entity("Men in Black", &[film]);
+        let smith = b.entity("Will Smith", &[actor]);
+        // Reversed endpoints: a FILM cannot be the source of an Actor edge.
+        let err = b.edge(mib, acted, smith).unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn edge_rejects_unknown_ids() {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let acted = b.relationship_type("Actor", actor, film);
+        let mib = b.entity("Men in Black", &[film]);
+        let err = b.edge(EntityId::new(99), acted, mib).unwrap_err();
+        assert!(matches!(err, Error::UnknownId { kind: "entity", .. }));
+        let err = b.edge(mib, RelTypeId::new(99), mib).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::UnknownId {
+                kind: "relationship type",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges() {
+        // Will Smith has both Actor and Executive Producer edges to I, Robot.
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let producer = b.entity_type("FILM PRODUCER");
+        let acted = b.relationship_type("Actor", actor, film);
+        let exec = b.relationship_type("Executive Producer", producer, film);
+        let irobot = b.entity("I, Robot", &[film]);
+        let smith = b.entity("Will Smith", &[actor, producer]);
+        b.edge(smith, acted, irobot).unwrap();
+        b.edge(smith, exec, irobot).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_edges(smith).len(), 2);
+        assert_eq!(g.in_edges(irobot).len(), 2);
+    }
+
+    #[test]
+    fn build_empty_graph() {
+        let g = EntityGraphBuilder::new().build();
+        assert_eq!(g.entity_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.type_count(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = EntityGraphBuilder::with_capacity(10, 10);
+        let t = b.entity_type("T");
+        b.entity("x", &[t]);
+        assert_eq!(b.entity_count(), 1);
+        assert_eq!(b.edge_count(), 0);
+    }
+}

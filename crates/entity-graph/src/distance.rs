@@ -1,0 +1,212 @@
+//! All-pairs undirected shortest-path distances between entity types.
+//!
+//! The distance between two preview tables is the length of the shortest
+//! *undirected* path between their key attributes in the schema graph
+//! (Sec. 4). Schema graphs are small (tens of types), so a BFS from every
+//! vertex is cheap and the full matrix is materialised once and reused by
+//! the tight/diverse discovery algorithms.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::TypeId;
+use crate::schema::SchemaGraph;
+
+/// Distance value representing "unreachable" (disconnected schema graphs are
+/// allowed; the paper notes Freebase schema graphs may be disconnected).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Dense all-pairs shortest-path matrix over entity types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n * n` matrix; `dist[i*n + j]` is the hop distance.
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes the matrix by running a BFS from every entity type over the
+    /// undirected view of the schema graph.
+    pub fn from_schema(schema: &SchemaGraph) -> Self {
+        let n = schema.type_count();
+        // Undirected adjacency lists (deduplicated neighbours).
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for e in schema.edges() {
+            let (s, d) = (e.src.index(), e.dst.index());
+            if s != d {
+                adj[s].push(d as u32);
+                adj[d].push(s as u32);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut queue = VecDeque::new();
+        for start in 0..n {
+            let row = &mut dist[start * n..(start + 1) * n];
+            row[start] = 0;
+            queue.clear();
+            queue.push_back(start as u32);
+            while let Some(u) = queue.pop_front() {
+                let du = row[u as usize];
+                for &v in &adj[u as usize] {
+                    if row[v as usize] == UNREACHABLE {
+                        row[v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Self { n, dist }
+    }
+
+    /// Number of entity types covered by the matrix.
+    pub fn type_count(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance between two entity types ([`UNREACHABLE`] if they lie in
+    /// different connected components).
+    #[inline]
+    pub fn distance(&self, a: TypeId, b: TypeId) -> u32 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// Whether the two types are connected by any undirected path.
+    pub fn connected(&self, a: TypeId, b: TypeId) -> bool {
+        self.distance(a, b) != UNREACHABLE
+    }
+
+    /// The largest finite distance in the matrix (the diameter of the largest
+    /// component), or `None` for an empty graph.
+    pub fn diameter(&self) -> Option<u32> {
+        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max()
+    }
+
+    /// Mean of all finite pairwise distances between *distinct* types, or
+    /// `None` if no such pair exists. (The paper quotes an average path length
+    /// of 3–4 for the Freebase "film" schema graph.)
+    pub fn average_path_length(&self) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let d = self.dist[i * self.n + j];
+                if d != UNREACHABLE {
+                    sum += u64::from(d);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum as f64 / count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::RelTypeId;
+    use crate::schema::SchemaEdge;
+
+    fn edge(src: u32, dst: u32, count: u64) -> SchemaEdge {
+        SchemaEdge {
+            rel: RelTypeId::new(0),
+            name: "r".into(),
+            src: TypeId::new(src),
+            dst: TypeId::new(dst),
+            edge_count: count,
+        }
+    }
+
+    /// A path graph 0 - 1 - 2 - 3 plus an isolated vertex 4.
+    fn path_schema() -> SchemaGraph {
+        SchemaGraph::new(
+            (0..5).map(|i| format!("T{i}")).collect(),
+            vec![1; 5],
+            vec![edge(0, 1, 1), edge(1, 2, 1), edge(2, 3, 1)],
+        )
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let m = path_schema().distance_matrix();
+        assert_eq!(m.distance(TypeId::new(0), TypeId::new(0)), 0);
+        assert_eq!(m.distance(TypeId::new(0), TypeId::new(1)), 1);
+        assert_eq!(m.distance(TypeId::new(0), TypeId::new(3)), 3);
+        assert_eq!(m.distance(TypeId::new(3), TypeId::new(0)), 3);
+    }
+
+    #[test]
+    fn disconnected_vertex_is_unreachable() {
+        let m = path_schema().distance_matrix();
+        assert_eq!(m.distance(TypeId::new(0), TypeId::new(4)), UNREACHABLE);
+        assert!(!m.connected(TypeId::new(0), TypeId::new(4)));
+        assert!(m.connected(TypeId::new(0), TypeId::new(3)));
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // Edges 0->1 and 2->1: undirected distance 0..2 is 2.
+        let s = SchemaGraph::new(
+            vec!["A".into(), "B".into(), "C".into()],
+            vec![1, 1, 1],
+            vec![edge(0, 1, 1), edge(2, 1, 1)],
+        );
+        let m = s.distance_matrix();
+        assert_eq!(m.distance(TypeId::new(0), TypeId::new(2)), 2);
+    }
+
+    #[test]
+    fn diameter_and_average() {
+        let m = path_schema().distance_matrix();
+        assert_eq!(m.diameter(), Some(3));
+        let avg = m.average_path_length().unwrap();
+        // Pairs (within the path component): d=1 x3, d=2 x2, d=3 x1 (each counted
+        // twice in the directed sum): (3*1 + 2*2 + 1*3) * 2 / 12 = 20/12.
+        assert!((avg - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_do_not_change_distance() {
+        let s = SchemaGraph::new(
+            vec!["A".into(), "B".into()],
+            vec![1, 1],
+            vec![edge(0, 1, 1), edge(0, 1, 7), edge(1, 0, 2)],
+        );
+        let m = s.distance_matrix();
+        assert_eq!(m.distance(TypeId::new(0), TypeId::new(1)), 1);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = SchemaGraph::new(vec![], vec![], vec![]);
+        let m = s.distance_matrix();
+        assert_eq!(m.type_count(), 0);
+        assert_eq!(m.diameter(), None);
+        assert_eq!(m.average_path_length(), None);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let m = path_schema().distance_matrix();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                assert_eq!(
+                    m.distance(TypeId::new(i), TypeId::new(j)),
+                    m.distance(TypeId::new(j), TypeId::new(i))
+                );
+            }
+        }
+    }
+}

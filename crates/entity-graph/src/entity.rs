@@ -1,0 +1,79 @@
+//! Plain data records stored by the entity graph: entities, edges and
+//! relationship types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{EntityId, RelTypeId, TypeId};
+
+/// A vertex of the entity graph: a named entity belonging to one or more
+/// entity types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Display name of the entity. Names are assumed distinct within a graph
+    /// (the paper distinguishes entities by URI; the builder enforces name
+    /// uniqueness and treats the name as the identifier surface form).
+    pub name: String,
+    /// Entity types this entity belongs to, sorted ascending and de-duplicated.
+    pub types: Vec<TypeId>,
+}
+
+impl Entity {
+    /// Whether the entity carries the given type.
+    #[inline]
+    pub fn has_type(&self, ty: TypeId) -> bool {
+        self.types.binary_search(&ty).is_ok()
+    }
+}
+
+/// A directed relationship instance `e(v, v')` of a given relationship type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source entity (`v`).
+    pub src: EntityId,
+    /// Destination entity (`v'`).
+    pub dst: EntityId,
+    /// The relationship type this edge belongs to.
+    pub rel: RelTypeId,
+}
+
+/// A relationship type `γ(τ, τ')`: a directed schema-level edge from entity
+/// type `τ` to entity type `τ'` with a surface name.
+///
+/// Two relationship types may share the same surface name (e.g. two
+/// `Award Winners` relationship types from different entity types); they are
+/// distinguished by their [`RelTypeId`] and their endpoint types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelType {
+    /// Surface name shown to users (e.g. `Director`).
+    pub name: String,
+    /// Source entity type `τ`.
+    pub src_type: TypeId,
+    /// Destination entity type `τ'`.
+    pub dst_type: TypeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_has_type_uses_sorted_lookup() {
+        let e = Entity {
+            name: "Will Smith".into(),
+            types: vec![TypeId::new(1), TypeId::new(3), TypeId::new(5)],
+        };
+        assert!(e.has_type(TypeId::new(3)));
+        assert!(!e.has_type(TypeId::new(2)));
+    }
+
+    #[test]
+    fn edge_is_copy() {
+        let e = Edge {
+            src: EntityId::new(0),
+            dst: EntityId::new(1),
+            rel: RelTypeId::new(2),
+        };
+        let f = e;
+        assert_eq!(e, f);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for entity-graph construction and ingestion.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building or parsing entity graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An edge endpoint does not carry the entity type required by the edge's
+    /// relationship type (the relationship type determines its endpoint
+    /// types, Sec. 2 of the paper).
+    TypeMismatch {
+        /// Human-readable description of the offending endpoint.
+        detail: String,
+    },
+    /// An identifier referenced a vertex/edge/type that does not exist.
+    UnknownId {
+        /// Which identifier space the lookup failed in.
+        kind: &'static str,
+        /// The raw index that was out of range.
+        index: u32,
+    },
+    /// A name lookup failed (entity, type or relationship type not present).
+    UnknownName {
+        /// Which namespace the lookup failed in.
+        kind: &'static str,
+        /// The name that was not found.
+        name: String,
+    },
+    /// A triple-format line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { detail } => write!(f, "relationship endpoint type mismatch: {detail}"),
+            Error::UnknownId { kind, index } => write!(f, "unknown {kind} id {index}"),
+            Error::UnknownName { kind, name } => write!(f, "unknown {kind} name {name:?}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::TypeMismatch {
+            detail: "entity \"Will Smith\" lacks type FILM".into(),
+        };
+        assert!(e.to_string().contains("Will Smith"));
+
+        let e = Error::UnknownId { kind: "entity", index: 7 };
+        assert_eq!(e.to_string(), "unknown entity id 7");
+
+        let e = Error::UnknownName {
+            kind: "entity type",
+            name: "FILM".into(),
+        };
+        assert!(e.to_string().contains("FILM"));
+
+        let e = Error::Parse {
+            line: 3,
+            message: "expected 4 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::UnknownId { kind: "edge", index: 0 });
+    }
+}

@@ -1,0 +1,164 @@
+//! Reference graphs used throughout the workspace's tests, examples and
+//! documentation.
+//!
+//! [`figure1_graph`] reconstructs the running example of the paper (Fig. 1, a
+//! tiny excerpt of a film entity graph) with edge multiplicities chosen to
+//! match every worked number in the paper:
+//!
+//! * `Scov(FILM) = 4` (Sec. 3.2),
+//! * edge weights `w(FILM, FILM GENRE) = 5`, `w(FILM, FILM ACTOR) = 6`,
+//!   `w(FILM, FILM DIRECTOR) = 4`, `w(FILM, FILM PRODUCER) = 3`, giving the
+//!   transition probabilities `M(FILM, FILM GENRE) = 0.28` and
+//!   `M(FILM, FILM PRODUCER) = 0.17` (Sec. 3.2),
+//! * `Scov^FILM(Director) = 4`, `Scov^FILM(Genres) = 5`,
+//!   `Sent^FILM(Director) ≈ 0.45`, `Sent^FILM(Genres) ≈ 0.28` (Sec. 3.3),
+//! * the optimal concise/diverse previews of Sec. 4's running example.
+
+use crate::builder::EntityGraphBuilder;
+use crate::graph::EntityGraph;
+
+/// Entity-type names used by [`figure1_graph`], in insertion order.
+pub mod types {
+    /// Films.
+    pub const FILM: &str = "FILM";
+    /// Film actors.
+    pub const FILM_ACTOR: &str = "FILM ACTOR";
+    /// Film directors.
+    pub const FILM_DIRECTOR: &str = "FILM DIRECTOR";
+    /// Film producers.
+    pub const FILM_PRODUCER: &str = "FILM PRODUCER";
+    /// Film genres.
+    pub const FILM_GENRE: &str = "FILM GENRE";
+    /// Awards.
+    pub const AWARD: &str = "AWARD";
+}
+
+/// Builds the paper's Fig. 1 entity graph.
+pub fn figure1_graph() -> EntityGraph {
+    let mut b = EntityGraphBuilder::new();
+
+    let film = b.entity_type(types::FILM);
+    let actor = b.entity_type(types::FILM_ACTOR);
+    let director = b.entity_type(types::FILM_DIRECTOR);
+    let producer = b.entity_type(types::FILM_PRODUCER);
+    let genre = b.entity_type(types::FILM_GENRE);
+    let award = b.entity_type(types::AWARD);
+
+    let rel_actor = b.relationship_type("Actor", actor, film);
+    let rel_director = b.relationship_type("Director", director, film);
+    let rel_genres = b.relationship_type("Genres", film, genre);
+    let rel_producer = b.relationship_type("Producer", producer, film);
+    let rel_exec_producer = b.relationship_type("Executive Producer", producer, film);
+    let rel_actor_award = b.relationship_type("Award Winners", actor, award);
+    let rel_director_award = b.relationship_type("Award Winners", director, award);
+
+    // Films.
+    let mib = b.entity("Men in Black", &[film]);
+    let mib2 = b.entity("Men in Black II", &[film]);
+    let hancock = b.entity("Hancock", &[film]);
+    let irobot = b.entity("I, Robot", &[film]);
+
+    // People. Will Smith is both an actor and a producer.
+    let smith = b.entity("Will Smith", &[actor, producer]);
+    let jones = b.entity("Tommy Lee Jones", &[actor]);
+    let sonnenfeld = b.entity("Barry Sonnenfeld", &[director]);
+    let berg = b.entity("Peter Berg", &[director]);
+    let proyas = b.entity("Alex Proyas", &[director]);
+
+    // Genres and awards.
+    let action = b.entity("Action Film", &[genre]);
+    let scifi = b.entity("Science Fiction", &[genre]);
+    let saturn = b.entity("Saturn Award", &[award]);
+    let academy = b.entity("Academy Award", &[award]);
+    let razzie = b.entity("Razzie Award", &[award]);
+
+    // Actor edges (6): w(FILM, FILM ACTOR) = 6.
+    for (who, what) in [
+        (smith, mib),
+        (smith, mib2),
+        (smith, hancock),
+        (smith, irobot),
+        (jones, mib),
+        (jones, mib2),
+    ] {
+        b.edge(who, rel_actor, what).expect("actor edge");
+    }
+
+    // Director edges (4): w(FILM, FILM DIRECTOR) = 4.
+    for (who, what) in [(sonnenfeld, mib), (sonnenfeld, mib2), (berg, hancock), (proyas, irobot)] {
+        b.edge(who, rel_director, what).expect("director edge");
+    }
+
+    // Genres edges (5): w(FILM, FILM GENRE) = 5. Hancock has no genre.
+    for (what, g) in [(mib, action), (mib, scifi), (mib2, action), (mib2, scifi), (irobot, action)] {
+        b.edge(what, rel_genres, g).expect("genre edge");
+    }
+
+    // Producer (2) + Executive Producer (1): w(FILM, FILM PRODUCER) = 3.
+    b.edge(smith, rel_producer, hancock).expect("producer edge");
+    b.edge(smith, rel_producer, mib2).expect("producer edge");
+    b.edge(smith, rel_exec_producer, irobot).expect("executive producer edge");
+
+    // Award Winners from actors (2) and directors (1).
+    b.edge(smith, rel_actor_award, saturn).expect("award edge");
+    b.edge(jones, rel_actor_award, academy).expect("award edge");
+    b.edge(sonnenfeld, rel_director_award, razzie).expect("award edge");
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_sizes() {
+        let g = figure1_graph();
+        assert_eq!(g.entity_count(), 14);
+        assert_eq!(g.edge_count(), 21);
+        assert_eq!(g.type_count(), 6);
+        assert_eq!(g.relationship_type_count(), 7);
+    }
+
+    #[test]
+    fn figure1_coverage_of_film_is_four() {
+        let g = figure1_graph();
+        let film = g.type_by_name(types::FILM).unwrap();
+        assert_eq!(g.entities_of_type(film).len(), 4);
+    }
+
+    #[test]
+    fn figure1_schema_weights_match_paper() {
+        let g = figure1_graph();
+        let s = g.schema_graph();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let genre = s.type_by_name(types::FILM_GENRE).unwrap();
+        let actor = s.type_by_name(types::FILM_ACTOR).unwrap();
+        let director = s.type_by_name(types::FILM_DIRECTOR).unwrap();
+        let producer = s.type_by_name(types::FILM_PRODUCER).unwrap();
+        assert_eq!(s.undirected_weight(film, genre), 5);
+        assert_eq!(s.undirected_weight(film, actor), 6);
+        assert_eq!(s.undirected_weight(film, director), 4);
+        assert_eq!(s.undirected_weight(film, producer), 3);
+    }
+
+    #[test]
+    fn figure1_distances_match_paper() {
+        // dist(FILM, FILM ACTOR) = 1 and dist(FILM, AWARD) = 2 (Sec. 4).
+        let g = figure1_graph();
+        let s = g.schema_graph();
+        let m = s.distance_matrix();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let actor = s.type_by_name(types::FILM_ACTOR).unwrap();
+        let award = s.type_by_name(types::AWARD).unwrap();
+        assert_eq!(m.distance(film, actor), 1);
+        assert_eq!(m.distance(film, award), 2);
+    }
+
+    #[test]
+    fn will_smith_has_two_types() {
+        let g = figure1_graph();
+        let smith = g.entity_by_name("Will Smith").unwrap();
+        assert_eq!(g.entity(smith).types.len(), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! The entity graph: a directed multigraph of typed, named entities.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{Edge, Entity, RelType};
+use crate::error::{Error, Result};
+use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
+use crate::schema::{SchemaEdge, SchemaGraph};
+use crate::stats::GraphStats;
+
+/// Direction of traversal relative to an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Follow edges leaving the entity (`e(v, ·)`).
+    Outgoing,
+    /// Follow edges arriving at the entity (`e(·, v)`).
+    Incoming,
+}
+
+/// An immutable entity graph `Gd(Vd, Ed)` (Sec. 2 of the paper).
+///
+/// Construct one with [`EntityGraphBuilder`](crate::EntityGraphBuilder) or by
+/// parsing the [`triples`](crate::triples) format. The graph owns all strings
+/// and pre-computes the adjacency indexes needed by scoring and tuple
+/// materialisation:
+///
+/// * entities grouped by entity type,
+/// * edges grouped by relationship type,
+/// * per-entity outgoing / incoming edge lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityGraph {
+    pub(crate) entities: Vec<Entity>,
+    pub(crate) entity_by_name: HashMap<String, EntityId>,
+    pub(crate) type_names: Vec<String>,
+    pub(crate) type_by_name: HashMap<String, TypeId>,
+    pub(crate) rel_types: Vec<RelType>,
+    pub(crate) rel_by_key: HashMap<(String, TypeId, TypeId), RelTypeId>,
+    pub(crate) edges: Vec<Edge>,
+    // Indexes (derived in `freeze`).
+    pub(crate) entities_by_type: Vec<Vec<EntityId>>,
+    pub(crate) edges_by_rel: Vec<Vec<EdgeId>>,
+    pub(crate) out_edges: Vec<Vec<EdgeId>>,
+    pub(crate) in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl EntityGraph {
+    /// Number of entities `|Vd|`.
+    #[inline]
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relationship instances `|Ed|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of entity types `|Vs|`.
+    #[inline]
+    pub fn type_count(&self) -> usize {
+        self.type_names.len()
+    }
+
+    /// Number of relationship types `|Es|`.
+    #[inline]
+    pub fn relationship_type_count(&self) -> usize {
+        self.rel_types.len()
+    }
+
+    /// Looks up an entity record.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// Looks up an entity by display name.
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.entity_by_name.get(name).copied()
+    }
+
+    /// Name of an entity type.
+    pub fn type_name(&self, ty: TypeId) -> &str {
+        &self.type_names[ty.index()]
+    }
+
+    /// Looks up an entity type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_by_name.get(name).copied()
+    }
+
+    /// Looks up a relationship type record.
+    pub fn rel_type(&self, rel: RelTypeId) -> &RelType {
+        &self.rel_types[rel.index()]
+    }
+
+    /// Looks up a relationship type by surface name and endpoint types.
+    pub fn rel_type_by_key(&self, name: &str, src: TypeId, dst: TypeId) -> Option<RelTypeId> {
+        self.rel_by_key.get(&(name.to_owned(), src, dst)).copied()
+    }
+
+    /// The edge record for an edge id.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// All entities of the given type, i.e. `T.τ` in the paper's notation.
+    pub fn entities_of_type(&self, ty: TypeId) -> &[EntityId] {
+        &self.entities_by_type[ty.index()]
+    }
+
+    /// All edges belonging to the given relationship type.
+    pub fn edges_of_rel_type(&self, rel: RelTypeId) -> &[EdgeId] {
+        &self.edges_by_rel[rel.index()]
+    }
+
+    /// Outgoing edges of an entity.
+    pub fn out_edges(&self, entity: EntityId) -> &[EdgeId] {
+        &self.out_edges[entity.index()]
+    }
+
+    /// Incoming edges of an entity.
+    pub fn in_edges(&self, entity: EntityId) -> &[EdgeId] {
+        &self.in_edges[entity.index()]
+    }
+
+    /// Iterates over `(EntityId, &Entity)` pairs.
+    pub fn entities(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntityId::from_usize(i), e))
+    }
+
+    /// Iterates over `(EdgeId, Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::from_usize(i), *e))
+    }
+
+    /// Iterates over `(TypeId, &str)` pairs.
+    pub fn types(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.type_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId::from_usize(i), n.as_str()))
+    }
+
+    /// Iterates over `(RelTypeId, &RelType)` pairs.
+    pub fn rel_types(&self) -> impl Iterator<Item = (RelTypeId, &RelType)> {
+        self.rel_types
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelTypeId::from_usize(i), r))
+    }
+
+    /// The entities adjacent to `entity` through edges of relationship type
+    /// `rel`, following the given direction — i.e. the value `t.γ` of a tuple
+    /// on a non-key attribute (Def. 1).
+    ///
+    /// The result is sorted and de-duplicated (attribute values are sets).
+    pub fn neighbors_via(&self, entity: EntityId, rel: RelTypeId, direction: Direction) -> Vec<EntityId> {
+        let edge_ids = match direction {
+            Direction::Outgoing => &self.out_edges[entity.index()],
+            Direction::Incoming => &self.in_edges[entity.index()],
+        };
+        let mut out: Vec<EntityId> = edge_ids
+            .iter()
+            .map(|&eid| self.edges[eid.index()])
+            .filter(|e| e.rel == rel)
+            .map(|e| match direction {
+                Direction::Outgoing => e.dst,
+                Direction::Incoming => e.src,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Validates that an entity id is in range.
+    pub fn check_entity(&self, id: EntityId) -> Result<()> {
+        if id.index() < self.entities.len() {
+            Ok(())
+        } else {
+            Err(Error::UnknownId {
+                kind: "entity",
+                index: id.raw(),
+            })
+        }
+    }
+
+    /// Derives the schema graph `Gs(Vs, Es)` of this entity graph (Sec. 2).
+    ///
+    /// Each entity type becomes a vertex annotated with the number of entities
+    /// bearing that type; each relationship type with at least one edge
+    /// becomes a schema edge annotated with its edge count.
+    pub fn schema_graph(&self) -> SchemaGraph {
+        let entity_counts: Vec<u64> = self
+            .entities_by_type
+            .iter()
+            .map(|v| v.len() as u64)
+            .collect();
+        let mut schema_edges = Vec::new();
+        for (idx, rel) in self.rel_types.iter().enumerate() {
+            let count = self.edges_by_rel[idx].len() as u64;
+            if count == 0 {
+                continue;
+            }
+            schema_edges.push(SchemaEdge {
+                rel: RelTypeId::from_usize(idx),
+                name: rel.name.clone(),
+                src: rel.src_type,
+                dst: rel.dst_type,
+                edge_count: count,
+            });
+        }
+        SchemaGraph::new(self.type_names.clone(), entity_counts, schema_edges)
+    }
+
+    /// Aggregate statistics (Table 2 of the paper).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            entities: self.entity_count(),
+            edges: self.edge_count(),
+            entity_types: self.type_count(),
+            relationship_types: self.relationship_type_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EntityGraphBuilder;
+
+    fn tiny() -> EntityGraph {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let acted = b.relationship_type("Actor", actor, film);
+        let mib = b.entity("Men in Black", &[film]);
+        let hancock = b.entity("Hancock", &[film]);
+        let smith = b.entity("Will Smith", &[actor]);
+        b.edge(smith, acted, mib).unwrap();
+        b.edge(smith, acted, hancock).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = tiny();
+        assert_eq!(g.entity_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.type_count(), 2);
+        assert_eq!(g.relationship_type_count(), 1);
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let g = tiny();
+        let film = g.type_by_name("FILM").unwrap();
+        assert_eq!(g.type_name(film), "FILM");
+        let smith = g.entity_by_name("Will Smith").unwrap();
+        assert_eq!(g.entity(smith).name, "Will Smith");
+        assert!(g.entity_by_name("Nobody").is_none());
+        assert!(g.type_by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn entities_of_type_groups_correctly() {
+        let g = tiny();
+        let film = g.type_by_name("FILM").unwrap();
+        let actor = g.type_by_name("FILM ACTOR").unwrap();
+        assert_eq!(g.entities_of_type(film).len(), 2);
+        assert_eq!(g.entities_of_type(actor).len(), 1);
+    }
+
+    #[test]
+    fn neighbors_via_follows_direction() {
+        let g = tiny();
+        let film = g.type_by_name("FILM").unwrap();
+        let actor = g.type_by_name("FILM ACTOR").unwrap();
+        let acted = g.rel_type_by_key("Actor", actor, film).unwrap();
+        let smith = g.entity_by_name("Will Smith").unwrap();
+        let mib = g.entity_by_name("Men in Black").unwrap();
+
+        let films = g.neighbors_via(smith, acted, Direction::Outgoing);
+        assert_eq!(films.len(), 2);
+        let actors = g.neighbors_via(mib, acted, Direction::Incoming);
+        assert_eq!(actors, vec![smith]);
+        // No outgoing "Actor" edges from a film.
+        assert!(g.neighbors_via(mib, acted, Direction::Outgoing).is_empty());
+    }
+
+    #[test]
+    fn schema_graph_derivation() {
+        let g = tiny();
+        let s = g.schema_graph();
+        assert_eq!(s.type_count(), 2);
+        assert_eq!(s.relationship_type_count(), 1);
+        let film = g.type_by_name("FILM").unwrap();
+        assert_eq!(s.entity_count_of(film), 2);
+        assert_eq!(s.edges()[0].edge_count, 2);
+    }
+
+    #[test]
+    fn check_entity_bounds() {
+        let g = tiny();
+        assert!(g.check_entity(EntityId::new(0)).is_ok());
+        assert!(g.check_entity(EntityId::new(99)).is_err());
+    }
+
+    #[test]
+    fn stats_match_counts() {
+        let g = tiny();
+        let s = g.stats();
+        assert_eq!(s.entities, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.entity_types, 2);
+        assert_eq!(s.relationship_types, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Integer-interned identifiers for entities, entity types, relationship types
+//! and edges.
+//!
+//! All hot paths in the workspace operate on these `u32`-backed newtypes;
+//! strings only appear at ingestion and presentation boundaries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Creates an identifier from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in a `u32`. Graphs in this
+            /// workspace are bounded well below `u32::MAX` vertices/edges.
+            #[inline]
+            pub fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("identifier index exceeds u32::MAX"))
+            }
+
+            /// Returns the raw `u32` index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize` suitable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an entity (a vertex of the entity graph).
+    EntityId,
+    "e"
+);
+define_id!(
+    /// Identifier of an entity type (a vertex of the schema graph).
+    TypeId,
+    "t"
+);
+define_id!(
+    /// Identifier of a relationship type (an edge of the schema graph).
+    ///
+    /// Two relationship types may share a *surface name* (e.g. two
+    /// `Award Winners` edges from different entity types) while having
+    /// distinct identifiers, exactly as in Sec. 2 of the paper.
+    RelTypeId,
+    "r"
+);
+define_id!(
+    /// Identifier of an edge (a directed relationship instance).
+    EdgeId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = EntityId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn from_usize_roundtrip() {
+        let id = TypeId::from_usize(7);
+        assert_eq!(id, TypeId::new(7));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(EntityId::new(3).to_string(), "e3");
+        assert_eq!(TypeId::new(3).to_string(), "t3");
+        assert_eq!(RelTypeId::new(3).to_string(), "r3");
+        assert_eq!(EdgeId::new(3).to_string(), "g3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(EntityId::new(1) < EntityId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn from_usize_overflow_panics() {
+        let _ = EntityId::from_usize(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! A small string interner mapping strings to dense `u32`-backed identifiers.
+
+use std::collections::HashMap;
+
+/// Interns strings and hands out dense indices in insertion order.
+///
+/// The interner is generic over the identifier newtype so that entity names,
+/// entity-type names and relationship-type surface names each live in their
+/// own identifier space and cannot be mixed up at compile time.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    lookup: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with the given capacity hint.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            lookup: HashMap::with_capacity(capacity),
+            strings: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `s`, returning its dense index. Re-interning an existing string
+    /// returns the original index.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&idx) = self.lookup.get(s) {
+            return idx;
+        }
+        let idx = u32::try_from(self.strings.len()).expect("interner exceeds u32::MAX entries");
+        self.lookup.insert(s.to_owned(), idx);
+        self.strings.push(s.to_owned());
+        idx
+    }
+
+    /// Returns the index of `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves an index back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was not produced by this interner.
+    pub fn resolve(&self, idx: u32) -> &str {
+        &self.strings[idx as usize]
+    }
+
+    /// Resolves an index back to its string, returning `None` if out of range.
+    pub fn try_resolve(&self, idx: u32) -> Option<&str> {
+        self.strings.get(idx as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over all interned strings in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("FILM");
+        let b = i.intern("FILM");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+        assert_eq!(i.resolve(1), "b");
+    }
+
+    #[test]
+    fn get_returns_none_for_unknown() {
+        let mut i = Interner::new();
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(0));
+        assert_eq!(i.get("y"), None);
+    }
+
+    #[test]
+    fn try_resolve_handles_out_of_range() {
+        let mut i = Interner::new();
+        i.intern("x");
+        assert_eq!(i.try_resolve(0), Some("x"));
+        assert_eq!(i.try_resolve(1), None);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = Interner::new();
+        for s in ["one", "two", "three"] {
+            i.intern(s);
+        }
+        let collected: Vec<&str> = i.iter().collect();
+        assert_eq!(collected, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

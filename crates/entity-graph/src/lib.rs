@@ -1,0 +1,69 @@
+//! Entity-graph substrate for the preview-tables system.
+//!
+//! This crate provides the data model the paper *Generating Preview Tables for
+//! Entity Graphs* (Yan et al., SIGMOD 2016) operates on:
+//!
+//! * an [`EntityGraph`]: a directed multigraph whose vertices are named,
+//!   typed entities and whose edges are typed relationships (Sec. 2 of the
+//!   paper),
+//! * a [`SchemaGraph`] derived from an entity graph by merging same-type
+//!   vertices and edges,
+//! * a simple line-oriented triple format for ingesting and persisting entity
+//!   graphs ([`triples`]),
+//! * undirected shortest-path distances between entity types in the schema
+//!   graph ([`DistanceMatrix`]), used by the tight/diverse preview
+//!   constraints,
+//! * aggregate statistics ([`GraphStats`]) used to reproduce Table 2.
+//!
+//! The crate is deliberately independent of the preview-discovery logic: it is
+//! a general-purpose, in-memory entity-graph store with interned identifiers
+//! and cheap integer-based traversal.
+//!
+//! # Example
+//!
+//! ```
+//! use entity_graph::EntityGraphBuilder;
+//!
+//! let mut b = EntityGraphBuilder::new();
+//! let film = b.entity_type("FILM");
+//! let actor = b.entity_type("FILM ACTOR");
+//! let acted_in = b.relationship_type("Actor", actor, film);
+//!
+//! let mib = b.entity("Men in Black", &[film]);
+//! let smith = b.entity("Will Smith", &[actor]);
+//! b.edge(smith, acted_in, mib).unwrap();
+//!
+//! let graph = b.build();
+//! assert_eq!(graph.entity_count(), 2);
+//! assert_eq!(graph.edge_count(), 1);
+//!
+//! let schema = graph.schema_graph();
+//! assert_eq!(schema.type_count(), 2);
+//! assert_eq!(schema.relationship_type_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod distance;
+mod entity;
+mod error;
+mod graph;
+mod id;
+mod interner;
+mod schema;
+mod stats;
+
+pub mod fixtures;
+pub mod triples;
+
+pub use builder::EntityGraphBuilder;
+pub use distance::DistanceMatrix;
+pub use entity::{Edge, Entity, RelType};
+pub use error::{Error, Result};
+pub use graph::{Direction, EntityGraph};
+pub use id::{EdgeId, EntityId, RelTypeId, TypeId};
+pub use interner::Interner;
+pub use schema::{SchemaEdge, SchemaGraph};
+pub use stats::GraphStats;

@@ -1,0 +1,277 @@
+//! The schema graph `Gs(Vs, Es)` derived from an entity graph (Sec. 2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::DistanceMatrix;
+use crate::id::{RelTypeId, TypeId};
+
+/// A schema-graph edge: a relationship type together with its aggregate edge
+/// count in the underlying entity graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaEdge {
+    /// Identifier of the relationship type in the originating entity graph.
+    pub rel: RelTypeId,
+    /// Surface name of the relationship type (e.g. `Director`).
+    pub name: String,
+    /// Source entity type `τ`.
+    pub src: TypeId,
+    /// Destination entity type `τ'`.
+    pub dst: TypeId,
+    /// Number of entity-graph edges of this relationship type.
+    pub edge_count: u64,
+}
+
+impl SchemaEdge {
+    /// The endpoint of this edge other than `ty`, if `ty` is incident.
+    ///
+    /// For self-loops (`src == dst == ty`) returns `ty` itself.
+    pub fn other_endpoint(&self, ty: TypeId) -> Option<TypeId> {
+        if self.src == ty {
+            Some(self.dst)
+        } else if self.dst == ty {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+}
+
+/// A schema graph: entity types as vertices (annotated with entity counts) and
+/// relationship types as directed edges (annotated with edge counts).
+///
+/// The schema graph is the working set of all preview-discovery algorithms;
+/// it is self-contained (owns its type names) so that scoring and discovery
+/// never need to touch the — potentially very large — entity graph, matching
+/// the paper's assumption that schema graph and scores are pre-computed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemaGraph {
+    type_names: Vec<String>,
+    type_by_name: HashMap<String, TypeId>,
+    entity_counts: Vec<u64>,
+    edges: Vec<SchemaEdge>,
+    /// For each type, the indices (into `edges`) of all incident edges,
+    /// regardless of direction. Self-loops appear once.
+    incident: Vec<Vec<usize>>,
+}
+
+impl SchemaGraph {
+    /// Assembles a schema graph from its parts.
+    ///
+    /// `type_names[i]` and `entity_counts[i]` describe the type with
+    /// `TypeId::new(i)`. `edges` may reference only those types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_names` and `entity_counts` have different lengths or an
+    /// edge references an out-of-range type.
+    pub fn new(type_names: Vec<String>, entity_counts: Vec<u64>, edges: Vec<SchemaEdge>) -> Self {
+        assert_eq!(
+            type_names.len(),
+            entity_counts.len(),
+            "type_names and entity_counts must be parallel"
+        );
+        let n = type_names.len();
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, e) in edges.iter().enumerate() {
+            assert!(
+                e.src.index() < n && e.dst.index() < n,
+                "schema edge references unknown type"
+            );
+            incident[e.src.index()].push(idx);
+            if e.src != e.dst {
+                incident[e.dst.index()].push(idx);
+            }
+        }
+        let type_by_name = type_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TypeId::from_usize(i)))
+            .collect();
+        Self {
+            type_names,
+            type_by_name,
+            entity_counts,
+            edges,
+            incident,
+        }
+    }
+
+    /// Number of entity types `|Vs|` (candidate key attributes, `K`).
+    #[inline]
+    pub fn type_count(&self) -> usize {
+        self.type_names.len()
+    }
+
+    /// Number of relationship types `|Es|`.
+    #[inline]
+    pub fn relationship_type_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Name of an entity type.
+    pub fn type_name(&self, ty: TypeId) -> &str {
+        &self.type_names[ty.index()]
+    }
+
+    /// Looks up an entity type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_by_name.get(name).copied()
+    }
+
+    /// Number of entities bearing the given type (`Scov(τ)` numerator).
+    pub fn entity_count_of(&self, ty: TypeId) -> u64 {
+        self.entity_counts[ty.index()]
+    }
+
+    /// Total number of entity-graph edges summed over all relationship types.
+    pub fn total_edge_count(&self) -> u64 {
+        self.edges.iter().map(|e| e.edge_count).sum()
+    }
+
+    /// All schema edges.
+    pub fn edges(&self) -> &[SchemaEdge] {
+        &self.edges
+    }
+
+    /// A single schema edge by index.
+    pub fn edge(&self, idx: usize) -> &SchemaEdge {
+        &self.edges[idx]
+    }
+
+    /// Indices (into [`edges`](Self::edges)) of the edges incident on `ty`,
+    /// in either direction. These are the candidate non-key attributes `Γτ`
+    /// for a preview table keyed on `ty`.
+    pub fn incident_edges(&self, ty: TypeId) -> &[usize] {
+        &self.incident[ty.index()]
+    }
+
+    /// Iterates over all entity types.
+    pub fn types(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.type_names.len()).map(TypeId::from_usize)
+    }
+
+    /// Symmetric undirected weight `w_ij` between two types: the number of
+    /// entity-graph edges, in either direction, between entities of the two
+    /// types (Sec. 3.2, random-walk scoring).
+    pub fn undirected_weight(&self, a: TypeId, b: TypeId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+            .map(|e| e.edge_count)
+            .sum()
+    }
+
+    /// Computes the all-pairs undirected shortest-path distance matrix between
+    /// entity types, used by the tight/diverse distance constraint.
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_schema(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchemaGraph {
+        // FILM(0), FILM ACTOR(1), AWARD(2)
+        let edges = vec![
+            SchemaEdge {
+                rel: RelTypeId::new(0),
+                name: "Actor".into(),
+                src: TypeId::new(1),
+                dst: TypeId::new(0),
+                edge_count: 6,
+            },
+            SchemaEdge {
+                rel: RelTypeId::new(1),
+                name: "Award Winners".into(),
+                src: TypeId::new(1),
+                dst: TypeId::new(2),
+                edge_count: 2,
+            },
+        ];
+        SchemaGraph::new(
+            vec!["FILM".into(), "FILM ACTOR".into(), "AWARD".into()],
+            vec![4, 2, 3],
+            edges,
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = sample();
+        assert_eq!(s.type_count(), 3);
+        assert_eq!(s.relationship_type_count(), 2);
+        assert_eq!(s.type_name(TypeId::new(0)), "FILM");
+        assert_eq!(s.type_by_name("AWARD"), Some(TypeId::new(2)));
+        assert_eq!(s.type_by_name("NOPE"), None);
+        assert_eq!(s.entity_count_of(TypeId::new(0)), 4);
+        assert_eq!(s.total_edge_count(), 8);
+    }
+
+    #[test]
+    fn incident_edges_cover_both_directions() {
+        let s = sample();
+        // FILM ACTOR is incident to both edges.
+        assert_eq!(s.incident_edges(TypeId::new(1)).len(), 2);
+        // FILM only to "Actor".
+        assert_eq!(s.incident_edges(TypeId::new(0)), &[0]);
+        // AWARD only to "Award Winners".
+        assert_eq!(s.incident_edges(TypeId::new(2)), &[1]);
+    }
+
+    #[test]
+    fn undirected_weight_is_symmetric() {
+        let s = sample();
+        let a = TypeId::new(0);
+        let b = TypeId::new(1);
+        assert_eq!(s.undirected_weight(a, b), 6);
+        assert_eq!(s.undirected_weight(b, a), 6);
+        assert_eq!(s.undirected_weight(a, TypeId::new(2)), 0);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let s = sample();
+        let e = s.edge(0);
+        assert_eq!(e.other_endpoint(TypeId::new(0)), Some(TypeId::new(1)));
+        assert_eq!(e.other_endpoint(TypeId::new(1)), Some(TypeId::new(0)));
+        assert_eq!(e.other_endpoint(TypeId::new(2)), None);
+    }
+
+    #[test]
+    fn self_loop_incident_once() {
+        let edges = vec![SchemaEdge {
+            rel: RelTypeId::new(0),
+            name: "Sequel".into(),
+            src: TypeId::new(0),
+            dst: TypeId::new(0),
+            edge_count: 3,
+        }];
+        let s = SchemaGraph::new(vec!["FILM".into()], vec![5], edges);
+        assert_eq!(s.incident_edges(TypeId::new(0)), &[0]);
+        let e = s.edge(0);
+        assert_eq!(e.other_endpoint(TypeId::new(0)), Some(TypeId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        let _ = SchemaGraph::new(vec!["A".into()], vec![1, 2], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown type")]
+    fn edge_with_unknown_type_panics() {
+        let edges = vec![SchemaEdge {
+            rel: RelTypeId::new(0),
+            name: "x".into(),
+            src: TypeId::new(0),
+            dst: TypeId::new(5),
+            edge_count: 1,
+        }];
+        let _ = SchemaGraph::new(vec!["A".into()], vec![1], edges);
+    }
+}

@@ -1,0 +1,59 @@
+//! Aggregate entity/schema graph statistics (Table 2 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes of an entity graph and its schema graph.
+///
+/// Table 2 of the paper reports these four numbers for each Freebase domain
+/// (e.g. "film": 2M / 63 vertices and 18M / 136 edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of entities (entity-graph vertices).
+    pub entities: usize,
+    /// Number of relationship instances (entity-graph edges).
+    pub edges: usize,
+    /// Number of entity types (schema-graph vertices).
+    pub entity_types: usize,
+    /// Number of relationship types (schema-graph edges).
+    pub relationship_types: usize,
+}
+
+impl GraphStats {
+    /// Formats the statistics in the paper's "entity / schema" style, e.g.
+    /// `"190000 / 50 vertices, 1600000 / 136 edges"`.
+    pub fn paper_style(&self) -> String {
+        format!(
+            "{} / {} vertices, {} / {} edges",
+            self.entities, self.entity_types, self.edges, self.relationship_types
+        )
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "entities={} edges={} entity_types={} relationship_types={}",
+            self.entities, self.edges, self.entity_types, self.relationship_types
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_paper_style() {
+        let s = GraphStats {
+            entities: 190_000,
+            edges: 1_600_000,
+            entity_types: 50,
+            relationship_types: 136,
+        };
+        assert!(s.to_string().contains("entities=190000"));
+        assert_eq!(s.paper_style(), "190000 / 50 vertices, 1600000 / 136 edges");
+    }
+}

@@ -1,0 +1,231 @@
+//! A simple line-oriented, tab-separated triple format for entity graphs.
+//!
+//! Real entity graphs are commonly distributed as RDF triples; this module
+//! provides a minimal analogue so graphs can be persisted, diffed and shipped
+//! as plain text. The format has three record kinds, one per line, with
+//! tab-separated fields (entity names may contain spaces but not tabs):
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! E<TAB>Will Smith<TAB>FILM ACTOR|FILM PRODUCER
+//! R<TAB>Actor<TAB>FILM ACTOR<TAB>FILM
+//! T<TAB>Will Smith<TAB>Actor<TAB>Men in Black<TAB>FILM ACTOR<TAB>FILM
+//! ```
+//!
+//! * `E` declares an entity and its types (`|`-separated).
+//! * `R` declares a relationship type (surface name, source type, target type).
+//! * `T` declares one relationship instance; the trailing two fields name the
+//!   relationship type's endpoint types, which disambiguates relationship
+//!   types that share a surface name. Entities and types referenced by `T`
+//!   lines are created on demand.
+//!
+//! Round-tripping a graph through [`to_string`] and [`parse_str`] preserves
+//! entities, types, relationship types and edge multiplicities.
+
+use crate::builder::EntityGraphBuilder;
+use crate::error::{Error, Result};
+use crate::graph::EntityGraph;
+
+/// Parses a graph from the triple text format.
+pub fn parse_str(input: &str) -> Result<EntityGraph> {
+    let mut builder = EntityGraphBuilder::new();
+    for (lineno, raw_line) in input.lines().enumerate() {
+        let line = raw_line.trim_end_matches(['\r', '\n']);
+        let lineno = lineno + 1;
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "E" => parse_entity(&mut builder, &fields, lineno)?,
+            "R" => parse_rel_type(&mut builder, &fields, lineno)?,
+            "T" => parse_triple(&mut builder, &fields, lineno)?,
+            other => {
+                return Err(Error::Parse {
+                    line: lineno,
+                    message: format!("unknown record tag {other:?} (expected E, R or T)"),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+fn parse_entity(builder: &mut EntityGraphBuilder, fields: &[&str], lineno: usize) -> Result<()> {
+    if fields.len() != 3 {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("E record expects 3 tab-separated fields, found {}", fields.len()),
+        });
+    }
+    let name = fields[1];
+    if name.is_empty() {
+        return Err(Error::Parse {
+            line: lineno,
+            message: "entity name must not be empty".into(),
+        });
+    }
+    let types: Vec<_> = fields[2]
+        .split('|')
+        .filter(|t| !t.is_empty())
+        .map(|t| builder.entity_type(t))
+        .collect();
+    if types.is_empty() {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("entity {name:?} declares no types"),
+        });
+    }
+    builder.entity(name, &types);
+    Ok(())
+}
+
+fn parse_rel_type(builder: &mut EntityGraphBuilder, fields: &[&str], lineno: usize) -> Result<()> {
+    if fields.len() != 4 {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("R record expects 4 tab-separated fields, found {}", fields.len()),
+        });
+    }
+    let src = builder.entity_type(fields[2]);
+    let dst = builder.entity_type(fields[3]);
+    builder.relationship_type(fields[1], src, dst);
+    Ok(())
+}
+
+fn parse_triple(builder: &mut EntityGraphBuilder, fields: &[&str], lineno: usize) -> Result<()> {
+    if fields.len() != 6 {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("T record expects 6 tab-separated fields, found {}", fields.len()),
+        });
+    }
+    let (src_name, rel_name, dst_name, src_type_name, dst_type_name) =
+        (fields[1], fields[2], fields[3], fields[4], fields[5]);
+    let src_type = builder.entity_type(src_type_name);
+    let dst_type = builder.entity_type(dst_type_name);
+    let rel = builder.relationship_type(rel_name, src_type, dst_type);
+    let src = builder.entity(src_name, &[src_type]);
+    let dst = builder.entity(dst_name, &[dst_type]);
+    builder.edge(src, rel, dst).map_err(|e| Error::Parse {
+        line: lineno,
+        message: e.to_string(),
+    })?;
+    Ok(())
+}
+
+/// Serialises a graph to the triple text format.
+pub fn to_string(graph: &EntityGraph) -> String {
+    let mut out = String::new();
+    out.push_str("# entity-graph triple dump\n");
+    for (_, entity) in graph.entities() {
+        let types: Vec<&str> = entity.types.iter().map(|&t| graph.type_name(t)).collect();
+        out.push_str(&format!("E\t{}\t{}\n", entity.name, types.join("|")));
+    }
+    for (_, rel) in graph.rel_types() {
+        out.push_str(&format!(
+            "R\t{}\t{}\t{}\n",
+            rel.name,
+            graph.type_name(rel.src_type),
+            graph.type_name(rel.dst_type)
+        ));
+    }
+    for (_, edge) in graph.edges() {
+        let rel = graph.rel_type(edge.rel);
+        out.push_str(&format!(
+            "T\t{}\t{}\t{}\t{}\t{}\n",
+            graph.entity(edge.src).name,
+            rel.name,
+            graph.entity(edge.dst).name,
+            graph.type_name(rel.src_type),
+            graph.type_name(rel.dst_type)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn parse_minimal_graph() {
+        let text = "\
+# a tiny graph
+E\tWill Smith\tFILM ACTOR
+E\tMen in Black\tFILM
+R\tActor\tFILM ACTOR\tFILM
+T\tWill Smith\tActor\tMen in Black\tFILM ACTOR\tFILM
+";
+        let g = parse_str(text).unwrap();
+        assert_eq!(g.entity_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.type_count(), 2);
+        assert_eq!(g.relationship_type_count(), 1);
+    }
+
+    #[test]
+    fn triple_lines_create_entities_on_demand() {
+        let text = "T\tA\tRel\tB\tX\tY\n";
+        let g = parse_str(text).unwrap();
+        assert_eq!(g.entity_count(), 2);
+        assert_eq!(g.type_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn shared_surface_names_stay_distinct() {
+        let text = "\
+T\tWill Smith\tAward Winners\tSaturn Award\tFILM ACTOR\tAWARD
+T\tBarry Sonnenfeld\tAward Winners\tRazzie Award\tFILM DIRECTOR\tAWARD
+";
+        let g = parse_str(text).unwrap();
+        assert_eq!(g.relationship_type_count(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let err = parse_str("X\tfoo\n").unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse_str("E\tOnlyName\n").is_err());
+        assert!(parse_str("R\tRel\tOnlySrc\n").is_err());
+        assert!(parse_str("T\ta\tb\tc\n").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_entity_name_and_types() {
+        assert!(parse_str("E\t\tFILM\n").is_err());
+        assert!(parse_str("E\tMen in Black\t\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let g = parse_str("\n   \n# hello\n").unwrap();
+        assert_eq!(g.entity_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = fixtures::figure1_graph();
+        let text = to_string(&g);
+        let g2 = parse_str(&text).unwrap();
+        assert_eq!(g.entity_count(), g2.entity_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        assert_eq!(g.type_count(), g2.type_count());
+        assert_eq!(g.relationship_type_count(), g2.relationship_type_count());
+        // Per-type entity counts survive the round trip.
+        for (ty, name) in g.types() {
+            let ty2 = g2.type_by_name(name).unwrap();
+            assert_eq!(
+                g.entities_of_type(ty).len(),
+                g2.entities_of_type(ty2).len(),
+                "entity count for type {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Pearson correlation coefficient (Eq. 4 of the paper).
+
+/// Computes the Pearson Correlation Coefficient between two equal-length
+/// samples:
+///
+/// `PCC = (E[XY] − E[X]E[Y]) / (sqrt(E[X²] − E[X]²) · sqrt(E[Y²] − E[Y]²))`
+///
+/// Returns `None` if the slices have different lengths, are empty, or either
+/// sample has zero variance (the coefficient is undefined in those cases).
+///
+/// The paper interprets PCC in `[0.5, 1.0]` as a strong, `[0.3, 0.5)` as a
+/// medium and `[0.1, 0.3)` as a small positive correlation (Sec. 6.1.3).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.is_empty() {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Qualitative interpretation of a PCC value following Cohen (1988), as cited
+/// by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationStrength {
+    /// PCC in `[0.5, 1.0]`.
+    Strong,
+    /// PCC in `[0.3, 0.5)`.
+    Medium,
+    /// PCC in `[0.1, 0.3)`.
+    Small,
+    /// PCC in `(-0.1, 0.1)`.
+    Negligible,
+    /// PCC ≤ −0.1 (any negative correlation of at least small magnitude).
+    Negative,
+}
+
+/// Classifies a PCC value into the paper's qualitative bands.
+pub fn classify(pcc: f64) -> CorrelationStrength {
+    if pcc >= 0.5 {
+        CorrelationStrength::Strong
+    } else if pcc >= 0.3 {
+        CorrelationStrength::Medium
+    } else if pcc >= 0.1 {
+        CorrelationStrength::Small
+    } else if pcc > -0.1 {
+        CorrelationStrength::Negligible
+    } else {
+        CorrelationStrength::Negative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_and_scale_invariant() {
+        let x = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.5);
+    }
+
+    #[test]
+    fn known_value() {
+        // Hand-computed: x = [1,2,3], y = [1,2,4] -> r = cov / (sx*sy)
+        // mean_x=2, mean_y=7/3; cov = (1)(4/3)*? compute directly:
+        // dx = [-1,0,1], dy = [-4/3, -1/3, 5/3]; cov = 4/3 + 0 + 5/3 = 3
+        // var_x = 2, var_y = 16/9 + 1/9 + 25/9 = 42/9
+        // r = 3 / (sqrt(2) * sqrt(42/9)) = 3 / sqrt(84/9) = 3 / (sqrt(84)/3) = 9/sqrt(84)
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 4.0];
+        let expected = 9.0 / 84f64.sqrt();
+        assert!((pearson(&x, &y).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn classification_bands() {
+        assert_eq!(classify(0.7), CorrelationStrength::Strong);
+        assert_eq!(classify(0.5), CorrelationStrength::Strong);
+        assert_eq!(classify(0.4), CorrelationStrength::Medium);
+        assert_eq!(classify(0.2), CorrelationStrength::Small);
+        assert_eq!(classify(0.0), CorrelationStrength::Negligible);
+        assert_eq!(classify(-0.3), CorrelationStrength::Negative);
+    }
+}

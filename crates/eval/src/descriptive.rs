@@ -1,0 +1,143 @@
+//! Descriptive statistics: means, medians, quartiles and box-plot summaries.
+//!
+//! Used to reproduce Table 6 (approaches sorted by median existence-test time)
+//! and the box plots of Figs. 10–14.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `None` for an empty sample.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample median (average of the two middle elements for even sizes);
+/// `None` for an empty sample.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolation percentile (the common "type 7" / numpy default
+/// definition); `p` is in `[0, 100]`. `None` for an empty sample or `p`
+/// outside the range.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Sample standard deviation (with Bessel's correction); `None` when the
+/// sample has fewer than two elements.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The five numbers of a box plot: minimum, lower quartile, median, upper
+/// quartile, maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumberSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl FiveNumberSummary {
+    /// Inter-quartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Computes the five-number summary of a sample; `None` for an empty sample.
+pub fn five_number_summary(values: &[f64]) -> Option<FiveNumberSummary> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(FiveNumberSummary {
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        q1: percentile(values, 25.0)?,
+        median: percentile(values, 50.0)?,
+        q3: percentile(values, 75.0)?,
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert_eq!(percentile(&v, 50.0), Some(25.0));
+        assert_eq!(percentile(&v, 25.0), Some(17.5));
+        assert_eq!(percentile(&v, 101.0), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Sample std-dev of [2, 4, 4, 4, 5, 5, 7, 9] with Bessel = sqrt(32/7).
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let expected = (32.0f64 / 7.0).sqrt();
+        assert!((std_dev(&v).unwrap() - expected).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn five_number_summary_basic() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = five_number_summary(&v).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.iqr(), 2.0);
+        assert!(five_number_summary(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = [5.0, 3.0, 1.0, 4.0, 2.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(five_number_summary(&a), five_number_summary(&b));
+    }
+}

@@ -1,0 +1,32 @@
+//! Evaluation toolkit used to regenerate the paper's tables and figures.
+//!
+//! * [`ranking`] — Precision-at-K, Average Precision, nDCG and Mean Reciprocal
+//!   Rank (Sec. 6.1.2 of the paper; Figs. 5–7 and Table 3).
+//! * [`correlation`] — Pearson Correlation Coefficient (Table 4).
+//! * [`hypothesis`] — two-proportion one-tailed z-tests (Table 7 and
+//!   Tables 13–16).
+//! * [`descriptive`] — means, medians, quartiles and five-number summaries
+//!   (Table 6 and the box plots of Figs. 10–14).
+//! * [`likert`] — aggregation of Likert-scale questionnaire responses
+//!   (Tables 8, 9 and 17–21).
+//!
+//! Everything here is plain `f64` numerics over slices; the crate has no
+//! dependency on the graph or preview machinery so it can be reused for any
+//! ranking/user-study style evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod descriptive;
+pub mod hypothesis;
+pub mod likert;
+pub mod ranking;
+
+pub use correlation::pearson;
+pub use descriptive::{five_number_summary, mean, median, FiveNumberSummary};
+pub use hypothesis::{two_proportion_z_test, Tail, ZTestResult};
+pub use likert::{average_score, LikertScale};
+pub use ranking::{
+    average_precision, mean_reciprocal_rank, ndcg_at_k, precision_at_k, reciprocal_rank,
+};

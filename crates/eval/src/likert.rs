@@ -1,0 +1,110 @@
+//! Likert-scale questionnaire aggregation (Tables 8, 9 and 17–21).
+//!
+//! The paper's user-experience questionnaire (Table 8) uses a 1–5 Likert
+//! scale; per-approach scores are the average over all participants using that
+//! approach, and Table 9 ranks approaches by the average across domains.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1–5 Likert scale response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LikertScale {
+    /// Least favourable experience (score 1).
+    StronglyNegative,
+    /// Score 2.
+    Negative,
+    /// Score 3.
+    Neutral,
+    /// Score 4.
+    Positive,
+    /// Most favourable experience (score 5).
+    StronglyPositive,
+}
+
+impl LikertScale {
+    /// Numeric score in `1..=5`.
+    pub fn score(self) -> u8 {
+        match self {
+            LikertScale::StronglyNegative => 1,
+            LikertScale::Negative => 2,
+            LikertScale::Neutral => 3,
+            LikertScale::Positive => 4,
+            LikertScale::StronglyPositive => 5,
+        }
+    }
+
+    /// Builds a response from a numeric score.
+    ///
+    /// Returns `None` if the score is outside `1..=5`.
+    pub fn from_score(score: u8) -> Option<Self> {
+        match score {
+            1 => Some(LikertScale::StronglyNegative),
+            2 => Some(LikertScale::Negative),
+            3 => Some(LikertScale::Neutral),
+            4 => Some(LikertScale::Positive),
+            5 => Some(LikertScale::StronglyPositive),
+            _ => None,
+        }
+    }
+}
+
+/// Average numeric score of a set of responses; `None` for an empty set.
+pub fn average_score(responses: &[LikertScale]) -> Option<f64> {
+    if responses.is_empty() {
+        return None;
+    }
+    let sum: u32 = responses.iter().map(|r| u32::from(r.score())).sum();
+    Some(f64::from(sum) / responses.len() as f64)
+}
+
+/// Distribution of responses over the five scale points, as counts indexed by
+/// `score − 1`.
+pub fn distribution(responses: &[LikertScale]) -> [usize; 5] {
+    let mut counts = [0usize; 5];
+    for r in responses {
+        counts[usize::from(r.score()) - 1] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_roundtrip() {
+        for s in 1..=5u8 {
+            assert_eq!(LikertScale::from_score(s).unwrap().score(), s);
+        }
+        assert!(LikertScale::from_score(0).is_none());
+        assert!(LikertScale::from_score(6).is_none());
+    }
+
+    #[test]
+    fn ordering_follows_score() {
+        assert!(LikertScale::Negative < LikertScale::Positive);
+        assert!(LikertScale::StronglyNegative < LikertScale::StronglyPositive);
+    }
+
+    #[test]
+    fn average_matches_hand_computation() {
+        let responses = [
+            LikertScale::Positive,
+            LikertScale::Positive,
+            LikertScale::Neutral,
+            LikertScale::StronglyPositive,
+        ];
+        assert!((average_score(&responses).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(average_score(&[]), None);
+    }
+
+    #[test]
+    fn distribution_counts() {
+        let responses = [
+            LikertScale::Neutral,
+            LikertScale::Neutral,
+            LikertScale::StronglyPositive,
+        ];
+        assert_eq!(distribution(&responses), [0, 0, 2, 0, 1]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Ranking-accuracy metrics: P@K, Average Precision, nDCG and MRR.
+//!
+//! These are the measures the paper uses to compare ranked lists of candidate
+//! key/non-key attributes against the Freebase gold standard (Sec. 6.1.2,
+//! Figs. 5–7, Table 3, Tables 22–23). All functions are generic over the item
+//! type; relevance is expressed as a set of gold-standard items.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision-at-K: the fraction of the top-`k` ranked items that appear in the
+/// gold standard.
+///
+/// If the ranking has fewer than `k` items, the available prefix is used but
+/// the denominator stays `k` (missing items count as misses), matching the
+/// paper's "Optimal P@K" curves which cap at `|gold| / k`.
+///
+/// Returns `0.0` when `k == 0`.
+pub fn precision_at_k<T: Eq + Hash>(ranked: &[T], gold: &HashSet<T>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|item| gold.contains(item)).count();
+    hits as f64 / k as f64
+}
+
+/// Average Precision of the top-`k` results, as defined in Sec. 6.1.2:
+///
+/// `AvgP = ( Σ_{i=1..k} P@i × rel_i ) / |gold|`
+///
+/// where `rel_i` is 1 if the item at rank `i` is in the gold standard.
+/// Returns `0.0` if the gold standard is empty.
+pub fn average_precision<T: Eq + Hash>(ranked: &[T], gold: &HashSet<T>, k: usize) -> f64 {
+    if gold.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, item) in ranked.iter().take(k).enumerate() {
+        if gold.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / gold.len() as f64
+}
+
+/// Normalised Discounted Cumulative Gain of the top-`k` results with binary
+/// relevance, as defined in Sec. 6.1.2:
+///
+/// `DCG_k = rel_1 + Σ_{i=2..k} rel_i / log2(i)` and `nDCG_k = DCG_k / IDCG_k`,
+/// where `IDCG_k` is the DCG of an ideal ranking placing all gold items first.
+///
+/// Returns `0.0` if the gold standard is empty or `k == 0`.
+pub fn ndcg_at_k<T: Eq + Hash>(ranked: &[T], gold: &HashSet<T>, k: usize) -> f64 {
+    if gold.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let gain = |rank: usize| -> f64 {
+        // rank is 1-based.
+        if rank == 1 {
+            1.0
+        } else {
+            1.0 / (rank as f64).log2()
+        }
+    };
+    let mut dcg = 0.0;
+    for (i, item) in ranked.iter().take(k).enumerate() {
+        if gold.contains(item) {
+            dcg += gain(i + 1);
+        }
+    }
+    let ideal_hits = gold.len().min(k);
+    let idcg: f64 = (1..=ideal_hits).map(gain).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Reciprocal rank: `1 / rank` of the first gold-standard item in the ranking,
+/// or `0.0` if none appears.
+pub fn reciprocal_rank<T: Eq + Hash>(ranked: &[T], gold: &HashSet<T>) -> f64 {
+    for (i, item) in ranked.iter().enumerate() {
+        if gold.contains(item) {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// Mean Reciprocal Rank over a collection of `(ranking, gold)` pairs
+/// (Table 3 averages the reciprocal rank across entity types).
+///
+/// Returns `0.0` for an empty collection.
+pub fn mean_reciprocal_rank<T: Eq + Hash>(cases: &[(Vec<T>, HashSet<T>)]) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = cases.iter().map(|(ranked, gold)| reciprocal_rank(ranked, gold)).sum();
+    sum / cases.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gold(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn ranked(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_at_k_basic() {
+        let g = gold(&["a", "b", "c"]);
+        let r = ranked(&["a", "x", "b", "y", "c"]);
+        assert_eq!(precision_at_k(&r, &g, 1), 1.0);
+        assert_eq!(precision_at_k(&r, &g, 2), 0.5);
+        assert!((precision_at_k(&r, &g, 5) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_caps_at_gold_size() {
+        // Paper: "P@10 can be at most 0.6, since there are only 6 gold standard
+        // key attributes" — with a perfect ranking of 6 golds, P@10 = 0.6.
+        let g = gold(&["a", "b", "c", "d", "e", "f"]);
+        let r = ranked(&["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+        assert!((precision_at_k(&r, &g, 10) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_with_short_ranking() {
+        let g = gold(&["a"]);
+        let r = ranked(&["a"]);
+        assert_eq!(precision_at_k(&r, &g, 4), 0.25);
+        assert_eq!(precision_at_k(&r, &g, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking_is_one() {
+        let g = gold(&["a", "b"]);
+        let r = ranked(&["a", "b", "x"]);
+        assert!((average_precision(&r, &g, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_penalises_late_hits() {
+        let g = gold(&["a", "b"]);
+        let early = ranked(&["a", "b", "x", "y"]);
+        let late = ranked(&["x", "y", "a", "b"]);
+        assert!(average_precision(&early, &g, 4) > average_precision(&late, &g, 4));
+        // late: hits at ranks 3 (P=1/3) and 4 (P=2/4) -> (1/3 + 1/2)/2.
+        assert!((average_precision(&late, &g, 4) - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_empty_gold_is_zero() {
+        let g: HashSet<String> = HashSet::new();
+        assert_eq!(average_precision(&ranked(&["a"]), &g, 3), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_is_one_and_order_matters() {
+        let g = gold(&["a", "b"]);
+        let perfect = ranked(&["a", "b", "x"]);
+        let worse = ranked(&["a", "x", "b"]);
+        assert!((ndcg_at_k(&perfect, &g, 3) - 1.0).abs() < 1e-12);
+        let w = ndcg_at_k(&worse, &g, 3);
+        assert!(w < 1.0 && w > 0.0);
+    }
+
+    #[test]
+    fn ndcg_matches_hand_computation() {
+        // gold = {a}, ranking = [x, a]: DCG = 1/log2(2) = 1, IDCG = 1 -> 1.0? No:
+        // rank-2 gain = 1/log2(2) = 1.0, so nDCG = 1.0 only because log2(2)=1.
+        // Use rank 3 instead: ranking = [x, y, a]: DCG = 1/log2(3), IDCG = 1.
+        let g = gold(&["a"]);
+        let r = ranked(&["x", "y", "a"]);
+        let expected = 1.0 / 3f64.log2();
+        assert!((ndcg_at_k(&r, &g, 3) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_zero_when_no_hits() {
+        let g = gold(&["a"]);
+        let r = ranked(&["x", "y"]);
+        assert_eq!(ndcg_at_k(&r, &g, 2), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_basic() {
+        let g = gold(&["b"]);
+        assert_eq!(reciprocal_rank(&ranked(&["b", "a"]), &g), 1.0);
+        assert_eq!(reciprocal_rank(&ranked(&["a", "b"]), &g), 0.5);
+        assert_eq!(reciprocal_rank(&ranked(&["a", "c"]), &g), 0.0);
+    }
+
+    #[test]
+    fn mrr_averages_cases() {
+        let cases = vec![
+            (ranked(&["a", "b"]), gold(&["a"])), // RR = 1
+            (ranked(&["x", "a"]), gold(&["a"])), // RR = 0.5
+        ];
+        assert!((mean_reciprocal_rank(&cases) - 0.75).abs() < 1e-12);
+        let empty: Vec<(Vec<String>, HashSet<String>)> = vec![];
+        assert_eq!(mean_reciprocal_rank(&empty), 0.0);
+    }
+}

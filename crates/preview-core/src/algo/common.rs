@@ -1,0 +1,224 @@
+//! Shared machinery of the discovery algorithms: Theorem-3 preview assembly
+//! for a fixed set of key attributes, and k-subset enumeration.
+
+use entity_graph::TypeId;
+
+use crate::constraint::SizeConstraint;
+use crate::preview::{NonKeyAttr, Preview, PreviewTable};
+use crate::scoring::ScoredSchema;
+
+/// Assembles the best preview whose key attributes are exactly `subset`
+/// (Alg. 1, lines 5–14; the `ComputePreview` routine of Alg. 3).
+///
+/// Following Theorem 3, every table takes its highest-scoring candidate
+/// non-key attribute first; the remaining `n − k` attribute slots are filled
+/// with the globally best remaining candidates weighted by
+/// `S(τ) × Sτ(γ)`. Returns `None` if any key attribute has no candidate
+/// non-key attribute (such a table would violate Def. 1).
+pub(crate) fn compute_preview(
+    scored: &ScoredSchema,
+    subset: &[TypeId],
+    size: SizeConstraint,
+) -> Option<(Preview, f64)> {
+    debug_assert_eq!(subset.len(), size.tables);
+    let k = subset.len();
+    let mut per_table: Vec<Vec<NonKeyAttr>> = Vec::with_capacity(k);
+    let mut score = 0.0;
+
+    // Mandatory top-1 candidate per table.
+    for &ty in subset {
+        let cands = scored.candidates(ty);
+        let first = cands.first()?;
+        per_table.push(vec![NonKeyAttr::new(first.edge, first.direction)]);
+        score += scored.key_score(ty) * first.score;
+    }
+
+    // Remaining budget: globally best candidates weighted by key score.
+    let remaining = size.non_keys.saturating_sub(k);
+    if remaining > 0 {
+        let mut pool: Vec<(f64, usize, usize)> = Vec::new();
+        for (pos, &ty) in subset.iter().enumerate() {
+            let key_score = scored.key_score(ty);
+            for (cand_idx, cand) in scored.candidates(ty).iter().enumerate().skip(1) {
+                pool.push((key_score * cand.score, pos, cand_idx));
+            }
+        }
+        // Sort descending by weighted score; deterministic tie-break by table
+        // position and candidate rank.
+        pool.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores must not be NaN")
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        for &(weighted, pos, cand_idx) in pool.iter().take(remaining) {
+            let cand = scored.candidates(subset[pos])[cand_idx];
+            per_table[pos].push(NonKeyAttr::new(cand.edge, cand.direction));
+            score += weighted;
+        }
+    }
+
+    let tables = subset
+        .iter()
+        .zip(per_table)
+        .map(|(&ty, non_keys)| PreviewTable::new(ty, non_keys))
+        .collect();
+    Some((Preview::new(tables), score))
+}
+
+/// Iterator over all `k`-subsets of `0..n`, yielded as index vectors in
+/// lexicographic order. Used by the brute-force algorithm (Alg. 1, line 4).
+pub(crate) struct Combinations {
+    n: usize,
+    k: usize,
+    indices: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    pub(crate) fn new(n: usize, k: usize) -> Self {
+        Self {
+            n,
+            k,
+            indices: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.k == 0 {
+                self.done = true;
+                return Some(Vec::new());
+            }
+            return Some(self.indices.clone());
+        }
+        // Advance to the next combination.
+        let k = self.k;
+        let n = self.n;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] != i + n - k {
+                break;
+            }
+        }
+        self.indices[i] += 1;
+        for j in i + 1..k {
+            self.indices[j] = self.indices[j - 1] + 1;
+        }
+        Some(self.indices.clone())
+    }
+}
+
+/// Number of `k`-subsets of an `n`-set, saturating at `u128::MAX`.
+pub(crate) fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::ScoringConfig;
+    use entity_graph::fixtures::{self, types};
+
+    #[test]
+    fn combinations_enumerate_all_subsets() {
+        let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(all, vec![
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 3],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3],
+        ]);
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(Combinations::new(3, 0).count(), 1);
+        assert_eq!(Combinations::new(3, 3).count(), 1);
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+        assert_eq!(Combinations::new(0, 0).count(), 1);
+        assert_eq!(Combinations::new(6, 3).count(), 20);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(69, 6), 119_877_472);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(10, 0), 1);
+    }
+
+    #[test]
+    fn compute_preview_reproduces_running_example() {
+        // Sec. 4: coverage/coverage, k=2, n=6 with key attributes FILM and
+        // FILM ACTOR yields score 84.
+        let g = fixtures::figure1_graph();
+        let scored = ScoredSchema::build(&g, &ScoringConfig::coverage()).unwrap();
+        let schema = scored.schema();
+        let film = schema.type_by_name(types::FILM).unwrap();
+        let actor = schema.type_by_name(types::FILM_ACTOR).unwrap();
+        let size = SizeConstraint::new(2, 6).unwrap();
+        let (preview, score) = compute_preview(&scored, &[film, actor], size).unwrap();
+        assert!((score - 84.0).abs() < 1e-9);
+        assert_eq!(preview.tables().len(), 2);
+        assert_eq!(preview.non_key_count(), 6);
+        assert!((scored.preview_score(&preview) - score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_preview_caps_at_available_candidates() {
+        let g = fixtures::figure1_graph();
+        let scored = ScoredSchema::build(&g, &ScoringConfig::coverage()).unwrap();
+        let schema = scored.schema();
+        let award = schema.type_by_name(types::AWARD).unwrap();
+        let size = SizeConstraint::new(1, 10).unwrap();
+        let (preview, _) = compute_preview(&scored, &[award], size).unwrap();
+        // AWARD only has two incident relationship types.
+        assert_eq!(preview.non_key_count(), 2);
+    }
+
+    #[test]
+    fn compute_preview_rejects_type_without_candidates() {
+        use entity_graph::EntityGraphBuilder;
+        let mut b = EntityGraphBuilder::new();
+        let a = b.entity_type("A");
+        let iso = b.entity_type("ISOLATED");
+        let c = b.entity_type("B");
+        let r = b.relationship_type("r", a, c);
+        let x = b.entity("x", &[a]);
+        let y = b.entity("y", &[c]);
+        let _z = b.entity("z", &[iso]);
+        b.edge(x, r, y).unwrap();
+        let g = b.build();
+        let scored = ScoredSchema::build(&g, &ScoringConfig::coverage()).unwrap();
+        let iso_ty = scored.schema().type_by_name("ISOLATED").unwrap();
+        let size = SizeConstraint::new(1, 2).unwrap();
+        assert!(compute_preview(&scored, &[iso_ty], size).is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Optimal preview discovery algorithms (Sec. 5 of the paper).
+//!
+//! Three algorithms implement the common [`PreviewDiscovery`] trait:
+//!
+//! | Algorithm | Paper | Supported spaces | Complexity |
+//! |---|---|---|---|
+//! | [`BruteForceDiscovery`] | Alg. 1 | concise, tight, diverse | exponential in `k` |
+//! | [`DynamicProgrammingDiscovery`] | Alg. 2 | concise | `O(K·N·logN + K·k·n²)` |
+//! | [`AprioriDiscovery`] | Alg. 3 | tight, diverse | exponential worst case, fast in practice |
+//!
+//! All algorithms consume a pre-computed [`ScoredSchema`](crate::ScoredSchema)
+//! and return an optimal [`Preview`](crate::Preview) (or `None` when the
+//! constraint is infeasible, e.g. more tables requested than eligible entity
+//! types, or no `k` types satisfy the distance constraint).
+
+pub(crate) mod common;
+
+mod apriori;
+mod brute_force;
+mod dynamic_programming;
+
+pub use apriori::AprioriDiscovery;
+pub use brute_force::BruteForceDiscovery;
+pub use dynamic_programming::DynamicProgrammingDiscovery;
+
+use crate::constraint::PreviewSpace;
+use crate::error::Result;
+use crate::preview::Preview;
+use crate::scoring::ScoredSchema;
+
+/// Common interface of the optimal preview discovery algorithms.
+pub trait PreviewDiscovery {
+    /// A short, stable identifier (used in benchmark and experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Finds an optimal preview in the given space.
+    ///
+    /// Returns `Ok(None)` when the space is empty (no preview satisfies the
+    /// constraints) and an error when the algorithm does not support the
+    /// requested space (e.g. dynamic programming with a distance constraint).
+    fn discover(&self, scored: &ScoredSchema, space: &PreviewSpace) -> Result<Option<Preview>>;
+}
+
+/// Number of `k`-subsets the brute-force algorithm would enumerate for a
+/// schema with `eligible_types` candidate key attributes — useful for deciding
+/// whether a brute-force run is feasible (the experiment harness extrapolates
+/// instead of running the brute force when this is too large).
+pub fn brute_force_subset_count(eligible_types: usize, k: usize) -> u128 {
+    common::binomial(eligible_types, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{ScoredSchema, ScoringConfig};
+    use entity_graph::fixtures;
+
+    #[test]
+    fn algorithms_expose_stable_names() {
+        assert_eq!(BruteForceDiscovery::new().name(), "brute-force");
+        assert_eq!(DynamicProgrammingDiscovery::new().name(), "dynamic-programming");
+        assert_eq!(AprioriDiscovery::new().name(), "apriori");
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let g = fixtures::figure1_graph();
+        let scored = ScoredSchema::build(&g, &ScoringConfig::coverage()).unwrap();
+        let space = PreviewSpace::concise(2, 6).unwrap();
+        let algorithms: Vec<Box<dyn PreviewDiscovery>> = vec![
+            Box::new(BruteForceDiscovery::new()),
+            Box::new(DynamicProgrammingDiscovery::new()),
+        ];
+        for algo in &algorithms {
+            let preview = algo.discover(&scored, &space).unwrap().unwrap();
+            assert!((scored.preview_score(&preview) - 84.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subset_count_helper() {
+        assert_eq!(brute_force_subset_count(69, 6), 119_877_472);
+        assert_eq!(brute_force_subset_count(6, 5), 6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Candidate non-key attribute lists (Theorem 3).
+//!
+//! For every entity type `τ`, the candidate non-key attributes of a preview
+//! table keyed on `τ` are the relationship types incident on `τ` in the schema
+//! graph, in either orientation. Theorem 3 states that the non-key attributes
+//! of a table in an *optimal* preview are always the top-`m` candidates by
+//! score; every discovery algorithm therefore works off the per-type candidate
+//! lists sorted by descending score that this module produces.
+
+use entity_graph::{Direction, SchemaGraph, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// One candidate non-key attribute of a preview table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Index of the schema edge (relationship type).
+    pub edge: usize,
+    /// Orientation relative to the key attribute.
+    pub direction: Direction,
+    /// The non-key attribute score `Sτ(γ)` for this orientation.
+    pub score: f64,
+}
+
+/// Builds, for each entity type, the list of candidate non-key attributes
+/// sorted by descending score.
+///
+/// `outgoing[e]` / `incoming[e]` give the non-key attribute score of schema
+/// edge `e` when the key attribute is the edge's source / destination type.
+/// Ties are broken deterministically by edge index, outgoing before incoming.
+pub fn candidate_lists(
+    schema: &SchemaGraph,
+    outgoing: &[f64],
+    incoming: &[f64],
+) -> Vec<Vec<Candidate>> {
+    let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); schema.type_count()];
+    for (idx, edge) in schema.edges().iter().enumerate() {
+        lists[edge.src.index()].push(Candidate {
+            edge: idx,
+            direction: Direction::Outgoing,
+            score: outgoing[idx],
+        });
+        lists[edge.dst.index()].push(Candidate {
+            edge: idx,
+            direction: Direction::Incoming,
+            score: incoming[idx],
+        });
+    }
+    for list in &mut lists {
+        list.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("candidate scores must not be NaN")
+                .then_with(|| a.edge.cmp(&b.edge))
+                .then_with(|| direction_rank(a.direction).cmp(&direction_rank(b.direction)))
+        });
+    }
+    lists
+}
+
+fn direction_rank(d: Direction) -> u8 {
+    match d {
+        Direction::Outgoing => 0,
+        Direction::Incoming => 1,
+    }
+}
+
+/// Prefix sums over each sorted candidate list: `prefix[τ][m]` is the sum of
+/// the top-`m` candidate scores of type `τ` (with `prefix[τ][0] = 0`).
+///
+/// Used by the dynamic-programming algorithm to evaluate
+/// `S(τ) × Σ top-m scores` in O(1).
+pub fn prefix_sums(candidates: &[Vec<Candidate>]) -> Vec<Vec<f64>> {
+    candidates
+        .iter()
+        .map(|list| {
+            let mut sums = Vec::with_capacity(list.len() + 1);
+            sums.push(0.0);
+            let mut acc = 0.0;
+            for c in list {
+                acc += c.score;
+                sums.push(acc);
+            }
+            sums
+        })
+        .collect()
+}
+
+/// The entity types that can serve as key attributes: those with at least one
+/// candidate non-key attribute (Def. 1 requires every preview table to have a
+/// non-key attribute).
+pub fn eligible_types(candidates: &[Vec<Candidate>]) -> Vec<TypeId> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, list)| !list.is_empty())
+        .map(|(i, _)| TypeId::from_usize(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures::{self, types};
+
+    fn figure1_candidates() -> (SchemaGraph, Vec<Vec<Candidate>>) {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let coverage = crate::scoring::nonkey::coverage_scores(&s);
+        let lists = candidate_lists(&s, &coverage, &coverage);
+        (s, lists)
+    }
+
+    #[test]
+    fn film_candidates_sorted_by_coverage() {
+        let (s, lists) = figure1_candidates();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let film_list = &lists[film.index()];
+        // FILM is incident to Actor(6), Genres(5), Director(4), Producer(2),
+        // Executive Producer(1): five candidates in this order.
+        assert_eq!(film_list.len(), 5);
+        let names: Vec<&str> = film_list.iter().map(|c| s.edge(c.edge).name.as_str()).collect();
+        assert_eq!(names, vec!["Actor", "Genres", "Director", "Producer", "Executive Producer"]);
+        let scores: Vec<f64> = film_list.iter().map(|c| c.score).collect();
+        assert_eq!(scores, vec![6.0, 5.0, 4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn directions_are_relative_to_key() {
+        let (s, lists) = figure1_candidates();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let genre = s.type_by_name(types::FILM_GENRE).unwrap();
+        // From FILM, "Genres" is outgoing; from FILM GENRE it is incoming.
+        let from_film = lists[film.index()]
+            .iter()
+            .find(|c| s.edge(c.edge).name == "Genres")
+            .unwrap();
+        assert_eq!(from_film.direction, Direction::Outgoing);
+        let from_genre = lists[genre.index()]
+            .iter()
+            .find(|c| s.edge(c.edge).name == "Genres")
+            .unwrap();
+        assert_eq!(from_genre.direction, Direction::Incoming);
+    }
+
+    #[test]
+    fn award_has_two_candidates() {
+        let (s, lists) = figure1_candidates();
+        let award = s.type_by_name(types::AWARD).unwrap();
+        assert_eq!(lists[award.index()].len(), 2);
+    }
+
+    #[test]
+    fn prefix_sums_accumulate() {
+        let (s, lists) = figure1_candidates();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let sums = prefix_sums(&lists);
+        let film_sums = &sums[film.index()];
+        assert_eq!(film_sums, &vec![0.0, 6.0, 11.0, 15.0, 17.0, 18.0]);
+    }
+
+    #[test]
+    fn all_figure1_types_are_eligible() {
+        let (s, lists) = figure1_candidates();
+        assert_eq!(eligible_types(&lists).len(), s.type_count());
+    }
+
+    #[test]
+    fn isolated_type_is_not_eligible() {
+        use entity_graph::EntityGraphBuilder;
+        let mut b = EntityGraphBuilder::new();
+        let a = b.entity_type("A");
+        let iso = b.entity_type("ISOLATED");
+        let c = b.entity_type("B");
+        let r = b.relationship_type("r", a, c);
+        let x = b.entity("x", &[a]);
+        let y = b.entity("y", &[c]);
+        let _z = b.entity("z", &[iso]);
+        b.edge(x, r, y).unwrap();
+        let g = b.build();
+        let s = g.schema_graph();
+        let coverage = crate::scoring::nonkey::coverage_scores(&s);
+        let lists = candidate_lists(&s, &coverage, &coverage);
+        let eligible = eligible_types(&lists);
+        assert_eq!(eligible.len(), 2);
+        assert!(!eligible.contains(&s.type_by_name("ISOLATED").unwrap()));
+    }
+
+    #[test]
+    fn self_loop_contributes_both_orientations() {
+        use entity_graph::EntityGraphBuilder;
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let sequel = b.relationship_type("Sequel", film, film);
+        let f1 = b.entity("f1", &[film]);
+        let f2 = b.entity("f2", &[film]);
+        b.edge(f1, sequel, f2).unwrap();
+        let g = b.build();
+        let s = g.schema_graph();
+        let coverage = crate::scoring::nonkey::coverage_scores(&s);
+        let lists = candidate_lists(&s, &coverage, &coverage);
+        let film_s = s.type_by_name("FILM").unwrap();
+        assert_eq!(lists[film_s.index()].len(), 2);
+    }
+}

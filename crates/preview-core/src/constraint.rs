@@ -1,0 +1,192 @@
+//! Size and distance constraints on previews (Sec. 4, Def. 2).
+
+use serde::{Deserialize, Serialize};
+
+use entity_graph::DistanceMatrix;
+
+use crate::error::{Error, Result};
+use crate::preview::Preview;
+
+/// The size constraint `(k, n)`: a preview must contain exactly `k` preview
+/// tables and at most `n` non-key attributes in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeConstraint {
+    /// Number of preview tables (key attributes), `k`.
+    pub tables: usize,
+    /// Maximum total number of non-key attributes across all tables, `n`.
+    pub non_keys: usize,
+}
+
+impl SizeConstraint {
+    /// Creates a size constraint, validating that `k ≥ 1` and `n ≥ k` (every
+    /// preview table must contain at least one non-key attribute, Def. 1).
+    pub fn new(tables: usize, non_keys: usize) -> Result<Self> {
+        if tables == 0 {
+            return Err(Error::invalid_constraint("a preview must contain at least one table (k >= 1)"));
+        }
+        if non_keys < tables {
+            return Err(Error::invalid_constraint(format!(
+                "n (={non_keys}) must be at least k (={tables}) because every preview table needs a non-key attribute"
+            )));
+        }
+        Ok(Self { tables, non_keys })
+    }
+}
+
+/// The pairwise distance constraint between preview tables (Def. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceConstraint {
+    /// Tight previews: every pair of key attributes within distance `d`.
+    AtMost(u32),
+    /// Diverse previews: every pair of key attributes at distance at least `d`.
+    AtLeast(u32),
+}
+
+impl DistanceConstraint {
+    /// Whether a single pairwise distance satisfies the constraint.
+    ///
+    /// Unreachable pairs (disconnected schema components) violate a tight
+    /// constraint and satisfy a diverse constraint.
+    #[inline]
+    pub fn pair_ok(&self, distance: u32) -> bool {
+        match *self {
+            DistanceConstraint::AtMost(d) => distance <= d,
+            DistanceConstraint::AtLeast(d) => distance >= d,
+        }
+    }
+
+    /// The numeric bound `d`.
+    pub fn bound(&self) -> u32 {
+        match *self {
+            DistanceConstraint::AtMost(d) | DistanceConstraint::AtLeast(d) => d,
+        }
+    }
+}
+
+/// The space of candidate previews the optimisation ranges over (Def. 2):
+/// concise (`P_{k,n}`), tight (`P_{k,n,≤d}`) or diverse (`P_{k,n,≥d}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreviewSpace {
+    /// Concise previews: size constraint only.
+    Concise(SizeConstraint),
+    /// Tight previews: size constraint plus pairwise distance ≤ `d`.
+    Tight(SizeConstraint, u32),
+    /// Diverse previews: size constraint plus pairwise distance ≥ `d`.
+    Diverse(SizeConstraint, u32),
+}
+
+impl PreviewSpace {
+    /// Convenience constructor for the concise space.
+    pub fn concise(tables: usize, non_keys: usize) -> Result<Self> {
+        Ok(PreviewSpace::Concise(SizeConstraint::new(tables, non_keys)?))
+    }
+
+    /// Convenience constructor for the tight space.
+    pub fn tight(tables: usize, non_keys: usize, d: u32) -> Result<Self> {
+        Ok(PreviewSpace::Tight(SizeConstraint::new(tables, non_keys)?, d))
+    }
+
+    /// Convenience constructor for the diverse space.
+    pub fn diverse(tables: usize, non_keys: usize, d: u32) -> Result<Self> {
+        Ok(PreviewSpace::Diverse(SizeConstraint::new(tables, non_keys)?, d))
+    }
+
+    /// The size constraint `(k, n)`.
+    pub fn size(&self) -> SizeConstraint {
+        match *self {
+            PreviewSpace::Concise(s) | PreviewSpace::Tight(s, _) | PreviewSpace::Diverse(s, _) => s,
+        }
+    }
+
+    /// The distance constraint, if any.
+    pub fn distance(&self) -> Option<DistanceConstraint> {
+        match *self {
+            PreviewSpace::Concise(_) => None,
+            PreviewSpace::Tight(_, d) => Some(DistanceConstraint::AtMost(d)),
+            PreviewSpace::Diverse(_, d) => Some(DistanceConstraint::AtLeast(d)),
+        }
+    }
+
+    /// Checks whether a preview is a member of this space: correct number of
+    /// tables, at most `n` non-key attributes, each table non-empty, distinct
+    /// key attributes, and all pairwise distances within bounds.
+    pub fn contains(&self, preview: &Preview, distances: &DistanceMatrix) -> bool {
+        let size = self.size();
+        if preview.tables().len() != size.tables {
+            return false;
+        }
+        if preview.non_key_count() > size.non_keys {
+            return false;
+        }
+        if preview.tables().iter().any(|t| t.non_keys().is_empty()) {
+            return false;
+        }
+        // Distinct key attributes.
+        let mut keys: Vec<_> = preview.tables().iter().map(|t| t.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.len() != preview.tables().len() {
+            return false;
+        }
+        if let Some(constraint) = self.distance() {
+            for (i, a) in preview.tables().iter().enumerate() {
+                for b in preview.tables().iter().skip(i + 1) {
+                    if !constraint.pair_ok(distances.distance(a.key(), b.key())) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_constraint_validation() {
+        assert!(SizeConstraint::new(2, 6).is_ok());
+        assert!(SizeConstraint::new(0, 6).is_err());
+        assert!(SizeConstraint::new(3, 2).is_err());
+        // n == k is allowed: one non-key attribute per table.
+        assert!(SizeConstraint::new(3, 3).is_ok());
+    }
+
+    #[test]
+    fn distance_constraint_pairs() {
+        let tight = DistanceConstraint::AtMost(2);
+        assert!(tight.pair_ok(1));
+        assert!(tight.pair_ok(2));
+        assert!(!tight.pair_ok(3));
+        assert!(!tight.pair_ok(u32::MAX));
+        assert_eq!(tight.bound(), 2);
+
+        let diverse = DistanceConstraint::AtLeast(2);
+        assert!(!diverse.pair_ok(1));
+        assert!(diverse.pair_ok(2));
+        assert!(diverse.pair_ok(u32::MAX));
+        assert_eq!(diverse.bound(), 2);
+    }
+
+    #[test]
+    fn space_accessors() {
+        let c = PreviewSpace::concise(2, 6).unwrap();
+        assert_eq!(c.size().tables, 2);
+        assert_eq!(c.distance(), None);
+
+        let t = PreviewSpace::tight(2, 6, 2).unwrap();
+        assert_eq!(t.distance(), Some(DistanceConstraint::AtMost(2)));
+
+        let d = PreviewSpace::diverse(2, 6, 4).unwrap();
+        assert_eq!(d.distance(), Some(DistanceConstraint::AtLeast(4)));
+    }
+
+    #[test]
+    fn invalid_size_propagates_through_constructors() {
+        assert!(PreviewSpace::concise(0, 5).is_err());
+        assert!(PreviewSpace::tight(4, 2, 1).is_err());
+        assert!(PreviewSpace::diverse(4, 2, 1).is_err());
+    }
+}

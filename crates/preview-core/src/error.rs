@@ -1,0 +1,63 @@
+//! Error types for preview discovery.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by scoring or preview discovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A size or distance constraint is structurally invalid (e.g. `k = 0` or
+    /// `n < k`).
+    InvalidConstraint {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// The scoring configuration cannot be evaluated on the given input
+    /// (e.g. random-walk scoring failed to converge).
+    Scoring {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl Error {
+    pub(crate) fn invalid_constraint(message: impl Into<String>) -> Self {
+        Error::InvalidConstraint {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConstraint { message } => write!(f, "invalid constraint: {message}"),
+            Error::Scoring { message } => write!(f, "scoring error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::invalid_constraint("k must be at least 1");
+        assert!(e.to_string().contains("k must be at least 1"));
+        let e = Error::Scoring {
+            message: "power iteration diverged".into(),
+        };
+        assert!(e.to_string().contains("power iteration"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_: &E) {}
+        takes_error(&Error::invalid_constraint("x"));
+    }
+}

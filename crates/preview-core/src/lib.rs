@@ -1,0 +1,58 @@
+//! Preview tables for entity graphs — the core library of this workspace.
+//!
+//! This crate implements the primary contribution of *Generating Preview
+//! Tables for Entity Graphs* (Yan, Hasani, Asudeh, Li; SIGMOD 2016):
+//!
+//! * the preview data model ([`Preview`], [`PreviewTable`], [`NonKeyAttr`],
+//!   Def. 1),
+//! * goodness measures for key and non-key attributes ([`scoring`], Sec. 3),
+//! * the concise / tight / diverse optimisation problems ([`SizeConstraint`],
+//!   [`DistanceConstraint`], [`PreviewSpace`], Sec. 4),
+//! * the three discovery algorithms ([`BruteForceDiscovery`],
+//!   [`DynamicProgrammingDiscovery`], [`AprioriDiscovery`], Sec. 5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use entity_graph::fixtures;
+//! use preview_core::{
+//!     DynamicProgrammingDiscovery, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig,
+//! };
+//!
+//! // The paper's Fig. 1 entity graph.
+//! let graph = fixtures::figure1_graph();
+//!
+//! // Pre-compute schema graph, scores and candidate lists (coverage/coverage).
+//! let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+//!
+//! // Find the optimal concise preview with 2 tables and 6 non-key attributes.
+//! let space = PreviewSpace::concise(2, 6).unwrap();
+//! let preview = DynamicProgrammingDiscovery::new()
+//!     .discover(&scored, &space)
+//!     .unwrap()
+//!     .expect("a preview exists");
+//!
+//! assert_eq!(preview.tables().len(), 2);
+//! assert!((scored.preview_score(&preview) - 84.0).abs() < 1e-9);
+//! println!("{}", preview.describe(scored.schema()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod candidates;
+mod constraint;
+mod error;
+mod preview;
+pub mod scoring;
+
+pub use algo::{
+    brute_force_subset_count, AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery,
+    PreviewDiscovery,
+};
+pub use candidates::Candidate;
+pub use constraint::{DistanceConstraint, PreviewSpace, SizeConstraint};
+pub use error::{Error, Result};
+pub use preview::{MaterializedRow, MaterializedTable, NonKeyAttr, Preview, PreviewTable};
+pub use scoring::{KeyScoring, NonKeyScoring, RandomWalkConfig, ScoredSchema, ScoringConfig};

@@ -1,0 +1,351 @@
+//! Preview tables and previews (Def. 1 of the paper), plus tuple
+//! materialisation for display.
+
+use serde::{Deserialize, Serialize};
+
+use entity_graph::{Direction, EntityGraph, SchemaGraph, TypeId};
+
+/// A non-key attribute of a preview table: a relationship type incident on the
+/// table's key attribute, in a specific orientation.
+///
+/// `edge` indexes into [`SchemaGraph::edges`]. `direction` is relative to the
+/// key attribute: [`Direction::Outgoing`] means the key attribute is the
+/// relationship type's source (`γ(τ, τ')`), [`Direction::Incoming`] means it
+/// is the destination (`γ(τ', τ)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NonKeyAttr {
+    /// Index of the schema edge (relationship type).
+    pub edge: usize,
+    /// Orientation of the relationship type relative to the key attribute.
+    pub direction: Direction,
+}
+
+impl NonKeyAttr {
+    /// Creates a non-key attribute reference.
+    pub fn new(edge: usize, direction: Direction) -> Self {
+        Self { edge, direction }
+    }
+
+    /// The entity type on the far side of the relationship, i.e. the type of
+    /// the entities appearing as this attribute's values.
+    pub fn target_type(&self, schema: &SchemaGraph) -> TypeId {
+        let e = schema.edge(self.edge);
+        match self.direction {
+            Direction::Outgoing => e.dst,
+            Direction::Incoming => e.src,
+        }
+    }
+
+    /// A human-readable label for the attribute in the style of Table 11:
+    /// the surface name followed by the target entity type, e.g.
+    /// `"Directed by (FILM DIRECTOR)"`.
+    pub fn label(&self, schema: &SchemaGraph) -> String {
+        let e = schema.edge(self.edge);
+        format!("{} ({})", e.name, schema.type_name(self.target_type(schema)))
+    }
+}
+
+/// A preview table: one key attribute (an entity type) plus at least one
+/// non-key attribute (incident relationship types). Corresponds to a
+/// star-shaped subgraph of the schema graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreviewTable {
+    key: TypeId,
+    non_keys: Vec<NonKeyAttr>,
+}
+
+impl PreviewTable {
+    /// Creates a preview table. The caller is responsible for providing at
+    /// least one non-key attribute (Def. 1); emptiness is checked by
+    /// [`PreviewSpace::contains`](crate::PreviewSpace::contains) and by the
+    /// discovery algorithms.
+    pub fn new(key: TypeId, non_keys: Vec<NonKeyAttr>) -> Self {
+        Self { key, non_keys }
+    }
+
+    /// The key attribute (entity type).
+    pub fn key(&self) -> TypeId {
+        self.key
+    }
+
+    /// The non-key attributes.
+    pub fn non_keys(&self) -> &[NonKeyAttr] {
+        &self.non_keys
+    }
+
+    /// Formats the table schema in the style of Table 11 of the paper.
+    pub fn describe(&self, schema: &SchemaGraph) -> String {
+        let attrs: Vec<String> = self.non_keys.iter().map(|a| a.label(schema)).collect();
+        format!("{}: {}", schema.type_name(self.key), attrs.join(", "))
+    }
+}
+
+/// A preview: a set of preview tables with pairwise-distinct key attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Preview {
+    tables: Vec<PreviewTable>,
+}
+
+impl Preview {
+    /// Creates a preview from its tables.
+    pub fn new(tables: Vec<PreviewTable>) -> Self {
+        Self { tables }
+    }
+
+    /// The preview tables.
+    pub fn tables(&self) -> &[PreviewTable] {
+        &self.tables
+    }
+
+    /// Total number of non-key attributes across all tables.
+    pub fn non_key_count(&self) -> usize {
+        self.tables.iter().map(|t| t.non_keys.len()).sum()
+    }
+
+    /// Whether a given entity type is one of the preview's key attributes.
+    pub fn has_key(&self, ty: TypeId) -> bool {
+        self.tables.iter().any(|t| t.key == ty)
+    }
+
+    /// Formats the whole preview, one table per line.
+    pub fn describe(&self, schema: &SchemaGraph) -> String {
+        self.tables
+            .iter()
+            .map(|t| t.describe(schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Materialises the preview against an entity graph, producing at most
+    /// `max_rows` tuples per table (Def. 1 defines one tuple per entity of the
+    /// key type; the paper displays a small sample).
+    ///
+    /// Tuples are taken in entity-id order, which makes the output
+    /// deterministic; callers wanting a random sample can shuffle entity ids
+    /// upstream.
+    pub fn materialize(
+        &self,
+        graph: &EntityGraph,
+        schema: &SchemaGraph,
+        max_rows: usize,
+    ) -> Vec<MaterializedTable> {
+        self.tables
+            .iter()
+            .map(|table| materialize_table(table, graph, schema, max_rows))
+            .collect()
+    }
+}
+
+/// One materialised preview table, ready for display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaterializedTable {
+    /// Name of the key attribute (the entity type).
+    pub key_type: String,
+    /// Labels of the non-key attributes.
+    pub attributes: Vec<String>,
+    /// Materialised rows (at most the requested sample size).
+    pub rows: Vec<MaterializedRow>,
+    /// Total number of tuples the full table would contain (`|T.τ|`).
+    pub total_tuples: usize,
+}
+
+/// One tuple of a materialised preview table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaterializedRow {
+    /// The key attribute value (an entity name); unique and single-valued.
+    pub key: String,
+    /// For each non-key attribute, the (possibly empty, possibly multi-valued)
+    /// set of related entity names.
+    pub values: Vec<Vec<String>>,
+}
+
+impl MaterializedTable {
+    /// Renders the table as fixed-width ASCII art for terminal display.
+    pub fn to_text(&self) -> String {
+        let mut headers = vec![self.key_type.clone()];
+        headers.extend(self.attributes.iter().cloned());
+        let mut rows_text: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut cells = vec![row.key.clone()];
+            for vals in &row.values {
+                if vals.is_empty() {
+                    cells.push("-".to_string());
+                } else {
+                    cells.push(format!("{{{}}}", vals.join(", ")));
+                }
+            }
+            rows_text.push(cells);
+        }
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows_text {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &rows_text {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn materialize_table(
+    table: &PreviewTable,
+    graph: &EntityGraph,
+    schema: &SchemaGraph,
+    max_rows: usize,
+) -> MaterializedTable {
+    let key_type_name = schema.type_name(table.key()).to_string();
+    let attributes: Vec<String> = table.non_keys().iter().map(|a| a.label(schema)).collect();
+    // The schema graph was derived from `graph`, so the type names align even
+    // if the TypeIds were produced by a different builder run.
+    let key_type_in_graph = graph.type_by_name(&key_type_name);
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    if let Some(key_ty) = key_type_in_graph {
+        let entities = graph.entities_of_type(key_ty);
+        total = entities.len();
+        for &entity in entities.iter().take(max_rows) {
+            let mut values = Vec::with_capacity(table.non_keys().len());
+            for attr in table.non_keys() {
+                let schema_edge = schema.edge(attr.edge);
+                // Resolve the relationship type by name and endpoint types so a
+                // schema graph built by a different builder run still lines up;
+                // fall back to the recorded id (the common case: the schema was
+                // derived from `graph` itself).
+                let rel = graph
+                    .type_by_name(schema.type_name(schema_edge.src))
+                    .zip(graph.type_by_name(schema.type_name(schema_edge.dst)))
+                    .and_then(|(src, dst)| graph.rel_type_by_key(&schema_edge.name, src, dst))
+                    .unwrap_or(schema_edge.rel);
+                let neighbors = graph.neighbors_via(entity, rel, attr.direction);
+                values.push(
+                    neighbors
+                        .into_iter()
+                        .map(|n| graph.entity(n).name.clone())
+                        .collect(),
+                );
+            }
+            rows.push(MaterializedRow {
+                key: graph.entity(entity).name.clone(),
+                values,
+            });
+        }
+    }
+    MaterializedTable {
+        key_type: key_type_name,
+        attributes,
+        rows,
+        total_tuples: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures::{self, types};
+
+    fn film_table(graph: &EntityGraph, schema: &SchemaGraph) -> PreviewTable {
+        let film = schema.type_by_name(types::FILM).unwrap();
+        // Find the "Director" and "Genres" schema edges.
+        let director_idx = schema
+            .edges()
+            .iter()
+            .position(|e| e.name == "Director")
+            .unwrap();
+        let genres_idx = schema.edges().iter().position(|e| e.name == "Genres").unwrap();
+        let _ = graph;
+        PreviewTable::new(
+            film,
+            vec![
+                NonKeyAttr::new(director_idx, Direction::Incoming),
+                NonKeyAttr::new(genres_idx, Direction::Outgoing),
+            ],
+        )
+    }
+
+    #[test]
+    fn non_key_attr_target_and_label() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let director_idx = s.edges().iter().position(|e| e.name == "Director").unwrap();
+        let attr_in = NonKeyAttr::new(director_idx, Direction::Incoming);
+        let attr_out = NonKeyAttr::new(director_idx, Direction::Outgoing);
+        assert_eq!(s.type_name(attr_in.target_type(&s)), types::FILM_DIRECTOR);
+        assert_eq!(s.type_name(attr_out.target_type(&s)), types::FILM);
+        assert_eq!(attr_in.label(&s), "Director (FILM DIRECTOR)");
+    }
+
+    #[test]
+    fn preview_counts_and_describe() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let table = film_table(&g, &s);
+        let film = s.type_by_name(types::FILM).unwrap();
+        let preview = Preview::new(vec![table]);
+        assert_eq!(preview.non_key_count(), 2);
+        assert!(preview.has_key(film));
+        assert!(!preview.has_key(s.type_by_name(types::AWARD).unwrap()));
+        let text = preview.describe(&s);
+        assert!(text.contains("FILM:"));
+        assert!(text.contains("Director"));
+    }
+
+    #[test]
+    fn materialize_figure2_upper_table() {
+        // The upper table of Fig. 2: FILM with Director and Genres.
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let preview = Preview::new(vec![film_table(&g, &s)]);
+        let tables = preview.materialize(&g, &s, 10);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.key_type, "FILM");
+        assert_eq!(t.total_tuples, 4);
+        assert_eq!(t.rows.len(), 4);
+        let mib = t.rows.iter().find(|r| r.key == "Men in Black").unwrap();
+        assert_eq!(mib.values[0], vec!["Barry Sonnenfeld".to_string()]);
+        let mut genres = mib.values[1].clone();
+        genres.sort();
+        assert_eq!(genres, vec!["Action Film".to_string(), "Science Fiction".to_string()]);
+        // Hancock has an empty Genres value (t3.Genres = "-" in Fig. 2).
+        let hancock = t.rows.iter().find(|r| r.key == "Hancock").unwrap();
+        assert!(hancock.values[1].is_empty());
+    }
+
+    #[test]
+    fn materialize_respects_row_limit() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let preview = Preview::new(vec![film_table(&g, &s)]);
+        let tables = preview.materialize(&g, &s, 2);
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(tables[0].total_tuples, 4);
+    }
+
+    #[test]
+    fn to_text_renders_all_rows_and_headers() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let preview = Preview::new(vec![film_table(&g, &s)]);
+        let text = preview.materialize(&g, &s, 10)[0].to_text();
+        assert!(text.contains("FILM"));
+        assert!(text.contains("Men in Black II"));
+        assert!(text.contains('-'));
+        assert!(text.lines().count() >= 6);
+    }
+}

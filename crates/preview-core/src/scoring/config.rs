@@ -1,0 +1,320 @@
+//! Scoring configuration and the pre-computed [`ScoredSchema`].
+
+use entity_graph::{Direction, DistanceMatrix, EntityGraph, SchemaGraph, TypeId};
+use serde::{Deserialize, Serialize};
+
+use crate::candidates::{self, Candidate};
+use crate::error::Result;
+use crate::preview::{Preview, PreviewTable};
+use crate::scoring::key::{self, RandomWalkConfig};
+use crate::scoring::nonkey;
+
+/// Which key-attribute scoring measure to use (Sec. 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyScoring {
+    /// `Scov(τ)`: number of entities of type `τ`.
+    Coverage,
+    /// `Swalk(τ)`: stationary probability of a random walk over the weighted,
+    /// undirected schema graph.
+    RandomWalk,
+}
+
+impl KeyScoring {
+    /// Short label used in experiment output (matches the paper's tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyScoring::Coverage => "Coverage",
+            KeyScoring::RandomWalk => "Random Walk",
+        }
+    }
+}
+
+/// Which non-key attribute scoring measure to use (Sec. 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NonKeyScoring {
+    /// `Sτcov(γ)`: number of edges of relationship type `γ`.
+    Coverage,
+    /// `Sτent(γ)`: entropy of the attribute's value distribution.
+    Entropy,
+}
+
+impl NonKeyScoring {
+    /// Short label used in experiment output (matches the paper's tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            NonKeyScoring::Coverage => "Coverage",
+            NonKeyScoring::Entropy => "Entropy",
+        }
+    }
+}
+
+/// Complete scoring configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoringConfig {
+    /// Key-attribute measure.
+    pub key: KeyScoring,
+    /// Non-key attribute measure.
+    pub non_key: NonKeyScoring,
+    /// Parameters of the random-walk measure (ignored for coverage).
+    pub random_walk: RandomWalkConfig,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self {
+            key: KeyScoring::Coverage,
+            non_key: NonKeyScoring::Coverage,
+            random_walk: RandomWalkConfig::default(),
+        }
+    }
+}
+
+impl ScoringConfig {
+    /// Coverage/Coverage configuration (the paper's default running example).
+    pub fn coverage() -> Self {
+        Self::default()
+    }
+
+    /// Convenience constructor.
+    pub fn new(key: KeyScoring, non_key: NonKeyScoring) -> Self {
+        Self {
+            key,
+            non_key,
+            random_walk: RandomWalkConfig::default(),
+        }
+    }
+}
+
+/// Pre-computed scores over a schema graph: everything the discovery
+/// algorithms need (Sec. 5 assumes schema graph and scores are computed before
+/// discovery and reused across constraint settings).
+#[derive(Debug, Clone)]
+pub struct ScoredSchema {
+    schema: SchemaGraph,
+    distances: DistanceMatrix,
+    config: ScoringConfig,
+    key_scores: Vec<f64>,
+    nonkey_outgoing: Vec<f64>,
+    nonkey_incoming: Vec<f64>,
+    candidates: Vec<Vec<Candidate>>,
+    prefix_sums: Vec<Vec<f64>>,
+    eligible: Vec<TypeId>,
+}
+
+impl ScoredSchema {
+    /// Derives the schema graph from `graph` and pre-computes key scores,
+    /// non-key scores, sorted candidate lists, prefix sums and the all-pairs
+    /// distance matrix.
+    pub fn build(graph: &EntityGraph, config: &ScoringConfig) -> Result<Self> {
+        let schema = graph.schema_graph();
+        Self::build_with_schema(graph, schema, config)
+    }
+
+    /// Like [`build`](Self::build) but reuses an already-derived schema graph.
+    pub fn build_with_schema(
+        graph: &EntityGraph,
+        schema: SchemaGraph,
+        config: &ScoringConfig,
+    ) -> Result<Self> {
+        let key_scores = match config.key {
+            KeyScoring::Coverage => key::coverage_scores(&schema),
+            KeyScoring::RandomWalk => key::random_walk_scores(&schema, &config.random_walk)?,
+        };
+        let (nonkey_outgoing, nonkey_incoming) = match config.non_key {
+            NonKeyScoring::Coverage => {
+                let cov = nonkey::coverage_scores(&schema);
+                (cov.clone(), cov)
+            }
+            NonKeyScoring::Entropy => nonkey::entropy_scores(graph, &schema),
+        };
+        let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
+        let prefix_sums = candidates::prefix_sums(&candidates);
+        let eligible = candidates::eligible_types(&candidates);
+        let distances = schema.distance_matrix();
+        Ok(Self {
+            schema,
+            distances,
+            config: *config,
+            key_scores,
+            nonkey_outgoing,
+            nonkey_incoming,
+            candidates,
+            prefix_sums,
+            eligible,
+        })
+    }
+
+    /// The underlying schema graph.
+    pub fn schema(&self) -> &SchemaGraph {
+        &self.schema
+    }
+
+    /// The all-pairs undirected distance matrix over entity types.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// The scoring configuration used to build this instance.
+    pub fn config(&self) -> &ScoringConfig {
+        &self.config
+    }
+
+    /// The key-attribute score `S(τ)`.
+    pub fn key_score(&self, ty: TypeId) -> f64 {
+        self.key_scores[ty.index()]
+    }
+
+    /// All key-attribute scores, indexed by [`TypeId`].
+    pub fn key_scores(&self) -> &[f64] {
+        &self.key_scores
+    }
+
+    /// Entity types ranked by descending key score (ties broken by type id),
+    /// as used in the scoring-accuracy experiments (Figs. 5–7).
+    pub fn ranked_key_attributes(&self) -> Vec<TypeId> {
+        let mut order: Vec<TypeId> = self.schema.types().collect();
+        order.sort_by(|a, b| {
+            self.key_scores[b.index()]
+                .partial_cmp(&self.key_scores[a.index()])
+                .expect("key scores must not be NaN")
+                .then_with(|| a.cmp(b))
+        });
+        order
+    }
+
+    /// The non-key attribute score `Sτ(γ)` of a schema edge in the given
+    /// orientation (outgoing = the key attribute is the edge's source type).
+    pub fn non_key_score(&self, edge: usize, direction: Direction) -> f64 {
+        match direction {
+            Direction::Outgoing => self.nonkey_outgoing[edge],
+            Direction::Incoming => self.nonkey_incoming[edge],
+        }
+    }
+
+    /// The candidate non-key attributes of type `ty`, sorted by descending
+    /// score (Theorem 3).
+    pub fn candidates(&self, ty: TypeId) -> &[Candidate] {
+        &self.candidates[ty.index()]
+    }
+
+    /// Sum of the top-`m` candidate non-key scores of type `ty`
+    /// (`m` is clamped to the number of candidates).
+    pub fn top_m_score_sum(&self, ty: TypeId, m: usize) -> f64 {
+        let sums = &self.prefix_sums[ty.index()];
+        let m = m.min(sums.len() - 1);
+        sums[m]
+    }
+
+    /// Entity types eligible to be key attributes (at least one candidate).
+    pub fn eligible_types(&self) -> &[TypeId] {
+        &self.eligible
+    }
+
+    /// The score of a preview table (Eq. 2): `S(τ) × Σ_{γ} Sτ(γ)`.
+    pub fn table_score(&self, table: &PreviewTable) -> f64 {
+        let non_key_sum: f64 = table
+            .non_keys()
+            .iter()
+            .map(|a| self.non_key_score(a.edge, a.direction))
+            .sum();
+        self.key_score(table.key()) * non_key_sum
+    }
+
+    /// The score of a preview (Eq. 1): the sum of its tables' scores.
+    pub fn preview_score(&self, preview: &Preview) -> f64 {
+        preview.tables().iter().map(|t| self.table_score(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preview::NonKeyAttr;
+    use entity_graph::fixtures::{self, types};
+
+    fn scored(config: ScoringConfig) -> ScoredSchema {
+        let g = fixtures::figure1_graph();
+        ScoredSchema::build(&g, &config).unwrap()
+    }
+
+    #[test]
+    fn coverage_key_scores_match_entity_counts() {
+        let s = scored(ScoringConfig::coverage());
+        let film = s.schema().type_by_name(types::FILM).unwrap();
+        assert_eq!(s.key_score(film), 4.0);
+    }
+
+    #[test]
+    fn random_walk_scores_sum_to_one() {
+        let s = scored(ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage));
+        let total: f64 = s.key_scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranked_key_attributes_puts_film_first_under_coverage() {
+        let s = scored(ScoringConfig::coverage());
+        let ranked = s.ranked_key_attributes();
+        assert_eq!(s.schema().type_name(ranked[0]), types::FILM);
+        assert_eq!(ranked.len(), s.schema().type_count());
+    }
+
+    #[test]
+    fn table_and_preview_scores_follow_eq1_and_eq2() {
+        // Running example of Sec. 4: coverage/coverage, the FILM table with
+        // Actor, Genres, Director, Producer scores 4 * (6+5+4+2) = 68 and the
+        // FILM ACTOR table with Actor, Award Winners scores 2 * (6+2) = 16.
+        let s = scored(ScoringConfig::coverage());
+        let schema = s.schema();
+        let film = schema.type_by_name(types::FILM).unwrap();
+        let actor = schema.type_by_name(types::FILM_ACTOR).unwrap();
+        let film_cands = s.candidates(film);
+        let film_table = PreviewTable::new(
+            film,
+            film_cands[..4]
+                .iter()
+                .map(|c| NonKeyAttr::new(c.edge, c.direction))
+                .collect(),
+        );
+        assert!((s.table_score(&film_table) - 68.0).abs() < 1e-9);
+        let actor_cands = s.candidates(actor);
+        let actor_table = PreviewTable::new(
+            actor,
+            actor_cands[..2]
+                .iter()
+                .map(|c| NonKeyAttr::new(c.edge, c.direction))
+                .collect(),
+        );
+        assert!((s.table_score(&actor_table) - 16.0).abs() < 1e-9);
+        let preview = Preview::new(vec![film_table, actor_table]);
+        assert!((s.preview_score(&preview) - 84.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_m_score_sum_clamps() {
+        let s = scored(ScoringConfig::coverage());
+        let film = s.schema().type_by_name(types::FILM).unwrap();
+        assert_eq!(s.top_m_score_sum(film, 0), 0.0);
+        assert_eq!(s.top_m_score_sum(film, 1), 6.0);
+        assert_eq!(s.top_m_score_sum(film, 100), 18.0);
+    }
+
+    #[test]
+    fn entropy_configuration_builds() {
+        let s = scored(ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy));
+        // All entropy scores are finite and non-negative.
+        for ty in s.schema().types() {
+            for c in s.candidates(ty) {
+                assert!(c.score.is_finite() && c.score >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(KeyScoring::Coverage.label(), "Coverage");
+        assert_eq!(KeyScoring::RandomWalk.label(), "Random Walk");
+        assert_eq!(NonKeyScoring::Entropy.label(), "Entropy");
+        assert_eq!(NonKeyScoring::Coverage.label(), "Coverage");
+    }
+}

@@ -1,0 +1,260 @@
+//! Key-attribute scoring measures (Sec. 3.2): coverage and random walk.
+
+use entity_graph::{SchemaGraph, TypeId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Coverage-based key-attribute scores: `Scov(τ)` is the number of entities
+/// bearing type `τ`.
+///
+/// Returns one score per entity type, indexed by [`TypeId`].
+pub fn coverage_scores(schema: &SchemaGraph) -> Vec<f64> {
+    schema
+        .types()
+        .map(|ty| schema.entity_count_of(ty) as f64)
+        .collect()
+}
+
+/// Parameters of the random-walk (PageRank-style) key-attribute scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalkConfig {
+    /// Uniform transition probability added between every pair of entity
+    /// types to guarantee convergence on disconnected schema graphs. The
+    /// paper uses `1e-5` (Sec. 6).
+    pub jump: f64,
+    /// L1 convergence tolerance of the power iteration.
+    pub tolerance: f64,
+    /// Maximum number of power-iteration steps before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        Self {
+            jump: 1e-5,
+            tolerance: 1e-12,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Builds the row-stochastic transition matrix `M` over entity types.
+///
+/// `M[i][j]` is the probability of moving from type `τi` to type `τj`:
+/// the undirected edge weight `w_ij` (number of entity-graph relationships
+/// between entities of the two types, in either direction) normalised by the
+/// total weight incident on `τi`, with the uniform `jump` probability mixed in
+/// and the row re-normalised. Types with no incident relationships get a
+/// uniform row.
+pub fn transition_matrix(schema: &SchemaGraph, config: &RandomWalkConfig) -> Vec<Vec<f64>> {
+    let n = schema.type_count();
+    let mut weights = vec![vec![0.0f64; n]; n];
+    for e in schema.edges() {
+        let (s, d) = (e.src.index(), e.dst.index());
+        let w = e.edge_count as f64;
+        weights[s][d] += w;
+        if s != d {
+            weights[d][s] += w;
+        }
+    }
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        let row_sum: f64 = weights[i].iter().sum();
+        for j in 0..n {
+            let base = if row_sum > 0.0 {
+                weights[i][j] / row_sum
+            } else if n > 0 {
+                1.0 / n as f64
+            } else {
+                0.0
+            };
+            matrix[i][j] = base + config.jump;
+        }
+        // Re-normalise after adding the jump probability.
+        let total: f64 = matrix[i].iter().sum();
+        if total > 0.0 {
+            for value in &mut matrix[i] {
+                *value /= total;
+            }
+        }
+    }
+    matrix
+}
+
+/// Random-walk key-attribute scores: the stationary distribution `π = πM` of
+/// the random walk over the undirected, weighted schema graph.
+///
+/// Returns one score per entity type, indexed by [`TypeId`]; the scores sum to
+/// 1 (they are probabilities).
+///
+/// # Errors
+///
+/// Returns [`Error::Scoring`] if the power iteration does not converge within
+/// `config.max_iterations`.
+pub fn random_walk_scores(schema: &SchemaGraph, config: &RandomWalkConfig) -> Result<Vec<f64>> {
+    let n = schema.type_count();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let matrix = transition_matrix(schema, config);
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..config.max_iterations {
+        // Lazy power iteration: π ← ½π + ½πM. The lazy walk has the same
+        // stationary distribution as M but is aperiodic, so the iteration
+        // converges even on bipartite schema graphs (which are common: e.g.
+        // the Fig. 1 graph is bipartite).
+        for (v, &p) in next.iter_mut().zip(&pi) {
+            *v = 0.5 * p;
+        }
+        for i in 0..n {
+            let pi_i = pi[i];
+            if pi_i == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                next[j] += 0.5 * pi_i * matrix[i][j];
+            }
+        }
+        // Normalise to guard against floating-point drift.
+        let sum: f64 = next.iter().sum();
+        if sum > 0.0 {
+            for v in next.iter_mut() {
+                *v /= sum;
+            }
+        }
+        let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        if diff < config.tolerance {
+            return Ok(pi);
+        }
+    }
+    Err(Error::Scoring {
+        message: format!(
+            "random-walk power iteration did not converge within {} iterations",
+            config.max_iterations
+        ),
+    })
+}
+
+/// Convenience accessor: the score of one entity type out of a score vector.
+pub fn score_of(scores: &[f64], ty: TypeId) -> f64 {
+    scores[ty.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures::{self, types};
+
+    #[test]
+    fn coverage_matches_paper_example() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let scores = coverage_scores(&s);
+        let film = s.type_by_name(types::FILM).unwrap();
+        assert_eq!(score_of(&scores, film), 4.0);
+        let actor = s.type_by_name(types::FILM_ACTOR).unwrap();
+        assert_eq!(score_of(&scores, actor), 2.0);
+    }
+
+    #[test]
+    fn transition_matrix_matches_paper_example() {
+        // M(FILM, FILM GENRE) = 5 / (5+6+4+3) ≈ 0.28 and
+        // M(FILM, FILM PRODUCER) = 3 / 18 ≈ 0.17 (Sec. 3.2).
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let config = RandomWalkConfig {
+            jump: 0.0,
+            ..RandomWalkConfig::default()
+        };
+        let m = transition_matrix(&s, &config);
+        let film = s.type_by_name(types::FILM).unwrap().index();
+        let genre = s.type_by_name(types::FILM_GENRE).unwrap().index();
+        let producer = s.type_by_name(types::FILM_PRODUCER).unwrap().index();
+        assert!((m[film][genre] - 5.0 / 18.0).abs() < 1e-12);
+        assert!((m[film][producer] - 3.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_matrix_rows_are_stochastic() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let m = transition_matrix(&s, &RandomWalkConfig::default());
+        for row in &m {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_walk_is_a_probability_distribution() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let pi = random_walk_scores(&s, &RandomWalkConfig::default()).unwrap();
+        assert_eq!(pi.len(), s.type_count());
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn film_is_the_most_central_type_in_figure1() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let pi = random_walk_scores(&s, &RandomWalkConfig::default()).unwrap();
+        let film = s.type_by_name(types::FILM).unwrap();
+        let best = pi
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, film.index());
+    }
+
+    #[test]
+    fn disconnected_schema_still_converges() {
+        use entity_graph::EntityGraphBuilder;
+        // Two disconnected components plus an isolated type.
+        let mut b = EntityGraphBuilder::new();
+        let a = b.entity_type("A");
+        let c = b.entity_type("B");
+        let d = b.entity_type("C");
+        let e = b.entity_type("D");
+        let _isolated = b.entity_type("ISOLATED");
+        let r1 = b.relationship_type("r1", a, c);
+        let r2 = b.relationship_type("r2", d, e);
+        let x1 = b.entity("x1", &[a]);
+        let x2 = b.entity("x2", &[c]);
+        let x3 = b.entity("x3", &[d]);
+        let x4 = b.entity("x4", &[e]);
+        b.edge(x1, r1, x2).unwrap();
+        b.edge(x3, r2, x4).unwrap();
+        let s = b.build().schema_graph();
+        let pi = random_walk_scores(&s, &RandomWalkConfig::default()).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations_reports_non_convergence() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let config = RandomWalkConfig {
+            max_iterations: 0,
+            ..RandomWalkConfig::default()
+        };
+        assert!(random_walk_scores(&s, &config).is_err());
+    }
+
+    #[test]
+    fn empty_schema_gives_empty_scores() {
+        let s = SchemaGraph::new(vec![], vec![], vec![]);
+        assert!(coverage_scores(&s).is_empty());
+        assert!(random_walk_scores(&s, &RandomWalkConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Scoring measures for previews, key attributes and non-key attributes
+//! (Sec. 3 of the paper).
+//!
+//! * [`key`] — coverage-based and random-walk-based key-attribute scores,
+//! * [`nonkey`] — coverage-based and entropy-based non-key attribute scores,
+//! * [`config`] — the [`ScoringConfig`] selection and the pre-computed
+//!   [`ScoredSchema`] consumed by all discovery algorithms.
+
+pub mod config;
+pub mod key;
+pub mod nonkey;
+
+pub use config::{KeyScoring, NonKeyScoring, ScoredSchema, ScoringConfig};
+pub use key::{coverage_scores as key_coverage_scores, random_walk_scores, transition_matrix, RandomWalkConfig};
+pub use nonkey::{coverage_scores as nonkey_coverage_scores, entropy_scores};

@@ -1,0 +1,40 @@
+//! Facade crate for the *preview-tables* workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that a
+//! downstream user can depend on `preview-tables` alone:
+//!
+//! * [`graph`] — the entity-graph substrate (typed directed multigraph,
+//!   schema-graph derivation, triple ingestion, distances, statistics),
+//! * [`core`] — the paper's contribution: preview model, scoring measures and
+//!   the brute-force / dynamic-programming / Apriori discovery algorithms,
+//! * [`baseline`] — the YPS09 relational-database-summarisation baseline
+//!   adapted to entity graphs,
+//! * [`datagen`] — synthetic Freebase-like domain generation, gold standards
+//!   and the simulated crowdsourcing / user study used in the evaluation,
+//! * [`eval`] — ranking metrics, correlation, hypothesis testing and
+//!   descriptive statistics used to regenerate the paper's tables and figures.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baseline;
+pub use datagen;
+pub use entity_graph as graph;
+pub use eval;
+pub use preview_core as core;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use baseline::Yps09Summarizer;
+    pub use datagen::{DomainSpec, FreebaseDomain, SyntheticGenerator};
+    pub use entity_graph::{
+        Direction, EntityGraph, EntityGraphBuilder, EntityId, RelTypeId, SchemaGraph, TypeId,
+    };
+    pub use preview_core::{
+        AprioriDiscovery, BruteForceDiscovery, DistanceConstraint, DynamicProgrammingDiscovery,
+        KeyScoring, NonKeyScoring, Preview, PreviewDiscovery, PreviewSpace, ScoredSchema,
+        ScoringConfig, SizeConstraint,
+    };
+}

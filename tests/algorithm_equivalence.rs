@@ -1,0 +1,122 @@
+//! Property-based cross-crate tests: on randomly generated entity graphs the
+//! dynamic-programming and Apriori algorithms always find previews with the
+//! same score as the brute force, the monotonicity propositions hold, and
+//! constraints are respected.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use preview_tables::core::{
+    AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring,
+    Preview, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig,
+};
+use preview_tables::graph::{EntityGraph, EntityGraphBuilder};
+
+/// Generates a small random entity graph with `types` entity types and roughly
+/// `edges` relationship instances spread over a random schema.
+fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> EntityGraph {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = EntityGraphBuilder::new();
+    let type_ids: Vec<_> = (0..types).map(|i| builder.entity_type(&format!("T{i}"))).collect();
+    let entities: Vec<Vec<_>> = type_ids
+        .iter()
+        .map(|&ty| {
+            let count = rng.gen_range(2..6);
+            (0..count)
+                .map(|j| builder.entity(&format!("{ty}-{j}"), &[ty]))
+                .collect()
+        })
+        .collect();
+    let rels: Vec<_> = (0..rel_types)
+        .map(|i| {
+            let src = rng.gen_range(0..types);
+            let dst = rng.gen_range(0..types);
+            (builder.relationship_type(&format!("r{i}"), type_ids[src], type_ids[dst]), src, dst)
+        })
+        .collect();
+    for _ in 0..edges {
+        let &(rel, src, dst) = &rels[rng.gen_range(0..rels.len())];
+        let s = entities[src][rng.gen_range(0..entities[src].len())];
+        let d = entities[dst][rng.gen_range(0..entities[dst].len())];
+        builder.edge(s, rel, d).expect("endpoints carry the right types");
+    }
+    builder.build()
+}
+
+fn preview_score(scored: &ScoredSchema, preview: &Option<Preview>) -> Option<f64> {
+    preview.as_ref().map(|p| scored.preview_score(p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DP and brute force agree on the optimal concise score (Theorem 3 plus
+    /// the DP's optimal substructure).
+    #[test]
+    fn dp_matches_brute_force(seed in 0u64..500, k in 1usize..4, extra in 0usize..5) {
+        let graph = random_graph(seed, 6, 10, 40);
+        let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+        let space = PreviewSpace::concise(k, k + extra).unwrap();
+        let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap();
+        let dp = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap();
+        prop_assert_eq!(bf.is_some(), dp.is_some());
+        if let (Some(b), Some(d)) = (preview_score(&scored, &bf), preview_score(&scored, &dp)) {
+            prop_assert!((b - d).abs() < 1e-9 * (1.0 + b.abs()), "bf={b} dp={d}");
+        }
+    }
+
+    /// Apriori and brute force agree on tight/diverse optima, and the results
+    /// satisfy the distance constraint.
+    #[test]
+    fn apriori_matches_brute_force(seed in 0u64..300, k in 1usize..4, d in 1u32..4, tight in proptest::bool::ANY) {
+        let graph = random_graph(seed, 6, 9, 35);
+        let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+        let space = if tight {
+            PreviewSpace::tight(k, k + 3, d).unwrap()
+        } else {
+            PreviewSpace::diverse(k, k + 3, d).unwrap()
+        };
+        let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap();
+        let ap = AprioriDiscovery::new().discover(&scored, &space).unwrap();
+        prop_assert_eq!(bf.is_some(), ap.is_some());
+        if let Some(p) = &ap {
+            prop_assert!(space.contains(p, scored.distances()));
+        }
+        if let (Some(b), Some(a)) = (preview_score(&scored, &bf), preview_score(&scored, &ap)) {
+            prop_assert!((b - a).abs() < 1e-9 * (1.0 + b.abs()), "bf={b} apriori={a}");
+        }
+    }
+
+    /// Proposition 1/2: growing the budget never decreases the optimal score.
+    #[test]
+    fn optimal_score_is_monotone_in_the_budget(seed in 0u64..200, k in 1usize..3) {
+        let graph = random_graph(seed, 5, 8, 30);
+        let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+        let mut last = 0.0f64;
+        for extra in 0..5usize {
+            let space = PreviewSpace::concise(k, k + extra).unwrap();
+            if let Some(p) = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap() {
+                let score = scored.preview_score(&p);
+                prop_assert!(score + 1e-9 >= last, "extra={extra}: {score} < {last}");
+                last = score;
+            }
+        }
+    }
+
+    /// Every discovered preview is well-formed: k tables, distinct keys, at
+    /// least one non-key attribute per table, within the attribute budget.
+    #[test]
+    fn previews_are_well_formed(seed in 0u64..300, k in 1usize..5, extra in 0usize..6) {
+        let graph = random_graph(seed, 7, 12, 50);
+        let config = ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy);
+        let scored = ScoredSchema::build(&graph, &config).unwrap();
+        let space = PreviewSpace::concise(k, k + extra).unwrap();
+        if let Some(p) = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap() {
+            prop_assert!(space.contains(&p, scored.distances()));
+            prop_assert_eq!(p.tables().len(), k);
+            prop_assert!(p.non_key_count() <= k + extra);
+        }
+    }
+}

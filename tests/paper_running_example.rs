@@ -1,0 +1,110 @@
+//! End-to-end checks against every worked number in the paper's running
+//! example (Fig. 1 / Fig. 2 / Sec. 3 / Sec. 4).
+
+use preview_tables::core::{
+    AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring,
+    PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig,
+};
+use preview_tables::graph::fixtures::{self, types};
+use preview_tables::graph::Direction;
+
+fn coverage_scored() -> ScoredSchema {
+    let graph = fixtures::figure1_graph();
+    ScoredSchema::build(&graph, &ScoringConfig::coverage()).expect("scoring succeeds")
+}
+
+#[test]
+fn figure1_graph_statistics() {
+    let graph = fixtures::figure1_graph();
+    let stats = graph.stats();
+    assert_eq!(stats.entity_types, 6);
+    assert_eq!(stats.relationship_types, 7);
+    assert_eq!(stats.entities, 14);
+    assert_eq!(stats.edges, 21);
+}
+
+#[test]
+fn section3_worked_scores() {
+    let scored = coverage_scored();
+    let schema = scored.schema();
+    let film = schema.type_by_name(types::FILM).unwrap();
+    // Scov(FILM) = 4.
+    assert_eq!(scored.key_score(film), 4.0);
+    // Scov^FILM(Director) = 4 and Scov^FILM(Genres) = 5.
+    let director = schema.edges().iter().position(|e| e.name == "Director").unwrap();
+    let genres = schema.edges().iter().position(|e| e.name == "Genres").unwrap();
+    assert_eq!(scored.non_key_score(director, Direction::Incoming), 4.0);
+    assert_eq!(scored.non_key_score(genres, Direction::Outgoing), 5.0);
+}
+
+#[test]
+fn section3_entropy_scores() {
+    let graph = fixtures::figure1_graph();
+    let scored = ScoredSchema::build(
+        &graph,
+        &ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy),
+    )
+    .unwrap();
+    let schema = scored.schema();
+    let director = schema.edges().iter().position(|e| e.name == "Director").unwrap();
+    let genres = schema.edges().iter().position(|e| e.name == "Genres").unwrap();
+    // Sent^FILM(Director) ≈ 0.45 and Sent^FILM(Genres) ≈ 0.28 (log base 10).
+    assert!((scored.non_key_score(director, Direction::Incoming) - 0.45).abs() < 0.01);
+    assert!((scored.non_key_score(genres, Direction::Outgoing) - 0.28).abs() < 0.01);
+}
+
+#[test]
+fn section4_concise_running_example() {
+    // Optimal concise preview with k=2, n=6 keys FILM and FILM ACTOR, score 84.
+    let scored = coverage_scored();
+    let space = PreviewSpace::concise(2, 6).unwrap();
+    for algorithm in [
+        &BruteForceDiscovery::new() as &dyn PreviewDiscovery,
+        &DynamicProgrammingDiscovery::new(),
+    ] {
+        let preview = algorithm.discover(&scored, &space).unwrap().unwrap();
+        assert!((scored.preview_score(&preview) - 84.0).abs() < 1e-9, "{}", algorithm.name());
+        let schema = scored.schema();
+        assert!(preview.has_key(schema.type_by_name(types::FILM).unwrap()));
+        assert!(preview.has_key(schema.type_by_name(types::FILM_ACTOR).unwrap()));
+    }
+}
+
+#[test]
+fn section4_diverse_running_example() {
+    // Optimal diverse preview with k=2, n=6, d=2: keys FILM and AWARD.
+    let scored = coverage_scored();
+    let space = PreviewSpace::diverse(2, 6, 2).unwrap();
+    for algorithm in [
+        &BruteForceDiscovery::new() as &dyn PreviewDiscovery,
+        &AprioriDiscovery::new(),
+    ] {
+        let preview = algorithm.discover(&scored, &space).unwrap().unwrap();
+        let schema = scored.schema();
+        assert!(preview.has_key(schema.type_by_name(types::FILM).unwrap()), "{}", algorithm.name());
+        assert!(preview.has_key(schema.type_by_name(types::AWARD).unwrap()), "{}", algorithm.name());
+        // FILM keeps all five of its candidate attributes under this budget.
+        let film_table = preview
+            .tables()
+            .iter()
+            .find(|t| schema.type_name(t.key()) == types::FILM)
+            .unwrap();
+        assert_eq!(film_table.non_keys().len(), 5);
+    }
+}
+
+#[test]
+fn figure2_preview_materialises_expected_tuples() {
+    let graph = fixtures::figure1_graph();
+    let scored = coverage_scored();
+    let space = PreviewSpace::concise(2, 6).unwrap();
+    let preview = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+    let tables = preview.materialize(&graph, scored.schema(), 10);
+    let film_table = tables.iter().find(|t| t.key_type == types::FILM).unwrap();
+    // Four films, one tuple each (Def. 1: one tuple per entity of the key type).
+    assert_eq!(film_table.total_tuples, 4);
+    assert_eq!(film_table.rows.len(), 4);
+    let names: Vec<&str> = film_table.rows.iter().map(|r| r.key.as_str()).collect();
+    assert!(names.contains(&"Men in Black"));
+    assert!(names.contains(&"Hancock"));
+}

@@ -1,0 +1,112 @@
+//! Integration tests spanning datagen → entity-graph → preview-core →
+//! baseline → eval: the full experiment pipeline on small synthetic domains.
+
+use std::collections::HashSet;
+
+use preview_tables::baseline::Yps09Summarizer;
+use preview_tables::core::{
+    DynamicProgrammingDiscovery, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig,
+};
+use preview_tables::datagen::{FreebaseDomain, SyntheticGenerator};
+use preview_tables::eval::{precision_at_k, two_proportion_z_test};
+use preview_tables::graph::triples;
+
+const SCALE: f64 = 2e-4;
+
+#[test]
+fn synthetic_domain_schema_matches_table2_shape() {
+    for domain in FreebaseDomain::ALL {
+        let spec = domain.spec(SCALE);
+        let graph = SyntheticGenerator::new(1).generate(&spec);
+        let schema = graph.schema_graph();
+        let stats = domain.paper_stats();
+        assert_eq!(schema.type_count(), stats.entity_types, "{}", domain.name());
+        assert_eq!(schema.relationship_type_count(), stats.relationship_types, "{}", domain.name());
+    }
+}
+
+#[test]
+fn gold_standard_types_rank_high_under_coverage_scoring() {
+    let spec = FreebaseDomain::Film.spec(SCALE);
+    let graph = SyntheticGenerator::new(1).generate(&spec);
+    let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+    let schema = scored.schema();
+    let gold: HashSet<_> = FreebaseDomain::Film
+        .gold_standard()
+        .unwrap()
+        .key_attributes()
+        .iter()
+        .filter_map(|name| schema.type_by_name(name))
+        .collect();
+    let ranked = scored.ranked_key_attributes();
+    let p10 = precision_at_k(&ranked, &gold, 10);
+    assert!(p10 >= 0.4, "P@10 = {p10}");
+}
+
+#[test]
+fn previews_can_be_discovered_on_every_synthetic_domain() {
+    for domain in FreebaseDomain::ALL {
+        let spec = domain.spec(SCALE);
+        let graph = SyntheticGenerator::new(3).generate(&spec);
+        let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+        let k = 3.min(scored.eligible_types().len());
+        let space = PreviewSpace::concise(k, k + 5).unwrap();
+        let preview = DynamicProgrammingDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{}: no preview found", domain.name()));
+        assert_eq!(preview.tables().len(), k, "{}", domain.name());
+        assert!(space.contains(&preview, scored.distances()), "{}", domain.name());
+    }
+}
+
+#[test]
+fn yps09_baseline_runs_on_synthetic_domains() {
+    let spec = FreebaseDomain::People.spec(SCALE);
+    let graph = SyntheticGenerator::new(5).generate(&spec);
+    let schema = graph.schema_graph();
+    let summary = Yps09Summarizer::new().summarize(&graph, &schema, 6).unwrap();
+    assert_eq!(summary.centers.len(), 6);
+    assert_eq!(summary.ranked.len(), schema.type_count());
+    // The importance distribution is normalised.
+    let total: f64 = summary.importance.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn triple_roundtrip_preserves_discovered_previews() {
+    // Serialise a generated graph to the triple format, parse it back, and
+    // confirm the optimal preview score is unchanged.
+    let spec = FreebaseDomain::Basketball.spec(SCALE);
+    let graph = SyntheticGenerator::new(11).generate(&spec);
+    let text = triples::to_string(&graph);
+    let reparsed = triples::parse_str(&text).unwrap();
+    assert_eq!(graph.entity_count(), reparsed.entity_count());
+    assert_eq!(graph.edge_count(), reparsed.edge_count());
+
+    let space = PreviewSpace::concise(2, 5).unwrap();
+    let score_of = |g: &preview_tables::graph::EntityGraph| -> f64 {
+        let scored = ScoredSchema::build(g, &ScoringConfig::coverage()).unwrap();
+        let preview = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        scored.preview_score(&preview)
+    };
+    assert!((score_of(&graph) - score_of(&reparsed)).abs() < 1e-9);
+}
+
+#[test]
+fn user_study_statistics_pipeline() {
+    use preview_tables::datagen::userstudy::{default_profiles, simulate, Approach, StudyConfig};
+    let outcome = simulate(&default_profiles(), &StudyConfig::default());
+    let get = |ap: Approach| {
+        outcome
+            .by_approach
+            .iter()
+            .find(|a| a.approach == ap)
+            .expect("approach simulated")
+    };
+    // The z-test machinery accepts the simulated counts.
+    let tight = get(Approach::Tight);
+    let graph = get(Approach::Graph);
+    let test = two_proportion_z_test(tight.correct, tight.responses, graph.correct, graph.responses);
+    assert!(test.is_some());
+}
