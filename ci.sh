@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the preview-tables workspace.
+#
+# Runs the formatting and lint gates, then the tier-1 verify
+# (`cargo build --release && cargo test -q`), then checks that the
+# Criterion benches still compile. Fails on the first broken step.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "CI green."

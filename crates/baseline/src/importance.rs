@@ -55,7 +55,11 @@ pub fn table_importance(
 
     // Restart distribution: information content, normalised. Falls back to
     // uniform when every table is empty.
-    let ic: Vec<f64> = view.tables().iter().map(|t| t.information_content()).collect();
+    let ic: Vec<f64> = view
+        .tables()
+        .iter()
+        .map(|t| t.information_content())
+        .collect();
     let ic_total: f64 = ic.iter().sum();
     let restart_dist: Vec<f64> = if ic_total > 0.0 {
         ic.iter().map(|v| v / ic_total).collect()

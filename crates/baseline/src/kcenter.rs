@@ -51,22 +51,24 @@ pub fn weighted_k_center(
 
     // First centre: the heaviest table.
     let first = (0..n)
-        .max_by(|&a, &b| weights[a].partial_cmp(&weights[b]).expect("weights must not be NaN"))
+        .max_by(|&a, &b| {
+            weights[a]
+                .partial_cmp(&weights[b])
+                .expect("weights must not be NaN")
+        })
         .expect("n > 0");
     let mut centers = vec![first];
     // dist_to_nearest[i]: distance from table i to its nearest chosen centre.
     let mut dist_to_nearest: Vec<f64> = (0..n).map(|i| distances[i][first]).collect();
 
     while centers.len() < k {
-        let next = (0..n)
-            .filter(|i| !centers.contains(i))
-            .max_by(|&a, &b| {
-                let wa = weights[a] * dist_to_nearest[a];
-                let wb = weights[b] * dist_to_nearest[b];
-                wa.partial_cmp(&wb)
-                    .expect("weighted distances must not be NaN")
-                    .then_with(|| b.cmp(&a))
-            });
+        let next = (0..n).filter(|i| !centers.contains(i)).max_by(|&a, &b| {
+            let wa = weights[a] * dist_to_nearest[a];
+            let wb = weights[b] * dist_to_nearest[b];
+            wa.partial_cmp(&wb)
+                .expect("weighted distances must not be NaN")
+                .then_with(|| b.cmp(&a))
+        });
         let next = match next {
             Some(i) => i,
             None => break,
@@ -109,7 +111,7 @@ mod tests {
     fn line_distances() -> Vec<Vec<f64>> {
         let pos = [0.0, 1.0, 10.0, 11.0];
         pos.iter()
-            .map(|&a| pos.iter().map(|&b| (a - b) as f64).map(f64::abs).collect())
+            .map(|&a| pos.iter().map(|&b| a - b).map(f64::abs).collect())
             .collect()
     }
 

@@ -49,7 +49,12 @@ impl Yps09Summarizer {
 
     /// Produces the `k`-cluster summary of a graph (the "YPS09" arm of the
     /// user study). Returns `None` for an empty schema or `k == 0`.
-    pub fn summarize(&self, graph: &EntityGraph, schema: &SchemaGraph, k: usize) -> Option<Yps09Summary> {
+    pub fn summarize(
+        &self,
+        graph: &EntityGraph,
+        schema: &SchemaGraph,
+        k: usize,
+    ) -> Option<Yps09Summary> {
         let view = RelationalView::build(graph, schema);
         let importance = table_importance(&view, schema, &self.config);
         if importance.is_empty() {

@@ -30,18 +30,32 @@ fn configure(c: &mut Criterion) -> Criterion {
 fn bench_domains(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8/domains_k5_n10");
     let space = PreviewSpace::concise(5, 10).expect("valid constraint");
-    for domain in [FreebaseDomain::Basketball, FreebaseDomain::Architecture, FreebaseDomain::Music] {
+    for domain in [
+        FreebaseDomain::Basketball,
+        FreebaseDomain::Architecture,
+        FreebaseDomain::Music,
+    ] {
         let ctx = DomainContext::build(domain, SCALE, SEED);
         let scored = ctx.scored(&ScoringConfig::coverage());
         // Brute force only where feasible (C(K,5) small).
         if ctx.schema.type_count() <= 25 {
-            group.bench_with_input(BenchmarkId::new("brute-force", domain.name()), &scored, |b, scored| {
-                b.iter(|| BruteForceDiscovery::new().discover(scored, &space).unwrap())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("brute-force", domain.name()),
+                &scored,
+                |b, scored| b.iter(|| BruteForceDiscovery::new().discover(scored, &space).unwrap()),
+            );
         }
-        group.bench_with_input(BenchmarkId::new("dynamic-programming", domain.name()), &scored, |b, scored| {
-            b.iter(|| DynamicProgrammingDiscovery::new().discover(scored, &space).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic-programming", domain.name()),
+            &scored,
+            |b, scored| {
+                b.iter(|| {
+                    DynamicProgrammingDiscovery::new()
+                        .discover(scored, &space)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -52,9 +66,17 @@ fn bench_music_vary_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8/music_n20_vary_k");
     for k in [3usize, 6, 9] {
         let space = PreviewSpace::concise(k, 20).expect("valid constraint");
-        group.bench_with_input(BenchmarkId::new("dynamic-programming", k), &space, |b, space| {
-            b.iter(|| DynamicProgrammingDiscovery::new().discover(&scored, space).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic-programming", k),
+            &space,
+            |b, space| {
+                b.iter(|| {
+                    DynamicProgrammingDiscovery::new()
+                        .discover(&scored, space)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -65,9 +87,17 @@ fn bench_music_vary_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8/music_k6_vary_n");
     for n in [8usize, 14, 20] {
         let space = PreviewSpace::concise(6, n).expect("valid constraint");
-        group.bench_with_input(BenchmarkId::new("dynamic-programming", n), &space, |b, space| {
-            b.iter(|| DynamicProgrammingDiscovery::new().discover(&scored, space).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic-programming", n),
+            &space,
+            |b, space| {
+                b.iter(|| {
+                    DynamicProgrammingDiscovery::new()
+                        .discover(&scored, space)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

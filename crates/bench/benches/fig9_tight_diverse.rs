@@ -25,22 +25,33 @@ fn configure(c: &mut Criterion) -> Criterion {
 fn bench_domains(c: &mut Criterion) {
     for (flavor, space) in [
         ("tight_d2", PreviewSpace::tight(5, 10, 2).expect("valid")),
-        ("diverse_d4", PreviewSpace::diverse(5, 10, 4).expect("valid")),
+        (
+            "diverse_d4",
+            PreviewSpace::diverse(5, 10, 4).expect("valid"),
+        ),
     ] {
         let mut group = c.benchmark_group(format!("fig9/domains_k5_n10_{flavor}"));
-        for domain in [FreebaseDomain::Basketball, FreebaseDomain::Architecture, FreebaseDomain::Music] {
+        for domain in [
+            FreebaseDomain::Basketball,
+            FreebaseDomain::Architecture,
+            FreebaseDomain::Music,
+        ] {
             let ctx = DomainContext::build(domain, SCALE, SEED);
             let scored = ctx.scored(&ScoringConfig::coverage());
             if ctx.schema.type_count() <= 25 {
                 group.bench_with_input(
                     BenchmarkId::new("brute-force", domain.name()),
                     &scored,
-                    |b, scored| b.iter(|| BruteForceDiscovery::new().discover(scored, &space).unwrap()),
+                    |b, scored| {
+                        b.iter(|| BruteForceDiscovery::new().discover(scored, &space).unwrap())
+                    },
                 );
             }
-            group.bench_with_input(BenchmarkId::new("apriori", domain.name()), &scored, |b, scored| {
-                b.iter(|| AprioriDiscovery::new().discover(scored, &space).unwrap())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("apriori", domain.name()),
+                &scored,
+                |b, scored| b.iter(|| AprioriDiscovery::new().discover(scored, &space).unwrap()),
+            );
         }
         group.finish();
     }
@@ -53,7 +64,10 @@ fn bench_music_vary_k(c: &mut Criterion) {
     for k in [3usize, 4, 5, 6] {
         for (flavor, space) in [
             ("tight_d2", PreviewSpace::tight(k, 20, 2).expect("valid")),
-            ("diverse_d4", PreviewSpace::diverse(k, 20, 4).expect("valid")),
+            (
+                "diverse_d4",
+                PreviewSpace::diverse(k, 20, 4).expect("valid"),
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("apriori_{flavor}"), k),
@@ -77,9 +91,11 @@ fn bench_music_vary_d(c: &mut Criterion) {
     }
     for d in [3u32, 4, 5] {
         let space = PreviewSpace::diverse(5, 16, d).expect("valid");
-        group.bench_with_input(BenchmarkId::new("apriori_diverse", d), &space, |b, space| {
-            b.iter(|| AprioriDiscovery::new().discover(&scored, space).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("apriori_diverse", d),
+            &space,
+            |b, space| b.iter(|| AprioriDiscovery::new().discover(&scored, space).unwrap()),
+        );
     }
     group.finish();
 }

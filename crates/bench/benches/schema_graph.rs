@@ -20,17 +20,23 @@ fn bench_substrate(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
     for domain in [FreebaseDomain::Basketball, FreebaseDomain::Film] {
         let spec = domain.spec(1e-4);
-        group.bench_with_input(BenchmarkId::new("generate_graph", domain.name()), &spec, |b, spec| {
-            b.iter(|| SyntheticGenerator::new(2016).generate(spec))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate_graph", domain.name()),
+            &spec,
+            |b, spec| b.iter(|| SyntheticGenerator::new(2016).generate(spec)),
+        );
         let graph = SyntheticGenerator::new(2016).generate(&spec);
-        group.bench_with_input(BenchmarkId::new("derive_schema", domain.name()), &graph, |b, graph| {
-            b.iter(|| graph.schema_graph())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("derive_schema", domain.name()),
+            &graph,
+            |b, graph| b.iter(|| graph.schema_graph()),
+        );
         let schema = graph.schema_graph();
-        group.bench_with_input(BenchmarkId::new("distance_matrix", domain.name()), &schema, |b, schema| {
-            b.iter(|| schema.distance_matrix())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("distance_matrix", domain.name()),
+            &schema,
+            |b, schema| b.iter(|| schema.distance_matrix()),
+        );
     }
     group.finish();
 }

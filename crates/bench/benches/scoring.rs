@@ -25,10 +25,22 @@ fn bench_scoring(c: &mut Criterion) {
     let ctx = DomainContext::build(FreebaseDomain::Film, 2e-4, 2016);
     let mut group = c.benchmark_group("scoring/build_scored_schema");
     let configs = [
-        ("coverage_coverage", ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Coverage)),
-        ("randomwalk_coverage", ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage)),
-        ("coverage_entropy", ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy)),
-        ("randomwalk_entropy", ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy)),
+        (
+            "coverage_coverage",
+            ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Coverage),
+        ),
+        (
+            "randomwalk_coverage",
+            ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage),
+        ),
+        (
+            "coverage_entropy",
+            ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy),
+        ),
+        (
+            "randomwalk_entropy",
+            ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy),
+        ),
     ];
     for (name, config) in configs {
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {

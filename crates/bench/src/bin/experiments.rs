@@ -35,11 +35,19 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--scale" => {
                 let value = args.next().ok_or("--scale requires a value")?;
-                scale = value.parse().map_err(|_| format!("invalid scale {value:?}"))?;
+                scale = value
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| *s > 0.0 && s.is_finite())
+                    .ok_or(format!(
+                        "invalid scale {value:?} (must be a positive number)"
+                    ))?;
             }
             "--seed" => {
                 let value = args.next().ok_or("--seed requires a value")?;
-                seed = value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed {value:?}"))?;
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             other => ids.push(other.to_string()),
@@ -61,13 +69,20 @@ struct Harness {
 
 impl Harness {
     fn new(scale: f64, seed: u64) -> Self {
-        Self { scale, seed, gold_contexts: None, studies: None }
+        Self {
+            scale,
+            seed,
+            gold_contexts: None,
+            studies: None,
+        }
     }
 
     fn gold_contexts(&mut self) -> &Vec<DomainContext> {
         let (scale, seed) = (self.scale, self.seed);
         self.gold_contexts.get_or_insert_with(|| {
-            eprintln!("[experiments] generating the five gold-standard domains (scale={scale}) ...");
+            eprintln!(
+                "[experiments] generating the five gold-standard domains (scale={scale}) ..."
+            );
             FreebaseDomain::GOLD
                 .iter()
                 .map(|&d| DomainContext::build(d, scale, seed))

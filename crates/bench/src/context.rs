@@ -34,7 +34,12 @@ impl DomainContext {
         let spec = domain.spec(scale);
         let graph = SyntheticGenerator::new(seed).generate(&spec);
         let schema = graph.schema_graph();
-        Self { domain, spec, graph, schema }
+        Self {
+            domain,
+            spec,
+            graph,
+            schema,
+        }
     }
 
     /// Generates the context with the harness defaults.
@@ -107,7 +112,10 @@ impl DomainContext {
 
     /// Names of a ranked list of types (convenience for reports).
     pub fn type_names(&self, ranked: &[TypeId]) -> Vec<String> {
-        ranked.iter().map(|&t| self.schema.type_name(t).to_string()).collect()
+        ranked
+            .iter()
+            .map(|&t| self.schema.type_name(t).to_string())
+            .collect()
     }
 }
 

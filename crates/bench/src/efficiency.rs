@@ -96,14 +96,21 @@ pub struct Timing {
 
 impl Timing {
     fn measured(millis: f64) -> Self {
-        Self { millis, estimated: false }
+        Self {
+            millis,
+            estimated: false,
+        }
     }
 
     /// Formats the timing the way the figures report it (floor of 1 ms, `~`
     /// prefix for extrapolated values).
     pub fn display(&self) -> String {
         let value = if self.millis < 1.0 { 1.0 } else { self.millis };
-        let text = if value < 100.0 { format!("{value:.1}") } else { format!("{value:.0}") };
+        let text = if value < 100.0 {
+            format!("{value:.1}")
+        } else {
+            format!("{value:.0}")
+        };
         if self.estimated {
             format!("~{text}")
         } else {
@@ -129,11 +136,7 @@ pub fn time_algorithm(
 /// Times the brute force, extrapolating when the subset count exceeds the
 /// limit: the brute force is run at the largest `k' ≤ k` whose subset count is
 /// within the limit and scaled by the ratio of subset counts.
-pub fn time_brute_force(
-    scored: &ScoredSchema,
-    space: &PreviewSpace,
-    limit: u128,
-) -> Timing {
+pub fn time_brute_force(scored: &ScoredSchema, space: &PreviewSpace, limit: u128) -> Timing {
     let eligible = scored.eligible_types().len();
     let size = space.size();
     let full = brute_force_subset_count(eligible, size.tables);
@@ -147,14 +150,21 @@ pub fn time_brute_force(
     }
     let reduced_space = match space {
         PreviewSpace::Concise(_) => PreviewSpace::concise(reduced_k, size.non_keys.max(reduced_k)),
-        PreviewSpace::Tight(_, d) => PreviewSpace::tight(reduced_k, size.non_keys.max(reduced_k), *d),
-        PreviewSpace::Diverse(_, d) => PreviewSpace::diverse(reduced_k, size.non_keys.max(reduced_k), *d),
+        PreviewSpace::Tight(_, d) => {
+            PreviewSpace::tight(reduced_k, size.non_keys.max(reduced_k), *d)
+        }
+        PreviewSpace::Diverse(_, d) => {
+            PreviewSpace::diverse(reduced_k, size.non_keys.max(reduced_k), *d)
+        }
     }
     .expect("reduced constraint is valid");
     let base = time_algorithm(&BruteForceDiscovery::new(), scored, &reduced_space);
     let reduced_count = brute_force_subset_count(eligible, reduced_k).max(1);
     let factor = full as f64 / reduced_count as f64;
-    Timing { millis: base.millis * factor, estimated: true }
+    Timing {
+        millis: base.millis * factor,
+        estimated: true,
+    }
 }
 
 /// Regenerates Fig. 8: execution time of optimal concise preview discovery.
@@ -167,8 +177,18 @@ pub fn fig8_concise(config: &EfficiencyConfig) -> String {
     ));
 
     // Panel 1: vary the domain, k=5, n=10.
-    let mut panel1 = TextTable::new(vec!["Domain", "K", "N", "Brute-Force", "Dynamic-Programming"]);
-    let domains = [FreebaseDomain::Basketball, FreebaseDomain::Architecture, FreebaseDomain::Music];
+    let mut panel1 = TextTable::new(vec![
+        "Domain",
+        "K",
+        "N",
+        "Brute-Force",
+        "Dynamic-Programming",
+    ]);
+    let domains = [
+        FreebaseDomain::Basketball,
+        FreebaseDomain::Architecture,
+        FreebaseDomain::Music,
+    ];
     let mut music_scored = None;
     for domain in domains {
         let ctx = DomainContext::build(domain, config.scale, config.seed);
@@ -206,12 +226,16 @@ pub fn fig8_concise(config: &EfficiencyConfig) -> String {
     // Panel 3: music, vary n, k fixed (6 in the paper).
     let mut panel3 = TextTable::new(vec!["n", "Brute-Force", "Dynamic-Programming"]);
     for &n in &config.n_values {
-        let space = PreviewSpace::concise(config.fixed_k, n.max(config.fixed_k)).expect("valid constraint");
+        let space =
+            PreviewSpace::concise(config.fixed_k, n.max(config.fixed_k)).expect("valid constraint");
         let bf = time_brute_force(&music, &space, config.bf_subset_limit);
         let dp = time_algorithm(&DynamicProgrammingDiscovery::new(), &music, &space);
         panel3.row(vec![n.to_string(), bf.display(), dp.display()]);
     }
-    out.push_str(&format!("\nPanel (c): music, k={}, vary n\n", config.fixed_k));
+    out.push_str(&format!(
+        "\nPanel (c): music, k={}, vary n\n",
+        config.fixed_k
+    ));
     out.push_str(&panel3.render());
     out
 }
@@ -236,13 +260,22 @@ pub fn fig9_tight_diverse(config: &EfficiencyConfig) -> String {
 
     for (label, tight, d_fixed, d_sweep) in [
         ("tight", true, config.tight_d, config.tight_d_sweep.clone()),
-        ("diverse", false, config.diverse_d, config.diverse_d_sweep.clone()),
+        (
+            "diverse",
+            false,
+            config.diverse_d,
+            config.diverse_d_sweep.clone(),
+        ),
     ] {
         out.push_str(&format!("\n--- {label} previews (d={d_fixed}) ---\n"));
 
         // Panel (a): domains, k=5, n=10.
         let mut panel1 = TextTable::new(vec!["Domain", "Brute-Force", "Apriori"]);
-        let domains = [FreebaseDomain::Basketball, FreebaseDomain::Architecture, FreebaseDomain::Music];
+        let domains = [
+            FreebaseDomain::Basketball,
+            FreebaseDomain::Architecture,
+            FreebaseDomain::Music,
+        ];
         let mut music_scored = None;
         for domain in domains {
             let ctx = DomainContext::build(domain, config.scale, config.seed);
@@ -289,7 +322,10 @@ pub fn fig9_tight_diverse(config: &EfficiencyConfig) -> String {
             let ap = time_algorithm(&AprioriDiscovery::new(), &music, &space);
             panel4.row(vec![d.to_string(), bf.display(), ap.display()]);
         }
-        out.push_str(&format!("Panel (d): music, k={}, n=16, vary d\n", config.fixed_k));
+        out.push_str(&format!(
+            "Panel (d): music, k={}, n=16, vary d\n",
+            config.fixed_k
+        ));
         out.push_str(&panel4.render());
     }
     out
@@ -301,9 +337,30 @@ mod tests {
 
     #[test]
     fn timing_display_formats() {
-        assert_eq!(Timing { millis: 0.2, estimated: false }.display(), "1.0");
-        assert_eq!(Timing { millis: 12.34, estimated: false }.display(), "12.3");
-        assert_eq!(Timing { millis: 1234.0, estimated: true }.display(), "~1234");
+        assert_eq!(
+            Timing {
+                millis: 0.2,
+                estimated: false
+            }
+            .display(),
+            "1.0"
+        );
+        assert_eq!(
+            Timing {
+                millis: 12.34,
+                estimated: false
+            }
+            .display(),
+            "12.3"
+        );
+        assert_eq!(
+            Timing {
+                millis: 1234.0,
+                estimated: true
+            }
+            .display(),
+            "~1234"
+        );
     }
 
     #[test]
@@ -328,7 +385,12 @@ mod tests {
         let bf = time_brute_force(&scored, &space, 200_000);
         let dp = time_algorithm(&DynamicProgrammingDiscovery::new(), &scored, &space);
         assert!(!bf.estimated);
-        assert!(dp.millis < bf.millis, "dp {} vs bf {}", dp.millis, bf.millis);
+        assert!(
+            dp.millis < bf.millis,
+            "dp {} vs bf {}",
+            dp.millis,
+            bf.millis
+        );
     }
 
     #[test]

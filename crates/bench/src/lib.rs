@@ -23,38 +23,89 @@ pub mod util;
 /// one-line description each.
 pub fn experiment_catalog() -> Vec<(&'static str, &'static str)> {
     vec![
-        ("table2", "Sizes of entity/schema graphs for the seven domains"),
-        ("table3", "MRR of non-key attribute scoring (coverage, entropy)"),
-        ("table4", "PCC of key/non-key scoring vs. simulated crowd ranking"),
+        (
+            "table2",
+            "Sizes of entity/schema graphs for the seven domains",
+        ),
+        (
+            "table3",
+            "MRR of non-key attribute scoring (coverage, entropy)",
+        ),
+        (
+            "table4",
+            "PCC of key/non-key scoring vs. simulated crowd ranking",
+        ),
         ("fig5", "Precision-at-K of key attribute scoring"),
         ("fig6", "Average precision of key attribute scoring"),
         ("fig7", "nDCG of key attribute scoring"),
-        ("fig8", "Execution time of optimal concise preview discovery (BF vs DP)"),
-        ("fig9", "Execution time of optimal tight/diverse preview discovery (BF vs Apriori)"),
+        (
+            "fig8",
+            "Execution time of optimal concise preview discovery (BF vs DP)",
+        ),
+        (
+            "fig9",
+            "Execution time of optimal tight/diverse preview discovery (BF vs Apriori)",
+        ),
         ("table5", "User-study sample sizes and conversion rates"),
         ("table6", "Approaches sorted by median existence-test time"),
-        ("table7", "Pairwise z-tests of conversion rates, domain=music"),
+        (
+            "table7",
+            "Pairwise z-tests of conversion rates, domain=music",
+        ),
         ("table8", "User experience questionnaire"),
-        ("table9", "Approaches sorted by average user-experience score"),
-        ("fig10", "Time per existence-test task, domain=music (box plot)"),
-        ("fig11", "Time per existence-test task, domain=books (box plot)"),
-        ("fig12", "Time per existence-test task, domain=film (box plot)"),
-        ("fig13", "Time per existence-test task, domain=TV (box plot)"),
-        ("fig14", "Time per existence-test task, domain=people (box plot)"),
+        (
+            "table9",
+            "Approaches sorted by average user-experience score",
+        ),
+        (
+            "fig10",
+            "Time per existence-test task, domain=music (box plot)",
+        ),
+        (
+            "fig11",
+            "Time per existence-test task, domain=books (box plot)",
+        ),
+        (
+            "fig12",
+            "Time per existence-test task, domain=film (box plot)",
+        ),
+        (
+            "fig13",
+            "Time per existence-test task, domain=TV (box plot)",
+        ),
+        (
+            "fig14",
+            "Time per existence-test task, domain=people (box plot)",
+        ),
         ("table10", "Freebase gold standard preview schemas"),
         ("table11", "Sample optimal concise previews"),
         ("table12", "Sample optimal tight/diverse previews (film)"),
-        ("table13", "Pairwise z-tests of conversion rates, domain=books"),
-        ("table14", "Pairwise z-tests of conversion rates, domain=film"),
+        (
+            "table13",
+            "Pairwise z-tests of conversion rates, domain=books",
+        ),
+        (
+            "table14",
+            "Pairwise z-tests of conversion rates, domain=film",
+        ),
         ("table15", "Pairwise z-tests of conversion rates, domain=TV"),
-        ("table16", "Pairwise z-tests of conversion rates, domain=people"),
+        (
+            "table16",
+            "Pairwise z-tests of conversion rates, domain=people",
+        ),
         ("table17", "User experience scores, domain=books"),
         ("table18", "User experience scores, domain=film"),
         ("table19", "User experience scores, domain=music"),
         ("table20", "User experience scores, domain=TV"),
         ("table21", "User experience scores, domain=people"),
-        ("table22", "P@K of Freebase key attributes against the Experts ground truth"),
-        ("table23", "P@K of Experts key attributes against the Freebase ground truth"),
+        (
+            "table22",
+            "P@K of Freebase key attributes against the Experts ground truth",
+        ),
+        (
+            "table23",
+            "P@K of Experts key attributes against the Freebase ground truth",
+        ),
     ]
 }
 

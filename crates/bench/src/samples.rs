@@ -66,12 +66,26 @@ pub fn table10() -> String {
 pub fn table11(contexts: &[DomainContext]) -> String {
     let mut out = String::from("Table 11: Sample optimal concise previews (k=5, n=10)\n");
     let cases: [(FreebaseDomain, KeyScoring, NonKeyScoring); 3] = [
-        (FreebaseDomain::Film, KeyScoring::Coverage, NonKeyScoring::Coverage),
-        (FreebaseDomain::Music, KeyScoring::RandomWalk, NonKeyScoring::Coverage),
-        (FreebaseDomain::Tv, KeyScoring::RandomWalk, NonKeyScoring::Entropy),
+        (
+            FreebaseDomain::Film,
+            KeyScoring::Coverage,
+            NonKeyScoring::Coverage,
+        ),
+        (
+            FreebaseDomain::Music,
+            KeyScoring::RandomWalk,
+            NonKeyScoring::Coverage,
+        ),
+        (
+            FreebaseDomain::Tv,
+            KeyScoring::RandomWalk,
+            NonKeyScoring::Entropy,
+        ),
     ];
     for (domain, key, non_key) in cases {
-        let Some(ctx) = contexts.iter().find(|c| c.domain == domain) else { continue };
+        let Some(ctx) = contexts.iter().find(|c| c.domain == domain) else {
+            continue;
+        };
         out.push_str(&format!(
             "\nDomain \"{}\", KS={}, NKS={}, k=5, n=10:\n",
             domain.name(),
@@ -84,7 +98,10 @@ pub fn table11(contexts: &[DomainContext]) -> String {
             Ok(Some(preview)) => {
                 out.push_str(&preview.describe(&ctx.schema));
                 out.push('\n');
-                out.push_str(&format!("(preview score: {})\n", fmt3(scored.preview_score(&preview))));
+                out.push_str(&format!(
+                    "(preview score: {})\n",
+                    fmt3(scored.preview_score(&preview))
+                ));
             }
             _ => out.push_str("(no preview found)\n"),
         }
@@ -95,14 +112,18 @@ pub fn table11(contexts: &[DomainContext]) -> String {
 /// Table 12: sample optimal tight (d=2) and diverse (d=4) previews for the
 /// "film" domain (coverage/coverage, k=5, n=10).
 pub fn table12(contexts: &[DomainContext]) -> String {
-    let mut out = String::from("Table 12: Sample optimal tight and diverse previews (film, k=5, n=10)\n");
+    let mut out =
+        String::from("Table 12: Sample optimal tight and diverse previews (film, k=5, n=10)\n");
     let Some(ctx) = contexts.iter().find(|c| c.domain == FreebaseDomain::Film) else {
         return out + "(film context unavailable)\n";
     };
     let scored = ctx.scored(&ScoringConfig::coverage());
     for (label, space) in [
         ("tight, d=2", PreviewSpace::tight(5, 10, 2).expect("valid")),
-        ("diverse, d=4", PreviewSpace::diverse(5, 10, 4).expect("valid")),
+        (
+            "diverse, d=4",
+            PreviewSpace::diverse(5, 10, 4).expect("valid"),
+        ),
     ] {
         out.push_str(&format!("\n{label}:\n"));
         match AprioriDiscovery::new().discover(&scored, &space) {
@@ -130,8 +151,14 @@ pub fn table12(contexts: &[DomainContext]) -> String {
 pub fn tables22_23() -> String {
     let mut out = String::new();
     for (title, experts_as_truth) in [
-        ("Table 22: P@K of Freebase key attributes, using Experts as ground truth", true),
-        ("Table 23: P@K of Experts key attributes, using Freebase as ground truth", false),
+        (
+            "Table 22: P@K of Freebase key attributes, using Experts as ground truth",
+            true,
+        ),
+        (
+            "Table 23: P@K of Experts key attributes, using Freebase as ground truth",
+            false,
+        ),
     ] {
         out.push_str(title);
         out.push('\n');

@@ -47,10 +47,16 @@ impl KeyRankingMethod {
 pub fn key_ranking(ctx: &DomainContext, method: KeyRankingMethod) -> Vec<TypeId> {
     match method {
         KeyRankingMethod::Coverage => ctx
-            .scored(&ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Coverage))
+            .scored(&ScoringConfig::new(
+                KeyScoring::Coverage,
+                NonKeyScoring::Coverage,
+            ))
             .ranked_key_attributes(),
         KeyRankingMethod::RandomWalk => ctx
-            .scored(&ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage))
+            .scored(&ScoringConfig::new(
+                KeyScoring::RandomWalk,
+                NonKeyScoring::Coverage,
+            ))
             .ranked_key_attributes(),
         KeyRankingMethod::Yps09 => ctx.yps09_ranking(),
     }
@@ -98,7 +104,14 @@ pub fn key_accuracy_figure(contexts: &[DomainContext], metric: KeyMetric) -> Str
     let mut out = String::new();
     out.push_str(metric.figure_name());
     out.push('\n');
-    let mut table = TextTable::new(vec!["Domain", "K", "Coverage", "Random Walk", "YPS09", "Optimal"]);
+    let mut table = TextTable::new(vec![
+        "Domain",
+        "K",
+        "Coverage",
+        "Random Walk",
+        "YPS09",
+        "Optimal",
+    ]);
     for ctx in contexts {
         let gold: HashSet<TypeId> = ctx.gold_key_types().into_iter().collect();
         if gold.is_empty() {
@@ -128,13 +141,17 @@ pub fn table3_mrr(contexts: &[DomainContext]) -> String {
     out.push_str("Table 3: MRR of non-key attribute scoring\n");
     let mut table = TextTable::new(vec!["Domain", "Coverage", "Entropy"]);
     for ctx in contexts {
-        let Some(gold) = ctx.domain.gold_standard() else { continue };
+        let Some(gold) = ctx.domain.gold_standard() else {
+            continue;
+        };
         let mut row = vec![ctx.domain.name().to_string()];
         for non_key in [NonKeyScoring::Coverage, NonKeyScoring::Entropy] {
             let scored = ctx.scored(&ScoringConfig::new(KeyScoring::Coverage, non_key));
             let mut reciprocal_ranks = Vec::new();
             for table_spec in gold.tables {
-                let Some(key_ty) = ctx.schema.type_by_name(table_spec.key) else { continue };
+                let Some(key_ty) = ctx.schema.type_by_name(table_spec.key) else {
+                    continue;
+                };
                 let candidates = scored.candidates(key_ty);
                 // The paper only evaluates entity types with at least five
                 // candidate non-key attributes.
@@ -180,10 +197,14 @@ pub fn table4_pcc(contexts: &[DomainContext]) -> String {
         if ctx.domain.gold_standard().is_none() {
             continue;
         }
-        let crowd_config = CrowdConfig { seed: 2016 + ctx.domain as u64, ..CrowdConfig::default() };
+        let crowd_config = CrowdConfig {
+            seed: 2016 + ctx.domain as u64,
+            ..CrowdConfig::default()
+        };
 
         // Key attributes: 50 simulated pairs of entity types.
-        let key_judgments = simulate_pairwise_judgments(&ctx.latent_key_importance(), &crowd_config);
+        let key_judgments =
+            simulate_pairwise_judgments(&ctx.latent_key_importance(), &crowd_config);
         let key_pcc = |ranking: &[TypeId]| -> f64 {
             let order: Vec<usize> = ranking.iter().map(|t| t.index()).collect();
             let (x, y) = correlation_samples(&key_judgments, &order);
@@ -204,7 +225,9 @@ pub fn table4_pcc(contexts: &[DomainContext]) -> String {
                 let sb = scored
                     .non_key_score(b, entity_graph::Direction::Outgoing)
                     .max(scored.non_key_score(b, entity_graph::Direction::Incoming));
-                sb.partial_cmp(&sa).expect("scores are finite").then_with(|| a.cmp(&b))
+                sb.partial_cmp(&sa)
+                    .expect("scores are finite")
+                    .then_with(|| a.cmp(&b))
             });
             let (x, y) = correlation_samples(&nonkey_judgments, &edges);
             eval::pearson(&x, &y).unwrap_or(0.0)

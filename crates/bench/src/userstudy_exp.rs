@@ -151,7 +151,11 @@ pub fn derive_profiles(ctx: &DomainContext) -> Vec<SummaryProfile> {
     let expert_cov = expert_preview(ctx.domain)
         .map(|e| {
             let gold_keys = gold.key_attributes();
-            let shared = e.keys.iter().filter(|k| gold_keys.contains(&k.as_str())).count();
+            let shared = e
+                .keys
+                .iter()
+                .filter(|k| gold_keys.contains(&k.as_str()))
+                .count();
             // Shared keys and their attributes are covered; the rest are not.
             shared as f64 / gold_keys.len() as f64
         })
@@ -195,7 +199,11 @@ pub fn derive_profiles(ctx: &DomainContext) -> Vec<SummaryProfile> {
     };
 
     // Raw schema graph: complete but maximally complex.
-    let graph = SummaryProfile { approach: Approach::Graph, coverage: 1.0, complexity: 1.0 };
+    let graph = SummaryProfile {
+        approach: Approach::Graph,
+        coverage: 1.0,
+        complexity: 1.0,
+    };
 
     vec![concise, tight, diverse, freebase, experts, yps09, graph]
 }
@@ -203,9 +211,16 @@ pub fn derive_profiles(ctx: &DomainContext) -> Vec<SummaryProfile> {
 /// Runs the simulated user study for one domain.
 pub fn run_domain_study(ctx: &DomainContext) -> DomainStudy {
     let profiles = derive_profiles(ctx);
-    let config = StudyConfig { seed: 84 + ctx.domain as u64, ..StudyConfig::default() };
+    let config = StudyConfig {
+        seed: 84 + ctx.domain as u64,
+        ..StudyConfig::default()
+    };
     let outcome = simulate(&profiles, &config);
-    DomainStudy { domain: ctx.domain, profiles, outcome }
+    DomainStudy {
+        domain: ctx.domain,
+        profiles,
+        outcome,
+    }
 }
 
 /// Runs the study for all five gold-standard domains.
@@ -237,7 +252,8 @@ pub fn table5(studies: &[DomainStudy]) -> String {
 
 /// Table 6: approaches sorted by median existence-test time per domain.
 pub fn table6(studies: &[DomainStudy]) -> String {
-    let mut out = String::from("Table 6: Approaches in ascending order of median existence-test time\n");
+    let mut out =
+        String::from("Table 6: Approaches in ascending order of median existence-test time\n");
     let mut table = TextTable::new(vec!["Domain", "1", "2", "3", "4", "5", "6", "7"]);
     for study in studies {
         let mut order: Vec<(Approach, f64)> = Approach::ALL
@@ -280,7 +296,12 @@ pub fn pairwise_z_table(studies: &[DomainStudy], domain: FreebaseDomain) -> Stri
             match two_proportion_z_test(a.correct, a.responses, b.correct, b.responses) {
                 Some(result) => {
                     let marker = if result.significant(0.1) { "*" } else { "" };
-                    row.push(format!("z={}{} p={}", fmt2(result.z), marker, fmt3(result.p_value)));
+                    row.push(format!(
+                        "z={}{} p={}",
+                        fmt2(result.z),
+                        marker,
+                        fmt3(result.p_value)
+                    ));
                 }
                 None => row.push("n/a".to_string()),
             }
@@ -354,7 +375,10 @@ pub fn time_boxplot(studies: &[DomainStudy], domain: FreebaseDomain) -> String {
     let Some(study) = studies.iter().find(|s| s.domain == domain) else {
         return format!("no study available for domain {}", domain.name());
     };
-    let mut out = format!("Time per existence-test task (seconds), domain={}\n", domain.name());
+    let mut out = format!(
+        "Time per existence-test task (seconds), domain={}\n",
+        domain.name()
+    );
     let mut table = TextTable::new(vec!["Approach", "min", "q1", "median", "q3", "max"]);
     for approach in Approach::ALL {
         let times = &study.approach(approach).times;
@@ -395,8 +419,14 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.complexity), "{:?}", p);
         }
         // The raw schema graph is the most complex presentation.
-        let graph = profiles.iter().find(|p| p.approach == Approach::Graph).unwrap();
-        let concise = profiles.iter().find(|p| p.approach == Approach::Concise).unwrap();
+        let graph = profiles
+            .iter()
+            .find(|p| p.approach == Approach::Graph)
+            .unwrap();
+        let concise = profiles
+            .iter()
+            .find(|p| p.approach == Approach::Concise)
+            .unwrap();
         assert!(graph.complexity > concise.complexity);
     }
 
@@ -404,7 +434,10 @@ mod tests {
     fn previews_cover_a_reasonable_share_of_gold_elements() {
         let ctx = DomainContext::build(FreebaseDomain::Film, 2e-4, 7);
         let profiles = derive_profiles(&ctx);
-        let concise = profiles.iter().find(|p| p.approach == Approach::Concise).unwrap();
+        let concise = profiles
+            .iter()
+            .find(|p| p.approach == Approach::Concise)
+            .unwrap();
         assert!(concise.coverage > 0.2, "coverage {}", concise.coverage);
     }
 
@@ -428,7 +461,11 @@ mod tests {
         for study in &studies {
             let tight = median(&study.approach(Approach::Tight).times).unwrap();
             let graph = median(&study.approach(Approach::Graph).times).unwrap();
-            assert!(tight < graph, "{}: tight {tight} graph {graph}", study.domain.name());
+            assert!(
+                tight < graph,
+                "{}: tight {tight} graph {graph}",
+                study.domain.name()
+            );
         }
     }
 }

@@ -55,7 +55,9 @@ impl TextTable {
         let mut out = String::new();
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -136,6 +138,6 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt3(0.12345), "0.123");
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(5.67891), "5.68");
     }
 }

@@ -73,7 +73,10 @@ impl PairJudgment {
 /// `latent_importance[i]` is the ground-truth importance of item `i` (any
 /// positive scale); `config.pairs` random pairs of *distinct* items are drawn
 /// and judged. Returns an empty vector if fewer than two items exist.
-pub fn simulate_pairwise_judgments(latent_importance: &[f64], config: &CrowdConfig) -> Vec<PairJudgment> {
+pub fn simulate_pairwise_judgments(
+    latent_importance: &[f64],
+    config: &CrowdConfig,
+) -> Vec<PairJudgment> {
     let n = latent_importance.len();
     if n < 2 || config.pairs == 0 || config.workers_per_pair == 0 {
         return Vec::new();
@@ -84,7 +87,10 @@ pub fn simulate_pairwise_judgments(latent_importance: &[f64], config: &CrowdConf
     let max = latent_importance.iter().cloned().fold(f64::MIN, f64::max);
     let min = latent_importance.iter().cloned().fold(f64::MAX, f64::min);
     let range = (max - min).max(f64::EPSILON);
-    let norm: Vec<f64> = latent_importance.iter().map(|v| (v - min) / range).collect();
+    let norm: Vec<f64> = latent_importance
+        .iter()
+        .map(|v| (v - min) / range)
+        .collect();
 
     let mut judgments = Vec::with_capacity(config.pairs);
     for _ in 0..config.pairs {
@@ -110,7 +116,12 @@ pub fn simulate_pairwise_judgments(latent_importance: &[f64], config: &CrowdConf
                 votes_second += 1;
             }
         }
-        judgments.push(PairJudgment { first, second, votes_first, votes_second });
+        judgments.push(PairJudgment {
+            first,
+            second,
+            votes_first,
+            votes_second,
+        });
     }
     judgments
 }
@@ -167,7 +178,10 @@ mod tests {
     #[test]
     fn workers_prefer_more_important_items() {
         let imp = importances();
-        let config = CrowdConfig { pairs: 200, ..CrowdConfig::default() };
+        let config = CrowdConfig {
+            pairs: 200,
+            ..CrowdConfig::default()
+        };
         let judgments = simulate_pairwise_judgments(&imp, &config);
         let mut agree = 0usize;
         let mut total = 0usize;
@@ -183,7 +197,10 @@ mod tests {
         }
         // Workers agree with the latent ordering more often than not, but far
         // from perfectly — the realistic noise level the PCC analysis needs.
-        assert!(agree as f64 / total as f64 > 0.6, "agreement {agree}/{total}");
+        assert!(
+            agree as f64 / total as f64 > 0.6,
+            "agreement {agree}/{total}"
+        );
     }
 
     #[test]
@@ -204,7 +221,10 @@ mod tests {
     fn degenerate_inputs_give_empty_output() {
         assert!(simulate_pairwise_judgments(&[], &CrowdConfig::default()).is_empty());
         assert!(simulate_pairwise_judgments(&[1.0], &CrowdConfig::default()).is_empty());
-        let zero_pairs = CrowdConfig { pairs: 0, ..CrowdConfig::default() };
+        let zero_pairs = CrowdConfig {
+            pairs: 0,
+            ..CrowdConfig::default()
+        };
         assert!(simulate_pairwise_judgments(&[1.0, 2.0], &zero_pairs).is_empty());
     }
 }

@@ -97,19 +97,57 @@ impl FreebaseDomain {
 
     /// Looks a domain up by its paper name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL.iter().copied().find(|d| d.name().eq_ignore_ascii_case(name))
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
     }
 
     /// Table 2 sizes for this domain.
     pub fn paper_stats(self) -> PaperStats {
         match self {
-            FreebaseDomain::Books => PaperStats { entities: 6_000_000, edges: 15_000_000, entity_types: 91, relationship_types: 201 },
-            FreebaseDomain::Film => PaperStats { entities: 2_000_000, edges: 18_000_000, entity_types: 63, relationship_types: 136 },
-            FreebaseDomain::Music => PaperStats { entities: 27_000_000, edges: 187_000_000, entity_types: 69, relationship_types: 176 },
-            FreebaseDomain::Tv => PaperStats { entities: 2_000_000, edges: 17_000_000, entity_types: 59, relationship_types: 177 },
-            FreebaseDomain::People => PaperStats { entities: 3_000_000, edges: 17_000_000, entity_types: 45, relationship_types: 78 },
-            FreebaseDomain::Basketball => PaperStats { entities: 19_000, edges: 557_000, entity_types: 6, relationship_types: 21 },
-            FreebaseDomain::Architecture => PaperStats { entities: 133_000, edges: 432_000, entity_types: 23, relationship_types: 48 },
+            FreebaseDomain::Books => PaperStats {
+                entities: 6_000_000,
+                edges: 15_000_000,
+                entity_types: 91,
+                relationship_types: 201,
+            },
+            FreebaseDomain::Film => PaperStats {
+                entities: 2_000_000,
+                edges: 18_000_000,
+                entity_types: 63,
+                relationship_types: 136,
+            },
+            FreebaseDomain::Music => PaperStats {
+                entities: 27_000_000,
+                edges: 187_000_000,
+                entity_types: 69,
+                relationship_types: 176,
+            },
+            FreebaseDomain::Tv => PaperStats {
+                entities: 2_000_000,
+                edges: 17_000_000,
+                entity_types: 59,
+                relationship_types: 177,
+            },
+            FreebaseDomain::People => PaperStats {
+                entities: 3_000_000,
+                edges: 17_000_000,
+                entity_types: 45,
+                relationship_types: 78,
+            },
+            FreebaseDomain::Basketball => PaperStats {
+                entities: 19_000,
+                edges: 557_000,
+                entity_types: 6,
+                relationship_types: 21,
+            },
+            FreebaseDomain::Architecture => PaperStats {
+                entities: 133_000,
+                edges: 432_000,
+                entity_types: 23,
+                relationship_types: 48,
+            },
         }
     }
 
@@ -132,8 +170,18 @@ impl FreebaseDomain {
     /// `RELEASE TRACK` outrank several entrance-page types).
     pub(crate) fn infrastructure_types(self) -> &'static [&'static str] {
         match self {
-            FreebaseDomain::Books => &["WRITTEN WORK", "PUBLISHER", "BOOK CHARACTER", "LITERARY SERIES"],
-            FreebaseDomain::Film => &["FILM CHARACTER", "FILM CREWMEMBER", "PERFORMANCE", "FILM CUT"],
+            FreebaseDomain::Books => &[
+                "WRITTEN WORK",
+                "PUBLISHER",
+                "BOOK CHARACTER",
+                "LITERARY SERIES",
+            ],
+            FreebaseDomain::Film => &[
+                "FILM CHARACTER",
+                "FILM CREWMEMBER",
+                "PERFORMANCE",
+                "FILM CUT",
+            ],
             FreebaseDomain::Music => &["MUSICAL RELEASE", "RELEASE TRACK", "MUSICAL GENRE"],
             FreebaseDomain::Tv => &["TV EPISODE", "TV SEASON", "TV NETWORK", "TV GUEST ROLE"],
             FreebaseDomain::People => &["LOCATION", "EDUCATIONAL INSTITUTION", "FAMILY NAME"],
@@ -193,21 +241,31 @@ impl FreebaseDomain {
         let mut filler_index = 0usize;
         while ordered.len() < stats.entity_types {
             filler_index += 1;
-            ordered.push(format!("{} CONCEPT {:02}", self.name().to_uppercase(), filler_index));
+            ordered.push(format!(
+                "{} CONCEPT {:02}",
+                self.name().to_uppercase(),
+                filler_index
+            ));
         }
         ordered.truncate(stats.entity_types);
 
-        let total_entities = ((stats.entities as f64 * scale).round() as u64)
-            .max(3 * stats.entity_types as u64);
+        let total_entities =
+            ((stats.entities as f64 * scale).round() as u64).max(3 * stats.entity_types as u64);
         let entity_counts = zipf_partition(total_entities, ordered.len(), 1.05, 3);
         let entity_types: Vec<EntityTypeSpec> = ordered
             .iter()
             .zip(&entity_counts)
-            .map(|(name, &entities)| EntityTypeSpec { name: name.clone(), entities })
+            .map(|(name, &entities)| EntityTypeSpec {
+                name: name.clone(),
+                entities,
+            })
             .collect();
 
         let type_index = |name: &str| -> usize {
-            ordered.iter().position(|n| n == name).expect("type present")
+            ordered
+                .iter()
+                .position(|n| n == name)
+                .expect("type present")
         };
 
         // ---- Relationship types -------------------------------------------
@@ -257,7 +315,7 @@ impl FreebaseDomain {
                 break;
             }
             let offset = i - filler_start;
-            let dst = if offset % chain_len == 0 || i == filler_start {
+            let dst = if offset.is_multiple_of(chain_len) || i == filler_start {
                 rng.gen_range(0..core_count.max(1))
             } else {
                 i - 1
@@ -277,20 +335,32 @@ impl FreebaseDomain {
             } else {
                 rng.gen_range(0..core_count.max(1))
             };
-            let dst = if dst == src { (dst + 1) % ordered.len() } else { dst };
-            rels.push((format!("{} relation {:03}", self.name(), filler_rel), src, dst));
+            let dst = if dst == src {
+                (dst + 1) % ordered.len()
+            } else {
+                dst
+            };
+            rels.push((
+                format!("{} relation {:03}", self.name(), filler_rel),
+                src,
+                dst,
+            ));
         }
         rels.truncate(stats.relationship_types);
 
         // Edge counts: Zipf over the same ordering (gold/infrastructure
         // relationships were pushed first, so they receive the large counts).
-        let total_edges =
-            ((stats.edges as f64 * scale).round() as u64).max(rels.len() as u64);
+        let total_edges = ((stats.edges as f64 * scale).round() as u64).max(rels.len() as u64);
         let edge_counts = zipf_partition(total_edges, rels.len(), 1.0, 1);
         let relationship_types: Vec<RelTypeSpec> = rels
             .into_iter()
             .zip(&edge_counts)
-            .map(|((name, src, dst), &edges)| RelTypeSpec { name, src, dst, edges })
+            .map(|((name, src, dst), &edges)| RelTypeSpec {
+                name,
+                src,
+                dst,
+                edges,
+            })
             .collect();
 
         let spec = DomainSpec {
@@ -400,7 +470,10 @@ mod tests {
         for domain in FreebaseDomain::ALL {
             assert_eq!(FreebaseDomain::from_name(domain.name()), Some(domain));
         }
-        assert_eq!(FreebaseDomain::from_name("FILM"), Some(FreebaseDomain::Film));
+        assert_eq!(
+            FreebaseDomain::from_name("FILM"),
+            Some(FreebaseDomain::Film)
+        );
         assert_eq!(FreebaseDomain::from_name("nope"), None);
     }
 

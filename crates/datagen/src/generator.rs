@@ -25,14 +25,20 @@ pub struct SyntheticGenerator {
 
 impl Default for SyntheticGenerator {
     fn default() -> Self {
-        Self { seed: 42, skew: 0.9 }
+        Self {
+            seed: 42,
+            skew: 0.9,
+        }
     }
 }
 
 impl SyntheticGenerator {
     /// Creates a generator with the given seed and the default skew.
     pub fn new(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Overrides the Zipf exponent controlling endpoint popularity
@@ -109,10 +115,21 @@ mod tests {
         DomainSpec {
             name: "tiny".into(),
             entity_types: vec![
-                EntityTypeSpec { name: "A".into(), entities: 20 },
-                EntityTypeSpec { name: "B".into(), entities: 10 },
+                EntityTypeSpec {
+                    name: "A".into(),
+                    entities: 20,
+                },
+                EntityTypeSpec {
+                    name: "B".into(),
+                    entities: 10,
+                },
             ],
-            relationship_types: vec![RelTypeSpec { name: "rel".into(), src: 0, dst: 1, edges: 100 }],
+            relationship_types: vec![RelTypeSpec {
+                name: "rel".into(),
+                src: 0,
+                dst: 1,
+                edges: 100,
+            }],
         }
     }
 

@@ -37,7 +37,10 @@ impl GoldStandard {
 
     /// The gold-standard non-key attributes of one key attribute, if present.
     pub fn non_keys_of(&self, key: &str) -> Option<&'static [&'static str]> {
-        self.tables.iter().find(|t| t.key == key).map(|t| t.non_keys)
+        self.tables
+            .iter()
+            .find(|t| t.key == key)
+            .map(|t| t.non_keys)
     }
 
     /// Total number of gold-standard non-key attributes (the `n` used for the
@@ -56,14 +59,33 @@ impl GoldStandard {
 pub const BOOKS: GoldStandard = GoldStandard {
     domain: "books",
     tables: &[
-        GoldTable { key: "BOOK", non_keys: &["Characters", "Genre", "Editions"] },
-        GoldTable { key: "BOOK EDITION", non_keys: &["Publication Date", "Publisher", "Credited To"] },
-        GoldTable { key: "SHORT STORY", non_keys: &["Genre", "Characters"] },
-        GoldTable { key: "POEM", non_keys: &["Characters", "Meter", "Verse Form"] },
-        GoldTable { key: "SHORT NON-FICTION", non_keys: &["Mode Of Writing", "Verse Form"] },
+        GoldTable {
+            key: "BOOK",
+            non_keys: &["Characters", "Genre", "Editions"],
+        },
+        GoldTable {
+            key: "BOOK EDITION",
+            non_keys: &["Publication Date", "Publisher", "Credited To"],
+        },
+        GoldTable {
+            key: "SHORT STORY",
+            non_keys: &["Genre", "Characters"],
+        },
+        GoldTable {
+            key: "POEM",
+            non_keys: &["Characters", "Meter", "Verse Form"],
+        },
+        GoldTable {
+            key: "SHORT NON-FICTION",
+            non_keys: &["Mode Of Writing", "Verse Form"],
+        },
         GoldTable {
             key: "AUTHOR",
-            non_keys: &["Series Written (Or Contributed To)", "Works Edited", "Works Written"],
+            non_keys: &[
+                "Series Written (Or Contributed To)",
+                "Works Edited",
+                "Works Written",
+            ],
         },
     ],
 };
@@ -72,12 +94,30 @@ pub const BOOKS: GoldStandard = GoldStandard {
 pub const FILM: GoldStandard = GoldStandard {
     domain: "film",
     tables: &[
-        GoldTable { key: "FILM", non_keys: &["Directed By", "Tagline", "Initial Release Date"] },
-        GoldTable { key: "FILM ACTOR", non_keys: &["Film Performances"] },
-        GoldTable { key: "FILM GENRE", non_keys: &["Films Of This Genre"] },
-        GoldTable { key: "FILM DIRECTOR", non_keys: &["Films Directed"] },
-        GoldTable { key: "FILM PRODUCER", non_keys: &["Films Executive Produced", "Films Produced"] },
-        GoldTable { key: "FILM WRITER", non_keys: &["Film Writing Credits"] },
+        GoldTable {
+            key: "FILM",
+            non_keys: &["Directed By", "Tagline", "Initial Release Date"],
+        },
+        GoldTable {
+            key: "FILM ACTOR",
+            non_keys: &["Film Performances"],
+        },
+        GoldTable {
+            key: "FILM GENRE",
+            non_keys: &["Films Of This Genre"],
+        },
+        GoldTable {
+            key: "FILM DIRECTOR",
+            non_keys: &["Films Directed"],
+        },
+        GoldTable {
+            key: "FILM PRODUCER",
+            non_keys: &["Films Executive Produced", "Films Produced"],
+        },
+        GoldTable {
+            key: "FILM WRITER",
+            non_keys: &["Film Writing Credits"],
+        },
     ],
 };
 
@@ -85,15 +125,30 @@ pub const FILM: GoldStandard = GoldStandard {
 pub const MUSIC: GoldStandard = GoldStandard {
     domain: "music",
     tables: &[
-        GoldTable { key: "COMPOSITION", non_keys: &["Includes", "Lyricist", "Composer"] },
-        GoldTable { key: "CONCERT", non_keys: &["Venue", "Start Date", "Concert Tour"] },
-        GoldTable { key: "MUSIC VIDEO", non_keys: &["Song", "Initial Release Date", "Artist"] },
-        GoldTable { key: "MUSICAL ALBUM", non_keys: &["Release Type", "Initial Release Date", "Artist"] },
+        GoldTable {
+            key: "COMPOSITION",
+            non_keys: &["Includes", "Lyricist", "Composer"],
+        },
+        GoldTable {
+            key: "CONCERT",
+            non_keys: &["Venue", "Start Date", "Concert Tour"],
+        },
+        GoldTable {
+            key: "MUSIC VIDEO",
+            non_keys: &["Song", "Initial Release Date", "Artist"],
+        },
+        GoldTable {
+            key: "MUSICAL ALBUM",
+            non_keys: &["Release Type", "Initial Release Date", "Artist"],
+        },
         GoldTable {
             key: "MUSICAL ARTIST",
             non_keys: &["Albums", "Place Musical Career Began", "Musical Genres"],
         },
-        GoldTable { key: "MUSICAL RECORDING", non_keys: &["Length", "Featured Artists", "Recorded By"] },
+        GoldTable {
+            key: "MUSICAL RECORDING",
+            non_keys: &["Length", "Featured Artists", "Recorded By"],
+        },
     ],
 };
 
@@ -103,16 +158,32 @@ pub const TV: GoldStandard = GoldStandard {
     tables: &[
         GoldTable {
             key: "TV PROGRAM",
-            non_keys: &["Program Creator", "Air Date Of First Episode", "Air Date Of Final Episode"],
+            non_keys: &[
+                "Program Creator",
+                "Air Date Of First Episode",
+                "Air Date Of Final Episode",
+            ],
         },
-        GoldTable { key: "TV ACTOR", non_keys: &["Starring TV Roles"] },
+        GoldTable {
+            key: "TV ACTOR",
+            non_keys: &["Starring TV Roles"],
+        },
         GoldTable {
             key: "TV CHARACTER",
             non_keys: &["Programs In Which This Was A Regular Character"],
         },
-        GoldTable { key: "TV WRITER", non_keys: &["TV Programs (Recurring Writer)"] },
-        GoldTable { key: "TV PRODUCER", non_keys: &["TV Programs Produced"] },
-        GoldTable { key: "TV DIRECTOR", non_keys: &["TV Episodes Directed", "TV Segments Directed"] },
+        GoldTable {
+            key: "TV WRITER",
+            non_keys: &["TV Programs (Recurring Writer)"],
+        },
+        GoldTable {
+            key: "TV PRODUCER",
+            non_keys: &["TV Programs Produced"],
+        },
+        GoldTable {
+            key: "TV DIRECTOR",
+            non_keys: &["TV Episodes Directed", "TV Segments Directed"],
+        },
     ],
 };
 
@@ -120,21 +191,42 @@ pub const TV: GoldStandard = GoldStandard {
 pub const PEOPLE: GoldStandard = GoldStandard {
     domain: "people",
     tables: &[
-        GoldTable { key: "PERSON", non_keys: &["Profession", "Country Of Nationality", "Date Of Birth"] },
-        GoldTable { key: "DECEASED PERSON", non_keys: &["Cause Of Death", "Place Of Death", "Date Of Death"] },
+        GoldTable {
+            key: "PERSON",
+            non_keys: &["Profession", "Country Of Nationality", "Date Of Birth"],
+        },
+        GoldTable {
+            key: "DECEASED PERSON",
+            non_keys: &["Cause Of Death", "Place Of Death", "Date Of Death"],
+        },
         GoldTable {
             key: "CAUSE OF DEATH",
-            non_keys: &["People Who Died This Way", "Includes Causes Of Death", "Parent Cause Of Death"],
+            non_keys: &[
+                "People Who Died This Way",
+                "Includes Causes Of Death",
+                "Parent Cause Of Death",
+            ],
         },
         GoldTable {
             key: "ETHNICITY",
-            non_keys: &["Geographic Distribution", "Includes Group(s)", "Included In Group(s)"],
+            non_keys: &[
+                "Geographic Distribution",
+                "Includes Group(s)",
+                "Included In Group(s)",
+            ],
         },
         GoldTable {
             key: "PROFESSION",
-            non_keys: &["Specializations", "Specialization Of", "People With This Profession"],
+            non_keys: &[
+                "Specializations",
+                "Specialization Of",
+                "People With This Profession",
+            ],
         },
-        GoldTable { key: "PROFESSIONAL FIELD", non_keys: &["Professions In This Field"] },
+        GoldTable {
+            key: "PROFESSIONAL FIELD",
+            non_keys: &["Professions In This Field"],
+        },
     ],
 };
 
@@ -143,7 +235,9 @@ pub const ALL: [&GoldStandard; 5] = [&BOOKS, &FILM, &MUSIC, &TV, &PEOPLE];
 
 /// Looks up the gold standard of a domain by (case-insensitive) name.
 pub fn for_domain(domain: &str) -> Option<&'static GoldStandard> {
-    ALL.iter().copied().find(|g| g.domain.eq_ignore_ascii_case(domain))
+    ALL.iter()
+        .copied()
+        .find(|g| g.domain.eq_ignore_ascii_case(domain))
 }
 
 #[cfg(test)]
@@ -191,7 +285,10 @@ mod tests {
 
     #[test]
     fn non_keys_of_known_and_unknown_keys() {
-        assert_eq!(FILM.non_keys_of("FILM DIRECTOR"), Some(["Films Directed"].as_slice()));
+        assert_eq!(
+            FILM.non_keys_of("FILM DIRECTOR"),
+            Some(["Films Directed"].as_slice())
+        );
         assert!(FILM.non_keys_of("MUSICAL ARTIST").is_none());
     }
 }

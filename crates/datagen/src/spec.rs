@@ -56,12 +56,21 @@ pub enum SpecError {
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpecError::DanglingTypeIndex { relationship, index } => {
-                write!(f, "relationship {relationship:?} references unknown entity type index {index}")
+            SpecError::DanglingTypeIndex {
+                relationship,
+                index,
+            } => {
+                write!(
+                    f,
+                    "relationship {relationship:?} references unknown entity type index {index}"
+                )
             }
             SpecError::DuplicateTypeName(name) => write!(f, "duplicate entity type name {name:?}"),
             SpecError::DuplicateRelationship(name) => {
-                write!(f, "duplicate relationship type {name:?} (same name and endpoints)")
+                write!(
+                    f,
+                    "duplicate relationship type {name:?} (same name and endpoints)"
+                )
             }
         }
     }
@@ -129,8 +138,14 @@ mod tests {
         DomainSpec {
             name: "tiny".into(),
             entity_types: vec![
-                EntityTypeSpec { name: "A".into(), entities: 10 },
-                EntityTypeSpec { name: "B".into(), entities: 5 },
+                EntityTypeSpec {
+                    name: "A".into(),
+                    entities: 10,
+                },
+                EntityTypeSpec {
+                    name: "B".into(),
+                    entities: 5,
+                },
             ],
             relationship_types: vec![RelTypeSpec {
                 name: "rel".into(),
@@ -161,14 +176,23 @@ mod tests {
     fn validate_rejects_dangling_index() {
         let mut spec = tiny_spec();
         spec.relationship_types[0].dst = 7;
-        assert!(matches!(spec.validate(), Err(SpecError::DanglingTypeIndex { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::DanglingTypeIndex { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_duplicate_type_names() {
         let mut spec = tiny_spec();
-        spec.entity_types.push(EntityTypeSpec { name: "A".into(), entities: 1 });
-        assert!(matches!(spec.validate(), Err(SpecError::DuplicateTypeName(_))));
+        spec.entity_types.push(EntityTypeSpec {
+            name: "A".into(),
+            entities: 1,
+        });
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::DuplicateTypeName(_))
+        ));
     }
 
     #[test]
@@ -176,12 +200,18 @@ mod tests {
         let mut spec = tiny_spec();
         let dup = spec.relationship_types[0].clone();
         spec.relationship_types.push(dup);
-        assert!(matches!(spec.validate(), Err(SpecError::DuplicateRelationship(_))));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::DuplicateRelationship(_))
+        ));
     }
 
     #[test]
     fn spec_error_display() {
-        let e = SpecError::DanglingTypeIndex { relationship: "r".into(), index: 3 };
+        let e = SpecError::DanglingTypeIndex {
+            relationship: "r".into(),
+            index: 3,
+        };
         assert!(e.to_string().contains("unknown entity type index 3"));
     }
 }

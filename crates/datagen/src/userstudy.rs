@@ -99,13 +99,41 @@ pub struct SummaryProfile {
 /// discovered previews whenever it can.
 pub fn default_profiles() -> Vec<SummaryProfile> {
     vec![
-        SummaryProfile { approach: Approach::Concise, coverage: 0.78, complexity: 0.25 },
-        SummaryProfile { approach: Approach::Tight, coverage: 0.84, complexity: 0.22 },
-        SummaryProfile { approach: Approach::Diverse, coverage: 0.74, complexity: 0.28 },
-        SummaryProfile { approach: Approach::Freebase, coverage: 0.86, complexity: 0.24 },
-        SummaryProfile { approach: Approach::Experts, coverage: 0.76, complexity: 0.30 },
-        SummaryProfile { approach: Approach::Yps09, coverage: 0.82, complexity: 0.70 },
-        SummaryProfile { approach: Approach::Graph, coverage: 1.00, complexity: 1.00 },
+        SummaryProfile {
+            approach: Approach::Concise,
+            coverage: 0.78,
+            complexity: 0.25,
+        },
+        SummaryProfile {
+            approach: Approach::Tight,
+            coverage: 0.84,
+            complexity: 0.22,
+        },
+        SummaryProfile {
+            approach: Approach::Diverse,
+            coverage: 0.74,
+            complexity: 0.28,
+        },
+        SummaryProfile {
+            approach: Approach::Freebase,
+            coverage: 0.86,
+            complexity: 0.24,
+        },
+        SummaryProfile {
+            approach: Approach::Experts,
+            coverage: 0.76,
+            complexity: 0.30,
+        },
+        SummaryProfile {
+            approach: Approach::Yps09,
+            coverage: 0.82,
+            complexity: 0.70,
+        },
+        SummaryProfile {
+            approach: Approach::Graph,
+            coverage: 1.00,
+            complexity: 1.00,
+        },
     ]
 }
 
@@ -124,7 +152,12 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        Self { min_participants: 10, max_participants: 13, questions: 4, seed: 84 }
+        Self {
+            min_participants: 10,
+            max_participants: 13,
+            questions: 4,
+            seed: 84,
+        }
     }
 }
 
@@ -251,7 +284,10 @@ pub fn simulate(profiles: &[SummaryProfile], config: &StudyConfig) -> StudyOutco
         });
     }
 
-    StudyOutcome { participants, by_approach }
+    StudyOutcome {
+        participants,
+        by_approach,
+    }
 }
 
 fn to_likert(value: f64) -> u8 {
@@ -277,7 +313,11 @@ mod tests {
         assert_eq!(o.by_approach.len(), 7);
         for a in &o.by_approach {
             let participants = a.responses / 4;
-            assert!((10..=13).contains(&participants), "{:?}: {participants}", a.approach);
+            assert!(
+                (10..=13).contains(&participants),
+                "{:?}: {participants}",
+                a.approach
+            );
             assert!(a.correct <= a.responses);
             assert_eq!(a.times.len() as u64, a.responses);
         }
@@ -303,9 +343,21 @@ mod tests {
     fn compact_previews_are_faster_than_the_graph() {
         let o = outcome();
         let median = |xs: &[f64]| eval::median(xs).unwrap();
-        let tight = o.by_approach.iter().find(|a| a.approach == Approach::Tight).unwrap();
-        let graph = o.by_approach.iter().find(|a| a.approach == Approach::Graph).unwrap();
-        let yps = o.by_approach.iter().find(|a| a.approach == Approach::Yps09).unwrap();
+        let tight = o
+            .by_approach
+            .iter()
+            .find(|a| a.approach == Approach::Tight)
+            .unwrap();
+        let graph = o
+            .by_approach
+            .iter()
+            .find(|a| a.approach == Approach::Graph)
+            .unwrap();
+        let yps = o
+            .by_approach
+            .iter()
+            .find(|a| a.approach == Approach::Yps09)
+            .unwrap();
         assert!(median(&tight.times) < median(&graph.times));
         assert!(median(&tight.times) < median(&yps.times));
     }

@@ -76,7 +76,10 @@ impl ZipfSampler {
     ///
     /// Panics if the sampler is empty.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        assert!(!self.cumulative.is_empty(), "cannot sample from an empty Zipf sampler");
+        assert!(
+            !self.cumulative.is_empty(),
+            "cannot sample from an empty Zipf sampler"
+        );
         let u: f64 = rng.gen();
         match self
             .cumulative

@@ -84,7 +84,11 @@ impl DistanceMatrix {
     /// The largest finite distance in the matrix (the diameter of the largest
     /// component), or `None` for an empty graph.
     pub fn diameter(&self) -> Option<u32> {
-        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max()
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
     }
 
     /// Mean of all finite pairwise distances between *distinct* types, or

@@ -41,7 +41,9 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::TypeMismatch { detail } => write!(f, "relationship endpoint type mismatch: {detail}"),
+            Error::TypeMismatch { detail } => {
+                write!(f, "relationship endpoint type mismatch: {detail}")
+            }
             Error::UnknownId { kind, index } => write!(f, "unknown {kind} id {index}"),
             Error::UnknownName { kind, name } => write!(f, "unknown {kind} name {name:?}"),
             Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
@@ -62,7 +64,10 @@ mod tests {
         };
         assert!(e.to_string().contains("Will Smith"));
 
-        let e = Error::UnknownId { kind: "entity", index: 7 };
+        let e = Error::UnknownId {
+            kind: "entity",
+            index: 7,
+        };
         assert_eq!(e.to_string(), "unknown entity id 7");
 
         let e = Error::UnknownName {
@@ -81,6 +86,9 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
-        assert_err(&Error::UnknownId { kind: "edge", index: 0 });
+        assert_err(&Error::UnknownId {
+            kind: "edge",
+            index: 0,
+        });
     }
 }

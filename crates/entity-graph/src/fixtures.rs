@@ -85,24 +85,37 @@ pub fn figure1_graph() -> EntityGraph {
     }
 
     // Director edges (4): w(FILM, FILM DIRECTOR) = 4.
-    for (who, what) in [(sonnenfeld, mib), (sonnenfeld, mib2), (berg, hancock), (proyas, irobot)] {
+    for (who, what) in [
+        (sonnenfeld, mib),
+        (sonnenfeld, mib2),
+        (berg, hancock),
+        (proyas, irobot),
+    ] {
         b.edge(who, rel_director, what).expect("director edge");
     }
 
     // Genres edges (5): w(FILM, FILM GENRE) = 5. Hancock has no genre.
-    for (what, g) in [(mib, action), (mib, scifi), (mib2, action), (mib2, scifi), (irobot, action)] {
+    for (what, g) in [
+        (mib, action),
+        (mib, scifi),
+        (mib2, action),
+        (mib2, scifi),
+        (irobot, action),
+    ] {
         b.edge(what, rel_genres, g).expect("genre edge");
     }
 
     // Producer (2) + Executive Producer (1): w(FILM, FILM PRODUCER) = 3.
     b.edge(smith, rel_producer, hancock).expect("producer edge");
     b.edge(smith, rel_producer, mib2).expect("producer edge");
-    b.edge(smith, rel_exec_producer, irobot).expect("executive producer edge");
+    b.edge(smith, rel_exec_producer, irobot)
+        .expect("executive producer edge");
 
     // Award Winners from actors (2) and directors (1).
     b.edge(smith, rel_actor_award, saturn).expect("award edge");
     b.edge(jones, rel_actor_award, academy).expect("award edge");
-    b.edge(sonnenfeld, rel_director_award, razzie).expect("award edge");
+    b.edge(sonnenfeld, rel_director_award, razzie)
+        .expect("award edge");
 
     b.build()
 }

@@ -162,7 +162,12 @@ impl EntityGraph {
     /// on a non-key attribute (Def. 1).
     ///
     /// The result is sorted and de-duplicated (attribute values are sets).
-    pub fn neighbors_via(&self, entity: EntityId, rel: RelTypeId, direction: Direction) -> Vec<EntityId> {
+    pub fn neighbors_via(
+        &self,
+        entity: EntityId,
+        rel: RelTypeId,
+        direction: Direction,
+    ) -> Vec<EntityId> {
         let edge_ids = match direction {
             Direction::Outgoing => &self.out_edges[entity.index()],
             Direction::Incoming => &self.in_edges[entity.index()],

@@ -55,7 +55,10 @@ fn parse_entity(builder: &mut EntityGraphBuilder, fields: &[&str], lineno: usize
     if fields.len() != 3 {
         return Err(Error::Parse {
             line: lineno,
-            message: format!("E record expects 3 tab-separated fields, found {}", fields.len()),
+            message: format!(
+                "E record expects 3 tab-separated fields, found {}",
+                fields.len()
+            ),
         });
     }
     let name = fields[1];
@@ -84,7 +87,10 @@ fn parse_rel_type(builder: &mut EntityGraphBuilder, fields: &[&str], lineno: usi
     if fields.len() != 4 {
         return Err(Error::Parse {
             line: lineno,
-            message: format!("R record expects 4 tab-separated fields, found {}", fields.len()),
+            message: format!(
+                "R record expects 4 tab-separated fields, found {}",
+                fields.len()
+            ),
         });
     }
     let src = builder.entity_type(fields[2]);
@@ -97,7 +103,10 @@ fn parse_triple(builder: &mut EntityGraphBuilder, fields: &[&str], lineno: usize
     if fields.len() != 6 {
         return Err(Error::Parse {
             line: lineno,
-            message: format!("T record expects 6 tab-separated fields, found {}", fields.len()),
+            message: format!(
+                "T record expects 6 tab-separated fields, found {}",
+                fields.len()
+            ),
         });
     }
     let (src_name, rel_name, dst_name, src_type_name, dst_type_name) =

@@ -51,7 +51,8 @@ fn erfc(x: f64) -> f64 {
     let x_abs = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x_abs);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let erf_abs = 1.0 - poly * (-x_abs * x_abs).exp();
     let erf = if sign_negative { -erf_abs } else { erf_abs };
     1.0 - erf

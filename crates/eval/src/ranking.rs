@@ -20,7 +20,11 @@ pub fn precision_at_k<T: Eq + Hash>(ranked: &[T], gold: &HashSet<T>, k: usize) -
     if k == 0 {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|item| gold.contains(item)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|item| gold.contains(item))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -98,7 +102,10 @@ pub fn mean_reciprocal_rank<T: Eq + Hash>(cases: &[(Vec<T>, HashSet<T>)]) -> f64
     if cases.is_empty() {
         return 0.0;
     }
-    let sum: f64 = cases.iter().map(|(ranked, gold)| reciprocal_rank(ranked, gold)).sum();
+    let sum: f64 = cases
+        .iter()
+        .map(|(ranked, gold)| reciprocal_rank(ranked, gold))
+        .sum();
     sum / cases.len() as f64
 }
 

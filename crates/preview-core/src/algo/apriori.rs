@@ -147,7 +147,10 @@ mod tests {
     fn diverse_running_example_matches_paper() {
         let scored = scored(ScoringConfig::coverage());
         let space = PreviewSpace::diverse(2, 6, 2).unwrap();
-        let preview = AprioriDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         let schema = scored.schema();
         assert!(preview.has_key(schema.type_by_name(types::FILM).unwrap()));
         assert!(preview.has_key(schema.type_by_name(types::AWARD).unwrap()));
@@ -170,7 +173,9 @@ mod tests {
                         PreviewSpace::diverse(k, k + 4, d).unwrap(),
                     ] {
                         let ap = AprioriDiscovery::new().discover(&scored, &space).unwrap();
-                        let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap();
+                        let bf = BruteForceDiscovery::new()
+                            .discover(&scored, &space)
+                            .unwrap();
                         match (ap, bf) {
                             (Some(ap), Some(bf)) => {
                                 let a = scored.preview_score(&ap);
@@ -207,17 +212,26 @@ mod tests {
         // Pairwise distance of at least 5 between 3 tables is impossible on
         // the Fig. 1 schema graph (diameter 2).
         let space = PreviewSpace::diverse(3, 6, 5).unwrap();
-        assert!(AprioriDiscovery::new().discover(&scored, &space).unwrap().is_none());
+        assert!(AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn k_equals_one_ignores_distance() {
         let scored = scored(ScoringConfig::coverage());
         let space = PreviewSpace::tight(1, 3, 1).unwrap();
-        let preview = AprioriDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert_eq!(preview.tables().len(), 1);
         // Same single-table optimum as the brute force.
-        let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let bf = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert!((scored.preview_score(&preview) - scored.preview_score(&bf)).abs() < 1e-9);
     }
 
@@ -228,8 +242,14 @@ mod tests {
         let scored = scored(ScoringConfig::coverage());
         let tight = PreviewSpace::tight(2, 6, 10).unwrap();
         let concise = PreviewSpace::concise(2, 6).unwrap();
-        let ap = AprioriDiscovery::new().discover(&scored, &tight).unwrap().unwrap();
-        let bf = BruteForceDiscovery::new().discover(&scored, &concise).unwrap().unwrap();
+        let ap = AprioriDiscovery::new()
+            .discover(&scored, &tight)
+            .unwrap()
+            .unwrap();
+        let bf = BruteForceDiscovery::new()
+            .discover(&scored, &concise)
+            .unwrap()
+            .unwrap();
         assert!((scored.preview_score(&ap) - scored.preview_score(&bf)).abs() < 1e-9);
     }
 }

@@ -87,7 +87,10 @@ mod tests {
         // Sec. 4's optimal concise preview for k=2, n=6 (coverage/coverage).
         let scored = scored();
         let space = PreviewSpace::concise(2, 6).unwrap();
-        let preview = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert!((scored.preview_score(&preview) - 84.0).abs() < 1e-9);
         let schema = scored.schema();
         let film = schema.type_by_name(types::FILM).unwrap();
@@ -101,7 +104,10 @@ mod tests {
         // Sec. 4: k=2, n=6, d=2 diverse preview keys are FILM and AWARD.
         let scored = scored();
         let space = PreviewSpace::diverse(2, 6, 2).unwrap();
-        let preview = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         let schema = scored.schema();
         assert!(preview.has_key(schema.type_by_name(types::FILM).unwrap()));
         assert!(preview.has_key(schema.type_by_name(types::AWARD).unwrap()));
@@ -114,19 +120,28 @@ mod tests {
     fn tight_constraint_is_enforced() {
         let scored = scored();
         let space = PreviewSpace::tight(3, 6, 2).unwrap();
-        let preview = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert!(space.contains(&preview, scored.distances()));
         // No three types of the Fig. 1 schema graph are pairwise adjacent, so
         // a tight preview with d = 1 and k = 3 does not exist.
         let infeasible = PreviewSpace::tight(3, 6, 1).unwrap();
-        assert!(BruteForceDiscovery::new().discover(&scored, &infeasible).unwrap().is_none());
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &infeasible)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn too_many_tables_returns_none() {
         let scored = scored();
         let space = PreviewSpace::concise(10, 20).unwrap();
-        assert!(BruteForceDiscovery::new().discover(&scored, &space).unwrap().is_none());
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -135,14 +150,20 @@ mod tests {
         // of at least 5 between three tables is infeasible.
         let scored = scored();
         let space = PreviewSpace::diverse(3, 6, 5).unwrap();
-        assert!(BruteForceDiscovery::new().discover(&scored, &space).unwrap().is_none());
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn k_equals_one_picks_best_single_table() {
         let scored = scored();
         let space = PreviewSpace::concise(1, 3).unwrap();
-        let preview = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         // FILM with its top three candidates: 4 * (6 + 5 + 4) = 60.
         assert!((scored.preview_score(&preview) - 60.0).abs() < 1e-9);
         assert_eq!(preview.tables().len(), 1);

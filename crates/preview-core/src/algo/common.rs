@@ -147,14 +147,17 @@ mod tests {
     #[test]
     fn combinations_enumerate_all_subsets() {
         let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
-        assert_eq!(all, vec![
-            vec![0, 1],
-            vec![0, 2],
-            vec![0, 3],
-            vec![1, 2],
-            vec![1, 3],
-            vec![2, 3],
-        ]);
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3],
+            ]
+        );
     }
 
     #[test]

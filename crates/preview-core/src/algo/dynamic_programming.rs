@@ -141,8 +141,14 @@ mod tests {
     fn matches_brute_force_on_running_example() {
         let scored = scored(ScoringConfig::coverage());
         let space = PreviewSpace::concise(2, 6).unwrap();
-        let dp = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
-        let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let dp = DynamicProgrammingDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
+        let bf = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert!((scored.preview_score(&dp) - scored.preview_score(&bf)).abs() < 1e-9);
         assert!((scored.preview_score(&dp) - 84.0).abs() < 1e-9);
         assert!(space.contains(&dp, scored.distances()));
@@ -161,8 +167,12 @@ mod tests {
             for k in 1..=4usize {
                 for n in k..=(k + 4) {
                     let space = PreviewSpace::concise(k, n).unwrap();
-                    let dp = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap();
-                    let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap();
+                    let dp = DynamicProgrammingDiscovery::new()
+                        .discover(&scored, &space)
+                        .unwrap();
+                    let bf = BruteForceDiscovery::new()
+                        .discover(&scored, &space)
+                        .unwrap();
                     match (dp, bf) {
                         (Some(dp), Some(bf)) => {
                             let ds = scored.preview_score(&dp);
@@ -174,7 +184,9 @@ mod tests {
                             assert!(space.contains(&dp, scored.distances()));
                         }
                         (None, None) => {}
-                        (dp, bf) => panic!("k={k} n={n}: dp={:?} bf={:?}", dp.is_some(), bf.is_some()),
+                        (dp, bf) => {
+                            panic!("k={k} n={n}: dp={:?} bf={:?}", dp.is_some(), bf.is_some())
+                        }
                     }
                 }
             }
@@ -186,15 +198,22 @@ mod tests {
         let scored = scored(ScoringConfig::coverage());
         let tight = PreviewSpace::tight(2, 6, 2).unwrap();
         let diverse = PreviewSpace::diverse(2, 6, 2).unwrap();
-        assert!(DynamicProgrammingDiscovery::new().discover(&scored, &tight).is_err());
-        assert!(DynamicProgrammingDiscovery::new().discover(&scored, &diverse).is_err());
+        assert!(DynamicProgrammingDiscovery::new()
+            .discover(&scored, &tight)
+            .is_err());
+        assert!(DynamicProgrammingDiscovery::new()
+            .discover(&scored, &diverse)
+            .is_err());
     }
 
     #[test]
     fn returns_none_when_not_enough_types() {
         let scored = scored(ScoringConfig::coverage());
         let space = PreviewSpace::concise(7, 14).unwrap();
-        assert!(DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().is_none());
+        assert!(DynamicProgrammingDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -202,10 +221,16 @@ mod tests {
         let scored = scored(ScoringConfig::coverage());
         // n == k: one non-key attribute per table.
         let space = PreviewSpace::concise(3, 3).unwrap();
-        let dp = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let dp = DynamicProgrammingDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert_eq!(dp.tables().len(), 3);
         assert_eq!(dp.non_key_count(), 3);
-        let bf = BruteForceDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let bf = BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert!((scored.preview_score(&dp) - scored.preview_score(&bf)).abs() < 1e-9);
     }
 
@@ -214,7 +239,10 @@ mod tests {
         let scored = scored(ScoringConfig::coverage());
         let k = scored.eligible_types().len();
         let space = PreviewSpace::concise(k, k + 6).unwrap();
-        let dp = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let dp = DynamicProgrammingDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         assert_eq!(dp.tables().len(), k);
         // Every eligible type is a key attribute.
         for &ty in scored.eligible_types() {

@@ -58,7 +58,10 @@ mod tests {
     #[test]
     fn algorithms_expose_stable_names() {
         assert_eq!(BruteForceDiscovery::new().name(), "brute-force");
-        assert_eq!(DynamicProgrammingDiscovery::new().name(), "dynamic-programming");
+        assert_eq!(
+            DynamicProgrammingDiscovery::new().name(),
+            "dynamic-programming"
+        );
         assert_eq!(AprioriDiscovery::new().name(), "apriori");
     }
 

@@ -118,8 +118,20 @@ mod tests {
         // FILM is incident to Actor(6), Genres(5), Director(4), Producer(2),
         // Executive Producer(1): five candidates in this order.
         assert_eq!(film_list.len(), 5);
-        let names: Vec<&str> = film_list.iter().map(|c| s.edge(c.edge).name.as_str()).collect();
-        assert_eq!(names, vec!["Actor", "Genres", "Director", "Producer", "Executive Producer"]);
+        let names: Vec<&str> = film_list
+            .iter()
+            .map(|c| s.edge(c.edge).name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "Actor",
+                "Genres",
+                "Director",
+                "Producer",
+                "Executive Producer"
+            ]
+        );
         let scores: Vec<f64> = film_list.iter().map(|c| c.score).collect();
         assert_eq!(scores, vec![6.0, 5.0, 4.0, 2.0, 1.0]);
     }

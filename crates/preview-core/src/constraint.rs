@@ -22,7 +22,9 @@ impl SizeConstraint {
     /// preview table must contain at least one non-key attribute, Def. 1).
     pub fn new(tables: usize, non_keys: usize) -> Result<Self> {
         if tables == 0 {
-            return Err(Error::invalid_constraint("a preview must contain at least one table (k >= 1)"));
+            return Err(Error::invalid_constraint(
+                "a preview must contain at least one table (k >= 1)",
+            ));
         }
         if non_keys < tables {
             return Err(Error::invalid_constraint(format!(
@@ -78,17 +80,25 @@ pub enum PreviewSpace {
 impl PreviewSpace {
     /// Convenience constructor for the concise space.
     pub fn concise(tables: usize, non_keys: usize) -> Result<Self> {
-        Ok(PreviewSpace::Concise(SizeConstraint::new(tables, non_keys)?))
+        Ok(PreviewSpace::Concise(SizeConstraint::new(
+            tables, non_keys,
+        )?))
     }
 
     /// Convenience constructor for the tight space.
     pub fn tight(tables: usize, non_keys: usize, d: u32) -> Result<Self> {
-        Ok(PreviewSpace::Tight(SizeConstraint::new(tables, non_keys)?, d))
+        Ok(PreviewSpace::Tight(
+            SizeConstraint::new(tables, non_keys)?,
+            d,
+        ))
     }
 
     /// Convenience constructor for the diverse space.
     pub fn diverse(tables: usize, non_keys: usize, d: u32) -> Result<Self> {
-        Ok(PreviewSpace::Diverse(SizeConstraint::new(tables, non_keys)?, d))
+        Ok(PreviewSpace::Diverse(
+            SizeConstraint::new(tables, non_keys)?,
+            d,
+        ))
     }
 
     /// The size constraint `(k, n)`.

@@ -41,7 +41,11 @@ impl NonKeyAttr {
     /// `"Directed by (FILM DIRECTOR)"`.
     pub fn label(&self, schema: &SchemaGraph) -> String {
         let e = schema.edge(self.edge);
-        format!("{} ({})", e.name, schema.type_name(self.target_type(schema)))
+        format!(
+            "{} ({})",
+            e.name,
+            schema.type_name(self.target_type(schema))
+        )
     }
 }
 
@@ -193,7 +197,9 @@ impl MaterializedTable {
         let mut out = String::new();
         out.push_str(&render_row(&headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &rows_text {
             out.push_str(&render_row(row));
@@ -267,7 +273,11 @@ mod tests {
             .iter()
             .position(|e| e.name == "Director")
             .unwrap();
-        let genres_idx = schema.edges().iter().position(|e| e.name == "Genres").unwrap();
+        let genres_idx = schema
+            .edges()
+            .iter()
+            .position(|e| e.name == "Genres")
+            .unwrap();
         let _ = graph;
         PreviewTable::new(
             film,
@@ -321,7 +331,10 @@ mod tests {
         assert_eq!(mib.values[0], vec!["Barry Sonnenfeld".to_string()]);
         let mut genres = mib.values[1].clone();
         genres.sort();
-        assert_eq!(genres, vec!["Action Film".to_string(), "Science Fiction".to_string()]);
+        assert_eq!(
+            genres,
+            vec!["Action Film".to_string(), "Science Fiction".to_string()]
+        );
         // Hancock has an empty Genres value (t3.Genres = "-" in Fig. 2).
         let hancock = t.rows.iter().find(|r| r.key == "Hancock").unwrap();
         assert!(hancock.values[1].is_empty());

@@ -246,7 +246,10 @@ mod tests {
 
     #[test]
     fn random_walk_scores_sum_to_one() {
-        let s = scored(ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Coverage));
+        let s = scored(ScoringConfig::new(
+            KeyScoring::RandomWalk,
+            NonKeyScoring::Coverage,
+        ));
         let total: f64 = s.key_scores().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -301,7 +304,10 @@ mod tests {
 
     #[test]
     fn entropy_configuration_builds() {
-        let s = scored(ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy));
+        let s = scored(ScoringConfig::new(
+            KeyScoring::Coverage,
+            NonKeyScoring::Entropy,
+        ));
         // All entropy scores are finite and non-negative.
         for ty in s.schema().types() {
             for c in s.candidates(ty) {

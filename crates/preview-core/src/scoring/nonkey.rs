@@ -36,8 +36,22 @@ pub fn entropy_scores(graph: &EntityGraph, schema: &SchemaGraph) -> (Vec<f64>, V
     let mut outgoing = Vec::with_capacity(schema.relationship_type_count());
     let mut incoming = Vec::with_capacity(schema.relationship_type_count());
     for edge in schema.edges() {
-        outgoing.push(orientation_entropy(graph, schema, edge.name.as_str(), edge.src, edge.dst, Direction::Outgoing));
-        incoming.push(orientation_entropy(graph, schema, edge.name.as_str(), edge.src, edge.dst, Direction::Incoming));
+        outgoing.push(orientation_entropy(
+            graph,
+            schema,
+            edge.name.as_str(),
+            edge.src,
+            edge.dst,
+            Direction::Outgoing,
+        ));
+        incoming.push(orientation_entropy(
+            graph,
+            schema,
+            edge.name.as_str(),
+            edge.src,
+            edge.dst,
+            Direction::Incoming,
+        ));
     }
     (outgoing, incoming)
 }
@@ -100,9 +114,7 @@ mod tests {
             .edges()
             .iter()
             .position(|e| {
-                e.name == name
-                    && schema.type_name(e.src) == src
-                    && schema.type_name(e.dst) == dst
+                e.name == name && schema.type_name(e.src) == src && schema.type_name(e.dst) == dst
             })
             .unwrap_or_else(|| panic!("edge {name} {src}->{dst} not found"))
     }
@@ -179,7 +191,10 @@ mod tests {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
         let (out, inc) = entropy_scores(&g, &s);
-        assert!(out.iter().chain(inc.iter()).all(|v| v.is_finite() && *v >= 0.0));
+        assert!(out
+            .iter()
+            .chain(inc.iter())
+            .all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn main() {
     // Concise previews: brute force vs. dynamic programming.
     let concise = PreviewSpace::concise(5, 10).expect("valid constraint");
     let mut scores = Vec::new();
-    for algorithm in [&BruteForceDiscovery::new() as &dyn PreviewDiscovery, &DynamicProgrammingDiscovery::new()] {
+    for algorithm in [
+        &BruteForceDiscovery::new() as &dyn PreviewDiscovery,
+        &DynamicProgrammingDiscovery::new(),
+    ] {
         let start = Instant::now();
         let preview = algorithm
             .discover(&scored, &concise)
@@ -46,13 +49,21 @@ fn main() {
             preview.describe(scored.schema())
         );
     }
-    assert!((scores[0] - scores[1]).abs() < 1e-6, "both algorithms find the same optimum");
+    assert!(
+        (scores[0] - scores[1]).abs() < 1e-6,
+        "both algorithms find the same optimum"
+    );
 
     // Tight previews: brute force vs. the Apriori-style algorithm.
     let tight = PreviewSpace::tight(5, 10, 2).expect("valid constraint");
-    for algorithm in [&BruteForceDiscovery::new() as &dyn PreviewDiscovery, &AprioriDiscovery::new()] {
+    for algorithm in [
+        &BruteForceDiscovery::new() as &dyn PreviewDiscovery,
+        &AprioriDiscovery::new(),
+    ] {
         let start = Instant::now();
-        let preview = algorithm.discover(&scored, &tight).expect("tight space is supported");
+        let preview = algorithm
+            .discover(&scored, &tight)
+            .expect("tight space is supported");
         let elapsed = start.elapsed();
         match preview {
             Some(preview) => println!(
@@ -62,7 +73,11 @@ fn main() {
                 scored.preview_score(&preview),
                 preview.describe(scored.schema())
             ),
-            None => println!("\n[{} | tight d<=2] {:.2?}: no preview satisfies the constraint", algorithm.name(), elapsed),
+            None => println!(
+                "\n[{} | tight d<=2] {:.2?}: no preview satisfies the constraint",
+                algorithm.name(),
+                elapsed
+            ),
         }
     }
 }

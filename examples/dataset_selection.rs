@@ -20,10 +20,15 @@ use preview_tables::datagen::{FreebaseDomain, SyntheticGenerator};
 fn main() {
     let display_budget = PreviewSpace::concise(3, 8).expect("valid size constraint");
 
-    for domain in [FreebaseDomain::Film, FreebaseDomain::Tv, FreebaseDomain::Basketball] {
+    for domain in [
+        FreebaseDomain::Film,
+        FreebaseDomain::Tv,
+        FreebaseDomain::Basketball,
+    ] {
         let spec = domain.spec(1e-3);
         let graph = SyntheticGenerator::new(7).generate(&spec);
-        let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).expect("scoring succeeds");
+        let scored =
+            ScoredSchema::build(&graph, &ScoringConfig::coverage()).expect("scoring succeeds");
 
         println!("==============================================================");
         println!(
@@ -43,7 +48,10 @@ fn main() {
 
         // Show two sample tuples per table so the user sees real values too.
         for table in preview.materialize(&graph, scored.schema(), 2) {
-            println!("\n{} ({} tuples in total)", table.key_type, table.total_tuples);
+            println!(
+                "\n{} ({} tuples in total)",
+                table.key_type, table.total_tuples
+            );
             println!("{}", table.to_text());
         }
 
@@ -52,8 +60,14 @@ fn main() {
         // its incident relationship types).
         let schema = graph.schema_graph();
         if let Some(summary) = Yps09Summarizer::new().summarize(&graph, &schema, 3) {
-            let centres: Vec<&str> = summary.centers.iter().map(|&t| schema.type_name(t)).collect();
-            println!("YPS09 baseline would summarise the same dataset as clusters around: {centres:?}");
+            let centres: Vec<&str> = summary
+                .centers
+                .iter()
+                .map(|&t| schema.type_name(t))
+                .collect();
+            println!(
+                "YPS09 baseline would summarise the same dataset as clusters around: {centres:?}"
+            );
         }
     }
 }

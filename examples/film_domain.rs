@@ -31,7 +31,11 @@ fn main() {
     ] {
         let scored = ScoredSchema::build(&graph, &ScoringConfig::new(key, non_key))
             .expect("scoring succeeds");
-        println!("\n=== scoring: key={}, non-key={} ===", key.label(), non_key.label());
+        println!(
+            "\n=== scoring: key={}, non-key={} ===",
+            key.label(),
+            non_key.label()
+        );
 
         let concise = DynamicProgrammingDiscovery::new()
             .discover(&scored, &PreviewSpace::concise(5, 10).unwrap())
@@ -56,7 +60,9 @@ fn main() {
             .unwrap();
         match diverse {
             Some(preview) => {
-                println!("\noptimal diverse preview (d>=3): the key attributes cover distant concepts");
+                println!(
+                    "\noptimal diverse preview (d>=3): the key attributes cover distant concepts"
+                );
                 println!("{}", preview.describe(scored.schema()));
             }
             None => println!("\nno diverse preview with d>=3 exists for k=5"),

@@ -40,7 +40,10 @@ fn main() {
         .expect("the DP algorithm supports concise spaces")
         .expect("the Fig. 1 graph admits a 2-table preview");
 
-    println!("\noptimal concise preview (k=2, n=6), score {}:", scored.preview_score(&preview));
+    println!(
+        "\noptimal concise preview (k=2, n=6), score {}:",
+        scored.preview_score(&preview)
+    );
     println!("{}", preview.describe(scored.schema()));
 
     // 4. Materialise a few tuples per table, as the paper's Fig. 2 does.

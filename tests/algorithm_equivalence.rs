@@ -19,7 +19,9 @@ fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> Enti
     use rand::Rng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut builder = EntityGraphBuilder::new();
-    let type_ids: Vec<_> = (0..types).map(|i| builder.entity_type(&format!("T{i}"))).collect();
+    let type_ids: Vec<_> = (0..types)
+        .map(|i| builder.entity_type(&format!("T{i}")))
+        .collect();
     let entities: Vec<Vec<_>> = type_ids
         .iter()
         .map(|&ty| {
@@ -33,14 +35,20 @@ fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> Enti
         .map(|i| {
             let src = rng.gen_range(0..types);
             let dst = rng.gen_range(0..types);
-            (builder.relationship_type(&format!("r{i}"), type_ids[src], type_ids[dst]), src, dst)
+            (
+                builder.relationship_type(&format!("r{i}"), type_ids[src], type_ids[dst]),
+                src,
+                dst,
+            )
         })
         .collect();
     for _ in 0..edges {
         let &(rel, src, dst) = &rels[rng.gen_range(0..rels.len())];
         let s = entities[src][rng.gen_range(0..entities[src].len())];
         let d = entities[dst][rng.gen_range(0..entities[dst].len())];
-        builder.edge(s, rel, d).expect("endpoints carry the right types");
+        builder
+            .edge(s, rel, d)
+            .expect("endpoints carry the right types");
     }
     builder.build()
 }

@@ -31,8 +31,16 @@ fn section3_worked_scores() {
     // Scov(FILM) = 4.
     assert_eq!(scored.key_score(film), 4.0);
     // Scov^FILM(Director) = 4 and Scov^FILM(Genres) = 5.
-    let director = schema.edges().iter().position(|e| e.name == "Director").unwrap();
-    let genres = schema.edges().iter().position(|e| e.name == "Genres").unwrap();
+    let director = schema
+        .edges()
+        .iter()
+        .position(|e| e.name == "Director")
+        .unwrap();
+    let genres = schema
+        .edges()
+        .iter()
+        .position(|e| e.name == "Genres")
+        .unwrap();
     assert_eq!(scored.non_key_score(director, Direction::Incoming), 4.0);
     assert_eq!(scored.non_key_score(genres, Direction::Outgoing), 5.0);
 }
@@ -46,8 +54,16 @@ fn section3_entropy_scores() {
     )
     .unwrap();
     let schema = scored.schema();
-    let director = schema.edges().iter().position(|e| e.name == "Director").unwrap();
-    let genres = schema.edges().iter().position(|e| e.name == "Genres").unwrap();
+    let director = schema
+        .edges()
+        .iter()
+        .position(|e| e.name == "Director")
+        .unwrap();
+    let genres = schema
+        .edges()
+        .iter()
+        .position(|e| e.name == "Genres")
+        .unwrap();
     // Sent^FILM(Director) ≈ 0.45 and Sent^FILM(Genres) ≈ 0.28 (log base 10).
     assert!((scored.non_key_score(director, Direction::Incoming) - 0.45).abs() < 0.01);
     assert!((scored.non_key_score(genres, Direction::Outgoing) - 0.28).abs() < 0.01);
@@ -63,7 +79,11 @@ fn section4_concise_running_example() {
         &DynamicProgrammingDiscovery::new(),
     ] {
         let preview = algorithm.discover(&scored, &space).unwrap().unwrap();
-        assert!((scored.preview_score(&preview) - 84.0).abs() < 1e-9, "{}", algorithm.name());
+        assert!(
+            (scored.preview_score(&preview) - 84.0).abs() < 1e-9,
+            "{}",
+            algorithm.name()
+        );
         let schema = scored.schema();
         assert!(preview.has_key(schema.type_by_name(types::FILM).unwrap()));
         assert!(preview.has_key(schema.type_by_name(types::FILM_ACTOR).unwrap()));
@@ -81,8 +101,16 @@ fn section4_diverse_running_example() {
     ] {
         let preview = algorithm.discover(&scored, &space).unwrap().unwrap();
         let schema = scored.schema();
-        assert!(preview.has_key(schema.type_by_name(types::FILM).unwrap()), "{}", algorithm.name());
-        assert!(preview.has_key(schema.type_by_name(types::AWARD).unwrap()), "{}", algorithm.name());
+        assert!(
+            preview.has_key(schema.type_by_name(types::FILM).unwrap()),
+            "{}",
+            algorithm.name()
+        );
+        assert!(
+            preview.has_key(schema.type_by_name(types::AWARD).unwrap()),
+            "{}",
+            algorithm.name()
+        );
         // FILM keeps all five of its candidate attributes under this budget.
         let film_table = preview
             .tables()
@@ -98,7 +126,10 @@ fn figure2_preview_materialises_expected_tuples() {
     let graph = fixtures::figure1_graph();
     let scored = coverage_scored();
     let space = PreviewSpace::concise(2, 6).unwrap();
-    let preview = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+    let preview = DynamicProgrammingDiscovery::new()
+        .discover(&scored, &space)
+        .unwrap()
+        .unwrap();
     let tables = preview.materialize(&graph, scored.schema(), 10);
     let film_table = tables.iter().find(|t| t.key_type == types::FILM).unwrap();
     // Four films, one tuple each (Def. 1: one tuple per entity of the key type).

@@ -21,7 +21,12 @@ fn synthetic_domain_schema_matches_table2_shape() {
         let schema = graph.schema_graph();
         let stats = domain.paper_stats();
         assert_eq!(schema.type_count(), stats.entity_types, "{}", domain.name());
-        assert_eq!(schema.relationship_type_count(), stats.relationship_types, "{}", domain.name());
+        assert_eq!(
+            schema.relationship_type_count(),
+            stats.relationship_types,
+            "{}",
+            domain.name()
+        );
     }
 }
 
@@ -56,7 +61,11 @@ fn previews_can_be_discovered_on_every_synthetic_domain() {
             .unwrap()
             .unwrap_or_else(|| panic!("{}: no preview found", domain.name()));
         assert_eq!(preview.tables().len(), k, "{}", domain.name());
-        assert!(space.contains(&preview, scored.distances()), "{}", domain.name());
+        assert!(
+            space.contains(&preview, scored.distances()),
+            "{}",
+            domain.name()
+        );
     }
 }
 
@@ -65,7 +74,9 @@ fn yps09_baseline_runs_on_synthetic_domains() {
     let spec = FreebaseDomain::People.spec(SCALE);
     let graph = SyntheticGenerator::new(5).generate(&spec);
     let schema = graph.schema_graph();
-    let summary = Yps09Summarizer::new().summarize(&graph, &schema, 6).unwrap();
+    let summary = Yps09Summarizer::new()
+        .summarize(&graph, &schema, 6)
+        .unwrap();
     assert_eq!(summary.centers.len(), 6);
     assert_eq!(summary.ranked.len(), schema.type_count());
     // The importance distribution is normalised.
@@ -87,7 +98,10 @@ fn triple_roundtrip_preserves_discovered_previews() {
     let space = PreviewSpace::concise(2, 5).unwrap();
     let score_of = |g: &preview_tables::graph::EntityGraph| -> f64 {
         let scored = ScoredSchema::build(g, &ScoringConfig::coverage()).unwrap();
-        let preview = DynamicProgrammingDiscovery::new().discover(&scored, &space).unwrap().unwrap();
+        let preview = DynamicProgrammingDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap();
         scored.preview_score(&preview)
     };
     assert!((score_of(&graph) - score_of(&reparsed)).abs() < 1e-9);
@@ -107,6 +121,11 @@ fn user_study_statistics_pipeline() {
     // The z-test machinery accepts the simulated counts.
     let tight = get(Approach::Tight);
     let graph = get(Approach::Graph);
-    let test = two_proportion_z_test(tight.correct, tight.responses, graph.correct, graph.responses);
+    let test = two_proportion_z_test(
+        tight.correct,
+        tight.responses,
+        graph.correct,
+        graph.responses,
+    );
     assert!(test.is_some());
 }

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock harness: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples, and the per-iteration median/min/max are printed
+//! to stdout. There is no statistical analysis, HTML report, or CLI
+//! filtering; command-line arguments passed by `cargo bench` are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this stub ignores CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks. Group-level configuration
+    /// overrides are scoped to the group, as in upstream criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.clone(),
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let report = run_bench(self, &name.into(), |b| f(b));
+        println!("{report}");
+    }
+}
+
+/// A named collection of benchmarks sharing a [`Criterion`] configuration.
+///
+/// Holds its own copy of the configuration so that group-level overrides do
+/// not leak into the parent [`Criterion`] (matching upstream semantics). The
+/// exclusive borrow of the parent is kept only to mirror upstream's aliasing
+/// rules — one open group at a time.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let report = run_bench(&self.config, &label, |b| f(b, input));
+        println!("{report}");
+        self
+    }
+
+    /// Benchmarks a nullary closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let report = run_bench(&self.config, &label, |b| f(b));
+        println!("{report}");
+        self
+    }
+
+    /// Ends the group. (The stub prints results eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function`-style calls.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl<T: Display> IntoBenchmarkId for T {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Timing callback handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then recording `sample_size`
+    /// samples (each possibly batching several iterations).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+
+        // Batch so that all samples together roughly fill measurement_time.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let batch = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_bench(config: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) -> String {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: config.sample_size,
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        return format!("{label:<60} (no samples)");
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().expect("non-empty samples");
+    format!("{label:<60} median {median:>12.3?}   [min {min:.3?}, max {max:.3?}]")
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

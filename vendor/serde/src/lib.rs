@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of serde: the two
+//! marker traits and the `#[derive(Serialize, Deserialize)]` macros. The
+//! derives register the `#[serde(...)]` helper attribute so annotations such
+//! as `#[serde(transparent)]` parse, but no serialization logic is generated
+//! — nothing in this workspace serializes at runtime yet. Swapping in the
+//! real serde later is a one-line change in `[workspace.dependencies]`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,148 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The real `serde_derive` generates full (de)serialization impls; this
+//! offline substitute emits empty impls of the marker traits, which is all
+//! the workspace needs. It is written against `proc_macro` alone (no
+//! `syn`/`quote`, which are unavailable offline): the input token stream is
+//! scanned for the `struct`/`enum`/`union` keyword, the following identifier
+//! is the type name, and an optional generic parameter list is captured so
+//! that generic types derive correctly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item: its name, the generic parameter list
+/// as written (bounds included), and the bare parameter names for the type
+/// position of the impl.
+struct Item {
+    name: String,
+    generics_decl: String,
+    generics_use: String,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("serde stub derive: expected a type name after `{kw}`");
+        };
+        let mut generics_decl = String::new();
+        let mut generics_use = String::new();
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            iter.next();
+            let mut depth = 1usize;
+            let mut tokens: Vec<TokenTree> = Vec::new();
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                tokens.push(tt);
+            }
+            generics_decl = tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            generics_use = param_names(&tokens).join(", ");
+        }
+        return Item {
+            name: name.to_string(),
+            generics_decl,
+            generics_use,
+        };
+    }
+    panic!("serde stub derive: could not find a struct/enum/union to derive for");
+}
+
+/// Extracts the bare generic parameter names (lifetimes and type/const
+/// idents) from a parameter list, dropping bounds and defaults.
+fn param_names(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => at_param_start = true,
+                '\'' if depth == 0 && at_param_start => {
+                    if let Some(TokenTree::Ident(id)) = tokens.get(i + 1) {
+                        names.push(format!("'{id}"));
+                        at_param_start = false;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 && at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    // const parameter: the name is the next ident.
+                    if let Some(TokenTree::Ident(name)) = tokens.get(i + 1) {
+                        names.push(name.to_string());
+                        i += 1;
+                    }
+                } else {
+                    names.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    names
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let item = parse_item(input);
+    let mut decl_parts: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        decl_parts.push(lt.to_string());
+    }
+    if !item.generics_decl.is_empty() {
+        decl_parts.push(item.generics_decl.clone());
+    }
+    let decl = if decl_parts.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decl_parts.join(", "))
+    };
+    let ty = if item.generics_use.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, item.generics_use)
+    };
+    format!("#[automatically_derived] impl{decl} {trait_path} for {ty} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+/// Mirror of `#[derive(serde::Serialize)]`; emits an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize", None)
+}
+
+/// Mirror of `#[derive(serde::Deserialize)]`; emits an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
