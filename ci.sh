@@ -23,4 +23,8 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> preview-serve smoke workload (emits BENCH_service.json)"
+cargo run --release -p bench --bin preview-serve -- \
+    --requests 1000 --scale 5e-5 --out BENCH_service.json --check
+
 echo "CI green."

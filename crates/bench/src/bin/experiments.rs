@@ -18,6 +18,7 @@ use bench::userstudy_exp::{
     experience_table, pairwise_z_table, run_all_studies, table5, table6, table8, table9,
     time_boxplot, DomainStudy,
 };
+use bench::util::closest_matches;
 use datagen::FreebaseDomain;
 
 struct Options {
@@ -143,6 +144,35 @@ impl Harness {
     }
 }
 
+/// A multi-line "unknown experiment" error with a did-you-mean suggestion
+/// (edit distance ≤ 2) and the full list of accepted names.
+fn unknown_id_message(id: &str, catalog: &[(&'static str, &'static str)]) -> String {
+    let names: Vec<&str> = ["list", "all"]
+        .into_iter()
+        .chain(catalog.iter().map(|(name, _)| *name))
+        .collect();
+    let mut message = format!("unknown experiment {id:?}");
+    let mut suggestions = closest_matches(id, names.iter().copied(), 2);
+    suggestions.truncate(3);
+    match suggestions.as_slice() {
+        [] => {}
+        [only] => message.push_str(&format!("; did you mean {only:?}?")),
+        several => message.push_str(&format!(
+            "; did you mean one of {}?",
+            several
+                .iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+    message.push_str(&format!(
+        "\navailable names: {}\n(run `experiments list` for descriptions)",
+        names.join(", ")
+    ));
+    message
+}
+
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(options) => options,
@@ -153,6 +183,17 @@ fn main() -> ExitCode {
     };
 
     let catalog = experiment_catalog();
+
+    // Reject unknown names up front so a typo cannot silently run only a
+    // prefix of the requested experiments (possibly hours of work) first.
+    for id in &options.ids {
+        let known = id == "list" || id == "all" || catalog.iter().any(|(name, _)| name == id);
+        if !known {
+            eprintln!("error: {}", unknown_id_message(id, &catalog));
+            return ExitCode::FAILURE;
+        }
+    }
+
     let mut harness = Harness::new(options.scale, options.seed);
 
     for id in &options.ids {
@@ -176,7 +217,9 @@ fn main() -> ExitCode {
             other => match harness.run(other) {
                 Some(output) => println!("{output}"),
                 None => {
-                    eprintln!("error: unknown experiment {other:?}; use `list` to see the catalog");
+                    // Unreachable after the upfront validation, but kept as a
+                    // defensive backstop should catalog and harness diverge.
+                    eprintln!("error: {}", unknown_id_message(other, &catalog));
                     return ExitCode::FAILURE;
                 }
             },

@@ -16,6 +16,7 @@ pub mod context;
 pub mod efficiency;
 pub mod samples;
 pub mod scoring_accuracy;
+pub mod service_workload;
 pub mod userstudy_exp;
 pub mod util;
 

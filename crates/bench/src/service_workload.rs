@@ -1,0 +1,192 @@
+//! Synthetic request workloads for the preview service.
+//!
+//! Replays Zipf-skewed streams of [`PreviewRequest`]s — the access pattern of
+//! an entity-graph portal where a handful of popular (space, scoring,
+//! algorithm) combinations dominate — against a `datagen` domain. Used by the
+//! `preview-serve` load-generator binary and the service smoke test in CI.
+
+use std::collections::HashSet;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use datagen::{zipf::ZipfSampler, FreebaseDomain, SyntheticGenerator};
+use entity_graph::EntityGraph;
+use preview_core::{KeyScoring, NonKeyScoring, PreviewSpace, ScoringConfig};
+use preview_service::{Algorithm, PreviewRequest};
+
+/// Parameters of a synthetic service workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which synthetic domain to serve.
+    pub domain: FreebaseDomain,
+    /// Scale factor applied to the domain's Table 2 sizes.
+    pub scale: f64,
+    /// Seed for both graph generation and request sampling.
+    pub seed: u64,
+    /// Total number of requests in the stream.
+    pub requests: usize,
+    /// Number of distinct request templates the stream draws from; smaller
+    /// values mean more repetition (and a hotter cache).
+    pub unique: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            domain: FreebaseDomain::Film,
+            scale: 1e-4,
+            seed: 2016,
+            requests: 1000,
+            unique: 64,
+        }
+    }
+}
+
+/// A generated request stream plus its descriptive statistics.
+#[derive(Debug, Clone)]
+pub struct ServiceWorkload {
+    /// Graph name the requests address (the domain name).
+    pub graph_name: String,
+    /// The request stream, in submission order.
+    pub requests: Vec<PreviewRequest>,
+    /// Every scoring configuration appearing in the stream (for eager
+    /// precomputation at registration time).
+    pub configs: Vec<ScoringConfig>,
+    /// Number of distinct result-cache keys in the stream.
+    pub unique_keys: usize,
+    /// Fraction of requests whose key already appeared earlier (≥ 0.5 for
+    /// the default spec, i.e. a cache-friendly workload).
+    pub repeated_fraction: f64,
+}
+
+/// Generates the entity graph the workload runs against.
+pub fn workload_graph(spec: &WorkloadSpec) -> EntityGraph {
+    SyntheticGenerator::new(spec.seed).generate(&spec.domain.spec(spec.scale))
+}
+
+/// Fingerprint of a request's result-cache key, for repetition accounting.
+fn request_key(
+    request: &PreviewRequest,
+) -> (PreviewSpace, &'static str, &'static str, &'static str) {
+    (
+        request.space,
+        request.algorithm.resolve(&request.space).name(),
+        request.scoring.key.label(),
+        request.scoring.non_key.label(),
+    )
+}
+
+/// One random request template.
+fn random_template<R: Rng>(rng: &mut R, graph_name: &str) -> PreviewRequest {
+    let k = rng.gen_range(1usize..=4);
+    let n = k + rng.gen_range(0usize..=4);
+    let space = match rng.gen_range(0u32..4) {
+        0 | 1 => PreviewSpace::concise(k, n),
+        2 => PreviewSpace::tight(k, n, rng.gen_range(2u32..=4)),
+        _ => PreviewSpace::diverse(k, n, rng.gen_range(2u32..=3)),
+    }
+    .expect("k >= 1 and n >= k by construction");
+    // Pin the brute force occasionally (cross-checking traffic), but only
+    // where it is cheap; everything else picks the best exact algorithm.
+    let algorithm = if k <= 2 && rng.gen_bool(0.2) {
+        Algorithm::BruteForce
+    } else {
+        Algorithm::Auto
+    };
+    let scoring = if rng.gen_bool(0.7) {
+        ScoringConfig::coverage()
+    } else {
+        ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy)
+    };
+    PreviewRequest::new(graph_name, space)
+        .with_algorithm(algorithm)
+        .with_scoring(scoring)
+}
+
+/// Builds a Zipf-skewed request stream from `spec.unique` templates.
+pub fn synth_workload(spec: &WorkloadSpec) -> ServiceWorkload {
+    let graph_name = spec.domain.name().to_string();
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed.wrapping_add(0x005e_41ce));
+    let unique = spec.unique.max(1);
+    let templates: Vec<PreviewRequest> = (0..unique)
+        .map(|_| random_template(&mut rng, &graph_name))
+        .collect();
+
+    let sampler = ZipfSampler::new(templates.len(), 1.0);
+    let mut requests = Vec::with_capacity(spec.requests);
+    let mut seen = HashSet::new();
+    let mut repeats = 0usize;
+    for _ in 0..spec.requests {
+        let template = &templates[sampler.sample(&mut rng)];
+        if !seen.insert(request_key(template)) {
+            repeats += 1;
+        }
+        requests.push(template.clone());
+    }
+
+    let mut configs: Vec<ScoringConfig> = Vec::new();
+    for request in &requests {
+        if !configs.contains(&request.scoring) {
+            configs.push(request.scoring);
+        }
+    }
+
+    ServiceWorkload {
+        graph_name,
+        unique_keys: seen.len(),
+        repeated_fraction: if requests.is_empty() {
+            0.0
+        } else {
+            repeats as f64 / requests.len() as f64
+        },
+        requests,
+        configs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_for_a_seed() {
+        let spec = WorkloadSpec {
+            requests: 50,
+            unique: 8,
+            ..WorkloadSpec::default()
+        };
+        let a = synth_workload(&spec);
+        let b = synth_workload(&spec);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.unique_keys, b.unique_keys);
+    }
+
+    #[test]
+    fn default_spec_repeats_more_than_half_of_its_keys() {
+        let workload = synth_workload(&WorkloadSpec::default());
+        assert_eq!(workload.requests.len(), 1000);
+        assert!(
+            workload.repeated_fraction >= 0.5,
+            "repeated fraction {} below 0.5",
+            workload.repeated_fraction
+        );
+        assert!(workload.unique_keys <= 64);
+        assert!(!workload.configs.is_empty());
+    }
+
+    #[test]
+    fn requests_address_the_domain_graph() {
+        let spec = WorkloadSpec {
+            requests: 20,
+            unique: 4,
+            ..WorkloadSpec::default()
+        };
+        let workload = synth_workload(&spec);
+        assert_eq!(workload.graph_name, "film");
+        assert!(workload
+            .requests
+            .iter()
+            .all(|r| r.graph == "film" && r.version.is_none()));
+    }
+}

@@ -87,6 +87,40 @@ pub fn format_millis(duration: Duration) -> String {
     }
 }
 
+/// Levenshtein edit distance between two ASCII-ish names (insertions,
+/// deletions and substitutions all cost 1). Used for CLI "did you mean"
+/// suggestions.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current.push(substitution.min(previous[j + 1] + 1).min(current[j] + 1));
+        }
+        previous = current;
+    }
+    previous[b.len()]
+}
+
+/// The candidates closest to `name` by edit distance, nearest first, keeping
+/// only those within `max_distance` (ties keep candidate order).
+pub fn closest_matches<'a>(
+    name: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+    max_distance: usize,
+) -> Vec<&'a str> {
+    let mut scored: Vec<(usize, &str)> = candidates
+        .into_iter()
+        .map(|c| (levenshtein(name, c), c))
+        .filter(|&(d, _)| d <= max_distance)
+        .collect();
+    scored.sort_by_key(|&(d, _)| d);
+    scored.into_iter().map(|(_, c)| c).collect()
+}
+
 /// Formats a float with three decimals (the paper's usual precision).
 pub fn fmt3(value: f64) -> String {
     format!("{value:.3}")
@@ -133,6 +167,26 @@ mod tests {
         assert_eq!(format_millis(Duration::from_micros(10)), "1");
         assert_eq!(format_millis(Duration::from_millis(2)), "2.0");
         assert_eq!(format_millis(Duration::from_millis(1500)), "1500");
+    }
+
+    #[test]
+    fn levenshtein_counts_edits() {
+        assert_eq!(levenshtein("table3", "table3"), 0);
+        assert_eq!(levenshtein("tabel3", "table3"), 2);
+        assert_eq!(levenshtein("fig5", "fig15"), 1);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn closest_matches_ranks_by_distance() {
+        let catalog = ["table2", "table3", "fig5"];
+        assert_eq!(
+            closest_matches("tabl3", catalog, 2),
+            vec!["table3", "table2"]
+        );
+        assert_eq!(closest_matches("figure5", catalog, 2), Vec::<&str>::new());
+        assert_eq!(closest_matches("fig6", catalog, 2), vec!["fig5"]);
     }
 
     #[test]

@@ -67,3 +67,23 @@ pub use id::{EdgeId, EntityId, RelTypeId, TypeId};
 pub use interner::Interner;
 pub use schema::{SchemaEdge, SchemaGraph};
 pub use stats::GraphStats;
+
+/// Compile-time guarantees that the substrate types shared across serving
+/// threads (behind `Arc`, see the `preview-service` crate) are
+/// `Send + Sync + Clone`, so a non-thread-safe interior (e.g. `Rc`,
+/// `RefCell`) can never silently enter the graph store.
+mod static_assertions {
+    #![allow(dead_code)]
+
+    use super::*;
+
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+
+    const _: () = {
+        assert_send_sync_clone::<EntityGraph>();
+        assert_send_sync_clone::<SchemaGraph>();
+        assert_send_sync_clone::<DistanceMatrix>();
+        assert_send_sync_clone::<GraphStats>();
+        assert_send_sync_clone::<Interner>();
+    };
+}

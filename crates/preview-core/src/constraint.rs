@@ -9,7 +9,7 @@ use crate::preview::Preview;
 
 /// The size constraint `(k, n)`: a preview must contain exactly `k` preview
 /// tables and at most `n` non-key attributes in total.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SizeConstraint {
     /// Number of preview tables (key attributes), `k`.
     pub tables: usize,
@@ -36,7 +36,7 @@ impl SizeConstraint {
 }
 
 /// The pairwise distance constraint between preview tables (Def. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DistanceConstraint {
     /// Tight previews: every pair of key attributes within distance `d`.
     AtMost(u32),
@@ -67,7 +67,7 @@ impl DistanceConstraint {
 
 /// The space of candidate previews the optimisation ranges over (Def. 2):
 /// concise (`P_{k,n}`), tight (`P_{k,n,≤d}`) or diverse (`P_{k,n,≥d}`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PreviewSpace {
     /// Concise previews: size constraint only.
     Concise(SizeConstraint),

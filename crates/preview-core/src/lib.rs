@@ -56,3 +56,36 @@ pub use constraint::{DistanceConstraint, PreviewSpace, SizeConstraint};
 pub use error::{Error, Result};
 pub use preview::{MaterializedRow, MaterializedTable, NonKeyAttr, Preview, PreviewTable};
 pub use scoring::{KeyScoring, NonKeyScoring, RandomWalkConfig, ScoredSchema, ScoringConfig};
+
+/// Compile-time guarantees that the types a serving layer shares across
+/// threads are `Send + Sync + Clone`. Discovery over a shared
+/// [`ScoredSchema`] from many worker threads (see the `preview-service`
+/// crate) is only sound because these bounds hold; a regression — say an
+/// `Rc` or `RefCell` slipping into a scoring structure — becomes a build
+/// error here instead of a runtime surprise downstream.
+mod static_assertions {
+    #![allow(dead_code)]
+
+    use super::*;
+
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+
+    const _: () = {
+        // The pre-computed scoring state shared behind `Arc` by every worker.
+        assert_send_sync_clone::<ScoredSchema>();
+        // Discovery inputs and outputs crossing thread boundaries.
+        assert_send_sync_clone::<Preview>();
+        assert_send_sync_clone::<PreviewTable>();
+        assert_send_sync_clone::<NonKeyAttr>();
+        assert_send_sync_clone::<Candidate>();
+        assert_send_sync_clone::<PreviewSpace>();
+        assert_send_sync_clone::<SizeConstraint>();
+        assert_send_sync_clone::<DistanceConstraint>();
+        assert_send_sync_clone::<ScoringConfig>();
+        assert_send_sync_clone::<Error>();
+        // The discovery algorithms themselves (stateless unit structs).
+        assert_send_sync_clone::<BruteForceDiscovery>();
+        assert_send_sync_clone::<DynamicProgrammingDiscovery>();
+        assert_send_sync_clone::<AprioriDiscovery>();
+    };
+}

@@ -1,0 +1,349 @@
+//! A sharded, thread-safe LRU cache for preview results.
+//!
+//! The cache is generic over key and value so the eviction machinery can be
+//! tested in isolation; the service instantiates it as
+//! `ShardedLruCache<CacheKey, Arc<CachedPreview>>` (see
+//! [`crate::request::CacheKey`]).
+//!
+//! Keys are partitioned across shards by hash, each shard protected by its
+//! own mutex, so concurrent workers rarely contend on the same lock. Within
+//! a shard, recency is tracked with a slab-backed intrusive doubly-linked
+//! list: `get` and `insert` are O(1), eviction pops the least-recently-used
+//! entry of the full shard. Hit / miss / eviction / insertion counters are
+//! lock-free atomics aggregated over all shards.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel slot index meaning "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// Aggregate cache counters, cheap to snapshot at any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of `get` calls that found their key.
+    pub hits: u64,
+    /// Number of `get` calls that missed.
+    pub misses: u64,
+    /// Number of entries evicted to make room for new ones.
+    pub evictions: u64,
+    /// Number of entries inserted (including overwrites of existing keys).
+    pub insertions: u64,
+    /// Current number of live entries across all shards.
+    pub len: usize,
+    /// Total capacity across all shards.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One entry of a shard's slab: the key/value plus intrusive list links.
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A single-lock LRU shard: hash map for lookup, slab + intrusive list for
+/// recency order (head = most recently used, tail = eviction candidate).
+#[derive(Debug)]
+struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity >= 1);
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most recently used position).
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most recently used on a hit.
+    fn get(&mut self, key: &K) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Inserts (or overwrites) `key`; returns `true` if an unrelated entry
+    /// had to be evicted to make room.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return false;
+        }
+        let mut evicted = false;
+        if self.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot].key = key.clone();
+                self.slots[slot].value = value;
+                slot
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.attach_front(slot);
+        self.map.insert(key, slot);
+        evicted
+    }
+
+    /// Keys in recency order, most recent first (test / introspection aid).
+    fn keys_by_recency(&self) -> Vec<K> {
+        let mut keys = Vec::with_capacity(self.len());
+        let mut cursor = self.head;
+        while cursor != NIL {
+            keys.push(self.slots[cursor].key.clone());
+            cursor = self.slots[cursor].next;
+        }
+        keys
+    }
+}
+
+/// A sharded LRU cache safe for concurrent use from many worker threads.
+#[derive(Debug)]
+pub struct ShardedLruCache<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
+    /// Creates a cache with (at least) `capacity` total entries spread over
+    /// `shards` shards. Both are clamped to a minimum of 1; per-shard
+    /// capacity is rounded up so total capacity is never below the request.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks up `key`, promoting it on a hit and bumping the hit/miss
+    /// counters.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let value = self
+            .shard_of(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(key);
+        match value {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        value
+    }
+
+    /// Inserts `key → value`, evicting the shard's least-recently-used entry
+    /// if it is full.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self
+            .shard_of(&key)
+            .lock()
+            .expect("cache shard lock")
+            .insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current number of live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").capacity)
+            .sum()
+    }
+
+    /// Snapshot of the counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity(),
+        }
+    }
+
+    /// Keys of every shard in recency order (most recent first per shard),
+    /// concatenated shard by shard. With a single shard this is the exact
+    /// global LRU order, which the property tests rely on.
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().expect("cache shard lock").keys_by_recency())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_promotes_and_insert_evicts_lru() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(3, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(4, 40);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.get(&4), Some(40));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 4);
+        assert_eq!(stats.len, 3);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_or_evict() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&1), Some(11));
+    }
+
+    #[test]
+    fn recency_order_is_most_recent_first() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(4, 1);
+        for k in 0..4 {
+            cache.insert(k, k);
+        }
+        cache.get(&0);
+        assert_eq!(cache.keys_by_recency(), vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn sharded_capacity_is_rounded_up() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(10, 4);
+        assert_eq!(cache.capacity(), 12);
+        let zero: ShardedLruCache<u32, u32> = ShardedLruCache::new(0, 0);
+        assert_eq!(zero.capacity(), 1);
+    }
+
+    #[test]
+    fn hit_rate_reflects_lookups() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(4, 2);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert(7, 7);
+        cache.get(&7);
+        cache.get(&8);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

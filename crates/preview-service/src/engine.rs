@@ -1,0 +1,475 @@
+//! The serving engine: worker pool + registry + result cache + stats.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::cache::{CacheStats, ShardedLruCache};
+use crate::registry::GraphRegistry;
+use crate::request::{
+    CacheKey, CachedPreview, PreviewRequest, PreviewResponse, ScoringKey, ServiceError,
+    ServiceResult,
+};
+use crate::stats::{ServiceStats, StatsRecorder};
+use crate::worker::{BoundedQueue, PushError};
+
+/// Sizing knobs of a [`PreviewService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Total result-cache capacity; `0` disables the cache entirely.
+    pub cache_capacity: usize,
+    /// Number of cache shards (clamped to ≥ 1).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration with `workers` threads and the remaining defaults.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// Disables the result cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_capacity = 0;
+        self
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: PreviewRequest,
+    enqueued: Instant,
+    reply: mpsc::Sender<ServiceResult<PreviewResponse>>,
+}
+
+/// A slot shared by every worker computing (or awaiting) the same cold key.
+type InflightSlot = Arc<OnceLock<ServiceResult<Arc<CachedPreview>>>>;
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    registry: Arc<GraphRegistry>,
+    cache: Option<ShardedLruCache<CacheKey, Arc<CachedPreview>>>,
+    /// Cold keys currently being computed: concurrent identical requests
+    /// share one discovery run instead of each repeating it (the same
+    /// `OnceLock` pattern the registry uses for scoring). Entries are
+    /// removed as soon as the computation finishes.
+    inflight: Mutex<HashMap<CacheKey, InflightSlot>>,
+    stats: StatsRecorder,
+}
+
+impl Shared {
+    /// Resolves and answers one request; the cache is consulted first, a
+    /// cold key is computed at most once across concurrent workers, and the
+    /// result is published for later identical requests.
+    fn execute(
+        &self,
+        request: &PreviewRequest,
+        queue_wait: Duration,
+    ) -> ServiceResult<PreviewResponse> {
+        let start = Instant::now();
+        let graph = self.registry.resolve(&request.graph, request.version)?;
+        let algorithm = request.algorithm.resolve(&request.space);
+        let key = CacheKey {
+            graph: graph.name().to_string(),
+            version: graph.version(),
+            scoring: ScoringKey::from(&request.scoring),
+            space: request.space,
+            algorithm,
+        };
+        let (cached, cache_hit) = self.lookup_or_compute(request, &key)?;
+        Ok(PreviewResponse {
+            graph: key.graph,
+            version: key.version,
+            algorithm,
+            preview: cached.preview.clone(),
+            score: cached.score,
+            cache_hit,
+            queue_wait,
+            compute: start.elapsed(),
+        })
+    }
+
+    /// Returns the result for `key` plus whether it was served without
+    /// running discovery on this call (LRU hit or shared in-flight compute).
+    fn lookup_or_compute(
+        &self,
+        request: &PreviewRequest,
+        key: &CacheKey,
+    ) -> ServiceResult<(Arc<CachedPreview>, bool)> {
+        if let Some(cache) = &self.cache {
+            if let Some(cached) = cache.get(key) {
+                return Ok((cached, true));
+            }
+        }
+        let slot: InflightSlot = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            Arc::clone(inflight.entry(key.clone()).or_default())
+        };
+        let mut computed = false;
+        let outcome = slot
+            .get_or_init(|| {
+                computed = true;
+                self.compute(request, key)
+            })
+            .clone();
+        // First finisher retires the slot so the map cannot grow; later
+        // identical requests find the result in the LRU cache instead.
+        if computed {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            if let Some(current) = inflight.get(key) {
+                if Arc::ptr_eq(current, &slot) {
+                    inflight.remove(key);
+                }
+            }
+        }
+        outcome.map(|cached| (cached, !computed))
+    }
+
+    /// Runs scoring + discovery and publishes the result to the LRU cache.
+    fn compute(
+        &self,
+        request: &PreviewRequest,
+        key: &CacheKey,
+    ) -> ServiceResult<Arc<CachedPreview>> {
+        let graph = self.registry.resolve(&request.graph, request.version)?;
+        let scored = graph.scored_for(&request.scoring)?;
+        let preview = key
+            .algorithm
+            .discovery()
+            .discover(&scored, &request.space)?;
+        let score = preview
+            .as_ref()
+            .map(|p| scored.preview_score(p))
+            .unwrap_or(0.0);
+        let cached = Arc::new(CachedPreview { preview, score });
+        if let Some(cache) = &self.cache {
+            cache.insert(key.clone(), Arc::clone(&cached));
+        }
+        Ok(cached)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    #[cfg(test)]
+    fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("inflight lock").len()
+    }
+}
+
+/// A handle to an answer that is still being computed.
+///
+/// Returned by [`PreviewService::submit`]; [`wait`](PendingResponse::wait)
+/// blocks until the worker replies.
+#[derive(Debug)]
+pub struct PendingResponse {
+    rx: mpsc::Receiver<ServiceResult<PreviewResponse>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> ServiceResult<PreviewResponse> {
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
+    }
+
+    /// Waits at most `timeout`; `None` means the response is not ready yet.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServiceResult<PreviewResponse>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::WorkerLost)),
+        }
+    }
+}
+
+/// A concurrent, cached preview-serving engine.
+///
+/// See the [crate-level docs](crate) for the register → serve → stats
+/// quick-start. Dropping the service closes the queue, drains outstanding
+/// requests and joins every worker.
+pub struct PreviewService {
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shutting_down: AtomicBool,
+}
+
+impl std::fmt::Debug for PreviewService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreviewService")
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.queue.len())
+            .finish()
+    }
+}
+
+impl PreviewService {
+    /// Spawns the worker pool over `registry`.
+    pub fn start(config: ServiceConfig, registry: Arc<GraphRegistry>) -> Self {
+        let cache = (config.cache_capacity > 0)
+            .then(|| ShardedLruCache::new(config.cache_capacity, config.cache_shards));
+        let shared = Arc::new(Shared {
+            registry,
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            stats: StatsRecorder::new(),
+        });
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                thread::Builder::new()
+                    .name(format!("preview-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &queue))
+                    .expect("spawn preview worker")
+            })
+            .collect();
+        Self {
+            shared,
+            queue,
+            workers,
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// Starts a service with the default configuration over `registry`.
+    pub fn with_defaults(registry: Arc<GraphRegistry>) -> Self {
+        Self::start(ServiceConfig::default(), registry)
+    }
+
+    /// The registry this service answers from.
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.shared.registry
+    }
+
+    /// Enqueues a request, blocking while the queue is full (backpressure).
+    pub fn submit(&self, request: PreviewRequest) -> ServiceResult<PendingResponse> {
+        self.enqueue(request, true)
+    }
+
+    /// Enqueues a request without blocking; [`ServiceError::QueueFull`] when
+    /// the queue is at capacity.
+    pub fn try_submit(&self, request: PreviewRequest) -> ServiceResult<PendingResponse> {
+        self.enqueue(request, false)
+    }
+
+    fn enqueue(&self, request: PreviewRequest, block: bool) -> ServiceResult<PendingResponse> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        let pushed = if block {
+            self.queue.push(job)
+        } else {
+            self.queue.try_push(job)
+        };
+        match pushed {
+            Ok(()) => {
+                self.shared.stats.record_submitted();
+                Ok(PendingResponse { rx })
+            }
+            Err(PushError::Full) => Err(ServiceError::QueueFull),
+            Err(PushError::Closed) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: submit and block until the response arrives.
+    pub fn submit_wait(&self, request: PreviewRequest) -> ServiceResult<PreviewResponse> {
+        self.submit(request)?.wait()
+    }
+
+    /// Answers a request on the calling thread, bypassing the queue and the
+    /// worker pool (but still using — and populating — the shared cache).
+    /// Latency is not recorded in the service stats.
+    pub fn execute_inline(&self, request: &PreviewRequest) -> ServiceResult<PreviewResponse> {
+        self.shared.execute(request, Duration::ZERO)
+    }
+
+    /// A point-in-time snapshot of throughput, latency and cache behaviour.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared
+            .stats
+            .snapshot(self.shared.cache_stats(), self.queue.len())
+    }
+
+    /// Stops accepting requests, drains the queue, and joins the workers.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            // Per-request panics are caught inside the loop, so this only
+            // trips on a harness-level bug; never panic here — shutdown can
+            // run from Drop during an unwind, where a panic would abort.
+            if worker.join().is_err() {
+                eprintln!("preview-service: worker thread panicked outside request handling");
+            }
+        }
+    }
+}
+
+impl Drop for PreviewService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
+    while let Some(job) = queue.pop() {
+        let queue_wait = job.enqueued.elapsed();
+        // Isolate panics per request: a buggy graph/space combination must
+        // not take the worker (and with it the whole pool) down — the caller
+        // gets a typed error and the worker moves on to the next job.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            shared.execute(&job.request, queue_wait)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ServiceError::Panicked {
+                message: panic_message(&payload),
+            })
+        });
+        match &result {
+            Ok(response) => shared.stats.record_completed(response.latency()),
+            Err(_) => shared.stats.record_failed(),
+        }
+        // The client may have dropped its handle; that is not an error.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures;
+    use preview_core::PreviewSpace;
+
+    fn fig1_service(config: ServiceConfig) -> PreviewService {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        PreviewService::start(config, registry)
+    }
+
+    #[test]
+    fn serves_the_papers_running_example() {
+        let service = fig1_service(ServiceConfig::default());
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        let response = service.submit_wait(request).unwrap();
+        assert_eq!(response.version, 1);
+        assert!(!response.cache_hit);
+        assert!((response.score - 84.0).abs() < 1e-9);
+        assert_eq!(response.preview.unwrap().tables().len(), 2);
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_cache() {
+        let service = fig1_service(ServiceConfig::default());
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        let first = service.submit_wait(request.clone()).unwrap();
+        let second = service.submit_wait(request).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.preview, second.preview);
+        assert_eq!(first.score, second.score);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache.hits, 1);
+    }
+
+    #[test]
+    fn unknown_graph_is_a_typed_error() {
+        let service = fig1_service(ServiceConfig::default());
+        let request = crate::PreviewRequest::new("nope", PreviewSpace::concise(1, 1).unwrap());
+        let err = service.submit_wait(request).unwrap_err();
+        assert!(matches!(err, ServiceError::GraphNotFound { .. }));
+        assert_eq!(service.stats().failed, 1);
+    }
+
+    #[test]
+    fn inflight_map_is_empty_after_requests_finish() {
+        let service = fig1_service(ServiceConfig::default());
+        for (k, n) in [(1, 2), (2, 6), (2, 4)] {
+            let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(k, n).unwrap());
+            service.submit_wait(request).unwrap();
+        }
+        assert_eq!(service.shared.inflight_len(), 0);
+        assert_eq!(service.stats().cache.insertions, 3);
+    }
+
+    #[test]
+    fn concurrent_identical_cold_requests_share_one_compute() {
+        let service = Arc::new(fig1_service(ServiceConfig::default()));
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                thread::spawn(move || {
+                    let request =
+                        crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+                    service.submit_wait(request).unwrap()
+                })
+            })
+            .collect();
+        let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        for response in &responses {
+            assert!((response.score - 84.0).abs() < 1e-9);
+        }
+        // Discovery ran at most once per worker that raced the cold key;
+        // requests that shared an in-flight compute report a cache hit.
+        let stats = service.stats();
+        assert!(stats.cache.insertions <= 4, "{}", stats.cache.insertions);
+        assert_eq!(
+            responses.iter().filter(|r| !r.cache_hit).count() as u64,
+            stats.cache.insertions
+        );
+        assert_eq!(service.shared.inflight_len(), 0);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_no_traffic() {
+        let registry = Arc::new(GraphRegistry::new());
+        let service = PreviewService::start(ServiceConfig::with_workers(1), registry);
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The graph registry: named, versioned entity graphs with memoized
+//! per-configuration [`ScoredSchema`]s, all behind `Arc` so worker threads
+//! share one copy of every precomputed structure.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use entity_graph::EntityGraph;
+use preview_core::{ScoredSchema, ScoringConfig};
+
+use crate::request::{ScoringKey, ServiceError, ServiceResult};
+
+/// The memoized outcome of scoring one graph version under one configuration.
+type ScoredSlot = Arc<OnceLock<Result<Arc<ScoredSchema>, preview_core::Error>>>;
+
+/// One immutable registered graph version.
+///
+/// Scoring is memoized per [`ScoringConfig`]: the first request for a
+/// configuration pays [`ScoredSchema::build`] once, every later request —
+/// from any worker — shares the resulting `Arc`. A `OnceLock` per
+/// configuration ensures concurrent first requests build at most once
+/// without holding the registry-wide lock during the build.
+#[derive(Debug)]
+pub struct RegisteredGraph {
+    name: String,
+    version: u32,
+    graph: Arc<EntityGraph>,
+    scored: Mutex<HashMap<ScoringKey, ScoredSlot>>,
+}
+
+impl RegisteredGraph {
+    fn new(name: String, version: u32, graph: Arc<EntityGraph>) -> Self {
+        Self {
+            name,
+            version,
+            graph,
+            scored: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The graph's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The version number (starts at 1, increments per registration).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The underlying entity graph.
+    pub fn graph(&self) -> &Arc<EntityGraph> {
+        &self.graph
+    }
+
+    /// Number of scoring configurations already memoized.
+    pub fn scored_config_count(&self) -> usize {
+        self.scored.lock().expect("scored map lock").len()
+    }
+
+    /// Returns the shared [`ScoredSchema`] for `config`, building (and
+    /// memoizing) it on first use.
+    pub fn scored_for(&self, config: &ScoringConfig) -> ServiceResult<Arc<ScoredSchema>> {
+        let key = ScoringKey::from(config);
+        let slot = {
+            let mut map = self.scored.lock().expect("scored map lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // Build outside the map lock: other configurations stay servable
+        // while this one scores, and OnceLock still guarantees one build.
+        let outcome = slot.get_or_init(|| ScoredSchema::build(&self.graph, config).map(Arc::new));
+        match outcome {
+            Ok(scored) => Ok(Arc::clone(scored)),
+            Err(e) => Err(ServiceError::Discovery(e.clone())),
+        }
+    }
+}
+
+/// A concurrent registry of named, versioned graphs.
+///
+/// Registering the same name again creates a new version; lookups without an
+/// explicit version resolve to the latest. All returned handles are `Arc`s,
+/// so a version stays fully usable by in-flight requests even after newer
+/// versions supersede it.
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    graphs: RwLock<HashMap<String, Vec<Arc<RegisteredGraph>>>>,
+}
+
+impl GraphRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `graph` under `name`, returning the new version's handle.
+    pub fn register(&self, name: impl Into<String>, graph: EntityGraph) -> Arc<RegisteredGraph> {
+        let name = name.into();
+        let mut graphs = self.graphs.write().expect("registry lock");
+        let versions = graphs.entry(name.clone()).or_default();
+        let version = versions.last().map_or(1, |g| g.version + 1);
+        let registered = Arc::new(RegisteredGraph::new(name, version, Arc::new(graph)));
+        versions.push(Arc::clone(&registered));
+        registered
+    }
+
+    /// Registers `graph` and eagerly scores it under each of `configs`, so
+    /// the first live requests do not pay the scoring cost.
+    pub fn register_precomputed(
+        &self,
+        name: impl Into<String>,
+        graph: EntityGraph,
+        configs: &[ScoringConfig],
+    ) -> ServiceResult<Arc<RegisteredGraph>> {
+        let registered = self.register(name, graph);
+        for config in configs {
+            registered.scored_for(config)?;
+        }
+        Ok(registered)
+    }
+
+    /// Looks up a graph by name and version (`None` = latest).
+    pub fn get(&self, name: &str, version: Option<u32>) -> Option<Arc<RegisteredGraph>> {
+        let graphs = self.graphs.read().expect("registry lock");
+        let versions = graphs.get(name)?;
+        match version {
+            None => versions.last().cloned(),
+            Some(v) => versions.iter().find(|g| g.version == v).cloned(),
+        }
+    }
+
+    /// Like [`get`](Self::get) but with a typed error for the service path.
+    pub fn resolve(&self, name: &str, version: Option<u32>) -> ServiceResult<Arc<RegisteredGraph>> {
+        self.get(name, version)
+            .ok_or_else(|| ServiceError::GraphNotFound {
+                graph: name.to_string(),
+                version,
+            })
+    }
+
+    /// The latest version number registered under `name`.
+    pub fn latest_version(&self, name: &str) -> Option<u32> {
+        self.get(name, None).map(|g| g.version())
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .graphs
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Total number of registered (name, version) pairs.
+    pub fn len(&self) -> usize {
+        self.graphs
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures;
+
+    #[test]
+    fn versions_increment_and_latest_wins() {
+        let registry = GraphRegistry::new();
+        let v1 = registry.register("fig1", fixtures::figure1_graph());
+        let v2 = registry.register("fig1", fixtures::figure1_graph());
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v2.version(), 2);
+        assert_eq!(registry.latest_version("fig1"), Some(2));
+        assert_eq!(registry.get("fig1", None).unwrap().version(), 2);
+        assert_eq!(registry.get("fig1", Some(1)).unwrap().version(), 1);
+        assert!(registry.get("fig1", Some(3)).is_none());
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["fig1".to_string()]);
+    }
+
+    #[test]
+    fn resolve_reports_missing_graphs() {
+        let registry = GraphRegistry::new();
+        let err = registry.resolve("absent", Some(4)).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::GraphNotFound {
+                graph: "absent".into(),
+                version: Some(4),
+            }
+        );
+    }
+
+    #[test]
+    fn scoring_is_memoized_per_config() {
+        let registry = GraphRegistry::new();
+        let graph = registry.register("fig1", fixtures::figure1_graph());
+        let config = ScoringConfig::coverage();
+        let a = graph.scored_for(&config).unwrap();
+        let b = graph.scored_for(&config).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(graph.scored_config_count(), 1);
+
+        let entropy = ScoringConfig::new(
+            preview_core::KeyScoring::Coverage,
+            preview_core::NonKeyScoring::Entropy,
+        );
+        let c = graph.scored_for(&entropy).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(graph.scored_config_count(), 2);
+    }
+
+    #[test]
+    fn register_precomputed_scores_eagerly() {
+        let registry = GraphRegistry::new();
+        let graph = registry
+            .register_precomputed(
+                "fig1",
+                fixtures::figure1_graph(),
+                &[ScoringConfig::coverage()],
+            )
+            .unwrap();
+        assert_eq!(graph.scored_config_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_scoring_converges_to_one_instance() {
+        let registry = Arc::new(GraphRegistry::new());
+        let graph = registry.register("fig1", fixtures::figure1_graph());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let graph = Arc::clone(&graph);
+                std::thread::spawn(move || graph.scored_for(&ScoringConfig::coverage()).unwrap())
+            })
+            .collect();
+        let schemas: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for pair in schemas.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+    }
+}

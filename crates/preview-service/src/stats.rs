@@ -1,0 +1,229 @@
+//! Service-level statistics: request counters, latency percentiles and
+//! throughput, combined with the cache counters into one snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// Upper bound on retained latency samples. Percentiles beyond this many
+/// completions come from a uniform reservoir (Vitter's Algorithm R), so a
+/// long-running service holds a fixed ~512 KiB of latency state instead of
+/// growing without bound.
+const LATENCY_SAMPLE_CAP: usize = 65_536;
+
+/// A bounded uniform sample of request latencies plus exact extremes/sums.
+#[derive(Debug)]
+struct LatencyReservoir {
+    samples: Vec<u64>,
+    /// Total latencies ever offered (> `samples.len()` once the cap is hit).
+    seen: u64,
+    /// Exact running sum for the mean (not subject to sampling).
+    total_us: u128,
+    /// Exact maximum (not subject to sampling).
+    max_us: u64,
+    /// xorshift64 state for replacement choices; deterministic seed, the
+    /// sampled latencies themselves provide the variability.
+    rng_state: u64,
+}
+
+impl LatencyReservoir {
+    fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            seen: 0,
+            total_us: 0,
+            max_us: 0,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn record(&mut self, us: u64) {
+        self.seen += 1;
+        self.total_us += u128::from(us);
+        self.max_us = self.max_us.max(us);
+        if self.samples.len() < LATENCY_SAMPLE_CAP {
+            self.samples.push(us);
+        } else {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            let slot = self.rng_state % self.seen;
+            if (slot as usize) < LATENCY_SAMPLE_CAP {
+                self.samples[slot as usize] = us;
+            }
+        }
+    }
+
+    fn mean_us(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.seen as f64
+        }
+    }
+}
+
+/// Shared mutable statistics the workers write into.
+#[derive(Debug)]
+pub(crate) struct StatsRecorder {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    /// Total (queue wait + compute) latency of completed requests, µs.
+    latencies: Mutex<LatencyReservoir>,
+}
+
+impl StatsRecorder {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyReservoir::new()),
+        }
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies
+            .lock()
+            .expect("latency lock")
+            .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, cache: CacheStats, queue_depth: usize) -> ServiceStats {
+        let (mut sample, mean_us, max_us) = {
+            let reservoir = self.latencies.lock().expect("latency lock");
+            (
+                reservoir.samples.clone(),
+                reservoir.mean_us(),
+                reservoir.max_us,
+            )
+        };
+        sample.sort_unstable();
+        let elapsed = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        ServiceStats {
+            elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth,
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency_mean_us: mean_us,
+            latency_p50_us: percentile(&sample, 50.0),
+            latency_p99_us: percentile(&sample, 99.0),
+            latency_max_us: max_us,
+            cache,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (`p` in 0..=100).
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// A point-in-time snapshot of the service's behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Time since the service started.
+    pub elapsed: Duration,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests that ended in an error.
+    pub failed: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Completed requests per second of service uptime.
+    pub throughput_rps: f64,
+    /// Mean total latency (queue wait + compute), microseconds.
+    pub latency_mean_us: f64,
+    /// Median total latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 99th-percentile total latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst observed total latency, microseconds.
+    pub latency_max_us: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 50.0), 50);
+        assert_eq!(percentile(&sample, 99.0), 99);
+        assert_eq!(percentile(&sample, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_and_keeps_exact_mean_and_max() {
+        let mut reservoir = LatencyReservoir::new();
+        let n = (LATENCY_SAMPLE_CAP as u64) * 3;
+        for i in 1..=n {
+            reservoir.record(i);
+        }
+        assert_eq!(reservoir.samples.len(), LATENCY_SAMPLE_CAP);
+        assert_eq!(reservoir.seen, n);
+        assert_eq!(reservoir.max_us, n);
+        // Exact mean of 1..=n regardless of which samples were kept.
+        assert!((reservoir.mean_us() - (n + 1) as f64 / 2.0).abs() < 1e-9);
+        // The sampled median of a uniform ramp stays near the true median.
+        let mut sample = reservoir.samples.clone();
+        sample.sort_unstable();
+        let p50 = percentile(&sample, 50.0) as f64;
+        assert!(
+            (p50 - n as f64 / 2.0).abs() < n as f64 * 0.05,
+            "p50 = {p50}"
+        );
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let recorder = StatsRecorder::new();
+        recorder.record_submitted();
+        recorder.record_submitted();
+        recorder.record_completed(Duration::from_micros(100));
+        recorder.record_completed(Duration::from_micros(300));
+        recorder.record_failed();
+        let stats = recorder.snapshot(CacheStats::default(), 3);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.queue_depth, 3);
+        assert_eq!(stats.latency_p50_us, 100);
+        assert_eq!(stats.latency_p99_us, 300);
+        assert_eq!(stats.latency_max_us, 300);
+        assert!((stats.latency_mean_us - 200.0).abs() < 1e-9);
+        assert!(stats.throughput_rps > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixed-size worker pool with a bounded, condvar-backed request queue.
+//!
+//! Built on `std` threads only: a `Mutex<VecDeque>` plus two `Condvar`s give
+//! a classic bounded MPMC queue. Producers block (or fail fast with
+//! [`crate::ServiceError::QueueFull`] via `try_push`) when the queue is at
+//! capacity; workers block when it is empty and drain remaining items after
+//! [`BoundedQueue::close`] before exiting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (only returned by `try_push`).
+    Full,
+    /// The queue has been closed.
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` without blocking; fails fast when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending items are still handed out, new pushes fail,
+    /// and blocked producers / consumers wake up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let queue: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(queue.capacity(), 2);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.try_push(3), Err(PushError::Full));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let queue: BoundedQueue<u32> = BoundedQueue::new(4);
+        queue.push(7).unwrap();
+        queue.close();
+        assert!(queue.is_closed());
+        assert_eq!(queue.push(8), Err(PushError::Closed));
+        assert_eq!(queue.try_push(8), Err(PushError::Closed));
+        assert_eq!(queue.pop(), Some(7));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_pop() {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        queue.push(1).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.push(2))
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(queue.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(3));
+        let producers: Vec<_> = (0..4)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    for j in 0..25 {
+                        queue.push(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut seen = Vec::new();
+        for _ in 0..100 {
+            seen.push(queue.pop().unwrap());
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100);
+    }
+}

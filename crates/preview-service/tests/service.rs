@@ -1,0 +1,221 @@
+//! Integration tests for the preview service: LRU cache properties against a
+//! reference model, cached-response determinism, and concurrent serving.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use entity_graph::fixtures;
+use preview_core::{
+    DynamicProgrammingDiscovery, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig,
+};
+use preview_service::{
+    GraphRegistry, PreviewRequest, PreviewService, ServiceConfig, ShardedLruCache,
+};
+
+/// A straightforward reference LRU: most-recent-first key order plus values.
+struct ModelLru {
+    order: Vec<u32>,
+    values: HashMap<u32, u32>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            order: Vec::new(),
+            values: HashMap::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: u32) -> Option<u32> {
+        let value = self.values.get(&key).copied()?;
+        self.order.retain(|&k| k != key);
+        self.order.insert(0, key);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: u32, value: u32) {
+        if self.values.insert(key, value).is_some() {
+            self.order.retain(|&k| k != key);
+        } else if self.order.len() >= self.capacity {
+            let evicted = self.order.pop().expect("full model has a tail");
+            self.values.remove(&evicted);
+        }
+        self.order.insert(0, key);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With a single shard, the cache's recency order, length and lookup
+    /// results match the reference model after any operation sequence.
+    #[test]
+    fn single_shard_matches_reference_model(
+        seed in 0u64..10_000,
+        capacity in 1usize..12,
+        ops in 1usize..200,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(capacity, 1);
+        let mut model = ModelLru::new(capacity);
+        for i in 0..ops {
+            let key = rng.gen_range(0u32..16);
+            if rng.gen_bool(0.5) {
+                let value = i as u32;
+                cache.insert(key, value);
+                model.insert(key, value);
+            } else {
+                prop_assert_eq!(cache.get(&key), model.get(key));
+            }
+            prop_assert_eq!(cache.keys_by_recency(), model.order.clone());
+            prop_assert_eq!(cache.len(), model.order.len());
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    /// Regardless of shard count, occupancy never exceeds total capacity and
+    /// the hit/miss/insert counters stay consistent with the operation count.
+    #[test]
+    fn sharded_capacity_and_counters_are_bounded(
+        seed in 0u64..10_000,
+        capacity in 1usize..32,
+        shards in 1usize..6,
+        ops in 1usize..300,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(capacity, shards);
+        let mut inserts = 0u64;
+        let mut lookups = 0u64;
+        for _ in 0..ops {
+            let key = rng.gen_range(0u32..64);
+            if rng.gen_bool(0.6) {
+                cache.insert(key, key);
+                inserts += 1;
+            } else {
+                lookups += 1;
+                if let Some(value) = cache.get(&key) {
+                    prop_assert_eq!(value, key);
+                }
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.insertions, inserts);
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+        prop_assert!(stats.evictions <= inserts);
+        prop_assert!(stats.len <= stats.capacity);
+    }
+}
+
+/// A cached response must be byte-identical to a fresh discovery: same Debug
+/// rendering, same table description, bit-identical score.
+#[test]
+fn cached_response_is_byte_identical_to_fresh_discovery() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("fig1", fixtures::figure1_graph());
+    let service = PreviewService::start(ServiceConfig::default(), Arc::clone(&registry));
+
+    let request = PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+    let first = service.submit_wait(request.clone()).unwrap();
+    let second = service.submit_wait(request).unwrap();
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit);
+
+    // Fresh discovery outside the service, from scratch.
+    let graph = fixtures::figure1_graph();
+    let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+    let fresh = DynamicProgrammingDiscovery::new()
+        .discover(&scored, &PreviewSpace::concise(2, 6).unwrap())
+        .unwrap()
+        .expect("a preview exists");
+
+    for response in [&first, &second] {
+        let served = response.preview.as_ref().expect("a preview exists");
+        assert_eq!(
+            format!("{served:?}").into_bytes(),
+            format!("{fresh:?}").into_bytes()
+        );
+        assert_eq!(
+            served.describe(scored.schema()).into_bytes(),
+            fresh.describe(scored.schema()).into_bytes()
+        );
+        assert_eq!(
+            response.score.to_bits(),
+            scored.preview_score(&fresh).to_bits()
+        );
+    }
+}
+
+/// Hammer one service from several client threads: every response is correct,
+/// all requests complete, and repeated keys hit the cache.
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("fig1", fixtures::figure1_graph());
+    let service = Arc::new(PreviewService::start(
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+        registry,
+    ));
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let request = PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+                    let response = service.submit_wait(request).unwrap();
+                    assert!((response.score - 84.0).abs() < 1e-9);
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 100);
+    assert_eq!(stats.completed, 100);
+    assert_eq!(stats.failed, 0);
+    // All 100 requests share one key; at most a few racing first requests
+    // can miss, everything else must come from the cache.
+    assert!(stats.cache.hits >= 90, "hits = {}", stats.cache.hits);
+    assert!(stats.latency_p99_us >= stats.latency_p50_us);
+}
+
+/// Graph versioning: a re-registered graph serves new results while explicit
+/// old-version requests still resolve against the old data.
+#[test]
+fn versioned_requests_resolve_independently() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("g", fixtures::figure1_graph());
+    registry.register("g", fixtures::figure1_graph());
+    let service = PreviewService::start(ServiceConfig::default(), registry);
+
+    let latest = service
+        .submit_wait(PreviewRequest::new(
+            "g",
+            PreviewSpace::concise(2, 6).unwrap(),
+        ))
+        .unwrap();
+    assert_eq!(latest.version, 2);
+
+    let pinned = service
+        .submit_wait(PreviewRequest::new("g", PreviewSpace::concise(2, 6).unwrap()).with_version(1))
+        .unwrap();
+    assert_eq!(pinned.version, 1);
+    // Different versions are distinct cache keys even with identical data.
+    assert!(!pinned.cache_hit);
+    assert_eq!(pinned.score.to_bits(), latest.score.to_bits());
+}

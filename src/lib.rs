@@ -12,9 +12,13 @@
 //! * [`datagen`] — synthetic Freebase-like domain generation, gold standards
 //!   and the simulated crowdsourcing / user study used in the evaluation,
 //! * [`eval`] — ranking metrics, correlation, hypothesis testing and
-//!   descriptive statistics used to regenerate the paper's tables and figures.
+//!   descriptive statistics used to regenerate the paper's tables and figures,
+//! * [`service`] — the concurrent, cached preview-serving engine (graph
+//!   registry, worker pool, sharded LRU result cache, latency statistics);
+//!   see its crate docs for the register → serve → stats quick-start.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/preview_service.rs` for the serving layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +28,7 @@ pub use datagen;
 pub use entity_graph as graph;
 pub use eval;
 pub use preview_core as core;
+pub use preview_service as service;
 
 /// Convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
@@ -36,5 +41,8 @@ pub mod prelude {
         AprioriDiscovery, BruteForceDiscovery, DistanceConstraint, DynamicProgrammingDiscovery,
         KeyScoring, NonKeyScoring, Preview, PreviewDiscovery, PreviewSpace, ScoredSchema,
         ScoringConfig, SizeConstraint,
+    };
+    pub use preview_service::{
+        Algorithm, GraphRegistry, PreviewRequest, PreviewResponse, PreviewService, ServiceConfig,
     };
 }
