@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> RUSTDOCFLAGS=-D warnings cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -22,6 +25,10 @@ cargo test -q
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run
+
+echo "==> graph-bench smoke workload (emits BENCH_graph.json)"
+cargo run --release -p bench --bin graph-bench -- \
+    --out BENCH_graph.json --check
 
 echo "==> preview-serve smoke workload (emits BENCH_service.json)"
 cargo run --release -p bench --bin preview-serve -- \

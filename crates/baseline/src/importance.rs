@@ -131,7 +131,7 @@ mod tests {
 
     fn importance() -> (SchemaGraph, Vec<f64>) {
         let g = fixtures::figure1_graph();
-        let s = g.schema_graph();
+        let s = g.schema_graph().clone();
         let v = RelationalView::build(&g, &s);
         let imp = table_importance(&v, &s, &ImportanceConfig::default());
         (s, imp)
@@ -169,7 +169,7 @@ mod tests {
         use entity_graph::EntityGraphBuilder;
         let g = EntityGraphBuilder::new().build();
         let s = g.schema_graph();
-        let v = RelationalView::build(&g, &s);
-        assert!(table_importance(&v, &s, &ImportanceConfig::default()).is_empty());
+        let v = RelationalView::build(&g, s);
+        assert!(table_importance(&v, s, &ImportanceConfig::default()).is_empty());
     }
 }

@@ -151,16 +151,20 @@ fn build_column(
     let mut total = 0usize;
     if let Some(rel) = rel {
         for &entity in entities {
-            for value in graph.neighbors_via(entity, rel, direction) {
+            for &value in graph.neighbors_via(entity, rel, direction) {
                 *value_counts.entry(value).or_insert(0) += 1;
                 total += 1;
             }
         }
     }
     let entropy = if total > 0 {
-        value_counts
-            .values()
-            .map(|&c| {
+        // Deterministic summation order (see `nonkey::orientation_entropy`):
+        // HashMap iteration order would perturb the float sum by ulps.
+        let mut counts: Vec<usize> = value_counts.values().copied().collect();
+        counts.sort_unstable();
+        counts
+            .into_iter()
+            .map(|c| {
                 let p = c as f64 / total as f64;
                 -p * p.log2()
             })
@@ -185,7 +189,7 @@ mod tests {
 
     fn view() -> (EntityGraph, SchemaGraph, RelationalView) {
         let g = fixtures::figure1_graph();
-        let s = g.schema_graph();
+        let s = g.schema_graph().clone();
         let v = RelationalView::build(&g, &s);
         (g, s, v)
     }
@@ -241,7 +245,7 @@ mod tests {
         // No entities, no edges.
         let g = b.build();
         let s = g.schema_graph();
-        let v = RelationalView::build(&g, &s);
+        let v = RelationalView::build(&g, s);
         assert_eq!(v.len(), 2);
         for t in v.tables() {
             assert_eq!(t.rows, 0);

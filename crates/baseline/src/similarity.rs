@@ -66,7 +66,7 @@ mod tests {
 
     fn matrix() -> (SchemaGraph, Vec<Vec<f64>>) {
         let g = fixtures::figure1_graph();
-        let s = g.schema_graph();
+        let s = g.schema_graph().clone();
         let m = similarity_matrix(&s);
         (s, m)
     }
@@ -117,7 +117,7 @@ mod tests {
         b.edge(x, r, y).unwrap();
         let g = b.build();
         let s = g.schema_graph();
-        let m = similarity_matrix(&s);
+        let m = similarity_matrix(s);
         let a_ty = s.type_by_name("A").unwrap();
         let iso_ty = s.type_by_name("ISOLATED").unwrap();
         assert_eq!(table_distance(&m, a_ty, iso_ty), 1.0);

@@ -86,7 +86,7 @@ mod tests {
     fn ranked_tables_cover_every_type_once() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let ranked = Yps09Summarizer::new().ranked_tables(&g, &s);
+        let ranked = Yps09Summarizer::new().ranked_tables(&g, s);
         assert_eq!(ranked.len(), s.type_count());
         let mut sorted = ranked.clone();
         sorted.sort_unstable();
@@ -98,7 +98,7 @@ mod tests {
     fn summary_has_k_centers_and_full_assignment() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let summary = Yps09Summarizer::new().summarize(&g, &s, 3).unwrap();
+        let summary = Yps09Summarizer::new().summarize(&g, s, 3).unwrap();
         assert_eq!(summary.centers.len(), 3);
         let total: usize = summary.clusters.iter().map(Vec::len).sum();
         assert_eq!(total, s.type_count());
@@ -112,11 +112,11 @@ mod tests {
         use entity_graph::EntityGraphBuilder;
         let g = EntityGraphBuilder::new().build();
         let s = g.schema_graph();
-        assert!(Yps09Summarizer::new().summarize(&g, &s, 3).is_none());
+        assert!(Yps09Summarizer::new().summarize(&g, s, 3).is_none());
 
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        assert!(Yps09Summarizer::new().summarize(&g, &s, 0).is_none());
+        assert!(Yps09Summarizer::new().summarize(&g, s, 0).is_none());
     }
 
     #[test]
@@ -127,7 +127,7 @@ mod tests {
             restart: 0.5,
             ..ImportanceConfig::default()
         };
-        let ranked = Yps09Summarizer::with_config(config).ranked_tables(&g, &s);
+        let ranked = Yps09Summarizer::with_config(config).ranked_tables(&g, s);
         assert_eq!(ranked.len(), s.type_count());
     }
 }

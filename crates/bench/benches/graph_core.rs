@@ -1,0 +1,65 @@
+//! Criterion bench for the CSR graph core: the `neighbors_via` sweep at the
+//! heart of entropy scoring and materialisation, measured through the
+//! zero-alloc CSR path and the naive pre-CSR scan-filter-sort-dedup path,
+//! plus full entropy scoring and preview materialisation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::graph_core::{
+    csr_entropy_scores, csr_neighbor_sweep, discovery_fixture, materialise_preview,
+    naive_entropy_scores, naive_neighbor_sweep,
+};
+use datagen::{FreebaseDomain, SyntheticGenerator};
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_graph_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_core");
+    for domain in [FreebaseDomain::Basketball, FreebaseDomain::Film] {
+        let graph = SyntheticGenerator::new(2016).generate(&domain.spec(1e-4));
+        let schema = graph.schema_graph().clone();
+
+        group.bench_with_input(
+            BenchmarkId::new("neighbor_sweep_csr", domain.name()),
+            &graph,
+            |b, graph| b.iter(|| csr_neighbor_sweep(graph, &schema)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("neighbor_sweep_naive", domain.name()),
+            &graph,
+            |b, graph| b.iter(|| naive_neighbor_sweep(graph, &schema)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("entropy_scores_csr", domain.name()),
+            &graph,
+            |b, graph| b.iter(|| csr_entropy_scores(graph, &schema)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("entropy_scores_naive", domain.name()),
+            &graph,
+            |b, graph| b.iter(|| naive_entropy_scores(graph, &schema)),
+        );
+        let (scored, preview) = discovery_fixture(&graph);
+        group.bench_with_input(
+            BenchmarkId::new("materialise_preview", domain.name()),
+            &graph,
+            |b, graph| b.iter(|| materialise_preview(graph, &scored, &preview)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = graph_core;
+    config = configure(&mut Criterion::default());
+    targets = bench_graph_core
+}
+criterion_main!(graph_core);

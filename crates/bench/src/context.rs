@@ -33,7 +33,7 @@ impl DomainContext {
     pub fn build(domain: FreebaseDomain, scale: f64, seed: u64) -> Self {
         let spec = domain.spec(scale);
         let graph = SyntheticGenerator::new(seed).generate(&spec);
-        let schema = graph.schema_graph();
+        let schema = graph.schema_graph().clone();
         Self {
             domain,
             spec,

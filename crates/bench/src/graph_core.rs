@@ -1,0 +1,219 @@
+//! Graph-core micro-workloads: the CSR storage layer versus a naive
+//! `Vec<Vec<_>>`-era reference on a datagen graph.
+//!
+//! The naive functions reproduce the pre-CSR implementation of
+//! `EntityGraph::neighbors_via` — scan the entity's edge list, filter by
+//! relationship type, collect, sort, dedup, allocate — so the `graph-bench`
+//! binary and the `graph_core` Criterion bench can quantify what the flat,
+//! pre-grouped representation buys on the scoring and materialisation hot
+//! paths, and CI can fail if the gap regresses.
+
+use entity_graph::{Direction, EntityGraph, EntityId, SchemaGraph};
+use preview_core::{Preview, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig};
+
+/// The pre-CSR `neighbors_via`: per-call scan + filter + sort + dedup into a
+/// fresh allocation.
+pub fn naive_neighbors_via(
+    graph: &EntityGraph,
+    entity: EntityId,
+    rel: entity_graph::RelTypeId,
+    direction: Direction,
+) -> Vec<EntityId> {
+    let edge_ids = match direction {
+        Direction::Outgoing => graph.out_edges(entity),
+        Direction::Incoming => graph.in_edges(entity),
+    };
+    let mut out: Vec<EntityId> = edge_ids
+        .iter()
+        .map(|&eid| graph.edge(eid))
+        .filter(|e| e.rel == rel)
+        .map(|e| match direction {
+            Direction::Outgoing => e.dst,
+            Direction::Incoming => e.src,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Sweeps every (entity of key type, relationship type, direction)
+/// combination the entropy scorer visits, using the zero-alloc CSR lookup.
+/// Returns (total neighbor references, XOR checksum) so the work cannot be
+/// optimised away.
+pub fn csr_neighbor_sweep(graph: &EntityGraph, schema: &SchemaGraph) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut checksum = 0u64;
+    for edge in schema.edges() {
+        for direction in [Direction::Outgoing, Direction::Incoming] {
+            let key_type = match direction {
+                Direction::Outgoing => edge.src,
+                Direction::Incoming => edge.dst,
+            };
+            for &entity in graph.entities_of_type(key_type) {
+                let value = graph.neighbors_via(entity, edge.rel, direction);
+                total += value.len() as u64;
+                for &n in value {
+                    checksum ^= u64::from(n.raw()).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                }
+            }
+        }
+    }
+    (total, checksum)
+}
+
+/// The same sweep through the naive per-call implementation.
+pub fn naive_neighbor_sweep(graph: &EntityGraph, schema: &SchemaGraph) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut checksum = 0u64;
+    for edge in schema.edges() {
+        for direction in [Direction::Outgoing, Direction::Incoming] {
+            let key_type = match direction {
+                Direction::Outgoing => edge.src,
+                Direction::Incoming => edge.dst,
+            };
+            for &entity in graph.entities_of_type(key_type) {
+                let value = naive_neighbors_via(graph, entity, edge.rel, direction);
+                total += value.len() as u64;
+                for &n in &value {
+                    checksum ^= u64::from(n.raw()).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                }
+            }
+        }
+    }
+    (total, checksum)
+}
+
+/// Entropy scoring through the public (CSR-backed) pipeline.
+pub fn csr_entropy_scores(graph: &EntityGraph, schema: &SchemaGraph) -> (Vec<f64>, Vec<f64>) {
+    preview_core::scoring::entropy_scores(graph, schema)
+}
+
+/// Entropy scoring where every attribute value is fetched through the naive
+/// per-call implementation — the pre-CSR *fetch* path. The final summation
+/// uses the current sorted-count order (the pre-CSR code summed in randomized
+/// HashMap order and drifted by ulps run to run), so the scores are bitwise
+/// comparable with [`csr_entropy_scores`]: the cross-check proves fetch-path
+/// equivalence, and the timing difference isolates the neighbor-access cost.
+pub fn naive_entropy_scores(graph: &EntityGraph, schema: &SchemaGraph) -> (Vec<f64>, Vec<f64>) {
+    use std::collections::HashMap;
+    let orientation = |rel_name: &str,
+                       src: entity_graph::TypeId,
+                       dst: entity_graph::TypeId,
+                       direction: Direction|
+     -> f64 {
+        let (src_in_graph, dst_in_graph) = match (
+            graph.type_by_name(schema.type_name(src)),
+            graph.type_by_name(schema.type_name(dst)),
+        ) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return 0.0,
+        };
+        let rel = match graph.rel_type_by_key(rel_name, src_in_graph, dst_in_graph) {
+            Some(r) => r,
+            None => return 0.0,
+        };
+        let key_type = match direction {
+            Direction::Outgoing => src_in_graph,
+            Direction::Incoming => dst_in_graph,
+        };
+        let mut groups: HashMap<Vec<EntityId>, u64> = HashMap::new();
+        let mut non_empty = 0u64;
+        for &entity in graph.entities_of_type(key_type) {
+            let value = naive_neighbors_via(graph, entity, rel, direction);
+            if value.is_empty() {
+                continue;
+            }
+            non_empty += 1;
+            *groups.entry(value).or_insert(0) += 1;
+        }
+        if non_empty == 0 {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = groups.into_values().collect();
+        counts.sort_unstable();
+        let total = non_empty as f64;
+        counts
+            .into_iter()
+            .map(|n| {
+                let p = n as f64 / total;
+                p * (total / n as f64).log10()
+            })
+            .sum()
+    };
+    let mut outgoing = Vec::with_capacity(schema.relationship_type_count());
+    let mut incoming = Vec::with_capacity(schema.relationship_type_count());
+    for edge in schema.edges() {
+        outgoing.push(orientation(
+            &edge.name,
+            edge.src,
+            edge.dst,
+            Direction::Outgoing,
+        ));
+        incoming.push(orientation(
+            &edge.name,
+            edge.src,
+            edge.dst,
+            Direction::Incoming,
+        ));
+    }
+    (outgoing, incoming)
+}
+
+/// Discovers the top concise preview and fully materialises it (all rows).
+/// Returns the total number of materialised cells as a liveness witness.
+pub fn materialise_preview(graph: &EntityGraph, scored: &ScoredSchema, preview: &Preview) -> u64 {
+    let tables = preview.materialize(graph, scored.schema(), usize::MAX);
+    tables
+        .iter()
+        .flat_map(|t| t.rows.iter())
+        .map(|r| r.values.iter().map(|v| v.len() as u64).sum::<u64>() + 1)
+        .sum()
+}
+
+/// Builds the scored schema and discovers a concise preview to materialise.
+pub fn discovery_fixture(graph: &EntityGraph) -> (ScoredSchema, Preview) {
+    let scored = ScoredSchema::build(graph, &ScoringConfig::coverage())
+        .expect("scoring the datagen graph succeeds");
+    let space = PreviewSpace::concise(3.min(scored.eligible_types().len().max(1)), 8)
+        .expect("valid concise space");
+    let preview = preview_core::DynamicProgrammingDiscovery::new()
+        .discover(&scored, &space)
+        .expect("discovery succeeds")
+        .expect("a preview exists");
+    (scored, preview)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{FreebaseDomain, SyntheticGenerator};
+
+    #[test]
+    fn sweeps_agree_between_csr_and_naive() {
+        let graph = SyntheticGenerator::new(7).generate(&FreebaseDomain::Basketball.spec(1e-3));
+        let schema = graph.schema_graph();
+        assert_eq!(
+            csr_neighbor_sweep(&graph, schema),
+            naive_neighbor_sweep(&graph, schema)
+        );
+    }
+
+    #[test]
+    fn entropy_scores_agree_bitwise_between_csr_and_naive() {
+        let graph = SyntheticGenerator::new(7).generate(&FreebaseDomain::Basketball.spec(1e-3));
+        let schema = graph.schema_graph();
+        let (csr_out, csr_in) = csr_entropy_scores(&graph, schema);
+        let (naive_out, naive_in) = naive_entropy_scores(&graph, schema);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&csr_out), bits(&naive_out));
+        assert_eq!(bits(&csr_in), bits(&naive_in));
+    }
+
+    #[test]
+    fn materialisation_counts_cells() {
+        let graph = SyntheticGenerator::new(7).generate(&FreebaseDomain::Basketball.spec(1e-3));
+        let (scored, preview) = discovery_fixture(&graph);
+        assert!(materialise_preview(&graph, &scored, &preview) > 0);
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod context;
 pub mod efficiency;
+pub mod graph_core;
 pub mod samples;
 pub mod scoring_accuracy;
 pub mod service_workload;

@@ -143,6 +143,26 @@ mod tests {
     }
 
     #[test]
+    fn neighbor_slices_partition_generated_edges() {
+        // The generated graph's pre-grouped CSR neighbor index must account
+        // for every edge exactly once (modulo de-duplication of parallel
+        // edges): summing distinct (src, rel, dst) triples over all entities'
+        // borrowed `neighbors_via` slices matches a direct edge-list count.
+        use std::collections::HashSet;
+        let g = SyntheticGenerator::new(9).generate(&tiny_spec());
+        let distinct: HashSet<_> = g.edges().map(|(_, e)| (e.src, e.rel, e.dst)).collect();
+        let mut via_slices = 0usize;
+        for (entity, _) in g.entities() {
+            for (rel, _) in g.rel_types() {
+                via_slices += g
+                    .neighbors_via(entity, rel, entity_graph::Direction::Outgoing)
+                    .len();
+            }
+        }
+        assert_eq!(via_slices, distinct.len());
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let spec = tiny_spec();
         let a = SyntheticGenerator::new(7).generate(&spec);

@@ -1,18 +1,21 @@
 //! Incremental construction of [`EntityGraph`]s.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use crate::csr::{Csr, RelGroupedNeighbors};
 use crate::entity::{Edge, Entity, RelType};
 use crate::error::{Error, Result};
 use crate::graph::EntityGraph;
 use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
+use crate::interner::Interner;
 
 /// Builder for [`EntityGraph`].
 ///
 /// The builder interns entity types, relationship types and entities as they
 /// are first mentioned, validates that edge endpoints carry the entity types
 /// required by their relationship type, and finally freezes everything into an
-/// immutable [`EntityGraph`] with all adjacency indexes pre-computed.
+/// immutable [`EntityGraph`] with all CSR adjacency indexes pre-computed.
 #[derive(Debug, Default, Clone)]
 pub struct EntityGraphBuilder {
     entities: Vec<Entity>,
@@ -20,7 +23,8 @@ pub struct EntityGraphBuilder {
     type_names: Vec<String>,
     type_by_name: HashMap<String, TypeId>,
     rel_types: Vec<RelType>,
-    rel_by_key: HashMap<(String, TypeId, TypeId), RelTypeId>,
+    rel_names: Interner,
+    rel_by_key: HashMap<(u32, TypeId, TypeId), RelTypeId>,
     edges: Vec<Edge>,
 }
 
@@ -57,7 +61,9 @@ impl EntityGraphBuilder {
     /// name with different endpoint types yields a distinct relationship type,
     /// mirroring the paper's `Award Winners` example.
     pub fn relationship_type(&mut self, name: &str, src: TypeId, dst: TypeId) -> RelTypeId {
-        let key = (name.to_owned(), src, dst);
+        // Interning the surface name keeps the lookup key three plain
+        // integers; repeat calls with a known name allocate nothing.
+        let key = (self.rel_names.intern(name), src, dst);
         if let Some(&id) = self.rel_by_key.get(&key) {
             return id;
         }
@@ -157,36 +163,67 @@ impl EntityGraphBuilder {
     }
 
     /// Freezes the builder into an immutable [`EntityGraph`], computing the
-    /// per-type, per-relationship-type and per-entity adjacency indexes.
+    /// per-type, per-relationship-type and per-entity CSR adjacency indexes
+    /// and the per-entity neighbor sets pre-grouped by relationship type.
     pub fn build(self) -> EntityGraph {
-        let mut entities_by_type: Vec<Vec<EntityId>> = vec![Vec::new(); self.type_names.len()];
-        for (idx, entity) in self.entities.iter().enumerate() {
-            let id = EntityId::from_usize(idx);
-            for &ty in &entity.types {
-                entities_by_type[ty.index()].push(id);
-            }
-        }
-        let mut edges_by_rel: Vec<Vec<EdgeId>> = vec![Vec::new(); self.rel_types.len()];
-        let mut out_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); self.entities.len()];
-        let mut in_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); self.entities.len()];
+        let entity_count = self.entities.len();
+
+        let type_pairs: Vec<(usize, EntityId)> = self
+            .entities
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, entity)| {
+                let id = EntityId::from_usize(idx);
+                entity.types.iter().map(move |ty| (ty.index(), id))
+            })
+            .collect();
+        let entities_by_type = Csr::from_pairs(self.type_names.len(), &type_pairs);
+
+        let mut rel_pairs = Vec::with_capacity(self.edges.len());
+        let mut out_pairs = Vec::with_capacity(self.edges.len());
+        let mut in_pairs = Vec::with_capacity(self.edges.len());
         for (idx, edge) in self.edges.iter().enumerate() {
             let id = EdgeId::from_usize(idx);
-            edges_by_rel[edge.rel.index()].push(id);
-            out_edges[edge.src.index()].push(id);
-            in_edges[edge.dst.index()].push(id);
+            rel_pairs.push((edge.rel.index(), id));
+            out_pairs.push((edge.src.index(), id));
+            in_pairs.push((edge.dst.index(), id));
         }
+        let edges_by_rel = Csr::from_pairs(self.rel_types.len(), &rel_pairs);
+        let out_edges = Csr::from_pairs(entity_count, &out_pairs);
+        let in_edges = Csr::from_pairs(entity_count, &in_pairs);
+
+        // Pre-group every entity's neighbors by relationship type (sorted,
+        // de-duplicated), so `neighbors_via` is a pure slice lookup.
+        let edges = &self.edges;
+        let out_neighbors = RelGroupedNeighbors::build(entity_count, |v, scratch| {
+            scratch.extend(out_edges.slice(v).iter().map(|&eid| {
+                let e = edges[eid.index()];
+                (e.rel, e.dst)
+            }));
+        });
+        let in_neighbors = RelGroupedNeighbors::build(entity_count, |v, scratch| {
+            scratch.extend(in_edges.slice(v).iter().map(|&eid| {
+                let e = edges[eid.index()];
+                (e.rel, e.src)
+            }));
+        });
+
         EntityGraph {
             entities: self.entities,
             entity_by_name: self.entity_by_name,
             type_names: self.type_names,
             type_by_name: self.type_by_name,
             rel_types: self.rel_types,
+            rel_names: self.rel_names,
             rel_by_key: self.rel_by_key,
             edges: self.edges,
             entities_by_type,
             edges_by_rel,
             out_edges,
             in_edges,
+            out_neighbors,
+            in_neighbors,
+            schema_cache: OnceLock::new(),
         }
     }
 }

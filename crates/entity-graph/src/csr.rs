@@ -1,0 +1,269 @@
+//! Compressed-sparse-row (CSR) columnar storage for the graph's adjacency
+//! indexes.
+//!
+//! The entity graph is immutable after [`build`](crate::EntityGraphBuilder::build),
+//! so every per-entity / per-type / per-relationship-type grouping can be
+//! flattened into two parallel arrays: a payload array holding all group
+//! members back to back, and an offsets array with one entry per group
+//! boundary. Compared to a `Vec<Vec<_>>` this removes one pointer indirection
+//! and one heap allocation per group, keeps all payloads of neighbouring
+//! groups contiguous in memory (sequential scans over many entities walk a
+//! single flat array), and makes every group lookup a borrowed, zero-copy
+//! slice.
+//!
+//! [`RelGroupedNeighbors`] extends the same idea one level down: each
+//! entity's neighbors are pre-grouped at build time into sorted, de-duplicated
+//! segments keyed by relationship type, so the hot
+//! [`neighbors_via`](crate::EntityGraph::neighbors_via) lookup is a binary
+//! search over an entity's segment directory followed by a borrowed slice of
+//! the shared payload — no scanning, filtering, sorting or allocation at
+//! query time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{EntityId, RelTypeId};
+
+/// A flattened list-of-lists: group `i`'s payload is
+/// `data[offsets[i] .. offsets[i + 1]]`.
+///
+/// Offsets are `u32` because every identifier space in the workspace is
+/// `u32`-backed (see [`EntityId`], [`RelTypeId`] and their siblings); the
+/// payload of all groups combined is bounded by the number of entities or
+/// edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr<T> {
+    /// `group_count() + 1` monotone boundaries into `data`.
+    offsets: Vec<u32>,
+    /// All group payloads, back to back, in group order.
+    data: Vec<T>,
+}
+
+impl<T> Default for Csr<T> {
+    fn default() -> Self {
+        Self {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy> Csr<T> {
+    /// Builds a CSR from `(group, item)` pairs via a two-pass counting sort.
+    ///
+    /// Items keep their relative order within each group (the sort is
+    /// stable), which preserves the insertion-order guarantees the previous
+    /// `Vec<Vec<_>>` indexes provided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references a group `>= group_count`.
+    pub fn from_pairs(group_count: usize, pairs: &[(usize, T)]) -> Self {
+        let mut counts = vec![0u32; group_count];
+        for &(group, _) in pairs {
+            counts[group] += 1;
+        }
+        let mut offsets = Vec::with_capacity(group_count + 1);
+        let mut running = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            running += c;
+            offsets.push(running);
+        }
+        // Fill with per-group cursors; `counts` is reused as the cursor array.
+        counts.copy_from_slice(&offsets[..group_count]);
+        let mut data: Vec<Option<T>> = vec![None; pairs.len()];
+        for &(group, item) in pairs {
+            let slot = counts[group] as usize;
+            data[slot] = Some(item);
+            counts[group] += 1;
+        }
+        let data = data
+            .into_iter()
+            .map(|v| v.expect("every CSR slot is written exactly once"))
+            .collect();
+        Self { offsets, data }
+    }
+}
+
+impl<T> Csr<T> {
+    /// Number of groups.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Borrowed payload of group `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= group_count()`.
+    #[inline]
+    pub fn slice(&self, i: usize) -> &[T] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total payload length over all groups.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Per-entity neighbor sets, pre-grouped by relationship type.
+///
+/// Layout: entity `v` owns the segment directory range
+/// `seg_offsets[v] .. seg_offsets[v + 1]`. Each segment `j` in that range
+/// covers one relationship type `seg_rels[j]` and the payload slice
+/// `payload[start_of(j) .. seg_ends[j]]`, where `start_of(j)` is the previous
+/// segment's end (the payload is written contiguously, so segment boundaries
+/// chain across entities). Within an entity the segments are sorted by
+/// relationship type and each payload slice is sorted and de-duplicated —
+/// attribute values are sets (Def. 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelGroupedNeighbors {
+    /// `entity_count + 1` boundaries into the segment directory.
+    seg_offsets: Vec<u32>,
+    /// Relationship type of each segment, sorted within an entity's range.
+    seg_rels: Vec<RelTypeId>,
+    /// Exclusive payload end of each segment; the start is the previous
+    /// segment's end (`0` for the first segment overall).
+    seg_ends: Vec<u32>,
+    /// All neighbor sets, back to back.
+    payload: Vec<EntityId>,
+}
+
+impl RelGroupedNeighbors {
+    /// Builds the grouped index from per-entity `(rel, neighbor)` pairs.
+    ///
+    /// `pairs_of(v)` must yield the (unsorted, possibly duplicated) pairs of
+    /// entity `v`; sorting, de-duplication and segmentation happen here, once,
+    /// at build time.
+    pub fn build<F>(entity_count: usize, mut pairs_of: F) -> Self
+    where
+        F: FnMut(usize, &mut Vec<(RelTypeId, EntityId)>),
+    {
+        let mut seg_offsets = Vec::with_capacity(entity_count + 1);
+        let mut seg_rels = Vec::new();
+        let mut seg_ends: Vec<u32> = Vec::new();
+        let mut payload: Vec<EntityId> = Vec::new();
+        let mut scratch: Vec<(RelTypeId, EntityId)> = Vec::new();
+        seg_offsets.push(0);
+        for v in 0..entity_count {
+            scratch.clear();
+            pairs_of(v, &mut scratch);
+            scratch.sort_unstable();
+            scratch.dedup();
+            let mut current_rel = None;
+            for &(rel, neighbor) in &scratch {
+                if current_rel != Some(rel) {
+                    current_rel = Some(rel);
+                    seg_rels.push(rel);
+                    seg_ends.push(payload.len() as u32);
+                }
+                payload.push(neighbor);
+                *seg_ends.last_mut().expect("segment just pushed") = payload.len() as u32;
+            }
+            seg_offsets.push(seg_rels.len() as u32);
+        }
+        Self {
+            seg_offsets,
+            seg_rels,
+            seg_ends,
+            payload,
+        }
+    }
+
+    /// The sorted, de-duplicated neighbors of `entity` through `rel`, as a
+    /// borrowed slice. Empty if the entity has no such neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    #[inline]
+    pub fn neighbors(&self, entity: usize, rel: RelTypeId) -> &[EntityId] {
+        let lo = self.seg_offsets[entity] as usize;
+        let hi = self.seg_offsets[entity + 1] as usize;
+        match self.seg_rels[lo..hi].binary_search(&rel) {
+            Ok(found) => {
+                let j = lo + found;
+                let start = if j == 0 {
+                    0
+                } else {
+                    self.seg_ends[j - 1] as usize
+                };
+                &self.payload[start..self.seg_ends[j] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of entities indexed.
+    #[inline]
+    pub fn entity_count(&self) -> usize {
+        self.seg_offsets.len() - 1
+    }
+
+    /// Total number of stored (entity, relationship type, neighbor) triples.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_pairs_groups_and_preserves_order() {
+        let pairs = [(1usize, 10u32), (0, 20), (1, 30), (2, 40), (1, 50)];
+        let csr = Csr::from_pairs(4, &pairs);
+        assert_eq!(csr.group_count(), 4);
+        assert_eq!(csr.slice(0), &[20]);
+        assert_eq!(csr.slice(1), &[10, 30, 50]);
+        assert_eq!(csr.slice(2), &[40]);
+        assert_eq!(csr.slice(3), &[] as &[u32]);
+        assert_eq!(csr.total_len(), 5);
+    }
+
+    #[test]
+    fn csr_empty_and_default() {
+        let csr: Csr<u32> = Csr::from_pairs(0, &[]);
+        assert_eq!(csr.group_count(), 0);
+        assert_eq!(csr.total_len(), 0);
+        let def: Csr<u32> = Csr::default();
+        assert_eq!(def.group_count(), 0);
+    }
+
+    #[test]
+    fn grouped_neighbors_sorts_dedups_and_segments() {
+        let r0 = RelTypeId::new(0);
+        let r1 = RelTypeId::new(1);
+        let e = EntityId::new;
+        // Entity 0: r1 -> {5, 3, 3}, r0 -> {7}. Entity 1: nothing.
+        // Entity 2: r0 -> {1}.
+        let grouped = RelGroupedNeighbors::build(3, |v, out| match v {
+            0 => out.extend([(r1, e(5)), (r1, e(3)), (r0, e(7)), (r1, e(3))]),
+            2 => out.push((r0, e(1))),
+            _ => {}
+        });
+        assert_eq!(grouped.neighbors(0, r0), &[e(7)]);
+        assert_eq!(grouped.neighbors(0, r1), &[e(3), e(5)]);
+        assert_eq!(grouped.neighbors(1, r0), &[] as &[EntityId]);
+        assert_eq!(grouped.neighbors(1, r1), &[] as &[EntityId]);
+        assert_eq!(grouped.neighbors(2, r0), &[e(1)]);
+        assert_eq!(grouped.neighbors(2, r1), &[] as &[EntityId]);
+        assert_eq!(grouped.entity_count(), 3);
+        assert_eq!(grouped.total_len(), 4);
+    }
+
+    #[test]
+    fn grouped_neighbors_unknown_rel_is_empty() {
+        let grouped = RelGroupedNeighbors::build(1, |_, out| {
+            out.push((RelTypeId::new(3), EntityId::new(0)));
+        });
+        assert!(grouped.neighbors(0, RelTypeId::new(2)).is_empty());
+        assert!(grouped.neighbors(0, RelTypeId::new(4)).is_empty());
+        assert_eq!(grouped.neighbors(0, RelTypeId::new(3)).len(), 1);
+    }
+}

@@ -1,12 +1,16 @@
-//! The entity graph: a directed multigraph of typed, named entities.
+//! The entity graph: a directed multigraph of typed, named entities, stored
+//! in a compact CSR (compressed-sparse-row) columnar layout.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::csr::{Csr, RelGroupedNeighbors};
 use crate::entity::{Edge, Entity, RelType};
 use crate::error::{Error, Result};
 use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
+use crate::interner::Interner;
 use crate::schema::{SchemaEdge, SchemaGraph};
 use crate::stats::GraphStats;
 
@@ -24,11 +28,30 @@ pub enum Direction {
 /// Construct one with [`EntityGraphBuilder`](crate::EntityGraphBuilder) or by
 /// parsing the [`triples`](crate::triples) format. The graph owns all strings
 /// and pre-computes the adjacency indexes needed by scoring and tuple
-/// materialisation:
+/// materialisation.
+///
+/// # Storage layout
+///
+/// All adjacency lives in flat CSR arrays ([`Csr`], [`RelGroupedNeighbors`])
+/// built once at [`build`](crate::EntityGraphBuilder::build) time:
 ///
 /// * entities grouped by entity type,
 /// * edges grouped by relationship type,
-/// * per-entity outgoing / incoming edge lists.
+/// * per-entity outgoing / incoming edge lists,
+/// * per-entity neighbor sets, pre-grouped by relationship type, sorted and
+///   de-duplicated — so the hot [`neighbors_via`](Self::neighbors_via) path
+///   returns a borrowed slice without scanning, sorting or allocating.
+///
+/// Relationship-type lookup keys intern their surface name in an
+/// [`Interner`], so [`rel_type_by_key`](Self::rel_type_by_key) never
+/// allocates. The derived [`SchemaGraph`] is memoized behind a `OnceLock`.
+///
+/// # Immutability contract
+///
+/// Once built, a graph never changes: every index, every borrowed slice and
+/// the memoized schema graph stay valid for the graph's lifetime, which is
+/// what lets the serving layer share one graph across worker threads behind
+/// an `Arc` without locks.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EntityGraph {
     pub(crate) entities: Vec<Entity>,
@@ -36,13 +59,21 @@ pub struct EntityGraph {
     pub(crate) type_names: Vec<String>,
     pub(crate) type_by_name: HashMap<String, TypeId>,
     pub(crate) rel_types: Vec<RelType>,
-    pub(crate) rel_by_key: HashMap<(String, TypeId, TypeId), RelTypeId>,
+    /// Interned relationship-type surface names; `rel_by_key` keys reference
+    /// these indices so lookups borrow instead of building an owned key.
+    pub(crate) rel_names: Interner,
+    pub(crate) rel_by_key: HashMap<(u32, TypeId, TypeId), RelTypeId>,
     pub(crate) edges: Vec<Edge>,
-    // Indexes (derived in `freeze`).
-    pub(crate) entities_by_type: Vec<Vec<EntityId>>,
-    pub(crate) edges_by_rel: Vec<Vec<EdgeId>>,
-    pub(crate) out_edges: Vec<Vec<EdgeId>>,
-    pub(crate) in_edges: Vec<Vec<EdgeId>>,
+    // CSR indexes (derived in `build`).
+    pub(crate) entities_by_type: Csr<EntityId>,
+    pub(crate) edges_by_rel: Csr<EdgeId>,
+    pub(crate) out_edges: Csr<EdgeId>,
+    pub(crate) in_edges: Csr<EdgeId>,
+    pub(crate) out_neighbors: RelGroupedNeighbors,
+    pub(crate) in_neighbors: RelGroupedNeighbors,
+    /// Memoized schema-graph derivation; cloned graphs keep the cached value.
+    #[serde(skip)]
+    pub(crate) schema_cache: OnceLock<SchemaGraph>,
 }
 
 impl EntityGraph {
@@ -96,8 +127,13 @@ impl EntityGraph {
     }
 
     /// Looks up a relationship type by surface name and endpoint types.
+    ///
+    /// Allocation-free: the surface name resolves through the graph's
+    /// interner (a borrowed `&str` lookup) and the composite key is three
+    /// plain integers.
     pub fn rel_type_by_key(&self, name: &str, src: TypeId, dst: TypeId) -> Option<RelTypeId> {
-        self.rel_by_key.get(&(name.to_owned(), src, dst)).copied()
+        let name_id = self.rel_names.get(name)?;
+        self.rel_by_key.get(&(name_id, src, dst)).copied()
     }
 
     /// The edge record for an edge id.
@@ -107,22 +143,22 @@ impl EntityGraph {
 
     /// All entities of the given type, i.e. `T.τ` in the paper's notation.
     pub fn entities_of_type(&self, ty: TypeId) -> &[EntityId] {
-        &self.entities_by_type[ty.index()]
+        self.entities_by_type.slice(ty.index())
     }
 
     /// All edges belonging to the given relationship type.
     pub fn edges_of_rel_type(&self, rel: RelTypeId) -> &[EdgeId] {
-        &self.edges_by_rel[rel.index()]
+        self.edges_by_rel.slice(rel.index())
     }
 
     /// Outgoing edges of an entity.
     pub fn out_edges(&self, entity: EntityId) -> &[EdgeId] {
-        &self.out_edges[entity.index()]
+        self.out_edges.slice(entity.index())
     }
 
     /// Incoming edges of an entity.
     pub fn in_edges(&self, entity: EntityId) -> &[EdgeId] {
-        &self.in_edges[entity.index()]
+        self.in_edges.slice(entity.index())
     }
 
     /// Iterates over `(EntityId, &Entity)` pairs.
@@ -161,29 +197,35 @@ impl EntityGraph {
     /// `rel`, following the given direction — i.e. the value `t.γ` of a tuple
     /// on a non-key attribute (Def. 1).
     ///
-    /// The result is sorted and de-duplicated (attribute values are sets).
+    /// The result is sorted and de-duplicated (attribute values are sets) and
+    /// borrows directly from the pre-grouped CSR index: the hot path of
+    /// entropy scoring and tuple materialisation performs no allocation, no
+    /// edge scan and no sort. Use
+    /// [`neighbors_via_owned`](Self::neighbors_via_owned) when an owned `Vec`
+    /// is genuinely required.
+    #[inline]
     pub fn neighbors_via(
         &self,
         entity: EntityId,
         rel: RelTypeId,
         direction: Direction,
+    ) -> &[EntityId] {
+        match direction {
+            Direction::Outgoing => self.out_neighbors.neighbors(entity.index(), rel),
+            Direction::Incoming => self.in_neighbors.neighbors(entity.index(), rel),
+        }
+    }
+
+    /// Compatibility shim over [`neighbors_via`](Self::neighbors_via) for
+    /// callers that need to own the neighbor set (one copy, still no scan or
+    /// sort).
+    pub fn neighbors_via_owned(
+        &self,
+        entity: EntityId,
+        rel: RelTypeId,
+        direction: Direction,
     ) -> Vec<EntityId> {
-        let edge_ids = match direction {
-            Direction::Outgoing => &self.out_edges[entity.index()],
-            Direction::Incoming => &self.in_edges[entity.index()],
-        };
-        let mut out: Vec<EntityId> = edge_ids
-            .iter()
-            .map(|&eid| self.edges[eid.index()])
-            .filter(|e| e.rel == rel)
-            .map(|e| match direction {
-                Direction::Outgoing => e.dst,
-                Direction::Incoming => e.src,
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.neighbors_via(entity, rel, direction).to_vec()
     }
 
     /// Validates that an entity id is in range.
@@ -198,20 +240,29 @@ impl EntityGraph {
         }
     }
 
-    /// Derives the schema graph `Gs(Vs, Es)` of this entity graph (Sec. 2).
+    /// The schema graph `Gs(Vs, Es)` of this entity graph (Sec. 2), derived
+    /// once and memoized for the graph's lifetime.
+    ///
+    /// Scoring, baselines and the serving layer all consult the schema graph
+    /// repeatedly; the memoized borrow means none of them re-clones every
+    /// type name. Call [`derive_schema_graph`](Self::derive_schema_graph) to
+    /// force an uncached derivation (benches, equivalence tests).
+    pub fn schema_graph(&self) -> &SchemaGraph {
+        self.schema_cache.get_or_init(|| self.derive_schema_graph())
+    }
+
+    /// Derives the schema graph from scratch, bypassing the memo.
     ///
     /// Each entity type becomes a vertex annotated with the number of entities
     /// bearing that type; each relationship type with at least one edge
     /// becomes a schema edge annotated with its edge count.
-    pub fn schema_graph(&self) -> SchemaGraph {
-        let entity_counts: Vec<u64> = self
-            .entities_by_type
-            .iter()
-            .map(|v| v.len() as u64)
+    pub fn derive_schema_graph(&self) -> SchemaGraph {
+        let entity_counts: Vec<u64> = (0..self.type_count())
+            .map(|i| self.entities_by_type.slice(i).len() as u64)
             .collect();
         let mut schema_edges = Vec::new();
         for (idx, rel) in self.rel_types.iter().enumerate() {
-            let count = self.edges_by_rel[idx].len() as u64;
+            let count = self.edges_by_rel.slice(idx).len() as u64;
             if count == 0 {
                 continue;
             }
@@ -276,6 +327,17 @@ mod tests {
     }
 
     #[test]
+    fn rel_type_lookup_borrows_and_misses_cleanly() {
+        let g = tiny();
+        let film = g.type_by_name("FILM").unwrap();
+        let actor = g.type_by_name("FILM ACTOR").unwrap();
+        assert!(g.rel_type_by_key("Actor", actor, film).is_some());
+        // Unknown surface name, and known name with wrong endpoints.
+        assert!(g.rel_type_by_key("Director", actor, film).is_none());
+        assert!(g.rel_type_by_key("Actor", film, actor).is_none());
+    }
+
+    #[test]
     fn entities_of_type_groups_correctly() {
         let g = tiny();
         let film = g.type_by_name("FILM").unwrap();
@@ -296,9 +358,29 @@ mod tests {
         let films = g.neighbors_via(smith, acted, Direction::Outgoing);
         assert_eq!(films.len(), 2);
         let actors = g.neighbors_via(mib, acted, Direction::Incoming);
-        assert_eq!(actors, vec![smith]);
+        assert_eq!(actors, &[smith]);
         // No outgoing "Actor" edges from a film.
         assert!(g.neighbors_via(mib, acted, Direction::Outgoing).is_empty());
+        // The owned shim returns the same set.
+        assert_eq!(
+            g.neighbors_via_owned(smith, acted, Direction::Outgoing),
+            films.to_vec()
+        );
+    }
+
+    #[test]
+    fn neighbors_via_dedups_parallel_edges() {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let acted = b.relationship_type("Actor", actor, film);
+        let mib = b.entity("Men in Black", &[film]);
+        let smith = b.entity("Will Smith", &[actor]);
+        b.edge(smith, acted, mib).unwrap();
+        b.edge(smith, acted, mib).unwrap();
+        let g = b.build();
+        assert_eq!(g.out_edges(smith).len(), 2);
+        assert_eq!(g.neighbors_via(smith, acted, Direction::Outgoing), &[mib]);
     }
 
     #[test]
@@ -310,6 +392,21 @@ mod tests {
         let film = g.type_by_name("FILM").unwrap();
         assert_eq!(s.entity_count_of(film), 2);
         assert_eq!(s.edges()[0].edge_count, 2);
+    }
+
+    #[test]
+    fn schema_graph_is_memoized() {
+        let g = tiny();
+        let a: *const SchemaGraph = g.schema_graph();
+        let b: *const SchemaGraph = g.schema_graph();
+        assert_eq!(a, b, "repeated calls return the same memoized instance");
+        // The uncached derivation produces an equivalent graph.
+        let fresh = g.derive_schema_graph();
+        assert_eq!(fresh.type_count(), g.schema_graph().type_count());
+        assert_eq!(
+            fresh.relationship_type_count(),
+            g.schema_graph().relationship_type_count()
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod csr;
 mod distance;
 mod entity;
 mod error;
@@ -59,7 +60,8 @@ pub mod fixtures;
 pub mod triples;
 
 pub use builder::EntityGraphBuilder;
-pub use distance::DistanceMatrix;
+pub use csr::{Csr, RelGroupedNeighbors};
+pub use distance::{DistanceMatrix, UNREACHABLE};
 pub use entity::{Edge, Entity, RelType};
 pub use error::{Error, Result};
 pub use graph::{Direction, EntityGraph};
@@ -85,5 +87,7 @@ mod static_assertions {
         assert_send_sync_clone::<DistanceMatrix>();
         assert_send_sync_clone::<GraphStats>();
         assert_send_sync_clone::<Interner>();
+        assert_send_sync_clone::<Csr<EntityId>>();
+        assert_send_sync_clone::<RelGroupedNeighbors>();
     };
 }

@@ -8,8 +8,8 @@
 //! | [`DynamicProgrammingDiscovery`] | Alg. 2 | concise | `O(K·N·logN + K·k·n²)` |
 //! | [`AprioriDiscovery`] | Alg. 3 | tight, diverse | exponential worst case, fast in practice |
 //!
-//! All algorithms consume a pre-computed [`ScoredSchema`](crate::ScoredSchema)
-//! and return an optimal [`Preview`](crate::Preview) (or `None` when the
+//! All algorithms consume a pre-computed [`ScoredSchema`]
+//! and return an optimal [`Preview`] (or `None` when the
 //! constraint is infeasible, e.g. more tables requested than eligible entity
 //! types, or no `k` types satisfy the distance constraint).
 

@@ -104,7 +104,7 @@ mod tests {
 
     fn figure1_candidates() -> (SchemaGraph, Vec<Vec<Candidate>>) {
         let g = fixtures::figure1_graph();
-        let s = g.schema_graph();
+        let s = g.schema_graph().clone();
         let coverage = crate::scoring::nonkey::coverage_scores(&s);
         let lists = candidate_lists(&s, &coverage, &coverage);
         (s, lists)
@@ -190,8 +190,8 @@ mod tests {
         b.edge(x, r, y).unwrap();
         let g = b.build();
         let s = g.schema_graph();
-        let coverage = crate::scoring::nonkey::coverage_scores(&s);
-        let lists = candidate_lists(&s, &coverage, &coverage);
+        let coverage = crate::scoring::nonkey::coverage_scores(s);
+        let lists = candidate_lists(s, &coverage, &coverage);
         let eligible = eligible_types(&lists);
         assert_eq!(eligible.len(), 2);
         assert!(!eligible.contains(&s.type_by_name("ISOLATED").unwrap()));
@@ -208,8 +208,8 @@ mod tests {
         b.edge(f1, sequel, f2).unwrap();
         let g = b.build();
         let s = g.schema_graph();
-        let coverage = crate::scoring::nonkey::coverage_scores(&s);
-        let lists = candidate_lists(&s, &coverage, &coverage);
+        let coverage = crate::scoring::nonkey::coverage_scores(s);
+        let lists = candidate_lists(s, &coverage, &coverage);
         let film_s = s.type_by_name("FILM").unwrap();
         assert_eq!(lists[film_s.index()].len(), 2);
     }

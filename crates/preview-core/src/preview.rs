@@ -241,8 +241,8 @@ fn materialize_table(
                 let neighbors = graph.neighbors_via(entity, rel, attr.direction);
                 values.push(
                     neighbors
-                        .into_iter()
-                        .map(|n| graph.entity(n).name.clone())
+                        .iter()
+                        .map(|&n| graph.entity(n).name.clone())
                         .collect(),
                 );
             }
@@ -295,22 +295,22 @@ mod tests {
         let director_idx = s.edges().iter().position(|e| e.name == "Director").unwrap();
         let attr_in = NonKeyAttr::new(director_idx, Direction::Incoming);
         let attr_out = NonKeyAttr::new(director_idx, Direction::Outgoing);
-        assert_eq!(s.type_name(attr_in.target_type(&s)), types::FILM_DIRECTOR);
-        assert_eq!(s.type_name(attr_out.target_type(&s)), types::FILM);
-        assert_eq!(attr_in.label(&s), "Director (FILM DIRECTOR)");
+        assert_eq!(s.type_name(attr_in.target_type(s)), types::FILM_DIRECTOR);
+        assert_eq!(s.type_name(attr_out.target_type(s)), types::FILM);
+        assert_eq!(attr_in.label(s), "Director (FILM DIRECTOR)");
     }
 
     #[test]
     fn preview_counts_and_describe() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let table = film_table(&g, &s);
+        let table = film_table(&g, s);
         let film = s.type_by_name(types::FILM).unwrap();
         let preview = Preview::new(vec![table]);
         assert_eq!(preview.non_key_count(), 2);
         assert!(preview.has_key(film));
         assert!(!preview.has_key(s.type_by_name(types::AWARD).unwrap()));
-        let text = preview.describe(&s);
+        let text = preview.describe(s);
         assert!(text.contains("FILM:"));
         assert!(text.contains("Director"));
     }
@@ -320,8 +320,8 @@ mod tests {
         // The upper table of Fig. 2: FILM with Director and Genres.
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let preview = Preview::new(vec![film_table(&g, &s)]);
-        let tables = preview.materialize(&g, &s, 10);
+        let preview = Preview::new(vec![film_table(&g, s)]);
+        let tables = preview.materialize(&g, s, 10);
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         assert_eq!(t.key_type, "FILM");
@@ -344,8 +344,8 @@ mod tests {
     fn materialize_respects_row_limit() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let preview = Preview::new(vec![film_table(&g, &s)]);
-        let tables = preview.materialize(&g, &s, 2);
+        let preview = Preview::new(vec![film_table(&g, s)]);
+        let tables = preview.materialize(&g, s, 2);
         assert_eq!(tables[0].rows.len(), 2);
         assert_eq!(tables[0].total_tuples, 4);
     }
@@ -354,8 +354,8 @@ mod tests {
     fn to_text_renders_all_rows_and_headers() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let preview = Preview::new(vec![film_table(&g, &s)]);
-        let text = preview.materialize(&g, &s, 10)[0].to_text();
+        let preview = Preview::new(vec![film_table(&g, s)]);
+        let text = preview.materialize(&g, s, 10)[0].to_text();
         assert!(text.contains("FILM"));
         assert!(text.contains("Men in Black II"));
         assert!(text.contains('-'));

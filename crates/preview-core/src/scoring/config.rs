@@ -106,7 +106,7 @@ impl ScoredSchema {
     /// non-key scores, sorted candidate lists, prefix sums and the all-pairs
     /// distance matrix.
     pub fn build(graph: &EntityGraph, config: &ScoringConfig) -> Result<Self> {
-        let schema = graph.schema_graph();
+        let schema = graph.schema_graph().clone();
         Self::build_with_schema(graph, schema, config)
     }
 

@@ -152,7 +152,7 @@ mod tests {
     fn coverage_matches_paper_example() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let scores = coverage_scores(&s);
+        let scores = coverage_scores(s);
         let film = s.type_by_name(types::FILM).unwrap();
         assert_eq!(score_of(&scores, film), 4.0);
         let actor = s.type_by_name(types::FILM_ACTOR).unwrap();
@@ -169,7 +169,7 @@ mod tests {
             jump: 0.0,
             ..RandomWalkConfig::default()
         };
-        let m = transition_matrix(&s, &config);
+        let m = transition_matrix(s, &config);
         let film = s.type_by_name(types::FILM).unwrap().index();
         let genre = s.type_by_name(types::FILM_GENRE).unwrap().index();
         let producer = s.type_by_name(types::FILM_PRODUCER).unwrap().index();
@@ -181,7 +181,7 @@ mod tests {
     fn transition_matrix_rows_are_stochastic() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let m = transition_matrix(&s, &RandomWalkConfig::default());
+        let m = transition_matrix(s, &RandomWalkConfig::default());
         for row in &m {
             let sum: f64 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
@@ -192,7 +192,7 @@ mod tests {
     fn random_walk_is_a_probability_distribution() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let pi = random_walk_scores(&s, &RandomWalkConfig::default()).unwrap();
+        let pi = random_walk_scores(s, &RandomWalkConfig::default()).unwrap();
         assert_eq!(pi.len(), s.type_count());
         let sum: f64 = pi.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -203,7 +203,7 @@ mod tests {
     fn film_is_the_most_central_type_in_figure1() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let pi = random_walk_scores(&s, &RandomWalkConfig::default()).unwrap();
+        let pi = random_walk_scores(s, &RandomWalkConfig::default()).unwrap();
         let film = s.type_by_name(types::FILM).unwrap();
         let best = pi
             .iter()
@@ -232,8 +232,9 @@ mod tests {
         let x4 = b.entity("x4", &[e]);
         b.edge(x1, r1, x2).unwrap();
         b.edge(x3, r2, x4).unwrap();
-        let s = b.build().schema_graph();
-        let pi = random_walk_scores(&s, &RandomWalkConfig::default()).unwrap();
+        let g = b.build();
+        let s = g.schema_graph();
+        let pi = random_walk_scores(s, &RandomWalkConfig::default()).unwrap();
         let sum: f64 = pi.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
@@ -246,7 +247,7 @@ mod tests {
             max_iterations: 0,
             ..RandomWalkConfig::default()
         };
-        assert!(random_walk_scores(&s, &config).is_err());
+        assert!(random_walk_scores(s, &config).is_err());
     }
 
     #[test]

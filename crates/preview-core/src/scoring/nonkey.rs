@@ -81,7 +81,10 @@ fn orientation_entropy(
         Direction::Outgoing => src_in_graph,
         Direction::Incoming => dst_in_graph,
     };
-    let mut groups: HashMap<Vec<EntityId>, u64> = HashMap::new();
+    // `neighbors_via` borrows pre-grouped, sorted neighbor sets straight from
+    // the graph's CSR index, so grouping tuples by attribute value needs no
+    // allocation per tuple: the borrowed slices themselves are the map keys.
+    let mut groups: HashMap<&[EntityId], u64> = HashMap::new();
     let mut non_empty = 0u64;
     for &entity in graph.entities_of_type(key_type) {
         let value = graph.neighbors_via(entity, rel, direction);
@@ -94,10 +97,16 @@ fn orientation_entropy(
     if non_empty == 0 {
         return 0.0;
     }
+    // Sum group terms in sorted-count order: float addition is not
+    // associative, and HashMap iteration order is randomized per process, so
+    // an unsorted sum drifts by ulps run to run — enough to break the
+    // byte-identical serving guarantee the service layer tests.
+    let mut counts: Vec<u64> = groups.into_values().collect();
+    counts.sort_unstable();
     let total = non_empty as f64;
-    groups
-        .values()
-        .map(|&n| {
+    counts
+        .into_iter()
+        .map(|n| {
             let p = n as f64 / total;
             p * (total / n as f64).log10()
         })
@@ -124,9 +133,9 @@ mod tests {
         // Scov^FILM(Director) = 4 and Scov^FILM(Genres) = 5 (Sec. 3.3).
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let scores = coverage_scores(&s);
-        let director = edge_index(&s, "Director", types::FILM_DIRECTOR, types::FILM);
-        let genres = edge_index(&s, "Genres", types::FILM, types::FILM_GENRE);
+        let scores = coverage_scores(s);
+        let director = edge_index(s, "Director", types::FILM_DIRECTOR, types::FILM);
+        let genres = edge_index(s, "Genres", types::FILM, types::FILM_GENRE);
         assert_eq!(scores[director], 4.0);
         assert_eq!(scores[genres], 5.0);
     }
@@ -138,9 +147,9 @@ mod tests {
         // (log base 10, Sec. 3.3).
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let (out, inc) = entropy_scores(&g, &s);
-        let director = edge_index(&s, "Director", types::FILM_DIRECTOR, types::FILM);
-        let genres = edge_index(&s, "Genres", types::FILM, types::FILM_GENRE);
+        let (out, inc) = entropy_scores(&g, s);
+        let director = edge_index(s, "Director", types::FILM_DIRECTOR, types::FILM);
+        let genres = edge_index(s, "Genres", types::FILM, types::FILM_GENRE);
         // FILM is the *destination* of Director and the *source* of Genres.
         let director_from_film = inc[director];
         let genres_from_film = out[genres];
@@ -156,8 +165,8 @@ mod tests {
     fn entropy_is_asymmetric() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let (out, inc) = entropy_scores(&g, &s);
-        let director = edge_index(&s, "Director", types::FILM_DIRECTOR, types::FILM);
+        let (out, inc) = entropy_scores(&g, s);
+        let director = edge_index(s, "Director", types::FILM_DIRECTOR, types::FILM);
         // Seen from FILM DIRECTOR (outgoing): Barry -> {MIB, MIB II}, Berg -> {Hancock},
         // Proyas -> {I, Robot}: three distinct value sets over 3 tuples -> log10(3).
         assert!((out[director] - 3f64.log10()).abs() < 1e-9);
@@ -178,7 +187,7 @@ mod tests {
         }
         let g = b.build();
         let schema = g.schema_graph();
-        let (out, _inc) = entropy_scores(&g, &schema);
+        let (out, _inc) = entropy_scores(&g, schema);
         // Every film points at the same studio: zero information.
         assert_eq!(out[0], 0.0);
     }
@@ -190,7 +199,7 @@ mod tests {
         // or return NaN for empty groups).
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let (out, inc) = entropy_scores(&g, &s);
+        let (out, inc) = entropy_scores(&g, s);
         assert!(out
             .iter()
             .chain(inc.iter())
@@ -201,7 +210,7 @@ mod tests {
     fn entropy_bounded_by_log_of_tuple_count() {
         let g = fixtures::figure1_graph();
         let s = g.schema_graph();
-        let (out, inc) = entropy_scores(&g, &s);
+        let (out, inc) = entropy_scores(&g, s);
         let bound = (g.entity_count() as f64).log10();
         assert!(out.iter().chain(inc.iter()).all(|&v| v <= bound + 1e-9));
     }

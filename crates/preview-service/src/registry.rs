@@ -94,8 +94,13 @@ impl GraphRegistry {
     }
 
     /// Registers `graph` under `name`, returning the new version's handle.
+    ///
+    /// The graph's memoized schema derivation is warmed here, off the request
+    /// path, so the first preview request against the new version never pays
+    /// it.
     pub fn register(&self, name: impl Into<String>, graph: EntityGraph) -> Arc<RegisteredGraph> {
         let name = name.into();
+        graph.schema_graph();
         let mut graphs = self.graphs.write().expect("registry lock");
         let versions = graphs.entry(name.clone()).or_default();
         let version = versions.last().map_or(1, |g| g.version + 1);

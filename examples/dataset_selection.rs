@@ -59,7 +59,7 @@ fn main() {
         // show (cluster centres only — each centre table would carry *all* of
         // its incident relationship types).
         let schema = graph.schema_graph();
-        if let Some(summary) = Yps09Summarizer::new().summarize(&graph, &schema, 3) {
+        if let Some(summary) = Yps09Summarizer::new().summarize(&graph, schema, 3) {
             let centres: Vec<&str> = summary
                 .centers
                 .iter()

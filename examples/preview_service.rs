@@ -40,7 +40,8 @@ fn main() {
         })
         .collect();
 
-    let schema_graph = fixtures::figure1_graph().schema_graph();
+    let fig1 = fixtures::figure1_graph();
+    let schema_graph = fig1.schema_graph();
     for (i, handle) in pending.into_iter().enumerate() {
         let response = handle.wait().expect("fig1 requests succeed");
         if i < spaces.len() {
@@ -50,7 +51,7 @@ fn main() {
                 response.algorithm.name(),
                 response.score,
                 response.cache_hit,
-                preview.describe(&schema_graph)
+                preview.describe(schema_graph)
             );
         }
     }

@@ -3,8 +3,10 @@
 //! This crate re-exports the public API of every workspace member so that a
 //! downstream user can depend on `preview-tables` alone:
 //!
-//! * [`graph`] — the entity-graph substrate (typed directed multigraph,
-//!   schema-graph derivation, triple ingestion, distances, statistics),
+//! * [`graph`] — the entity-graph substrate (typed directed multigraph in a
+//!   compact CSR columnar layout with zero-allocation neighbor lookup,
+//!   memoized schema-graph derivation, triple ingestion, distances,
+//!   statistics),
 //! * [`core`] — the paper's contribution: preview model, scoring measures and
 //!   the brute-force / dynamic-programming / Apriori discovery algorithms,
 //! * [`baseline`] — the YPS09 relational-database-summarisation baseline

@@ -1,0 +1,123 @@
+//! Byte-identical output guard for the CSR storage refactor.
+//!
+//! The golden values below (bit-exact score and full schema description for
+//! every space × scoring combination, plus materialised tables) were captured
+//! on the pre-CSR `Vec<Vec<_>>` graph representation. Discovery, scoring and
+//! materialisation must keep producing exactly these bytes: a storage-layer
+//! change is only a refactor if the paper-facing outputs do not move at all.
+
+use preview_tables::core::{KeyScoring, NonKeyScoring, PreviewSpace, ScoredSchema, ScoringConfig};
+use preview_tables::datagen::{FreebaseDomain, SyntheticGenerator};
+use preview_tables::graph::{fixtures, EntityGraph};
+use preview_tables::service::Algorithm;
+
+/// One golden record: scoring config label, space label, bit pattern of the
+/// optimal preview score, and the full `describe` rendering.
+struct Golden {
+    config: &'static str,
+    space: &'static str,
+    score_bits: u64,
+    describe: &'static str,
+}
+
+fn config_of(label: &str) -> ScoringConfig {
+    match label {
+        "coverage" => ScoringConfig::coverage(),
+        "entropy" => ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy),
+        other => panic!("unknown config label {other:?}"),
+    }
+}
+
+fn space_of(label: &str) -> PreviewSpace {
+    match label {
+        "concise" => PreviewSpace::concise(2, 6).unwrap(),
+        "tight" => PreviewSpace::tight(2, 6, 2).unwrap(),
+        "diverse" => PreviewSpace::diverse(2, 6, 2).unwrap(),
+        other => panic!("unknown space label {other:?}"),
+    }
+}
+
+fn assert_goldens(graph: &EntityGraph, goldens: &[Golden]) {
+    for golden in goldens {
+        let scored = ScoredSchema::build(graph, &config_of(golden.config)).unwrap();
+        let space = space_of(golden.space);
+        let preview = Algorithm::Auto
+            .resolve(&space)
+            .discovery()
+            .discover(&scored, &space)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{}/{}: no preview", golden.config, golden.space));
+        let score = scored.preview_score(&preview);
+        assert_eq!(
+            score.to_bits(),
+            golden.score_bits,
+            "{}/{}: score drifted ({} != {})",
+            golden.config,
+            golden.space,
+            score,
+            f64::from_bits(golden.score_bits)
+        );
+        assert_eq!(
+            preview.describe(scored.schema()),
+            golden.describe.replace("\\n", "\n"),
+            "{}/{}: description drifted",
+            golden.config,
+            golden.space
+        );
+    }
+}
+
+#[test]
+fn figure1_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
+    const FILM_CONCISE: &str = "FILM: Actor (FILM ACTOR), Genres (FILM GENRE), Director (FILM DIRECTOR), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nFILM ACTOR: Actor (FILM)";
+    let goldens = [
+        Golden { config: "coverage", space: "concise", score_bits: 0x4055000000000000, describe: FILM_CONCISE },
+        Golden { config: "coverage", space: "tight", score_bits: 0x4055000000000000, describe: FILM_CONCISE },
+        Golden { config: "coverage", space: "diverse", score_bits: 0x4053800000000000, describe: "FILM: Actor (FILM ACTOR), Genres (FILM GENRE), Director (FILM DIRECTOR), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nAWARD: Award Winners (FILM ACTOR)" },
+        Golden { config: "entropy", space: "concise", score_bits: 0x4016308a2c0c0588, describe: "FILM: Director (FILM DIRECTOR), Actor (FILM ACTOR), Genres (FILM GENRE)\\nFILM DIRECTOR: Director (FILM)" },
+        Golden { config: "entropy", space: "tight", score_bits: 0x4016308a2c0c0588, describe: "FILM: Director (FILM DIRECTOR), Actor (FILM ACTOR), Genres (FILM GENRE), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nFILM DIRECTOR: Director (FILM)" },
+        Golden { config: "entropy", space: "diverse", score_bits: 0x401413965efaf449, describe: "FILM: Director (FILM DIRECTOR), Actor (FILM ACTOR), Genres (FILM GENRE), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nAWARD: Award Winners (FILM ACTOR)" },
+    ];
+    assert_goldens(&fixtures::figure1_graph(), &goldens);
+}
+
+#[test]
+fn datagen_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
+    const FILM_DOMAIN_CONCISE: &str = "FILM CREWMEMBER: Directed By (FILM), Films Of This Genre (FILM GENRE), Film Character Chain (FILM CHARACTER)\\nFILM: Directed By (FILM CREWMEMBER), Tagline (FILM ACTOR), Initial Release Date (FILM ACTOR)";
+    const FILM_DOMAIN_ENTROPY: &str = "FILM CHARACTER: Film Crewmember Link (FILM CREWMEMBER), Film Character Chain (FILM CREWMEMBER), Film Cut Chain (FILM CUT), Performance Link (PERFORMANCE), Film Cut Link (FILM CUT)\\nFILM CREWMEMBER: Directed By (FILM)";
+    let goldens = [
+        Golden { config: "coverage", space: "concise", score_bits: 0x40e5e18000000000, describe: FILM_DOMAIN_CONCISE },
+        Golden { config: "coverage", space: "tight", score_bits: 0x40e5e18000000000, describe: FILM_DOMAIN_CONCISE },
+        Golden { config: "coverage", space: "diverse", score_bits: 0x40e1f5e000000000, describe: "FILM CHARACTER: Film Character Chain (FILM CREWMEMBER), Film Crewmember Link (FILM CREWMEMBER), Performance Link (PERFORMANCE)\\nFILM: Directed By (FILM CREWMEMBER), Tagline (FILM ACTOR), Initial Release Date (FILM ACTOR)" },
+        // The entropy bit patterns differ from the pre-CSR capture by 2 ulps:
+        // the old implementation summed entropy terms in randomized HashMap
+        // order, so its last bits varied run to run. Scoring now sums in
+        // sorted-count order, and these bits are stable across processes.
+        Golden { config: "entropy", space: "concise", score_bits: 0x407e6308b45d0e63, describe: FILM_DOMAIN_ENTROPY },
+        Golden { config: "entropy", space: "tight", score_bits: 0x407e6308b45d0e63, describe: FILM_DOMAIN_ENTROPY },
+        Golden { config: "entropy", space: "diverse", score_bits: 0x407d7fec6f238419, describe: "FILM CHARACTER: Film Crewmember Link (FILM CREWMEMBER), Film Character Chain (FILM CREWMEMBER), Film Cut Chain (FILM CUT), Performance Link (PERFORMANCE), Film Cut Link (FILM CUT)\\nFILM: Directed By (FILM CREWMEMBER)" },
+    ];
+    let graph = SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4));
+    assert_goldens(&graph, &goldens);
+}
+
+#[test]
+fn figure1_materialisation_is_byte_identical_to_pre_csr_golden() {
+    let graph = fixtures::figure1_graph();
+    let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+    let space = PreviewSpace::concise(2, 6).unwrap();
+    let preview = Algorithm::Auto
+        .resolve(&space)
+        .discovery()
+        .discover(&scored, &space)
+        .unwrap()
+        .unwrap();
+    let tables = preview.materialize(&graph, scored.schema(), 10);
+    let rendered: Vec<String> = tables.iter().map(|t| t.to_text()).collect();
+    let golden_film = "FILM            | Actor (FILM ACTOR)            | Genres (FILM GENRE)            | Director (FILM DIRECTOR) | Producer (FILM PRODUCER) | Executive Producer (FILM PRODUCER)\n---------------------------------------------------------------------------------------------------------------------------------------------------------------------------\nMen in Black    | {Will Smith, Tommy Lee Jones} | {Action Film, Science Fiction} | {Barry Sonnenfeld}       | -                        | -                                 \nMen in Black II | {Will Smith, Tommy Lee Jones} | {Action Film, Science Fiction} | {Barry Sonnenfeld}       | {Will Smith}             | -                                 \nHancock         | {Will Smith}                  | -                              | {Peter Berg}             | {Will Smith}             | -                                 \nI, Robot        | {Will Smith}                  | {Action Film}                  | {Alex Proyas}            | -                        | {Will Smith}                      \n";
+    let golden_actor = "FILM ACTOR      | Actor (FILM)                                      \n--------------------------------------------------------------------\nWill Smith      | {Men in Black, Men in Black II, Hancock, I, Robot}\nTommy Lee Jones | {Men in Black, Men in Black II}                   \n";
+    assert_eq!(
+        rendered,
+        vec![golden_film.to_string(), golden_actor.to_string()]
+    );
+}

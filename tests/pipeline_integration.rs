@@ -74,9 +74,7 @@ fn yps09_baseline_runs_on_synthetic_domains() {
     let spec = FreebaseDomain::People.spec(SCALE);
     let graph = SyntheticGenerator::new(5).generate(&spec);
     let schema = graph.schema_graph();
-    let summary = Yps09Summarizer::new()
-        .summarize(&graph, &schema, 6)
-        .unwrap();
+    let summary = Yps09Summarizer::new().summarize(&graph, schema, 6).unwrap();
     assert_eq!(summary.centers.len(), 6);
     assert_eq!(summary.ranked.len(), schema.type_count());
     // The importance distribution is normalised.
