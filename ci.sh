@@ -34,4 +34,11 @@ echo "==> preview-serve smoke workload (emits BENCH_service.json)"
 cargo run --release -p bench --bin preview-serve -- \
     --requests 1000 --scale 5e-5 --out BENCH_service.json --check
 
+echo "==> parallel-bench smoke workload (emits BENCH_parallel.json)"
+# Sequential vs 4-thread discovery, bitwise-identical outputs enforced.
+# Speedup floors are host-aware (full 1.5x discovery floor with >= 4 cores,
+# bounded-overhead floor on starved hosts); see the binary's docs.
+cargo run --release -p bench --bin parallel-bench -- \
+    --threads 4 --out BENCH_parallel.json --check
+
 echo "CI green."

@@ -15,12 +15,12 @@
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use bench::graph_core::{
     csr_entropy_scores, csr_neighbor_sweep, discovery_fixture, materialise_preview,
     naive_entropy_scores, naive_neighbor_sweep,
 };
+use bench::util::{min_timed as timed, min_timed_n as timed_n, parse_checked as parse};
 use datagen::{FreebaseDomain, SyntheticGenerator};
 use entity_graph::EntityGraphBuilder;
 
@@ -72,38 +72,6 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(options)
-}
-
-fn parse<T: std::str::FromStr + Copy>(value: &str, ok: impl Fn(T) -> bool) -> Result<T, String> {
-    value
-        .parse::<T>()
-        .ok()
-        .filter(|v| ok(*v))
-        .ok_or_else(|| format!("invalid value {value:?}"))
-}
-
-/// Runs `f` `repeats` times and returns the minimum wall-clock seconds plus
-/// the last result (all repetitions must agree; the caller cross-checks).
-fn timed<T>(repeats: usize, f: impl FnMut() -> T) -> (f64, T) {
-    timed_n(repeats, 1, f)
-}
-
-/// Like [`timed`] but each repetition runs `f` `iters` times back to back and
-/// reports per-iteration seconds. Sub-millisecond sections are amortised over
-/// several iterations so the min-of-`repeats` timing sits well above
-/// scheduler and timer noise — the `--check` floors must not flake on a
-/// loaded CI runner.
-fn timed_n<T>(repeats: usize, iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..repeats {
-        let start = Instant::now();
-        for _ in 0..iters {
-            last = Some(f());
-        }
-        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
-    }
-    (best, last.expect("repeats and iters >= 1"))
 }
 
 fn main() -> ExitCode {

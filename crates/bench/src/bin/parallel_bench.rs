@@ -1,0 +1,370 @@
+//! Parallel-engine smoke benchmark: sequential vs multi-threaded discovery.
+//!
+//! Builds a datagen graph, then runs the three fork-join hot paths — entropy
+//! scoring, brute-force subset enumeration and Apriori candidate growth —
+//! once sequentially (`threads = 1`) and once on the fork-join pool
+//! (`--threads`, default 4). Outputs are cross-checked **bitwise**: the
+//! parallel engine's contract is byte-identical results at any thread count,
+//! so any divergence fails the run before timings are even reported. The
+//! JSON summary records both timings plus the measured speedup.
+//!
+//! `--check` enforces regression floors. Speedup floors are host-aware: a
+//! wall-clock speedup requires spare cores, so the full floors (≥ 1.5x
+//! brute-force discovery, ≥ 1.1x entropy scoring) apply when
+//! `available_parallelism >= --threads`; on starved hosts (e.g. a single-core
+//! CI container, where the extra workers are timesliced onto one core) the
+//! floor drops to a bounded-overhead guard of 0.8x. A sequential-vs-parallel
+//! ratio also genuinely degrades under *external* load (both graph-bench
+//! sides slow down together; here only the parallel side loses its spare
+//! cores), so a floor miss is re-measured up to two extra times — keeping
+//! each section's best observed speedup — before the gate fails. The bitwise
+//! identity check, which is the hard guarantee, is enforced on every
+//! measurement unconditionally.
+//!
+//! ```text
+//! cargo run -p bench --release --bin parallel-bench
+//! cargo run -p bench --release --bin parallel-bench -- --threads 8 --scale 1e-3
+//! cargo run -p bench --release --bin parallel-bench -- --out BENCH_parallel.json --check
+//! ```
+
+use std::process::ExitCode;
+
+use bench::util::{min_timed as timed, parse_checked as parse};
+use datagen::{FreebaseDomain, SyntheticGenerator};
+use entity_graph::{EntityGraph, SchemaGraph};
+use preview_core::scoring::nonkey::entropy_scores_with;
+use preview_core::{
+    brute_force_subset_count, AprioriDiscovery, BruteForceDiscovery, KeyScoring, NonKeyScoring,
+    Preview, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig,
+};
+
+/// Extra `--check` attempts after a floor miss (transient external load
+/// steals exactly the spare cores a parallel speedup needs).
+const CHECK_RETRIES: usize = 2;
+
+struct Options {
+    domain: FreebaseDomain,
+    scale: f64,
+    seed: u64,
+    /// Fork-join budget of the parallel runs.
+    threads: usize,
+    /// Repetitions per measured section; the minimum is reported.
+    repeats: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            domain: FreebaseDomain::Film,
+            scale: 1e-3,
+            seed: 2016,
+            threads: 4,
+            repeats: 5,
+            out: None,
+            check: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--domain" => {
+                let name = value_of("--domain")?;
+                options.domain = FreebaseDomain::from_name(&name)
+                    .ok_or_else(|| format!("unknown domain {name:?}"))?;
+            }
+            "--scale" => {
+                options.scale = parse(&value_of("--scale")?, |v: f64| v > 0.0 && v.is_finite())?
+            }
+            "--seed" => options.seed = parse(&value_of("--seed")?, |_: u64| true)?,
+            "--threads" => options.threads = parse(&value_of("--threads")?, |v: usize| v >= 2)?,
+            "--repeats" => options.repeats = parse(&value_of("--repeats")?, |v: usize| v >= 1)?,
+            "--out" => options.out = Some(value_of("--out")?),
+            "--check" => options.check = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// One sequential-vs-parallel section: timings and the derived speedup.
+#[derive(Clone, Copy)]
+struct Section {
+    sequential_s: f64,
+    parallel_s: f64,
+}
+
+impl Section {
+    fn speedup(&self) -> f64 {
+        self.sequential_s / self.parallel_s
+    }
+}
+
+/// One full measurement round over the three hot paths.
+struct Measurements {
+    entropy: Section,
+    brute: Section,
+    apriori: Section,
+}
+
+impl Measurements {
+    fn sections(&self) -> [(&'static str, Section); 3] {
+        [
+            ("brute-force discovery", self.brute),
+            ("entropy scoring", self.entropy),
+            ("apriori discovery", self.apriori),
+        ]
+    }
+}
+
+/// Bitwise comparison of two optional previews under a scored schema: same
+/// structure, same description bytes, same score bits.
+fn previews_identical(
+    scored: &ScoredSchema,
+    sequential: &Option<Preview>,
+    parallel: &Option<Preview>,
+) -> bool {
+    match (sequential, parallel) {
+        (Some(s), Some(p)) => {
+            s == p
+                && s.describe(scored.schema()) == p.describe(scored.schema())
+                && scored.preview_score(s).to_bits() == scored.preview_score(p).to_bits()
+        }
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+/// Times the three sections sequentially and in parallel, cross-checking
+/// every output bitwise; `Err` reports the first divergence.
+fn measure(
+    graph: &EntityGraph,
+    schema: &SchemaGraph,
+    scored: &ScoredSchema,
+    repeats: usize,
+    threads: usize,
+) -> Result<Measurements, String> {
+    // --- Entropy scoring: parallel over candidate attributes -------------
+    let (entropy_seq_s, seq_scores) = timed(repeats, || entropy_scores_with(graph, schema, 1));
+    let (entropy_par_s, par_scores) =
+        timed(repeats, || entropy_scores_with(graph, schema, threads));
+    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+    if bits(&seq_scores.0) != bits(&par_scores.0) || bits(&seq_scores.1) != bits(&par_scores.1) {
+        return Err("parallel entropy scores diverge from the sequential path".to_string());
+    }
+
+    // --- Discovery: parallel over candidate k-subsets --------------------
+    let brute_space = PreviewSpace::concise(3, 6).expect("valid space");
+    let brute = BruteForceDiscovery::new();
+    let (brute_seq_s, brute_seq) = timed(repeats, || {
+        brute
+            .discover_with_threads(scored, &brute_space, 1)
+            .expect("brute force supports concise spaces")
+    });
+    let (brute_par_s, brute_par) = timed(repeats, || {
+        brute
+            .discover_with_threads(scored, &brute_space, threads)
+            .expect("brute force supports concise spaces")
+    });
+    if !previews_identical(scored, &brute_seq, &brute_par) {
+        return Err("parallel brute-force discovery diverges from the sequential path".to_string());
+    }
+
+    let apriori_space = PreviewSpace::diverse(3, 6, 2).expect("valid space");
+    let apriori = AprioriDiscovery::new();
+    let (apriori_seq_s, apriori_seq) = timed(repeats, || {
+        apriori
+            .discover_with_threads(scored, &apriori_space, 1)
+            .expect("apriori supports diverse spaces")
+    });
+    let (apriori_par_s, apriori_par) = timed(repeats, || {
+        apriori
+            .discover_with_threads(scored, &apriori_space, threads)
+            .expect("apriori supports diverse spaces")
+    });
+    if !previews_identical(scored, &apriori_seq, &apriori_par) {
+        return Err("parallel Apriori discovery diverges from the sequential path".to_string());
+    }
+
+    Ok(Measurements {
+        entropy: Section {
+            sequential_s: entropy_seq_s,
+            parallel_s: entropy_par_s,
+        },
+        brute: Section {
+            sequential_s: brute_seq_s,
+            parallel_s: brute_par_s,
+        },
+        apriori: Section {
+            sequential_s: apriori_seq_s,
+            parallel_s: apriori_par_s,
+        },
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "[parallel-bench] generating domain {:?} at scale {} (seed {}) ...",
+        options.domain.name(),
+        options.scale,
+        options.seed
+    );
+    let spec = options.domain.spec(options.scale);
+    let graph = SyntheticGenerator::new(options.seed).generate(&spec);
+    let schema = graph.schema_graph();
+    let scored = ScoredSchema::build(
+        &graph,
+        &ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy),
+    )
+    .expect("scoring the datagen graph succeeds");
+    let eligible = scored.eligible_types().len();
+    let subsets = brute_force_subset_count(eligible, 3);
+    let repeats = options.repeats;
+    let threads = options.threads;
+
+    let first = match measure(&graph, schema, &scored, repeats, threads) {
+        Ok(measurements) => measurements,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Full speedup floors need spare cores; on starved hosts only the
+    // bounded-overhead floor applies (identity is enforced either way).
+    let full_floors = host_parallelism >= threads;
+    let floor_of = |name: &str| -> f64 {
+        if !full_floors {
+            0.8
+        } else if name == "brute-force discovery" {
+            1.5
+        } else if name == "entropy scoring" {
+            1.1
+        } else {
+            1.0
+        }
+    };
+
+    let json = format!(
+        concat!(
+            "{{\"workload\":{{\"domain\":\"{}\",\"scale\":{},\"seed\":{},\"threads\":{},",
+            "\"host_parallelism\":{},\"entities\":{},\"edges\":{},\"eligible_types\":{}}},\n",
+            " \"entropy_scoring\":{{\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.2},\"identical\":true}},\n",
+            " \"brute_force_discovery\":{{\"space\":\"concise(3,6)\",\"subsets\":{},\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.2},\"identical\":true}},\n",
+            " \"apriori_discovery\":{{\"space\":\"diverse(3,6,d=2)\",\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.2},\"identical\":true}},\n",
+            " \"check\":{{\"full_floors_enforced\":{},\"brute_force_floor\":{},\"entropy_floor\":{},\"apriori_floor\":{}}}}}"
+        ),
+        options.domain.name(),
+        options.scale,
+        options.seed,
+        threads,
+        host_parallelism,
+        graph.entity_count(),
+        graph.edge_count(),
+        eligible,
+        first.entropy.sequential_s,
+        first.entropy.parallel_s,
+        first.entropy.speedup(),
+        subsets,
+        first.brute.sequential_s,
+        first.brute.parallel_s,
+        first.brute.speedup(),
+        first.apriori.sequential_s,
+        first.apriori.parallel_s,
+        first.apriori.speedup(),
+        full_floors,
+        floor_of("brute-force discovery"),
+        floor_of("entropy scoring"),
+        floor_of("apriori discovery"),
+    );
+    println!("{json}");
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("error: cannot write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[parallel-bench] summary written to {path}");
+    }
+
+    if options.check {
+        if eligible < 20 {
+            eprintln!(
+                "check failed: only {eligible} eligible types: the discovery workload is too \
+                 small to be meaningful"
+            );
+            return ExitCode::FAILURE;
+        }
+        // Best observed speedup per section across the first measurement and
+        // any retries.
+        let mut best: Vec<(&'static str, f64)> = first
+            .sections()
+            .iter()
+            .map(|&(name, section)| (name, section.speedup()))
+            .collect();
+        for attempt in 0..=CHECK_RETRIES {
+            let failures: Vec<String> = best
+                .iter()
+                .filter(|&&(name, speedup)| speedup < floor_of(name))
+                .map(|&(name, speedup)| {
+                    format!(
+                        "{name} speedup {speedup:.2}x below the {}x floor \
+                         (host_parallelism={host_parallelism}, threads={threads})",
+                        floor_of(name)
+                    )
+                })
+                .collect();
+            if failures.is_empty() {
+                break;
+            }
+            if attempt == CHECK_RETRIES {
+                for failure in &failures {
+                    eprintln!("check failed: {failure}");
+                }
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[parallel-bench] floor missed (attempt {}), re-measuring in case of transient \
+                 external load ...",
+                attempt + 1
+            );
+            match measure(&graph, schema, &scored, repeats, threads) {
+                Ok(retry) => {
+                    for (slot, &(_, section)) in best.iter_mut().zip(retry.sections().iter()) {
+                        slot.1 = slot.1.max(section.speedup());
+                    }
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        eprintln!(
+            "[parallel-bench] checks passed: {} ({} floors)",
+            best.iter()
+                .map(|(name, speedup)| format!("{name} {speedup:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if full_floors { "full" } else { "starved-host" },
+        );
+    }
+    ExitCode::SUCCESS
+}

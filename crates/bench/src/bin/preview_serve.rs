@@ -11,6 +11,7 @@
 //! cargo run -p bench --release --bin preview-serve -- --out BENCH_service.json --check
 //! ```
 
+use bench::util::parse_checked as parse;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -83,14 +84,6 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(options)
-}
-
-fn parse<T: std::str::FromStr + Copy>(value: &str, ok: impl Fn(T) -> bool) -> Result<T, String> {
-    value
-        .parse::<T>()
-        .ok()
-        .filter(|v| ok(*v))
-        .ok_or_else(|| format!("invalid value {value:?}"))
 }
 
 /// One measured service run over the whole workload.

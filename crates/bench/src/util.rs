@@ -74,6 +74,44 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, start.elapsed())
 }
 
+/// Parses a CLI flag value, validating it with `ok`; the smoke-bench
+/// binaries share this for their hand-rolled argument loops.
+pub fn parse_checked<T: std::str::FromStr + Copy>(
+    value: &str,
+    ok: impl Fn(T) -> bool,
+) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .ok()
+        .filter(|v| ok(*v))
+        .ok_or_else(|| format!("invalid value {value:?}"))
+}
+
+/// Runs `f` `repeats` times and returns the minimum wall-clock seconds plus
+/// the last result (the workloads are deterministic, so every repetition
+/// agrees; callers cross-check the returned value).
+pub fn min_timed<T>(repeats: usize, f: impl FnMut() -> T) -> (f64, T) {
+    min_timed_n(repeats, 1, f)
+}
+
+/// Like [`min_timed`] but each repetition runs `f` `iters` times back to
+/// back and reports per-iteration seconds: sub-millisecond sections are
+/// amortised over several iterations so the min-of-`repeats` timing sits
+/// well above scheduler and timer noise — regression floors must not flake
+/// on a loaded CI runner.
+pub fn min_timed_n<T>(repeats: usize, iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for _ in 0..iters {
+            last = Some(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    (best, last.expect("repeats and iters >= 1"))
+}
+
 /// Formats a duration in the paper's milliseconds-with-floor-of-one style
 /// ("execution time less than 1 millisecond is rounded to 1 millisecond").
 pub fn format_millis(duration: Duration) -> String {

@@ -18,24 +18,52 @@ pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
     raw.into_iter().map(|w| w / total).collect()
 }
 
-/// Splits `total` items over `n` ranks following a Zipf law with exponent `s`,
-/// guaranteeing every rank receives at least `minimum` items (as long as
-/// `total >= n * minimum`).
+/// Splits `total` items over `n` ranks following a Zipf law with exponent `s`.
+///
+/// The result always sums to exactly `total`. When `total >= n * minimum`,
+/// every rank additionally receives at least `minimum` items. When the
+/// minimum cannot be honoured (`total < n * minimum`, the degenerate case),
+/// the Zipf shape is abandoned and `total` is spread as evenly as possible —
+/// every rank gets the fair share `total / n`, with the remainder going to
+/// the smallest (largest-weight) ranks — rather than over-subscribing: the
+/// previous behaviour returned counts summing to `n * minimum > total`,
+/// silently inventing items.
 pub fn zipf_partition(total: u64, n: usize, s: f64, minimum: u64) -> Vec<u64> {
     if n == 0 {
         return Vec::new();
     }
-    let reserved = minimum.saturating_mul(n as u64).min(total);
+    let n64 = n as u64;
+    if minimum.checked_mul(n64).is_none_or(|r| r > total) {
+        let base = total / n64;
+        let remainder = (total % n64) as usize;
+        return (0..n).map(|i| base + u64::from(i < remainder)).collect();
+    }
+    let reserved = minimum * n64;
     let distributable = total - reserved;
     let weights = zipf_weights(n, s);
     let mut counts: Vec<u64> = weights
         .iter()
         .map(|w| minimum + (w * distributable as f64).floor() as u64)
         .collect();
-    // Give any rounding remainder to the largest rank so the sum matches.
+    // Flooring under-assigns (the weights sum to 1 up to rounding error);
+    // give the remainder to the largest rank so the sum matches exactly.
     let assigned: u64 = counts.iter().sum();
-    if assigned < total {
+    if assigned <= total {
         counts[0] += total - assigned;
+    } else {
+        // Only reachable via floating-point error at astronomical totals
+        // (the floored weighted sum exceeding `distributable` requires the
+        // accumulated ulp drift to top 1): trim the excess from the largest
+        // ranks without dipping below the minimum.
+        let mut excess = assigned - total;
+        for count in counts.iter_mut() {
+            let trim = excess.min(*count - minimum);
+            *count -= trim;
+            excess -= trim;
+            if excess == 0 {
+                break;
+            }
+        }
     }
     counts
 }
@@ -94,6 +122,7 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -121,6 +150,51 @@ mod tests {
         let counts = zipf_partition(7, 7, 1.0, 1);
         assert_eq!(counts.iter().sum::<u64>(), 7);
         assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn degenerate_minimum_does_not_oversubscribe() {
+        // total < n * minimum: the minimum cannot be honoured. The pre-fix
+        // code returned [2, 2, 2] here — summing to 6, one more item than
+        // requested — because the `assigned < total` top-up masked the
+        // oversubscribed reservation.
+        let counts = zipf_partition(5, 3, 1.0, 2);
+        assert_eq!(counts.iter().sum::<u64>(), 5, "must sum to exactly total");
+        // Fair-share spread, remainder to the largest-weight ranks.
+        assert_eq!(counts, vec![2, 2, 1]);
+        // Harder degeneracy: fewer items than ranks.
+        let counts = zipf_partition(2, 5, 1.3, 7);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+        assert_eq!(counts, vec![1, 1, 0, 0, 0]);
+        // minimum * n overflows u64: still just the fair-share spread.
+        let counts = zipf_partition(10, 4, 1.0, u64::MAX);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The partition invariant: the counts always sum to exactly
+        /// `total`, and every rank receives at least
+        /// `min(minimum, total / n)` (the full minimum when it fits, the
+        /// fair share when the minimum is unsatisfiable).
+        #[test]
+        fn partition_sums_to_total_and_honours_floor(
+            total in 0u64..2_000_000,
+            n in 1usize..200,
+            s_tenths in 0u64..30,
+            minimum in 0u64..2_000,
+        ) {
+            let s = s_tenths as f64 / 10.0;
+            let counts = zipf_partition(total, n, s, minimum);
+            prop_assert_eq!(counts.len(), n);
+            prop_assert_eq!(counts.iter().sum::<u64>(), total);
+            let floor = minimum.min(total / n as u64);
+            prop_assert!(
+                counts.iter().all(|&c| c >= floor),
+                "count below floor {}: {:?}", floor, counts
+            );
+        }
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //! the distance constraint. Every `k`-subset that survives is turned into a
 //! preview via Theorem 3 and the best one is returned.
 
-use crate::algo::common::compute_preview;
+//! Both the level-wise join (independent per prefix group) and the final
+//! per-subset preview assembly are embarrassingly parallel; they fan out
+//! across the fork-join pool with index-ordered merges, so the result is
+//! byte-identical to the sequential scan at any thread count.
+
+use crate::algo::common::{compute_preview, merge_best, space_is_empty};
 use crate::algo::PreviewDiscovery;
 use crate::constraint::{DistanceConstraint, PreviewSpace};
 use crate::error::{Error, Result};
+use crate::par::FjPool;
 use crate::preview::Preview;
 use crate::scoring::ScoredSchema;
 
@@ -31,7 +37,12 @@ impl PreviewDiscovery for AprioriDiscovery {
         "apriori"
     }
 
-    fn discover(&self, scored: &ScoredSchema, space: &PreviewSpace) -> Result<Option<Preview>> {
+    fn discover_with_threads(
+        &self,
+        scored: &ScoredSchema,
+        space: &PreviewSpace,
+        threads: usize,
+    ) -> Result<Option<Preview>> {
         let constraint = match space.distance() {
             Some(c) => c,
             None => {
@@ -43,62 +54,78 @@ impl PreviewDiscovery for AprioriDiscovery {
             }
         };
         let size = space.size();
-        let eligible = scored.eligible_types();
-        if eligible.len() < size.tables {
+        if space_is_empty(scored, size) {
             return Ok(None);
         }
+        let eligible = scored.eligible_types();
 
-        let subsets = candidate_subsets(scored, constraint, size.tables);
-        let mut best: Option<(Preview, f64)> = None;
-        for subset in &subsets {
-            let types: Vec<_> = subset.iter().map(|&i| eligible[i as usize]).collect();
-            if let Some((preview, score)) = compute_preview(scored, &types, size) {
-                let better = match &best {
-                    Some((_, best_score)) => score > *best_score,
-                    None => true,
-                };
-                if better {
-                    best = Some((preview, score));
+        let subsets = candidate_subsets(scored, constraint, size.tables, threads);
+        // Evaluate the surviving subsets in contiguous chunks; the
+        // earliest-strict-argmax merge in chunk order equals the sequential
+        // scan (see `merge_best`).
+        Ok(FjPool::global()
+            .map_chunked(threads, subsets.len(), |range| {
+                let mut best: Option<(Preview, f64)> = None;
+                for subset in &subsets[range] {
+                    let types: Vec<_> = subset.iter().map(|&i| eligible[i as usize]).collect();
+                    if let Some((preview, score)) = compute_preview(scored, &types, size) {
+                        best = merge_best(best, Some((preview, score)));
+                    }
                 }
-            }
-        }
-        Ok(best.map(|(p, _)| p))
+                best
+            })
+            .into_iter()
+            .fold(None, merge_best)
+            .map(|(preview, _)| preview))
     }
 }
 
 /// Level-wise generation of the `k`-subsets of eligible-type *indices* whose
 /// pairwise distances satisfy the constraint (Alg. 3, lines 1–14).
+///
+/// Each level is produced in lexicographic order: L2 is generated per first
+/// index, later levels per shared-prefix group — both fan out across the
+/// fork-join pool and concatenate their per-group output in group order, so
+/// the generated candidate list is identical to the sequential join at any
+/// thread count.
 fn candidate_subsets(
     scored: &ScoredSchema,
     constraint: DistanceConstraint,
     k: usize,
+    threads: usize,
 ) -> Vec<Vec<u32>> {
     let eligible = scored.eligible_types();
     let distances = scored.distances();
     let pair_ok = |a: u32, b: u32| -> bool {
         constraint.pair_ok(distances.distance(eligible[a as usize], eligible[b as usize]))
     };
+    let pool = FjPool::global();
 
     if k == 1 {
         return (0..eligible.len() as u32).map(|i| vec![i]).collect();
     }
 
-    // L2: all ordered pairs (i < j) satisfying the constraint.
-    let mut level: Vec<Vec<u32>> = Vec::new();
-    for i in 0..eligible.len() as u32 {
-        for j in (i + 1)..eligible.len() as u32 {
-            if pair_ok(i, j) {
-                level.push(vec![i, j]);
-            }
-        }
-    }
+    // L2: all ordered pairs (i < j) satisfying the constraint, grouped (and
+    // parallelized) by their first index.
+    let firsts: Vec<u32> = (0..eligible.len() as u32).collect();
+    let mut level: Vec<Vec<u32>> = pool
+        .map(threads, &firsts, |_, &i| {
+            ((i + 1)..eligible.len() as u32)
+                .filter(|&j| pair_ok(i, j))
+                .map(|j| vec![i, j])
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut size = 2;
     while size < k && !level.is_empty() {
-        let mut next: Vec<Vec<u32>> = Vec::new();
         // Join pairs of subsets sharing all but their last element. The level
-        // is generated in lexicographic order, so subsets with a common prefix
-        // are adjacent.
+        // is generated in lexicographic order, so subsets with a common
+        // prefix are adjacent: a cheap sequential scan finds the group
+        // boundaries, then every group joins independently.
+        let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
         let mut start = 0;
         while start < level.len() {
             let prefix = &level[start][..size - 1];
@@ -106,19 +133,28 @@ fn candidate_subsets(
             while end < level.len() && &level[end][..size - 1] == prefix {
                 end += 1;
             }
-            for a in start..end {
-                for b in (a + 1)..end {
-                    let last_a = level[a][size - 1];
-                    let last_b = level[b][size - 1];
-                    if pair_ok(last_a, last_b) {
-                        let mut joined = level[a].clone();
-                        joined.push(last_b);
-                        next.push(joined);
-                    }
-                }
-            }
+            groups.push(start..end);
             start = end;
         }
+        let next: Vec<Vec<u32>> = pool
+            .map(threads, &groups, |_, group| {
+                let mut joined_group: Vec<Vec<u32>> = Vec::new();
+                for a in group.clone() {
+                    for b in (a + 1)..group.end {
+                        let last_a = level[a][size - 1];
+                        let last_b = level[b][size - 1];
+                        if pair_ok(last_a, last_b) {
+                            let mut joined = level[a].clone();
+                            joined.push(last_b);
+                            joined_group.push(joined);
+                        }
+                    }
+                }
+                joined_group
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         level = next;
         size += 1;
     }
@@ -216,6 +252,26 @@ mod tests {
             .discover(&scored, &space)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn parallel_discovery_is_byte_identical_to_sequential() {
+        let scored = scored(ScoringConfig::coverage());
+        for space in [
+            PreviewSpace::tight(2, 6, 2).unwrap(),
+            PreviewSpace::tight(3, 6, 10).unwrap(),
+            PreviewSpace::diverse(2, 6, 2).unwrap(),
+        ] {
+            let sequential = AprioriDiscovery::new()
+                .discover_with_threads(&scored, &space, 1)
+                .unwrap();
+            for threads in [0, 2, 4, 16] {
+                let parallel = AprioriDiscovery::new()
+                    .discover_with_threads(&scored, &space, threads)
+                    .unwrap();
+                assert_eq!(parallel, sequential, "threads={threads} {space:?}");
+            }
+        }
     }
 
     #[test]

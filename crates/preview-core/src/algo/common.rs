@@ -7,6 +7,39 @@ use crate::constraint::SizeConstraint;
 use crate::preview::{NonKeyAttr, Preview, PreviewTable};
 use crate::scoring::ScoredSchema;
 
+/// Whether the preview space is trivially empty for `scored`, so every
+/// algorithm must return `Ok(None)` without running.
+///
+/// Covers the degenerate corners the three algorithms historically disagreed
+/// on: `k == 0` (a preview is non-empty by Def. 1; `SizeConstraint::new`
+/// rejects it, but the fields are public and hand-built constraints reach the
+/// algorithms), `n < k` (every table needs one non-key attribute, so no
+/// preview fits the budget), and fewer eligible entity types than requested
+/// tables.
+pub(crate) fn space_is_empty(scored: &ScoredSchema, size: SizeConstraint) -> bool {
+    size.tables == 0 || size.non_keys < size.tables || scored.eligible_types().len() < size.tables
+}
+
+/// Merges two scored candidates in index order, keeping the earlier one
+/// unless the later is *strictly* better — exactly the tie-break of the
+/// sequential enumeration loop. Earliest-strict-argmax is associative, so
+/// per-chunk winners merged in chunk order equal the full sequential scan.
+pub(crate) fn merge_best(
+    earlier: Option<(Preview, f64)>,
+    later: Option<(Preview, f64)>,
+) -> Option<(Preview, f64)> {
+    match (earlier, later) {
+        (Some(a), Some(b)) => {
+            if b.1 > a.1 {
+                Some(b)
+            } else {
+                Some(a)
+            }
+        }
+        (a, b) => a.or(b),
+    }
+}
+
 /// Assembles the best preview whose key attributes are exactly `subset`
 /// (Alg. 1, lines 5–14; the `ComputePreview` routine of Alg. 3).
 ///

@@ -9,6 +9,7 @@
 //! constraint, so this algorithm only serves the concise space; asking it for
 //! a tight or diverse preview is an error.
 
+use crate::algo::common::space_is_empty;
 use crate::algo::PreviewDiscovery;
 use crate::constraint::PreviewSpace;
 use crate::error::{Error, Result};
@@ -31,7 +32,17 @@ impl PreviewDiscovery for DynamicProgrammingDiscovery {
         "dynamic-programming"
     }
 
-    fn discover(&self, scored: &ScoredSchema, space: &PreviewSpace) -> Result<Option<Preview>> {
+    /// The DP recurrence is inherently sequential in its outer dimension
+    /// (`Popt(·, ·, x)` depends on `Popt(·, ·, x − 1)`), so `threads` is
+    /// accepted for interface uniformity but does not fan work out. The
+    /// algorithm is polynomial — parallelism pays off on the exponential
+    /// enumeration algorithms, not here.
+    fn discover_with_threads(
+        &self,
+        scored: &ScoredSchema,
+        space: &PreviewSpace,
+        _threads: usize,
+    ) -> Result<Option<Preview>> {
         let size = match space {
             PreviewSpace::Concise(size) => *size,
             PreviewSpace::Tight(..) | PreviewSpace::Diverse(..) => {
@@ -42,13 +53,13 @@ impl PreviewDiscovery for DynamicProgrammingDiscovery {
                 })
             }
         };
+        if space_is_empty(scored, size) {
+            return Ok(None);
+        }
         let eligible = scored.eligible_types();
         let types_total = eligible.len();
         let k = size.tables;
         let n = size.non_keys;
-        if types_total < k {
-            return Ok(None);
-        }
 
         const NEG: f64 = f64::NEG_INFINITY;
         // dp[x][i][j]: best score using a subset of the first x eligible types

@@ -44,6 +44,7 @@ pub mod algo;
 pub mod candidates;
 mod constraint;
 mod error;
+pub mod par;
 mod preview;
 pub mod scoring;
 
@@ -54,6 +55,7 @@ pub use algo::{
 pub use candidates::Candidate;
 pub use constraint::{DistanceConstraint, PreviewSpace, SizeConstraint};
 pub use error::{Error, Result};
+pub use par::FjPool;
 pub use preview::{MaterializedRow, MaterializedTable, NonKeyAttr, Preview, PreviewTable};
 pub use scoring::{KeyScoring, NonKeyScoring, RandomWalkConfig, ScoredSchema, ScoringConfig};
 

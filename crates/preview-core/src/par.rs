@@ -1,0 +1,398 @@
+//! Deterministic fork-join parallelism for the discovery hot paths.
+//!
+//! The paper's discovery algorithms enumerate and score `k`-subsets of entity
+//! types — embarrassingly parallel work over shared, read-only
+//! [`ScoredSchema`](crate::ScoredSchema) state. This module provides the one
+//! primitive they need: a chunked map over a slice, executed on scoped
+//! `std::thread`s, whose results are **merged in index order** so the output
+//! is byte-identical to the sequential loop no matter how many threads ran or
+//! how the scheduler interleaved them.
+//!
+//! # Determinism contract
+//!
+//! [`FjPool::map`] returns exactly `items.iter().enumerate().map(f).collect()`
+//! — per-index results are computed independently and written to per-index
+//! slots, so scheduling cannot reorder them. Reductions built on top (the
+//! algorithms fold the per-index results left to right) therefore see the
+//! same operand order as the sequential code. [`FjPool::map_chunked`] splits
+//! an index range into contiguous chunks whose *boundaries depend on the
+//! requested thread count*; it is reserved for reductions that are exactly
+//! associative — e.g. the earliest-index strict-argmax the discovery
+//! algorithms use, where merging per-chunk winners in chunk order provably
+//! equals the sequential scan.
+//!
+//! # Oversubscription control
+//!
+//! All parallel regions draw *worker tokens* from a shared budget (one
+//! [`FjPool`], usually [`FjPool::global`]). A region that asks for `t`
+//! threads acquires up to `t − 1` tokens without blocking and runs with
+//! however many it got — possibly zero, in which case it degrades to the
+//! plain sequential loop on the calling thread. Because acquisition never
+//! blocks, nested parallel regions and many concurrent callers (e.g. the
+//! `preview-service` worker pool, where every worker may serve a
+//! `threads = 4` request at once) cannot deadlock and cannot oversubscribe
+//! the machine: the total number of extra fork-join threads alive at any
+//! instant is bounded by the pool's capacity.
+//!
+//! # Example
+//!
+//! ```
+//! use preview_core::par::FjPool;
+//!
+//! let pool = FjPool::new(3); // up to 3 extra workers
+//! let squares = pool.map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // index order, always
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// How many chunks each requested worker gets in [`FjPool::map_chunked`]:
+/// more chunks than workers smooths out imbalance between chunk costs while
+/// keeping per-chunk scheduling overhead negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A shared fork-join worker budget (see the [module docs](self)).
+///
+/// The pool does not own threads: parallel regions spawn scoped threads on
+/// demand and the pool only bounds how many may be alive at once. This keeps
+/// the implementation free of `unsafe` (borrowed inputs flow into
+/// `std::thread::scope` directly) while still preventing oversubscription
+/// when many regions run concurrently.
+#[derive(Debug)]
+pub struct FjPool {
+    /// Maximum number of extra worker threads across all concurrent regions.
+    capacity: usize,
+    /// Total workers (caller included) an "auto" (`threads = 0`) request
+    /// resolves to; see [`resolve_threads`](Self::resolve_threads).
+    auto_workers: usize,
+    /// Tokens currently available for acquisition.
+    available: AtomicUsize,
+}
+
+/// Releases acquired tokens even if a mapped closure panics while the scoped
+/// threads unwind.
+struct TokenGuard<'a> {
+    pool: &'a FjPool,
+    tokens: usize,
+}
+
+impl Drop for TokenGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.tokens);
+    }
+}
+
+impl FjPool {
+    /// Creates a pool budgeting at most `capacity` extra worker threads
+    /// across all concurrent parallel regions. "Auto" requests resolve to
+    /// the full budget (`capacity + 1` workers).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            auto_workers: capacity + 1,
+            available: AtomicUsize::new(capacity),
+        }
+    }
+
+    /// The process-wide pool shared by scoring, discovery and the serving
+    /// layer.
+    ///
+    /// Its token budget is `available_parallelism − 1` extra workers (the
+    /// caller thread always participates), floored at 3 so *explicitly*
+    /// requested thread counts keep spawning real threads — and the parallel
+    /// machinery stays exercised and testable — on single-core hosts, where
+    /// the operating system timeslices the extra workers. "Auto"
+    /// (`threads = 0`) requests, by contrast, resolve to the host's true
+    /// parallelism: auto never oversubscribes, so on a single-core
+    /// production host it degrades to the sequential path instead of paying
+    /// timesliced-thread overhead.
+    pub fn global() -> &'static FjPool {
+        static GLOBAL: OnceLock<FjPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = thread::available_parallelism().map_or(1, |n| n.get());
+            FjPool {
+                capacity: cores.saturating_sub(1).max(3),
+                auto_workers: cores,
+                available: AtomicUsize::new(cores.saturating_sub(1).max(3)),
+            }
+        })
+    }
+
+    /// Maximum number of extra worker threads this pool budgets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tokens currently available (for diagnostics; racy by nature).
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Relaxed)
+    }
+
+    /// Acquires up to `want` tokens without blocking; returns how many were
+    /// granted (possibly zero).
+    fn try_acquire(&self, want: usize) -> usize {
+        let mut current = self.available.load(Ordering::Acquire);
+        loop {
+            let take = want.min(current);
+            if take == 0 {
+                return 0;
+            }
+            match self.available.compare_exchange_weak(
+                current,
+                current - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return take,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn release(&self, tokens: usize) {
+        if tokens > 0 {
+            self.available.fetch_add(tokens, Ordering::AcqRel);
+        }
+    }
+
+    /// Resolves a request-level thread knob to a worker count: `0` means
+    /// "auto" — the host's true parallelism for the [global](Self::global)
+    /// pool (never oversubscribing), the full budget for a custom pool —
+    /// and any other value is taken verbatim (`1` = sequential).
+    pub fn resolve_threads(&self, threads: usize) -> usize {
+        if threads == 0 {
+            self.auto_workers
+        } else {
+            threads
+        }
+    }
+
+    /// Maps `f` over `items` with up to `threads` workers (the caller
+    /// included), returning the results **in index order** — byte-identical
+    /// to the sequential `items.iter().enumerate().map(f).collect()`.
+    ///
+    /// Items are handed to workers dynamically (an atomic cursor), so uneven
+    /// per-item costs balance across workers without affecting the output.
+    /// With `threads <= 1`, an empty input, or an exhausted token budget the
+    /// map runs entirely on the calling thread.
+    pub fn map<T, R, F>(&self, threads: usize, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.resolve_threads(threads);
+        let want = workers.saturating_sub(1).min(items.len().saturating_sub(1));
+        let granted = if want == 0 { 0 } else { self.try_acquire(want) };
+        if granted == 0 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| f(index, item))
+                .collect();
+        }
+        let guard = TokenGuard {
+            pool: self,
+            tokens: granted,
+        };
+        let cursor = AtomicUsize::new(0);
+        // Each worker appends `(index, result)` pairs to its own buffer — no
+        // shared result state, no per-item locks. Captures only shared
+        // references, so the closure is `Copy` and can be handed to every
+        // scoped worker plus run on the calling thread.
+        let run = || {
+            let mut buffer: Vec<(usize, R)> = Vec::new();
+            loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                buffer.push((index, f(index, item)));
+            }
+            buffer
+        };
+        let buffers: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..granted).map(|_| scope.spawn(run)).collect();
+            let mut buffers = vec![run()];
+            for handle in handles {
+                match handle.join() {
+                    Ok(buffer) => buffers.push(buffer),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            buffers
+        });
+        drop(guard);
+        // Scatter the per-worker buffers back into index order.
+        let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+        for (index, value) in buffers.into_iter().flatten() {
+            debug_assert!(results[index].is_none(), "index visited twice");
+            results[index] = Some(value);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every index is visited exactly once"))
+            .collect()
+    }
+
+    /// Maps `chunk` over contiguous sub-ranges of `0..len`, returning the
+    /// per-chunk results in chunk order.
+    ///
+    /// Chunk boundaries depend on the *requested* thread count (not on how
+    /// many tokens were granted), so a given `(len, threads)` pair always
+    /// produces the same chunking. Because boundaries move with `threads`,
+    /// this is only suitable for reductions that are exactly associative
+    /// when merged in index order — see the [module docs](self).
+    pub fn map_chunked<R, F>(&self, threads: usize, len: usize, chunk: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(len, self.resolve_threads(threads));
+        self.map(threads, &ranges, |_, range| chunk(range.clone()))
+    }
+}
+
+/// Splits `0..len` into at most `workers * CHUNKS_PER_WORKER` contiguous
+/// ranges of near-equal length (never empty). With `workers <= 1` the whole
+/// range is one chunk, so the sequential path sees the identical layout the
+/// plain loop would.
+fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = if workers <= 1 {
+        1
+    } else {
+        len.min(workers.saturating_mul(CHUNKS_PER_WORKER))
+    };
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for index in 0..chunks {
+        let size = base + usize::from(index < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_index_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..997).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        let pool = FjPool::new(7);
+        for threads in [0, 1, 2, 3, 4, 16] {
+            let got = pool.map(threads, &items, |_, &x| x.wrapping_mul(2654435761));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_inputs() {
+        let pool = FjPool::new(2);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(4, &[9u32], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn tokens_are_returned_after_each_region() {
+        let pool = FjPool::new(3);
+        for _ in 0..10 {
+            let _ = pool.map(4, &[1u8, 2, 3, 4, 5, 6, 7, 8], |_, &x| x);
+            assert_eq!(pool.available(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_pool_runs_sequentially() {
+        let pool = FjPool::new(0);
+        let calls = AtomicU64::new(0);
+        let got = pool.map(8, &[1u64, 2, 3], |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        let pool = FjPool::new(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let got = pool.map(3, &outer, |_, &x| {
+            let inner: Vec<u64> = (0..8).collect();
+            pool.map(3, &inner, |_, &y| x * 100 + y).iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8).map(|x| (0..8).map(|y| x * 100 + y).sum()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn map_chunked_covers_the_range_in_order() {
+        let pool = FjPool::new(3);
+        for threads in [0, 1, 2, 4] {
+            let chunks = pool.map_chunked(threads, 103, |range| range.clone());
+            let flattened: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flattened, (0..103).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_are_balanced_and_exhaustive() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert_eq!(chunk_ranges(10, 1), vec![0..10]);
+        let ranges = chunk_ranges(10, 2);
+        assert_eq!(ranges.len(), 8);
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+        let ranges = chunk_ranges(3, 4);
+        assert_eq!(ranges.len(), 3);
+    }
+
+    #[test]
+    fn resolve_threads_auto_uses_full_budget() {
+        let pool = FjPool::new(5);
+        assert_eq!(pool.resolve_threads(0), 6);
+        assert_eq!(pool.resolve_threads(1), 1);
+        assert_eq!(pool.resolve_threads(9), 9);
+    }
+
+    #[test]
+    fn global_pool_budgets_at_least_three_extra_workers() {
+        assert!(FjPool::global().capacity() >= 3);
+    }
+
+    #[test]
+    fn global_auto_resolves_to_host_parallelism_not_the_test_floor() {
+        // Auto must never oversubscribe: on a single-core host it resolves
+        // to 1 worker (sequential) even though the token budget is floored
+        // at 3 for explicitly requested thread counts.
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(FjPool::global().resolve_threads(0), cores);
+    }
+
+    #[test]
+    fn panic_in_mapped_closure_returns_tokens() {
+        let pool = FjPool::new(2);
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.map(3, &items, |_, &x| {
+                assert!(x != 17, "injected panic");
+                x
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(pool.available(), 2);
+    }
+}

@@ -57,6 +57,28 @@ pub struct ScoringConfig {
     pub non_key: NonKeyScoring,
     /// Parameters of the random-walk measure (ignored for coverage).
     pub random_walk: RandomWalkConfig,
+    /// Fork-join thread budget for scoring and discovery: `1` (the default)
+    /// runs sequentially, `0` means "auto" (the host's available
+    /// parallelism, resolved by
+    /// [`FjPool::global`](crate::par::FjPool::global) — never
+    /// oversubscribing), any other value caps the workers for this
+    /// configuration. The knob never changes results —
+    /// all parallel reductions merge in index order, so outputs stay
+    /// byte-identical to the sequential path — which is also why it is *not*
+    /// part of result-cache or memoization keys.
+    ///
+    /// Configs serialized before this field existed deserialize to the
+    /// sequential default (`1`, not `usize::default()`'s `0` = auto).
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+/// Serde default for [`ScoringConfig::threads`]: sequential. The vendored
+/// serde stand-in ignores field attributes (hence the `dead_code` allow);
+/// the real `serde_derive` calls this when the field is absent.
+#[allow(dead_code)]
+fn default_threads() -> usize {
+    1
 }
 
 impl Default for ScoringConfig {
@@ -65,6 +87,7 @@ impl Default for ScoringConfig {
             key: KeyScoring::Coverage,
             non_key: NonKeyScoring::Coverage,
             random_walk: RandomWalkConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -81,7 +104,14 @@ impl ScoringConfig {
             key,
             non_key,
             random_walk: RandomWalkConfig::default(),
+            threads: 1,
         }
+    }
+
+    /// Sets the fork-join thread budget (see [`ScoringConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -125,7 +155,7 @@ impl ScoredSchema {
                 let cov = nonkey::coverage_scores(&schema);
                 (cov.clone(), cov)
             }
-            NonKeyScoring::Entropy => nonkey::entropy_scores(graph, &schema),
+            NonKeyScoring::Entropy => nonkey::entropy_scores_with(graph, &schema, config.threads),
         };
         let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
         let prefix_sums = candidates::prefix_sums(&candidates);

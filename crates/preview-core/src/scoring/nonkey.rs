@@ -4,6 +4,8 @@ use std::collections::HashMap;
 
 use entity_graph::{Direction, EntityGraph, EntityId, SchemaGraph};
 
+use crate::par::FjPool;
+
 /// Coverage-based non-key attribute scores: `Sτcov(γ)` is the number of
 /// entity-graph edges of relationship type `γ`.
 ///
@@ -33,27 +35,41 @@ pub fn coverage_scores(schema: &SchemaGraph) -> Vec<f64> {
 /// `outgoing[e]` is the score when the key attribute is the edge's source
 /// type, `incoming[e]` when it is the destination type.
 pub fn entropy_scores(graph: &EntityGraph, schema: &SchemaGraph) -> (Vec<f64>, Vec<f64>) {
-    let mut outgoing = Vec::with_capacity(schema.relationship_type_count());
-    let mut incoming = Vec::with_capacity(schema.relationship_type_count());
-    for edge in schema.edges() {
-        outgoing.push(orientation_entropy(
-            graph,
-            schema,
-            edge.name.as_str(),
-            edge.src,
-            edge.dst,
-            Direction::Outgoing,
-        ));
-        incoming.push(orientation_entropy(
-            graph,
-            schema,
-            edge.name.as_str(),
-            edge.src,
-            edge.dst,
-            Direction::Incoming,
-        ));
-    }
-    (outgoing, incoming)
+    entropy_scores_with(graph, schema, 1)
+}
+
+/// [`entropy_scores`] with an explicit fork-join thread budget: candidate
+/// attributes (schema edges) are scored in parallel on the
+/// [global pool](FjPool::global), and the per-edge scores are collected in
+/// schema-edge order, so the result is byte-identical to the sequential path
+/// for every `threads` value (see [`crate::par`]).
+pub fn entropy_scores_with(
+    graph: &EntityGraph,
+    schema: &SchemaGraph,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    FjPool::global()
+        .map(threads, schema.edges(), |_, edge| {
+            let outgoing = orientation_entropy(
+                graph,
+                schema,
+                edge.name.as_str(),
+                edge.src,
+                edge.dst,
+                Direction::Outgoing,
+            );
+            let incoming = orientation_entropy(
+                graph,
+                schema,
+                edge.name.as_str(),
+                edge.src,
+                edge.dst,
+                Direction::Incoming,
+            );
+            (outgoing, incoming)
+        })
+        .into_iter()
+        .unzip()
 }
 
 fn orientation_entropy(
@@ -204,6 +220,19 @@ mod tests {
             .iter()
             .chain(inc.iter())
             .all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn parallel_entropy_is_byte_identical_to_sequential() {
+        let g = fixtures::figure1_graph();
+        let s = g.schema_graph();
+        let (seq_out, seq_inc) = entropy_scores_with(&g, s, 1);
+        for threads in [0, 2, 4, 16] {
+            let (out, inc) = entropy_scores_with(&g, s, threads);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out), bits(&seq_out), "threads={threads}");
+            assert_eq!(bits(&inc), bits(&seq_inc), "threads={threads}");
+        }
     }
 
     #[test]

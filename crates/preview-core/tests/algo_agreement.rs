@@ -1,0 +1,231 @@
+//! Cross-algorithm agreement: the three discovery algorithms are exact
+//! optimizers over the same space, so on any graph they must agree on
+//! feasibility and on the optimal score — including the degenerate corners
+//! (`k == 0`, `n < k`, empty eligible sets, `k == 1` under a tight bound)
+//! where they historically diverged: the brute force assembled previews that
+//! violated Def. 1 (zero tables, or one mandatory non-key attribute per
+//! table overflowing `n`) while the Apriori join returned nothing.
+
+use preview_core::{
+    AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring,
+    PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig, SizeConstraint,
+};
+
+use entity_graph::{EntityGraph, EntityGraphBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A small random multigraph: `types` entity types, a few entities each,
+/// `rel_types` relationship types between random type pairs, `edges` random
+/// well-typed edges.
+fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> EntityGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = EntityGraphBuilder::new();
+    let type_ids: Vec<_> = (0..types)
+        .map(|t| builder.entity_type(&format!("T{t}")))
+        .collect();
+    let entities: Vec<Vec<_>> = type_ids
+        .iter()
+        .map(|&ty| {
+            let count = rng.gen_range(1..5);
+            (0..count)
+                .map(|e| builder.entity(&format!("e{ty:?}-{e}"), &[ty]))
+                .collect()
+        })
+        .collect();
+    let rels: Vec<(_, usize, usize)> = (0..rel_types)
+        .map(|r| {
+            let src = rng.gen_range(0..types);
+            let dst = rng.gen_range(0..types);
+            (
+                builder.relationship_type(&format!("r{r}"), type_ids[src], type_ids[dst]),
+                src,
+                dst,
+            )
+        })
+        .collect();
+    for _ in 0..edges {
+        let &(rel, src, dst) = &rels[rng.gen_range(0..rels.len())];
+        let s = entities[src][rng.gen_range(0..entities[src].len())];
+        let d = entities[dst][rng.gen_range(0..entities[dst].len())];
+        builder.edge(s, rel, d).expect("well-typed edge");
+    }
+    builder.build()
+}
+
+/// Asserts two exact algorithms agree on feasibility and optimal score.
+fn assert_agree(
+    scored: &ScoredSchema,
+    space: &PreviewSpace,
+    a: &dyn PreviewDiscovery,
+    b: &dyn PreviewDiscovery,
+    context: &str,
+) {
+    let pa = a.discover(scored, space).unwrap();
+    let pb = b.discover(scored, space).unwrap();
+    match (pa, pb) {
+        (Some(pa), Some(pb)) => {
+            let sa = scored.preview_score(&pa);
+            let sb = scored.preview_score(&pb);
+            assert!(
+                (sa - sb).abs() < 1e-9 * (1.0 + sb.abs()),
+                "{context}: {} found {sa}, {} found {sb}",
+                a.name(),
+                b.name()
+            );
+            assert!(space.contains(&pa, scored.distances()), "{context}");
+            assert!(space.contains(&pb, scored.distances()), "{context}");
+        }
+        (None, None) => {}
+        (pa, pb) => panic!(
+            "{context}: {} feasible={}, {} feasible={}",
+            a.name(),
+            pa.is_some(),
+            b.name(),
+            pb.is_some()
+        ),
+    }
+}
+
+#[test]
+fn algorithms_agree_on_small_random_graphs() {
+    let configs = [
+        ScoringConfig::coverage(),
+        ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy),
+    ];
+    for seed in 0..24u64 {
+        let graph = random_graph(seed, 2 + (seed as usize % 5), 1 + (seed as usize % 7), 40);
+        for config in &configs {
+            let scored = ScoredSchema::build(&graph, config).unwrap();
+            for k in 1..=3usize {
+                for n in k..=(k + 3) {
+                    let concise = PreviewSpace::concise(k, n).unwrap();
+                    assert_agree(
+                        &scored,
+                        &concise,
+                        &DynamicProgrammingDiscovery::new(),
+                        &BruteForceDiscovery::new(),
+                        &format!("seed={seed} k={k} n={n} concise"),
+                    );
+                    for d in 1..=3u32 {
+                        for space in [
+                            PreviewSpace::tight(k, n, d).unwrap(),
+                            PreviewSpace::diverse(k, n, d).unwrap(),
+                        ] {
+                            assert_agree(
+                                &scored,
+                                &space,
+                                &AprioriDiscovery::new(),
+                                &BruteForceDiscovery::new(),
+                                &format!("seed={seed} k={k} n={n} d={d} {space:?}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All algorithms must treat a zero-table constraint as an empty space.
+///
+/// `SizeConstraint::new` rejects `k == 0`, but the fields are public, so
+/// hand-built (or deserialized) constraints still reach the algorithms.
+/// Pre-fix, the brute force and the DP returned `Some` zero-table preview —
+/// not a member of any space per Def. 1 — while Apriori returned `None`.
+#[test]
+fn zero_table_constraint_is_an_empty_space_for_every_algorithm() {
+    let graph = entity_graph::fixtures::figure1_graph();
+    let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+    let size = SizeConstraint {
+        tables: 0,
+        non_keys: 0,
+    };
+    assert!(BruteForceDiscovery::new()
+        .discover(&scored, &PreviewSpace::Concise(size))
+        .unwrap()
+        .is_none());
+    assert!(DynamicProgrammingDiscovery::new()
+        .discover(&scored, &PreviewSpace::Concise(size))
+        .unwrap()
+        .is_none());
+    for space in [PreviewSpace::Tight(size, 1), PreviewSpace::Diverse(size, 1)] {
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
+        assert!(AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
+    }
+}
+
+/// With `n < k` some table must go without a non-key attribute, violating
+/// Def. 1: the space is empty. Pre-fix the brute force still assembled a
+/// preview carrying `k > n` non-key attributes.
+#[test]
+fn overfull_table_budget_is_an_empty_space_for_every_algorithm() {
+    let graph = entity_graph::fixtures::figure1_graph();
+    let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+    let size = SizeConstraint {
+        tables: 3,
+        non_keys: 2,
+    };
+    assert!(BruteForceDiscovery::new()
+        .discover(&scored, &PreviewSpace::Concise(size))
+        .unwrap()
+        .is_none());
+    assert!(DynamicProgrammingDiscovery::new()
+        .discover(&scored, &PreviewSpace::Concise(size))
+        .unwrap()
+        .is_none());
+    for space in [
+        PreviewSpace::Tight(size, 10),
+        PreviewSpace::Diverse(size, 1),
+    ] {
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
+        assert!(AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
+    }
+}
+
+/// A graph with no edges has no eligible key attributes: every algorithm
+/// reports the space empty at any `k`, including `k == 1` under a tight
+/// constraint (where Apriori skips its pair-join entirely).
+#[test]
+fn empty_eligible_set_is_an_empty_space_for_every_algorithm() {
+    let mut builder = EntityGraphBuilder::new();
+    let a = builder.entity_type("A");
+    let b = builder.entity_type("B");
+    builder.entity("x", &[a]);
+    builder.entity("y", &[b]);
+    let graph = builder.build();
+    let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+    assert!(scored.eligible_types().is_empty());
+    for k in 1..=2usize {
+        let concise = PreviewSpace::concise(k, k + 1).unwrap();
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &concise)
+            .unwrap()
+            .is_none());
+        assert!(DynamicProgrammingDiscovery::new()
+            .discover(&scored, &concise)
+            .unwrap()
+            .is_none());
+        let tight = PreviewSpace::tight(k, k + 1, 1).unwrap();
+        assert!(BruteForceDiscovery::new()
+            .discover(&scored, &tight)
+            .unwrap()
+            .is_none());
+        assert!(AprioriDiscovery::new()
+            .discover(&scored, &tight)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -147,6 +147,14 @@ impl Shared {
     }
 
     /// Runs scoring + discovery and publishes the result to the LRU cache.
+    ///
+    /// Discovery honours the request's
+    /// [`ScoringConfig::threads`](preview_core::ScoringConfig::threads) knob
+    /// (memoized scoring may have been built under a different budget — the
+    /// knob never changes results, so the shared `ScoredSchema` is reused
+    /// regardless). All workers draw from the global fork-join pool, whose
+    /// token budget bounds the total number of extra threads across
+    /// concurrent requests instead of oversubscribing the host.
     fn compute(
         &self,
         request: &PreviewRequest,
@@ -154,10 +162,11 @@ impl Shared {
     ) -> ServiceResult<Arc<CachedPreview>> {
         let graph = self.registry.resolve(&request.graph, request.version)?;
         let scored = graph.scored_for(&request.scoring)?;
-        let preview = key
-            .algorithm
-            .discovery()
-            .discover(&scored, &request.space)?;
+        let preview = key.algorithm.discovery().discover_with_threads(
+            &scored,
+            &request.space,
+            request.scoring.threads,
+        )?;
         let score = preview
             .as_ref()
             .map(|p| scored.preview_score(p))

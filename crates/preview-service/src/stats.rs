@@ -17,6 +17,8 @@ const LATENCY_SAMPLE_CAP: usize = 65_536;
 #[derive(Debug)]
 struct LatencyReservoir {
     samples: Vec<u64>,
+    /// Reservoir size (`LATENCY_SAMPLE_CAP` in production; tests shrink it).
+    capacity: usize,
     /// Total latencies ever offered (> `samples.len()` once the cap is hit).
     seen: u64,
     /// Exact running sum for the mean (not subject to sampling).
@@ -30,8 +32,13 @@ struct LatencyReservoir {
 
 impl LatencyReservoir {
     fn new() -> Self {
+        Self::with_capacity(LATENCY_SAMPLE_CAP)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
         Self {
             samples: Vec::new(),
+            capacity,
             seen: 0,
             total_us: 0,
             max_us: 0,
@@ -39,18 +46,54 @@ impl LatencyReservoir {
         }
     }
 
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        self.rng_state
+    }
+
+    /// A uniform draw in `[0, bound)` via Lemire's multiply-shift reduction
+    /// with rejection.
+    ///
+    /// The raw `x % bound` this replaces was doubly non-uniform: modulo over
+    /// a range that does not divide `2^64` over-weights small residues, and
+    /// a xorshift64 state is never zero, so the reduction inherited a dent
+    /// at the states that map to slot 0. Multiply-shift takes the *high*
+    /// bits of `x * bound` and rejects the few draws that land in the
+    /// truncated final interval, giving every slot an exactly equal share of
+    /// the accepted state space — the premise Algorithm R's inclusion
+    /// guarantee rests on.
+    fn uniform_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let product = u128::from(self.next_u64()) * u128::from(bound);
+            let low = product as u64;
+            if low < bound {
+                // Only a draw in the truncated final interval can be biased;
+                // compute the rejection threshold lazily (it is rarely hit).
+                let threshold = bound.wrapping_neg() % bound;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return (product >> 64) as u64;
+        }
+    }
+
     fn record(&mut self, us: u64) {
         self.seen += 1;
         self.total_us += u128::from(us);
         self.max_us = self.max_us.max(us);
-        if self.samples.len() < LATENCY_SAMPLE_CAP {
+        if self.samples.len() < self.capacity {
             self.samples.push(us);
         } else {
-            self.rng_state ^= self.rng_state << 13;
-            self.rng_state ^= self.rng_state >> 7;
-            self.rng_state ^= self.rng_state << 17;
-            let slot = self.rng_state % self.seen;
-            if (slot as usize) < LATENCY_SAMPLE_CAP {
+            // Vitter's Algorithm R: the i-th item replaces a uniformly
+            // chosen slot of 0..seen and is kept only if that slot lies in
+            // the reservoir, preserving P(kept) = capacity / seen for all.
+            let seen = self.seen;
+            let slot = self.uniform_below(seen);
+            if (slot as usize) < self.capacity {
                 self.samples[slot as usize] = us;
             }
         }
@@ -205,6 +248,47 @@ mod tests {
             (p50 - n as f64 / 2.0).abs() < n as f64 * 0.05,
             "p50 = {p50}"
         );
+    }
+
+    #[test]
+    fn replacement_slots_come_from_the_lemire_reduction() {
+        // Deterministic pin of the fixed replacement draw (capacity 4, items
+        // 1..=20, the production seed). The pre-fix draw — raw
+        // `xorshift % seen`, modulo-biased and fed by a never-zero state —
+        // replaces different slots and leaves [14, 15, 3, 20] here.
+        let mut reservoir = LatencyReservoir::with_capacity(4);
+        for us in 1..=20 {
+            reservoir.record(us);
+        }
+        assert_eq!(reservoir.samples, vec![18, 9, 16, 7]);
+        assert_eq!(reservoir.seen, 20);
+        assert_eq!(reservoir.max_us, 20);
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_and_in_range() {
+        let mut reservoir = LatencyReservoir::with_capacity(1);
+        // Every draw lands in [0, bound), including slot 0 (unreachable for
+        // some bounds under the raw modulo of a never-zero xorshift state),
+        // and the frequencies are flat.
+        let bound = 7u64;
+        let draws = 70_000usize;
+        let mut histogram = vec![0u64; bound as usize];
+        for _ in 0..draws {
+            let slot = reservoir.uniform_below(bound);
+            assert!(slot < bound);
+            histogram[slot as usize] += 1;
+        }
+        let expected = draws as f64 / bound as f64;
+        for (slot, &count) in histogram.iter().enumerate() {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(
+                deviation < 0.05,
+                "slot {slot}: {count} draws vs expected {expected:.0}"
+            );
+        }
+        // Degenerate bound: the only draw is 0.
+        assert_eq!(reservoir.uniform_below(1), 0);
     }
 
     #[test]

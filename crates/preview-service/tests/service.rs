@@ -194,6 +194,70 @@ fn concurrent_clients_get_consistent_answers() {
     assert!(stats.latency_p99_us >= stats.latency_p50_us);
 }
 
+/// Hammer the shared fork-join pool from concurrent service requests: four
+/// workers each serving `threads = 4` discoveries contend for the global
+/// token budget, degrade gracefully when it is exhausted, and still produce
+/// answers byte-identical to a sequential request — with the cache disabled
+/// so every request really runs scoring + discovery.
+#[test]
+fn concurrent_parallel_requests_share_the_fork_join_pool_deterministically() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("fig1", fixtures::figure1_graph());
+    let service = Arc::new(PreviewService::start(
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 32,
+            cache_capacity: 0, // no cache: every request exercises the pool
+            cache_shards: 1,
+        },
+        registry,
+    ));
+
+    let spaces = [
+        PreviewSpace::concise(2, 6).unwrap(),
+        PreviewSpace::tight(2, 6, 2).unwrap(),
+        PreviewSpace::diverse(2, 6, 2).unwrap(),
+    ];
+    // Sequential ground truth, computed inline before the hammering starts.
+    let baselines: Vec<_> = spaces
+        .iter()
+        .map(|&space| {
+            service
+                .execute_inline(&PreviewRequest::new("fig1", space).with_threads(1))
+                .unwrap()
+        })
+        .collect();
+
+    let clients: Vec<_> = (0..8)
+        .map(|client| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut responses = Vec::new();
+                for round in 0..20 {
+                    let space = spaces[(client + round) % spaces.len()];
+                    let request = PreviewRequest::new("fig1", space).with_threads(4);
+                    responses.push((
+                        (client + round) % spaces.len(),
+                        service.submit_wait(request).unwrap(),
+                    ));
+                }
+                responses
+            })
+        })
+        .collect();
+    for client in clients {
+        for (space_index, response) in client.join().unwrap() {
+            let baseline = &baselines[space_index];
+            assert_eq!(response.preview, baseline.preview);
+            assert_eq!(response.score.to_bits(), baseline.score.to_bits());
+        }
+    }
+    // Inline baseline executions bypass the queue and are not counted.
+    let stats = service.stats();
+    assert_eq!(stats.completed, 160);
+    assert_eq!(stats.failed, 0);
+}
+
 /// Graph versioning: a re-registered graph serves new results while explicit
 /// old-version requests still resolve against the old data.
 #[test]

@@ -9,6 +9,8 @@
 //!   statistics),
 //! * [`core`] — the paper's contribution: preview model, scoring measures and
 //!   the brute-force / dynamic-programming / Apriori discovery algorithms,
+//!   parallelized over a deterministic fork-join pool (`core::par`) whose
+//!   outputs are byte-identical to the sequential path at any thread count,
 //! * [`baseline`] — the YPS09 relational-database-summarisation baseline
 //!   adapted to entity graphs,
 //! * [`datagen`] — synthetic Freebase-like domain generation, gold standards
@@ -41,7 +43,7 @@ pub mod prelude {
     };
     pub use preview_core::{
         AprioriDiscovery, BruteForceDiscovery, DistanceConstraint, DynamicProgrammingDiscovery,
-        KeyScoring, NonKeyScoring, Preview, PreviewDiscovery, PreviewSpace, ScoredSchema,
+        FjPool, KeyScoring, NonKeyScoring, Preview, PreviewDiscovery, PreviewSpace, ScoredSchema,
         ScoringConfig, SizeConstraint,
     };
     pub use preview_service::{

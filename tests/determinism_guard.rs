@@ -38,8 +38,16 @@ fn space_of(label: &str) -> PreviewSpace {
 }
 
 fn assert_goldens(graph: &EntityGraph, goldens: &[Golden]) {
+    assert_goldens_with_threads(graph, goldens, 1);
+}
+
+/// Checks the goldens with an explicit fork-join thread budget: scoring and
+/// discovery run `threads`-wide, and must still reproduce the sequential
+/// (pre-CSR) capture bit for bit — the parallel engine's determinism oracle.
+fn assert_goldens_with_threads(graph: &EntityGraph, goldens: &[Golden], threads: usize) {
     for golden in goldens {
-        let scored = ScoredSchema::build(graph, &config_of(golden.config)).unwrap();
+        let config = config_of(golden.config).with_threads(threads);
+        let scored = ScoredSchema::build(graph, &config).unwrap();
         let space = space_of(golden.space);
         let preview = Algorithm::Auto
             .resolve(&space)
@@ -51,7 +59,7 @@ fn assert_goldens(graph: &EntityGraph, goldens: &[Golden]) {
         assert_eq!(
             score.to_bits(),
             golden.score_bits,
-            "{}/{}: score drifted ({} != {})",
+            "{}/{} (threads={threads}): score drifted ({} != {})",
             golden.config,
             golden.space,
             score,
@@ -60,32 +68,35 @@ fn assert_goldens(graph: &EntityGraph, goldens: &[Golden]) {
         assert_eq!(
             preview.describe(scored.schema()),
             golden.describe.replace("\\n", "\n"),
-            "{}/{}: description drifted",
+            "{}/{} (threads={threads}): description drifted",
             golden.config,
             golden.space
         );
     }
 }
 
-#[test]
-fn figure1_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
-    const FILM_CONCISE: &str = "FILM: Actor (FILM ACTOR), Genres (FILM GENRE), Director (FILM DIRECTOR), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nFILM ACTOR: Actor (FILM)";
-    let goldens = [
+const FILM_CONCISE: &str = "FILM: Actor (FILM ACTOR), Genres (FILM GENRE), Director (FILM DIRECTOR), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nFILM ACTOR: Actor (FILM)";
+
+#[rustfmt::skip]
+const FIG1_GOLDENS: [Golden; 6] = [
         Golden { config: "coverage", space: "concise", score_bits: 0x4055000000000000, describe: FILM_CONCISE },
         Golden { config: "coverage", space: "tight", score_bits: 0x4055000000000000, describe: FILM_CONCISE },
         Golden { config: "coverage", space: "diverse", score_bits: 0x4053800000000000, describe: "FILM: Actor (FILM ACTOR), Genres (FILM GENRE), Director (FILM DIRECTOR), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nAWARD: Award Winners (FILM ACTOR)" },
         Golden { config: "entropy", space: "concise", score_bits: 0x4016308a2c0c0588, describe: "FILM: Director (FILM DIRECTOR), Actor (FILM ACTOR), Genres (FILM GENRE)\\nFILM DIRECTOR: Director (FILM)" },
         Golden { config: "entropy", space: "tight", score_bits: 0x4016308a2c0c0588, describe: "FILM: Director (FILM DIRECTOR), Actor (FILM ACTOR), Genres (FILM GENRE), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nFILM DIRECTOR: Director (FILM)" },
         Golden { config: "entropy", space: "diverse", score_bits: 0x401413965efaf449, describe: "FILM: Director (FILM DIRECTOR), Actor (FILM ACTOR), Genres (FILM GENRE), Producer (FILM PRODUCER), Executive Producer (FILM PRODUCER)\\nAWARD: Award Winners (FILM ACTOR)" },
-    ];
-    assert_goldens(&fixtures::figure1_graph(), &goldens);
-}
+];
 
 #[test]
-fn datagen_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
-    const FILM_DOMAIN_CONCISE: &str = "FILM CREWMEMBER: Directed By (FILM), Films Of This Genre (FILM GENRE), Film Character Chain (FILM CHARACTER)\\nFILM: Directed By (FILM CREWMEMBER), Tagline (FILM ACTOR), Initial Release Date (FILM ACTOR)";
-    const FILM_DOMAIN_ENTROPY: &str = "FILM CHARACTER: Film Crewmember Link (FILM CREWMEMBER), Film Character Chain (FILM CREWMEMBER), Film Cut Chain (FILM CUT), Performance Link (PERFORMANCE), Film Cut Link (FILM CUT)\\nFILM CREWMEMBER: Directed By (FILM)";
-    let goldens = [
+fn figure1_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
+    assert_goldens(&fixtures::figure1_graph(), &FIG1_GOLDENS);
+}
+
+const FILM_DOMAIN_CONCISE: &str = "FILM CREWMEMBER: Directed By (FILM), Films Of This Genre (FILM GENRE), Film Character Chain (FILM CHARACTER)\\nFILM: Directed By (FILM CREWMEMBER), Tagline (FILM ACTOR), Initial Release Date (FILM ACTOR)";
+const FILM_DOMAIN_ENTROPY: &str = "FILM CHARACTER: Film Crewmember Link (FILM CREWMEMBER), Film Character Chain (FILM CREWMEMBER), Film Cut Chain (FILM CUT), Performance Link (PERFORMANCE), Film Cut Link (FILM CUT)\\nFILM CREWMEMBER: Directed By (FILM)";
+
+#[rustfmt::skip]
+const FILM_GOLDENS: [Golden; 6] = [
         Golden { config: "coverage", space: "concise", score_bits: 0x40e5e18000000000, describe: FILM_DOMAIN_CONCISE },
         Golden { config: "coverage", space: "tight", score_bits: 0x40e5e18000000000, describe: FILM_DOMAIN_CONCISE },
         Golden { config: "coverage", space: "diverse", score_bits: 0x40e1f5e000000000, describe: "FILM CHARACTER: Film Character Chain (FILM CREWMEMBER), Film Crewmember Link (FILM CREWMEMBER), Performance Link (PERFORMANCE)\\nFILM: Directed By (FILM CREWMEMBER), Tagline (FILM ACTOR), Initial Release Date (FILM ACTOR)" },
@@ -96,9 +107,61 @@ fn datagen_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
         Golden { config: "entropy", space: "concise", score_bits: 0x407e6308b45d0e63, describe: FILM_DOMAIN_ENTROPY },
         Golden { config: "entropy", space: "tight", score_bits: 0x407e6308b45d0e63, describe: FILM_DOMAIN_ENTROPY },
         Golden { config: "entropy", space: "diverse", score_bits: 0x407d7fec6f238419, describe: "FILM CHARACTER: Film Crewmember Link (FILM CREWMEMBER), Film Character Chain (FILM CREWMEMBER), Film Cut Chain (FILM CUT), Performance Link (PERFORMANCE), Film Cut Link (FILM CUT)\\nFILM: Directed By (FILM CREWMEMBER)" },
-    ];
+];
+
+#[test]
+fn datagen_discovery_outputs_are_byte_identical_to_pre_csr_goldens() {
     let graph = SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4));
-    assert_goldens(&graph, &goldens);
+    assert_goldens(&graph, &FILM_GOLDENS);
+}
+
+#[test]
+fn figure1_discovery_outputs_are_byte_identical_at_four_threads() {
+    assert_goldens_with_threads(&fixtures::figure1_graph(), &FIG1_GOLDENS, 4);
+}
+
+#[test]
+fn datagen_discovery_outputs_are_byte_identical_at_four_threads() {
+    let graph = SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4));
+    assert_goldens_with_threads(&graph, &FILM_GOLDENS, 4);
+}
+
+/// The brute force is not part of the `Algorithm::Auto` goldens above, so
+/// pin its parallel path separately: at every thread budget it must return
+/// *exactly* the preview (and score bits) of its sequential scan, on the
+/// fig1 fixture and on a datagen film graph.
+#[test]
+fn brute_force_parallel_discovery_matches_sequential_bit_for_bit() {
+    use preview_tables::core::{BruteForceDiscovery, PreviewDiscovery};
+    let graphs = [
+        fixtures::figure1_graph(),
+        SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4)),
+    ];
+    for graph in &graphs {
+        for config_label in ["coverage", "entropy"] {
+            let scored = ScoredSchema::build(graph, &config_of(config_label)).unwrap();
+            for space_label in ["concise", "tight", "diverse"] {
+                let space = space_of(space_label);
+                let sequential = BruteForceDiscovery::new()
+                    .discover_with_threads(&scored, &space, 1)
+                    .unwrap();
+                let parallel = BruteForceDiscovery::new()
+                    .discover_with_threads(&scored, &space, 4)
+                    .unwrap();
+                assert_eq!(
+                    parallel, sequential,
+                    "{config_label}/{space_label}: parallel brute force diverged"
+                );
+                if let (Some(s), Some(p)) = (&sequential, &parallel) {
+                    assert_eq!(
+                        scored.preview_score(p).to_bits(),
+                        scored.preview_score(s).to_bits(),
+                        "{config_label}/{space_label}: score bits diverged"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
