@@ -41,4 +41,13 @@ echo "==> parallel-bench smoke workload (emits BENCH_parallel.json)"
 cargo run --release -p bench --bin parallel-bench -- \
     --threads 4 --out BENCH_parallel.json --check
 
+echo "==> update-bench smoke workload (emits BENCH_updates.json)"
+# Delta splice + incremental rescore vs full rebuild + full rescore on a
+# Zipf-skewed update stream. Byte-identity of the spliced graph and bitwise
+# identity of the rescored schema are enforced on every measurement; the
+# small-delta speedup floor (>= 3x) is re-measured on a miss before failing.
+# A serving-layer phase verifies version-aware cache retention bitwise.
+cargo run --release -p bench --bin update-bench -- \
+    --out BENCH_updates.json --check
+
 echo "CI green."

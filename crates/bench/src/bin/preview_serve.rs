@@ -98,6 +98,9 @@ struct PassSummary {
     latency_mean_us: f64,
     cache_hit_rate: f64,
     cache_evictions: u64,
+    publishes: u64,
+    cache_carried_forward: u64,
+    cache_invalidated: u64,
     completed: u64,
     failed: u64,
 }
@@ -135,6 +138,9 @@ fn run_pass(
         latency_mean_us: stats.latency_mean_us,
         cache_hit_rate: stats.cache.hit_rate(),
         cache_evictions: stats.cache.evictions,
+        publishes: stats.publishes,
+        cache_carried_forward: stats.cache_carried_forward,
+        cache_invalidated: stats.cache_invalidated,
         completed: stats.completed,
         failed: stats.failed,
     }
@@ -147,6 +153,7 @@ fn pass_json(pass: &PassSummary) -> String {
             "\"elapsed_s\":{:.4},\"throughput_rps\":{:.2},",
             "\"latency_p50_us\":{},\"latency_p99_us\":{},\"latency_mean_us\":{:.1},",
             "\"cache_hit_rate\":{:.4},\"cache_evictions\":{},",
+            "\"publishes\":{},\"cache_carried_forward\":{},\"cache_invalidated\":{},",
             "\"completed\":{},\"failed\":{}}}"
         ),
         pass.label,
@@ -159,6 +166,9 @@ fn pass_json(pass: &PassSummary) -> String {
         pass.latency_mean_us,
         pass.cache_hit_rate,
         pass.cache_evictions,
+        pass.publishes,
+        pass.cache_carried_forward,
+        pass.cache_invalidated,
         pass.completed,
         pass.failed,
     )

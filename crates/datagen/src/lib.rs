@@ -16,7 +16,11 @@
 //! * [`crowd`] — a Bradley–Terry crowd simulator standing in for the AMT
 //!   study of Sec. 6.1.3,
 //! * [`userstudy`] — a behavioural simulation of the seven-approach user
-//!   study of Sec. 6.3.
+//!   study of Sec. 6.3,
+//! * [`updates`] — seeded, Zipf-skewed update streams ([`GraphDelta`]
+//!   batches) for exercising the live graph-update subsystem.
+//!
+//! [`GraphDelta`]: entity_graph::GraphDelta
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod experts;
 pub mod generator;
 pub mod goldstandard;
 pub mod spec;
+pub mod updates;
 pub mod userstudy;
 pub mod zipf;
 
@@ -36,4 +41,5 @@ pub use experts::{expert_preview, ExpertPreview};
 pub use generator::SyntheticGenerator;
 pub use goldstandard::{GoldStandard, GoldTable};
 pub use spec::{DomainSpec, EntityTypeSpec, RelTypeSpec, SpecError};
+pub use updates::{UpdateStream, UpdateStreamConfig};
 pub use userstudy::{Approach, StudyConfig, StudyOutcome, SummaryProfile};

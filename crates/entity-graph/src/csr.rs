@@ -86,6 +86,25 @@ impl<T: Copy> Csr<T> {
 }
 
 impl<T> Csr<T> {
+    /// Assembles a CSR directly from its offset and payload arrays.
+    ///
+    /// Used by the delta splice path, which produces both arrays in one pass
+    /// over the previous version's CSR instead of re-running the counting
+    /// sort over all pairs.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the offsets are not monotone or do not cover `data`.
+    pub(crate) fn from_raw_parts(offsets: Vec<u32>, data: Vec<T>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(
+            *offsets.last().expect("non-empty offsets") as usize,
+            data.len()
+        );
+        Self { offsets, data }
+    }
+
     /// Number of groups.
     #[inline]
     pub fn group_count(&self) -> usize {
@@ -210,6 +229,127 @@ impl RelGroupedNeighbors {
     }
 }
 
+/// Incremental constructor for [`RelGroupedNeighbors`], used by the delta
+/// splice path: entities are appended one at a time, either by copying (and
+/// id-remapping) an entity's segments from a previous version of the index,
+/// or by re-segmenting a fresh pair list for entities the delta touched.
+///
+/// Copying is bit-compatible with a from-scratch
+/// [`build`](RelGroupedNeighbors::build): the entity remap applied to an
+/// untouched entity is strictly monotone, so sortedness and de-duplication of
+/// the copied payload are preserved verbatim.
+pub(crate) struct NeighborSplicer {
+    seg_offsets: Vec<u32>,
+    seg_rels: Vec<RelTypeId>,
+    seg_ends: Vec<u32>,
+    payload: Vec<EntityId>,
+}
+
+impl NeighborSplicer {
+    /// Creates a splicer with capacity hints for the expected entity count
+    /// and total payload length.
+    pub(crate) fn new(entity_count_hint: usize, payload_hint: usize) -> Self {
+        let mut seg_offsets = Vec::with_capacity(entity_count_hint + 1);
+        seg_offsets.push(0);
+        Self {
+            seg_offsets,
+            seg_rels: Vec::new(),
+            seg_ends: Vec::new(),
+            payload: Vec::with_capacity(payload_hint),
+        }
+    }
+
+    /// Appends the next entity by copying `old_entity`'s segments from `old`,
+    /// remapping every neighbor id through `remap` (`remap[old] = new raw
+    /// id`). All neighbors of a copied entity must survive the delta.
+    pub(crate) fn copy_remapped(
+        &mut self,
+        old: &RelGroupedNeighbors,
+        old_entity: usize,
+        remap: &[u32],
+    ) {
+        let lo = old.seg_offsets[old_entity] as usize;
+        let hi = old.seg_offsets[old_entity + 1] as usize;
+        for j in lo..hi {
+            let start = if j == 0 {
+                0
+            } else {
+                old.seg_ends[j - 1] as usize
+            };
+            let end = old.seg_ends[j] as usize;
+            self.seg_rels.push(old.seg_rels[j]);
+            for neighbor in &old.payload[start..end] {
+                let mapped = remap[neighbor.index()];
+                debug_assert_ne!(
+                    mapped,
+                    u32::MAX,
+                    "a copied (untouched) entity cannot neighbor a removed entity"
+                );
+                self.payload.push(EntityId::new(mapped));
+            }
+            self.seg_ends.push(self.payload.len() as u32);
+        }
+        self.seg_offsets.push(self.seg_rels.len() as u32);
+    }
+
+    /// Appends the next entity by copying `old_entity`'s segments verbatim —
+    /// the fast path when the delta removed no entities, so the entity-id
+    /// remap is the identity and neighbor payloads can be block-copied.
+    pub(crate) fn copy_verbatim(&mut self, old: &RelGroupedNeighbors, old_entity: usize) {
+        let lo = old.seg_offsets[old_entity] as usize;
+        let hi = old.seg_offsets[old_entity + 1] as usize;
+        if lo < hi {
+            let payload_start = if lo == 0 {
+                0
+            } else {
+                old.seg_ends[lo - 1] as usize
+            };
+            let payload_end = old.seg_ends[hi - 1] as usize;
+            // Segment ends are absolute offsets; rebase them onto this
+            // splicer's payload cursor.
+            let base = self.payload.len() as i64 - payload_start as i64;
+            self.seg_rels.extend_from_slice(&old.seg_rels[lo..hi]);
+            self.seg_ends.extend(
+                old.seg_ends[lo..hi]
+                    .iter()
+                    .map(|&end| (i64::from(end) + base) as u32),
+            );
+            self.payload
+                .extend_from_slice(&old.payload[payload_start..payload_end]);
+        }
+        self.seg_offsets.push(self.seg_rels.len() as u32);
+    }
+
+    /// Appends the next entity from its raw `(rel, neighbor)` pairs, sorting,
+    /// de-duplicating and segmenting them exactly as
+    /// [`build`](RelGroupedNeighbors::build) does.
+    pub(crate) fn push_pairs(&mut self, scratch: &mut Vec<(RelTypeId, EntityId)>) {
+        scratch.sort_unstable();
+        scratch.dedup();
+        let mut current_rel = None;
+        for &(rel, neighbor) in scratch.iter() {
+            if current_rel != Some(rel) {
+                current_rel = Some(rel);
+                self.seg_rels.push(rel);
+                self.seg_ends.push(self.payload.len() as u32);
+            }
+            self.payload.push(neighbor);
+            *self.seg_ends.last_mut().expect("segment just pushed") = self.payload.len() as u32;
+        }
+        self.seg_offsets.push(self.seg_rels.len() as u32);
+    }
+
+    /// Freezes the splicer into the finished index.
+    pub(crate) fn finish(self) -> RelGroupedNeighbors {
+        RelGroupedNeighbors {
+            seg_offsets: self.seg_offsets,
+            seg_rels: self.seg_rels,
+            seg_ends: self.seg_ends,
+            payload: self.payload,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +395,27 @@ mod tests {
         assert_eq!(grouped.neighbors(2, r1), &[] as &[EntityId]);
         assert_eq!(grouped.entity_count(), 3);
         assert_eq!(grouped.total_len(), 4);
+    }
+
+    #[test]
+    fn splicer_copy_and_push_match_build() {
+        let r0 = RelTypeId::new(0);
+        let r1 = RelTypeId::new(1);
+        let e = EntityId::new;
+        let pairs: [Vec<(RelTypeId, EntityId)>; 3] = [
+            vec![(r1, e(5)), (r1, e(3)), (r0, e(7)), (r1, e(3))],
+            vec![],
+            vec![(r0, e(1))],
+        ];
+        let built = RelGroupedNeighbors::build(3, |v, out| out.extend(pairs[v].iter().copied()));
+        // Identity remap: copy every entity verbatim.
+        let identity: Vec<u32> = (0..8).collect();
+        let mut splicer = NeighborSplicer::new(3, built.total_len());
+        splicer.copy_remapped(&built, 0, &identity);
+        let mut scratch = pairs[1].clone();
+        splicer.push_pairs(&mut scratch);
+        splicer.copy_remapped(&built, 2, &identity);
+        assert_eq!(splicer.finish(), built);
     }
 
     #[test]

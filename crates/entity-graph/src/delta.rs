@@ -1,0 +1,1156 @@
+//! Batched graph updates: [`GraphDelta`] and the CSR splice apply path.
+//!
+//! Entity graphs like Freebase and DBpedia are continuously edited, but
+//! [`EntityGraph`] is immutable by design — every index is a frozen CSR
+//! array, which is what makes lock-free concurrent serving possible. This
+//! module reconciles the two: a [`GraphDelta`] describes a batch of edits
+//! (add / remove entities, add / remove relationship edges), and
+//! [`EntityGraph::apply_delta`] produces the **next frozen version** by
+//! splicing the delta into the previous version's offset/payload arrays
+//! instead of re-running the full build:
+//!
+//! * identifier remaps are computed in one pass (entity and edge ids compact
+//!   after removals; type and relationship-type ids are stable — they are
+//!   only ever appended),
+//! * every CSR group is copied with its payload filtered and remapped, and
+//!   additions appended at the group end — no counting sort, no re-hashing
+//!   of untouched names,
+//! * per-entity neighbor segments of entities the delta did not touch are
+//!   copied verbatim (the id remap is strictly monotone, so sortedness and
+//!   de-duplication are preserved); only touched entities are re-segmented.
+//!
+//! # The splice contract
+//!
+//! The result is **byte-identical** to rebuilding from scratch: for any
+//! graph `g` and valid delta `d`, `g.apply_delta(&d)?.graph == rebuild(&…)`
+//! where [`rebuild`] replays the updated content (surviving entities and
+//! edges in order, additions appended) through [`EntityGraphBuilder`]. A
+//! property-test suite (`tests/delta_props.rs`) enforces this equality —
+//! which covers every CSR offset, payload, segment directory and interner —
+//! on random graphs under random update streams.
+//!
+//! # Batch semantics
+//!
+//! Ops apply in order against a staged view of the graph:
+//!
+//! * additions are strict — adding an entity whose name is live fails with
+//!   [`Error::DuplicateEntity`] (no silent type-merging),
+//! * removing an entity still referenced by live edges fails with
+//!   [`Error::EntityInUse`]; remove the edges first (same batch is fine),
+//! * removing an edge removes **all** live parallel `src -rel-> dst`
+//!   instances; if none exist the batch fails with [`Error::NoSuchEdge`],
+//! * entity types and relationship types are created on first mention and
+//!   are never removed, even if the op that introduced them is later undone
+//!   in the same batch (mirroring builder interning semantics),
+//! * a failed batch leaves the input graph untouched — `apply_delta` takes
+//!   `&self` and only produces a new graph on success.
+//!
+//! # Example
+//!
+//! ```
+//! use entity_graph::{EntityGraphBuilder, GraphDelta};
+//!
+//! let mut b = EntityGraphBuilder::new();
+//! let film = b.entity_type("FILM");
+//! let actor = b.entity_type("FILM ACTOR");
+//! let acted = b.relationship_type("Actor", actor, film);
+//! let mib = b.entity("Men in Black", &[film]);
+//! let smith = b.entity("Will Smith", &[actor]);
+//! b.edge(smith, acted, mib).unwrap();
+//! let graph = b.build();
+//!
+//! let mut delta = GraphDelta::new();
+//! delta
+//!     .add_entity("Hancock", &["FILM"])
+//!     .add_edge("Will Smith", "Actor", "Hancock", "FILM ACTOR", "FILM");
+//! let applied = graph.apply_delta(&delta).unwrap();
+//! assert_eq!(applied.graph.entity_count(), 3);
+//! assert_eq!(applied.graph.edge_count(), 2);
+//! assert_eq!(applied.summary.entities_added, 1);
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::EntityGraphBuilder;
+use crate::csr::{Csr, NeighborSplicer};
+use crate::entity::{Edge, Entity, RelType};
+use crate::error::{Error, Result};
+use crate::graph::EntityGraph;
+use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
+
+/// Sentinel in id-remap tables: the old id did not survive the delta.
+const GONE: u32 = u32::MAX;
+
+/// One edit operation of a [`GraphDelta`].
+///
+/// Operations are name-based (like the [triple format](crate::triples)) so a
+/// delta can be produced without knowledge of the target graph's interned
+/// identifiers, and the same delta text applies to any version that accepts
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Add a fresh entity carrying the given entity types (types are created
+    /// on first mention).
+    AddEntity {
+        /// Display name; must not collide with a live entity.
+        name: String,
+        /// Entity type names; de-duplicated on apply.
+        types: Vec<String>,
+    },
+    /// Remove an entity. Fails if live edges still reference it.
+    RemoveEntity {
+        /// Display name of the entity to remove.
+        name: String,
+    },
+    /// Add a relationship edge `src -rel-> dst`. The endpoint type names
+    /// disambiguate relationship types sharing a surface name (the paper's
+    /// `Award Winners` case); a new relationship type is created on first
+    /// mention.
+    AddEdge {
+        /// Source entity name.
+        src: String,
+        /// Relationship-type surface name.
+        rel: String,
+        /// Destination entity name.
+        dst: String,
+        /// Entity type the source must carry.
+        src_type: String,
+        /// Entity type the destination must carry.
+        dst_type: String,
+    },
+    /// Remove **all** live parallel `src -rel-> dst` edge instances.
+    RemoveEdge {
+        /// Source entity name.
+        src: String,
+        /// Relationship-type surface name.
+        rel: String,
+        /// Destination entity name.
+        dst: String,
+        /// Entity type of the relationship's source side.
+        src_type: String,
+        /// Entity type of the relationship's destination side.
+        dst_type: String,
+    },
+}
+
+/// An ordered batch of graph edits, applied atomically by
+/// [`EntityGraph::apply_delta`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl GraphDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an add-entity op.
+    pub fn add_entity(&mut self, name: impl Into<String>, types: &[&str]) -> &mut Self {
+        self.ops.push(DeltaOp::AddEntity {
+            name: name.into(),
+            types: types.iter().map(|t| (*t).to_owned()).collect(),
+        });
+        self
+    }
+
+    /// Appends a remove-entity op.
+    pub fn remove_entity(&mut self, name: impl Into<String>) -> &mut Self {
+        self.ops.push(DeltaOp::RemoveEntity { name: name.into() });
+        self
+    }
+
+    /// Appends an add-edge op.
+    pub fn add_edge(
+        &mut self,
+        src: impl Into<String>,
+        rel: impl Into<String>,
+        dst: impl Into<String>,
+        src_type: impl Into<String>,
+        dst_type: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::AddEdge {
+            src: src.into(),
+            rel: rel.into(),
+            dst: dst.into(),
+            src_type: src_type.into(),
+            dst_type: dst_type.into(),
+        });
+        self
+    }
+
+    /// Appends a remove-edge op.
+    pub fn remove_edge(
+        &mut self,
+        src: impl Into<String>,
+        rel: impl Into<String>,
+        dst: impl Into<String>,
+        src_type: impl Into<String>,
+        dst_type: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RemoveEdge {
+            src: src.into(),
+            rel: rel.into(),
+            dst: dst.into(),
+            src_type: src_type.into(),
+            dst_type: dst_type.into(),
+        });
+        self
+    }
+
+    /// Appends an already-built op.
+    pub fn push(&mut self, op: DeltaOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch contains no ops. Publishing an empty delta must not
+    /// bump a graph version (see the serving layer).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What a delta changed, as computed during [`EntityGraph::apply_delta`].
+///
+/// The touched sets are the contract consumed by incremental score
+/// maintenance (`ScoredSchema::rescore_delta` in `preview-core`): a scoring
+/// slot whose relationship type is **not** in [`touched_rels`] is guaranteed
+/// to have a bit-identical value distribution in the new version, so its
+/// score can be reused without recomputation. The sets are a conservative
+/// over-approximation: an edit undone later in the same batch still marks
+/// its slot as touched (recomputing an unchanged slot is always sound).
+///
+/// [`touched_rels`]: DeltaSummary::touched_rels
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Entities added (and still live at the end of the batch).
+    pub entities_added: usize,
+    /// Pre-existing entities removed.
+    pub entities_removed: usize,
+    /// Edges added (and still live at the end of the batch).
+    pub edges_added: usize,
+    /// Pre-existing edges removed.
+    pub edges_removed: usize,
+    /// Entity types created by the batch.
+    pub types_added: usize,
+    /// Relationship types created by the batch.
+    pub rel_types_added: usize,
+    /// Relationship types with any edge added or removed, ascending.
+    /// Identifiers are valid in the **new** graph (rel-type ids are stable
+    /// across deltas).
+    pub touched_rels: Vec<RelTypeId>,
+    /// Entity types whose entity membership changed (an entity bearing the
+    /// type was added or removed), ascending. Identifiers are valid in the
+    /// new graph (type ids are stable across deltas).
+    pub touched_types: Vec<TypeId>,
+}
+
+impl DeltaSummary {
+    /// Whether the relationship type is in [`touched_rels`](Self::touched_rels).
+    pub fn rel_touched(&self, rel: RelTypeId) -> bool {
+        self.touched_rels.binary_search(&rel).is_ok()
+    }
+}
+
+/// The outcome of [`EntityGraph::apply_delta`]: the next frozen graph
+/// version plus the [`DeltaSummary`] incremental rescoring consumes.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The new immutable graph.
+    pub graph: EntityGraph,
+    /// What changed relative to the input graph.
+    pub summary: DeltaSummary,
+}
+
+/// Replays a graph's entire content through a fresh [`EntityGraphBuilder`]:
+/// entity types, relationship types, entities and edges in id order.
+///
+/// This is the canonical "build from the updated triple set" reference the
+/// splice path is measured against: for any builder-produced graph `g`,
+/// `rebuild(&g) == g` holds field for field, and the delta property tests
+/// assert `apply_delta(d).graph == rebuild(&apply_delta(d).graph)`. The
+/// update benchmark (`update-bench`) uses it as the full-rebuild baseline
+/// cost.
+pub fn rebuild(graph: &EntityGraph) -> EntityGraph {
+    let mut b = EntityGraphBuilder::with_capacity(graph.entity_count(), graph.edge_count());
+    for (_, name) in graph.types() {
+        b.entity_type(name);
+    }
+    for (_, rel) in graph.rel_types() {
+        b.relationship_type(&rel.name, rel.src_type, rel.dst_type);
+    }
+    for (_, entity) in graph.entities() {
+        b.entity(&entity.name, &entity.types);
+    }
+    for (_, edge) in graph.edges() {
+        b.edge(edge.src, edge.rel, edge.dst)
+            .expect("existing edges replay cleanly through the builder");
+    }
+    b.build()
+}
+
+/// A staged entity or edge endpoint: either a pre-existing entity (by old
+/// id) or one added earlier in the batch (by addition index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StagedRef {
+    Old(u32),
+    New(u32),
+}
+
+struct StagedEntity {
+    name: String,
+    types: Vec<TypeId>,
+    live: bool,
+}
+
+struct StagedEdge {
+    src: StagedRef,
+    dst: StagedRef,
+    rel: RelTypeId,
+    live: bool,
+}
+
+/// Mutable view of a batch in flight: tombstones over the old graph plus
+/// appended additions. Nothing here touches the input graph.
+struct Stage<'g> {
+    graph: &'g EntityGraph,
+    removed_entities: Vec<bool>,
+    removed_edges: Vec<bool>,
+    old_edges_removed: usize,
+    added_entities: Vec<StagedEntity>,
+    added_edges: Vec<StagedEdge>,
+    /// Name-resolution overrides relative to the input graph: `None` = the
+    /// name was removed in this batch, `Some` = it was (re)bound.
+    name_overrides: HashMap<String, Option<StagedRef>>,
+    new_type_names: Vec<String>,
+    new_type_lookup: HashMap<String, TypeId>,
+    new_rel_types: Vec<RelType>,
+    new_rel_lookup: HashMap<(String, TypeId, TypeId), RelTypeId>,
+    touched_rels: BTreeSet<RelTypeId>,
+    touched_types: BTreeSet<TypeId>,
+}
+
+impl<'g> Stage<'g> {
+    fn new(graph: &'g EntityGraph) -> Self {
+        Self {
+            graph,
+            removed_entities: vec![false; graph.entity_count()],
+            removed_edges: vec![false; graph.edge_count()],
+            old_edges_removed: 0,
+            added_entities: Vec::new(),
+            added_edges: Vec::new(),
+            name_overrides: HashMap::new(),
+            new_type_names: Vec::new(),
+            new_type_lookup: HashMap::new(),
+            new_rel_types: Vec::new(),
+            new_rel_lookup: HashMap::new(),
+            touched_rels: BTreeSet::new(),
+            touched_types: BTreeSet::new(),
+        }
+    }
+
+    fn resolve_entity(&self, name: &str) -> Option<StagedRef> {
+        if let Some(&over) = self.name_overrides.get(name) {
+            return over;
+        }
+        self.graph
+            .entity_by_name
+            .get(name)
+            .map(|id| StagedRef::Old(id.raw()))
+    }
+
+    fn resolve_type(&self, name: &str) -> Option<TypeId> {
+        self.graph
+            .type_by_name
+            .get(name)
+            .copied()
+            .or_else(|| self.new_type_lookup.get(name).copied())
+    }
+
+    fn intern_type(&mut self, name: &str) -> TypeId {
+        if let Some(ty) = self.resolve_type(name) {
+            return ty;
+        }
+        let ty = TypeId::from_usize(self.graph.type_names.len() + self.new_type_names.len());
+        self.new_type_names.push(name.to_owned());
+        self.new_type_lookup.insert(name.to_owned(), ty);
+        ty
+    }
+
+    fn resolve_rel(&self, name: &str, src: TypeId, dst: TypeId) -> Option<RelTypeId> {
+        self.graph.rel_type_by_key(name, src, dst).or_else(|| {
+            self.new_rel_lookup
+                .get(&(name.to_owned(), src, dst))
+                .copied()
+        })
+    }
+
+    fn intern_rel(&mut self, name: &str, src: TypeId, dst: TypeId) -> RelTypeId {
+        if let Some(rel) = self.resolve_rel(name, src, dst) {
+            return rel;
+        }
+        let rel = RelTypeId::from_usize(self.graph.rel_types.len() + self.new_rel_types.len());
+        self.new_rel_types.push(RelType {
+            name: name.to_owned(),
+            src_type: src,
+            dst_type: dst,
+        });
+        self.new_rel_lookup.insert((name.to_owned(), src, dst), rel);
+        rel
+    }
+
+    fn types_of(&self, r: StagedRef) -> &[TypeId] {
+        match r {
+            StagedRef::Old(v) => &self.graph.entities[v as usize].types,
+            StagedRef::New(i) => &self.added_entities[i as usize].types,
+        }
+    }
+
+    /// Number of live edges referencing the entity (each edge counted once,
+    /// self-loops included).
+    fn live_degree(&self, r: StagedRef) -> usize {
+        let mut degree = 0;
+        if let StagedRef::Old(v) = r {
+            let vid = EntityId::new(v);
+            for &eid in self.graph.out_edges.slice(v as usize) {
+                if !self.removed_edges[eid.index()] {
+                    degree += 1;
+                }
+            }
+            for &eid in self.graph.in_edges.slice(v as usize) {
+                // Self-loops already counted on the outgoing side.
+                if !self.removed_edges[eid.index()] && self.graph.edges[eid.index()].src != vid {
+                    degree += 1;
+                }
+            }
+        }
+        degree
+            + self
+                .added_edges
+                .iter()
+                .filter(|e| e.live && (e.src == r || e.dst == r))
+                .count()
+    }
+
+    fn add_entity(&mut self, name: &str, types: &[String]) -> Result<()> {
+        if self.resolve_entity(name).is_some() {
+            return Err(Error::DuplicateEntity {
+                name: name.to_owned(),
+            });
+        }
+        let mut tys: Vec<TypeId> = types.iter().map(|t| self.intern_type(t)).collect();
+        tys.sort_unstable();
+        tys.dedup();
+        self.touched_types.extend(tys.iter().copied());
+        let idx = u32::try_from(self.added_entities.len()).expect("additions fit in u32");
+        self.added_entities.push(StagedEntity {
+            name: name.to_owned(),
+            types: tys,
+            live: true,
+        });
+        self.name_overrides
+            .insert(name.to_owned(), Some(StagedRef::New(idx)));
+        Ok(())
+    }
+
+    fn remove_entity(&mut self, name: &str) -> Result<()> {
+        let r = self
+            .resolve_entity(name)
+            .ok_or_else(|| Error::UnknownName {
+                kind: "entity",
+                name: name.to_owned(),
+            })?;
+        let edges = self.live_degree(r);
+        if edges > 0 {
+            return Err(Error::EntityInUse {
+                name: name.to_owned(),
+                edges,
+            });
+        }
+        let types: Vec<TypeId> = self.types_of(r).to_vec();
+        self.touched_types.extend(types);
+        match r {
+            StagedRef::Old(v) => self.removed_entities[v as usize] = true,
+            StagedRef::New(i) => self.added_entities[i as usize].live = false,
+        }
+        self.name_overrides.insert(name.to_owned(), None);
+        Ok(())
+    }
+
+    fn check_carries(&self, r: StagedRef, ty: TypeId, name: &str, rel: &str) -> Result<()> {
+        if self.types_of(r).binary_search(&ty).is_ok() {
+            return Ok(());
+        }
+        let type_name = if ty.index() < self.graph.type_names.len() {
+            &self.graph.type_names[ty.index()]
+        } else {
+            &self.new_type_names[ty.index() - self.graph.type_names.len()]
+        };
+        Err(Error::TypeMismatch {
+            detail: format!(
+                "entity {name:?} lacks type {type_name:?} required by relationship {rel:?}"
+            ),
+        })
+    }
+
+    fn add_edge(
+        &mut self,
+        src: &str,
+        rel: &str,
+        dst: &str,
+        src_type: &str,
+        dst_type: &str,
+    ) -> Result<()> {
+        let src_ty = self
+            .resolve_type(src_type)
+            .ok_or_else(|| Error::UnknownName {
+                kind: "entity type",
+                name: src_type.to_owned(),
+            })?;
+        let dst_ty = self
+            .resolve_type(dst_type)
+            .ok_or_else(|| Error::UnknownName {
+                kind: "entity type",
+                name: dst_type.to_owned(),
+            })?;
+        let s = self.resolve_entity(src).ok_or_else(|| Error::UnknownName {
+            kind: "entity",
+            name: src.to_owned(),
+        })?;
+        let d = self.resolve_entity(dst).ok_or_else(|| Error::UnknownName {
+            kind: "entity",
+            name: dst.to_owned(),
+        })?;
+        self.check_carries(s, src_ty, src, rel)?;
+        self.check_carries(d, dst_ty, dst, rel)?;
+        let rel_id = self.intern_rel(rel, src_ty, dst_ty);
+        self.touched_rels.insert(rel_id);
+        self.added_edges.push(StagedEdge {
+            src: s,
+            dst: d,
+            rel: rel_id,
+            live: true,
+        });
+        Ok(())
+    }
+
+    fn remove_edge(
+        &mut self,
+        src: &str,
+        rel: &str,
+        dst: &str,
+        src_type: &str,
+        dst_type: &str,
+    ) -> Result<()> {
+        let missing = || Error::NoSuchEdge {
+            detail: format!("{src:?} -{rel}-> {dst:?} ({src_type} -> {dst_type})"),
+        };
+        let src_ty = self.resolve_type(src_type).ok_or_else(missing)?;
+        let dst_ty = self.resolve_type(dst_type).ok_or_else(missing)?;
+        let s = self.resolve_entity(src).ok_or_else(missing)?;
+        let d = self.resolve_entity(dst).ok_or_else(missing)?;
+        let rel_id = self.resolve_rel(rel, src_ty, dst_ty).ok_or_else(missing)?;
+        let mut matched = 0usize;
+        if let (StagedRef::Old(sv), StagedRef::Old(dv)) = (s, d) {
+            let dst_id = EntityId::new(dv);
+            for &eid in self.graph.out_edges.slice(sv as usize) {
+                let edge = self.graph.edges[eid.index()];
+                if edge.rel == rel_id && edge.dst == dst_id && !self.removed_edges[eid.index()] {
+                    self.removed_edges[eid.index()] = true;
+                    self.old_edges_removed += 1;
+                    matched += 1;
+                }
+            }
+        }
+        for staged in &mut self.added_edges {
+            if staged.live && staged.rel == rel_id && staged.src == s && staged.dst == d {
+                staged.live = false;
+                matched += 1;
+            }
+        }
+        if matched == 0 {
+            return Err(missing());
+        }
+        self.touched_rels.insert(rel_id);
+        Ok(())
+    }
+}
+
+/// Applies a delta to a graph by splicing the CSR indexes; see the
+/// [module docs](self) for the contract.
+pub(crate) fn apply(graph: &EntityGraph, delta: &GraphDelta) -> Result<AppliedDelta> {
+    // ---- Stage: validate ops in order against a tombstone view. ----------
+    let mut stage = Stage::new(graph);
+    for op in delta.ops() {
+        match op {
+            DeltaOp::AddEntity { name, types } => stage.add_entity(name, types)?,
+            DeltaOp::RemoveEntity { name } => stage.remove_entity(name)?,
+            DeltaOp::AddEdge {
+                src,
+                rel,
+                dst,
+                src_type,
+                dst_type,
+            } => stage.add_edge(src, rel, dst, src_type, dst_type)?,
+            DeltaOp::RemoveEdge {
+                src,
+                rel,
+                dst,
+                src_type,
+                dst_type,
+            } => stage.remove_edge(src, rel, dst, src_type, dst_type)?,
+        }
+    }
+    Ok(splice(graph, stage))
+}
+
+/// Freezes a validated stage into the next graph version. Infallible: all
+/// errors were raised while staging.
+#[allow(clippy::too_many_lines)]
+fn splice(graph: &EntityGraph, stage: Stage<'_>) -> AppliedDelta {
+    let old_entity_count = graph.entity_count();
+    let old_edge_count = graph.edge_count();
+    let old_type_count = graph.type_names.len();
+    let old_rel_count = graph.rel_types.len();
+
+    // ---- Identifier remaps (monotone: survivors keep relative order). ----
+    let mut e_remap = vec![GONE; old_entity_count];
+    let mut next_entity = 0u32;
+    for (v, slot) in e_remap.iter_mut().enumerate() {
+        if !stage.removed_entities[v] {
+            *slot = next_entity;
+            next_entity += 1;
+        }
+    }
+    let surviving_entities = next_entity as usize;
+    let mut added_entity_ids = vec![GONE; stage.added_entities.len()];
+    for (i, staged) in stage.added_entities.iter().enumerate() {
+        if staged.live {
+            added_entity_ids[i] = next_entity;
+            next_entity += 1;
+        }
+    }
+    let new_entity_count = next_entity as usize;
+    let resolve = |r: StagedRef| -> u32 {
+        match r {
+            StagedRef::Old(v) => e_remap[v as usize],
+            StagedRef::New(i) => added_entity_ids[i as usize],
+        }
+    };
+
+    // ---- Edge list: survivors in order, then live additions. -------------
+    let entities_removed = stage.removed_entities.iter().filter(|&&r| r).count();
+    let live_added_edges = stage.added_edges.iter().filter(|e| e.live).count();
+    let mut edge_remap = vec![GONE; old_edge_count];
+    let mut edges: Vec<Edge> =
+        Vec::with_capacity(old_edge_count - stage.old_edges_removed + live_added_edges);
+    for (i, edge) in graph.edges.iter().enumerate() {
+        if stage.removed_edges[i] {
+            continue;
+        }
+        edge_remap[i] = u32::try_from(edges.len()).expect("edge ids fit in u32");
+        edges.push(Edge {
+            src: EntityId::new(e_remap[edge.src.index()]),
+            dst: EntityId::new(e_remap[edge.dst.index()]),
+            rel: edge.rel,
+        });
+    }
+    for staged in &stage.added_edges {
+        if staged.live {
+            edges.push(Edge {
+                src: EntityId::new(resolve(staged.src)),
+                dst: EntityId::new(resolve(staged.dst)),
+                rel: staged.rel,
+            });
+        }
+    }
+    let new_edge_count = edges.len();
+
+    // ---- Entities and the name index. ------------------------------------
+    let mut entities: Vec<Entity> = Vec::with_capacity(new_entity_count);
+    for (v, entity) in graph.entities.iter().enumerate() {
+        if !stage.removed_entities[v] {
+            entities.push(entity.clone());
+        }
+    }
+    let mut entity_by_name = graph.entity_by_name.clone();
+    for (v, entity) in graph.entities.iter().enumerate() {
+        if stage.removed_entities[v] {
+            entity_by_name.remove(&entity.name);
+        }
+    }
+    for id in entity_by_name.values_mut() {
+        *id = EntityId::new(e_remap[id.index()]);
+    }
+    for (i, staged) in stage.added_entities.iter().enumerate() {
+        if staged.live {
+            entities.push(Entity {
+                name: staged.name.clone(),
+                types: staged.types.clone(),
+            });
+            entity_by_name.insert(staged.name.clone(), EntityId::new(added_entity_ids[i]));
+        }
+    }
+
+    // ---- Types and relationship types (append-only). ---------------------
+    let mut type_names = graph.type_names.clone();
+    let mut type_by_name = graph.type_by_name.clone();
+    for (i, name) in stage.new_type_names.iter().enumerate() {
+        type_by_name.insert(name.clone(), TypeId::from_usize(old_type_count + i));
+        type_names.push(name.clone());
+    }
+    let new_type_count = type_names.len();
+    let mut rel_types = graph.rel_types.clone();
+    let mut rel_names = graph.rel_names.clone();
+    let mut rel_by_key = graph.rel_by_key.clone();
+    for (i, rel) in stage.new_rel_types.iter().enumerate() {
+        let name_id = rel_names.intern(&rel.name);
+        rel_by_key.insert(
+            (name_id, rel.src_type, rel.dst_type),
+            RelTypeId::from_usize(old_rel_count + i),
+        );
+        rel_types.push(rel.clone());
+    }
+    let new_rel_count = rel_types.len();
+
+    // When the batch removed no entities (edges, respectively), the
+    // corresponding id remap is the identity, and old CSR payloads can be
+    // block-copied instead of filtered and remapped element by element.
+    let entity_identity = entities_removed == 0;
+    let edge_identity = entity_identity && stage.old_edges_removed == 0;
+
+    // ---- entities_by_type: filter + remap old groups, append additions. --
+    let mut added_by_type: Vec<Vec<EntityId>> = vec![Vec::new(); new_type_count];
+    for (i, staged) in stage.added_entities.iter().enumerate() {
+        if staged.live {
+            for &ty in &staged.types {
+                added_by_type[ty.index()].push(EntityId::new(added_entity_ids[i]));
+            }
+        }
+    }
+    let entities_by_type = {
+        let mut offsets = Vec::with_capacity(new_type_count + 1);
+        offsets.push(0u32);
+        let mut data: Vec<EntityId> = Vec::with_capacity(graph.entities_by_type.total_len());
+        for (t, additions) in added_by_type.iter().enumerate() {
+            if t < old_type_count {
+                if entity_identity {
+                    data.extend_from_slice(graph.entities_by_type.slice(t));
+                } else {
+                    for &eid in graph.entities_by_type.slice(t) {
+                        let mapped = e_remap[eid.index()];
+                        if mapped != GONE {
+                            data.push(EntityId::new(mapped));
+                        }
+                    }
+                }
+            }
+            data.extend_from_slice(additions);
+            offsets.push(u32::try_from(data.len()).expect("payload fits in u32"));
+        }
+        Csr::from_raw_parts(offsets, data)
+    };
+
+    // ---- edges_by_rel: same splice, grouped by relationship type. --------
+    let mut added_by_rel: Vec<Vec<EdgeId>> = vec![Vec::new(); new_rel_count];
+    {
+        let mut next_edge = old_edge_count - stage.old_edges_removed;
+        for staged in &stage.added_edges {
+            if staged.live {
+                added_by_rel[staged.rel.index()].push(EdgeId::from_usize(next_edge));
+                next_edge += 1;
+            }
+        }
+    }
+    let edges_by_rel = {
+        let mut offsets = Vec::with_capacity(new_rel_count + 1);
+        offsets.push(0u32);
+        let mut data: Vec<EdgeId> = Vec::with_capacity(new_edge_count);
+        for (r, additions) in added_by_rel.iter().enumerate() {
+            if r < old_rel_count {
+                for &eid in graph.edges_by_rel.slice(r) {
+                    let mapped = edge_remap[eid.index()];
+                    if mapped != GONE {
+                        data.push(EdgeId::new(mapped));
+                    }
+                }
+            }
+            data.extend_from_slice(additions);
+            offsets.push(u32::try_from(data.len()).expect("payload fits in u32"));
+        }
+        Csr::from_raw_parts(offsets, data)
+    };
+
+    // ---- Per-entity edge lists. ------------------------------------------
+    // Added edges keyed by their (new) endpoint id; a stable sort keeps the
+    // within-entity order ascending by edge id, matching a full rebuild.
+    let mut added_out: Vec<(u32, EdgeId)> = Vec::with_capacity(live_added_edges);
+    let mut added_in: Vec<(u32, EdgeId)> = Vec::with_capacity(live_added_edges);
+    for (i, edge) in edges
+        .iter()
+        .enumerate()
+        .skip(old_edge_count - stage.old_edges_removed)
+    {
+        let eid = EdgeId::from_usize(i);
+        added_out.push((edge.src.raw(), eid));
+        added_in.push((edge.dst.raw(), eid));
+    }
+    added_out.sort_by_key(|&(src, _)| src);
+    added_in.sort_by_key(|&(dst, _)| dst);
+
+    let splice_edge_lists = |old: &Csr<EdgeId>, additions: &[(u32, EdgeId)]| -> Csr<EdgeId> {
+        let mut offsets = Vec::with_capacity(new_entity_count + 1);
+        offsets.push(0u32);
+        let mut data: Vec<EdgeId> = Vec::with_capacity(new_edge_count);
+        let mut cursor = 0usize;
+        let mut push_group = |data: &mut Vec<EdgeId>, offsets: &mut Vec<u32>, new_id: u32| {
+            while cursor < additions.len() && additions[cursor].0 == new_id {
+                data.push(additions[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(u32::try_from(data.len()).expect("payload fits in u32"));
+        };
+        for (v, &new_id) in e_remap.iter().enumerate() {
+            if new_id == GONE {
+                continue;
+            }
+            if edge_identity {
+                data.extend_from_slice(old.slice(v));
+            } else {
+                for &eid in old.slice(v) {
+                    let mapped = edge_remap[eid.index()];
+                    if mapped != GONE {
+                        data.push(EdgeId::new(mapped));
+                    }
+                }
+            }
+            push_group(&mut data, &mut offsets, new_id);
+        }
+        for &id in &added_entity_ids {
+            if id != GONE {
+                push_group(&mut data, &mut offsets, id);
+            }
+        }
+        Csr::from_raw_parts(offsets, data)
+    };
+    let out_edges = splice_edge_lists(&graph.out_edges, &added_out);
+    let in_edges = splice_edge_lists(&graph.in_edges, &added_in);
+
+    // ---- Neighbor segments: copy untouched entities, re-segment the rest.
+    let mut touched_entities = vec![false; new_entity_count];
+    for (i, &removed) in stage.removed_edges.iter().enumerate() {
+        if removed {
+            let edge = graph.edges[i];
+            for endpoint in [edge.src, edge.dst] {
+                let mapped = e_remap[endpoint.index()];
+                if mapped != GONE {
+                    touched_entities[mapped as usize] = true;
+                }
+            }
+        }
+    }
+    for staged in &stage.added_edges {
+        if staged.live {
+            touched_entities[resolve(staged.src) as usize] = true;
+            touched_entities[resolve(staged.dst) as usize] = true;
+        }
+    }
+    let splice_neighbors = |old: &crate::csr::RelGroupedNeighbors,
+                            edge_lists: &Csr<EdgeId>,
+                            neighbor_of: &dyn Fn(&Edge) -> EntityId|
+     -> crate::csr::RelGroupedNeighbors {
+        let mut splicer = NeighborSplicer::new(new_entity_count, old.total_len());
+        let mut scratch: Vec<(RelTypeId, EntityId)> = Vec::new();
+        let mut resegment = |splicer: &mut NeighborSplicer, new_id: usize| {
+            scratch.clear();
+            scratch.extend(edge_lists.slice(new_id).iter().map(|&eid| {
+                let edge = &edges[eid.index()];
+                (edge.rel, neighbor_of(edge))
+            }));
+            splicer.push_pairs(&mut scratch);
+        };
+        let mut new_id = 0usize;
+        for v in 0..old_entity_count {
+            if stage.removed_entities[v] {
+                continue;
+            }
+            if touched_entities[new_id] {
+                resegment(&mut splicer, new_id);
+            } else if entity_identity {
+                splicer.copy_verbatim(old, v);
+            } else {
+                splicer.copy_remapped(old, v, &e_remap);
+            }
+            new_id += 1;
+        }
+        for id in surviving_entities..new_entity_count {
+            resegment(&mut splicer, id);
+        }
+        splicer.finish()
+    };
+    let out_neighbors = splice_neighbors(&graph.out_neighbors, &out_edges, &|e| e.dst);
+    let in_neighbors = splice_neighbors(&graph.in_neighbors, &in_edges, &|e| e.src);
+
+    // ---- Summary. --------------------------------------------------------
+    let summary = DeltaSummary {
+        entities_added: new_entity_count - (old_entity_count - entities_removed),
+        entities_removed,
+        edges_added: live_added_edges,
+        edges_removed: stage.old_edges_removed,
+        types_added: stage.new_type_names.len(),
+        rel_types_added: stage.new_rel_types.len(),
+        touched_rels: stage.touched_rels.into_iter().collect(),
+        touched_types: stage.touched_types.into_iter().collect(),
+    };
+    let graph = EntityGraph {
+        entities,
+        entity_by_name,
+        type_names,
+        type_by_name,
+        rel_types,
+        rel_names,
+        rel_by_key,
+        edges,
+        entities_by_type,
+        edges_by_rel,
+        out_edges,
+        in_edges,
+        out_neighbors,
+        in_neighbors,
+        schema_cache: OnceLock::new(),
+    };
+    AppliedDelta { graph, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn tiny() -> EntityGraph {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let acted = b.relationship_type("Actor", actor, film);
+        let mib = b.entity("Men in Black", &[film]);
+        let hancock = b.entity("Hancock", &[film]);
+        let smith = b.entity("Will Smith", &[actor]);
+        b.edge(smith, acted, mib).unwrap();
+        b.edge(smith, acted, hancock).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn rebuild_is_identity_on_built_graphs() {
+        for graph in [tiny(), fixtures::figure1_graph()] {
+            assert_eq!(rebuild(&graph), graph);
+        }
+    }
+
+    #[test]
+    fn empty_delta_applies_to_an_identical_graph() {
+        let graph = tiny();
+        let applied = graph.apply_delta(&GraphDelta::new()).unwrap();
+        assert_eq!(applied.graph, graph);
+        assert_eq!(applied.summary, DeltaSummary::default());
+    }
+
+    #[test]
+    fn add_entity_and_edge_splices_like_a_rebuild() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta.add_entity("I, Robot", &["FILM"]).add_edge(
+            "Will Smith",
+            "Actor",
+            "I, Robot",
+            "FILM ACTOR",
+            "FILM",
+        );
+        let applied = graph.apply_delta(&delta).unwrap();
+        assert_eq!(applied.graph.entity_count(), 4);
+        assert_eq!(applied.graph.edge_count(), 3);
+        assert_eq!(applied.graph, rebuild(&applied.graph));
+        assert_eq!(applied.summary.entities_added, 1);
+        assert_eq!(applied.summary.edges_added, 1);
+        let smith = applied.graph.entity_by_name("Will Smith").unwrap();
+        let film = applied.graph.type_by_name("FILM").unwrap();
+        let actor = applied.graph.type_by_name("FILM ACTOR").unwrap();
+        let acted = applied.graph.rel_type_by_key("Actor", actor, film).unwrap();
+        assert_eq!(
+            applied
+                .graph
+                .neighbors_via(smith, acted, crate::graph::Direction::Outgoing)
+                .len(),
+            3
+        );
+        assert!(applied.summary.rel_touched(acted));
+    }
+
+    #[test]
+    fn remove_edge_then_entity_compacts_ids() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta
+            .remove_edge("Will Smith", "Actor", "Men in Black", "FILM ACTOR", "FILM")
+            .remove_entity("Men in Black");
+        let applied = graph.apply_delta(&delta).unwrap();
+        assert_eq!(applied.graph.entity_count(), 2);
+        assert_eq!(applied.graph.edge_count(), 1);
+        assert!(applied.graph.entity_by_name("Men in Black").is_none());
+        // Ids compacted: Hancock slid into slot 0.
+        assert_eq!(applied.graph.entity_by_name("Hancock").unwrap().index(), 0);
+        assert_eq!(applied.graph, rebuild(&applied.graph));
+        assert_eq!(applied.summary.entities_removed, 1);
+        assert_eq!(applied.summary.edges_removed, 1);
+    }
+
+    #[test]
+    fn removing_a_referenced_entity_is_a_typed_error() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta.remove_entity("Men in Black");
+        let err = graph.apply_delta(&delta).unwrap_err();
+        assert_eq!(
+            err,
+            Error::EntityInUse {
+                name: "Men in Black".into(),
+                edges: 1
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_add_is_a_typed_error() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta.add_entity("Hancock", &["FILM"]);
+        let err = graph.apply_delta(&delta).unwrap_err();
+        assert!(matches!(err, Error::DuplicateEntity { .. }));
+    }
+
+    #[test]
+    fn removing_a_missing_edge_is_a_typed_error() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge("Will Smith", "Director", "Hancock", "FILM ACTOR", "FILM");
+        let err = graph.apply_delta(&delta).unwrap_err();
+        assert!(matches!(err, Error::NoSuchEdge { .. }));
+    }
+
+    #[test]
+    fn add_then_remove_in_one_batch_nets_out() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta
+            .add_entity("Bright", &["FILM"])
+            .add_edge("Will Smith", "Actor", "Bright", "FILM ACTOR", "FILM")
+            .remove_edge("Will Smith", "Actor", "Bright", "FILM ACTOR", "FILM")
+            .remove_entity("Bright");
+        let applied = graph.apply_delta(&delta).unwrap();
+        // The batch nets out: same entities and edges as before...
+        assert_eq!(applied.graph.entity_count(), graph.entity_count());
+        assert_eq!(applied.graph.edge_count(), graph.edge_count());
+        assert!(applied.graph.entity_by_name("Bright").is_none());
+        assert_eq!(applied.graph, rebuild(&applied.graph));
+        // ...and the summary is conservative: the touched slots remain
+        // marked even though the net change is nil.
+        assert_eq!(applied.summary.entities_added, 0);
+        assert_eq!(applied.summary.entities_removed, 0);
+        assert_eq!(applied.summary.edges_added, 0);
+        assert_eq!(applied.summary.edges_removed, 0);
+        assert_eq!(applied.summary.touched_rels.len(), 1);
+    }
+
+    #[test]
+    fn removing_an_edge_removes_all_parallel_instances() {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        let actor = b.entity_type("FILM ACTOR");
+        let acted = b.relationship_type("Actor", actor, film);
+        let mib = b.entity("Men in Black", &[film]);
+        let smith = b.entity("Will Smith", &[actor]);
+        b.edge(smith, acted, mib).unwrap();
+        b.edge(smith, acted, mib).unwrap();
+        let graph = b.build();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge("Will Smith", "Actor", "Men in Black", "FILM ACTOR", "FILM");
+        let applied = graph.apply_delta(&delta).unwrap();
+        assert_eq!(applied.graph.edge_count(), 0);
+        assert_eq!(applied.summary.edges_removed, 2);
+        assert_eq!(applied.graph, rebuild(&applied.graph));
+    }
+
+    #[test]
+    fn new_types_and_rels_survive_even_if_their_edges_net_out() {
+        let graph = tiny();
+        let mut delta = GraphDelta::new();
+        delta
+            .add_entity("Barry Sonnenfeld", &["FILM DIRECTOR"])
+            .add_edge(
+                "Barry Sonnenfeld",
+                "Director",
+                "Men in Black",
+                "FILM DIRECTOR",
+                "FILM",
+            )
+            .remove_edge(
+                "Barry Sonnenfeld",
+                "Director",
+                "Men in Black",
+                "FILM DIRECTOR",
+                "FILM",
+            );
+        let applied = graph.apply_delta(&delta).unwrap();
+        // The director entity and the new type/rel-type records remain; the
+        // relationship type has zero edges (exactly like declaring a rel
+        // type in the builder and never using it).
+        assert!(applied.graph.type_by_name("FILM DIRECTOR").is_some());
+        assert_eq!(applied.graph.relationship_type_count(), 2);
+        assert_eq!(applied.graph.edge_count(), 2);
+        assert_eq!(applied.summary.types_added, 1);
+        assert_eq!(applied.summary.rel_types_added, 1);
+        assert_eq!(applied.graph, rebuild(&applied.graph));
+    }
+
+    #[test]
+    fn figure1_delta_matches_rebuild() {
+        let graph = fixtures::figure1_graph();
+        let mut delta = GraphDelta::new();
+        delta
+            .remove_edge(
+                "Men in Black",
+                "Genres",
+                "Action Film",
+                "FILM",
+                "FILM GENRE",
+            )
+            .add_entity("Emma Thomas", &["FILM PRODUCER"])
+            .add_edge(
+                "Emma Thomas",
+                "Producer",
+                "Hancock",
+                "FILM PRODUCER",
+                "FILM",
+            );
+        let applied = graph.apply_delta(&delta).unwrap();
+        assert_eq!(applied.graph, rebuild(&applied.graph));
+        // Schema derivation still works on the spliced graph.
+        let schema = applied.graph.schema_graph();
+        assert_eq!(schema.type_count(), applied.graph.type_count());
+    }
+}

@@ -36,6 +36,27 @@ pub enum Error {
         /// Description of the problem.
         message: String,
     },
+    /// A delta tried to add an entity whose name is already taken by a live
+    /// entity (delta additions are strict: merging types into an existing
+    /// entity is not an addition).
+    DuplicateEntity {
+        /// The name that is already registered.
+        name: String,
+    },
+    /// A delta tried to remove an entity that is still referenced by live
+    /// relationship edges; the edges must be removed first (in the same
+    /// batch or an earlier one).
+    EntityInUse {
+        /// Name of the entity that could not be removed.
+        name: String,
+        /// Number of live edges still referencing it.
+        edges: usize,
+    },
+    /// A delta tried to remove a relationship edge that does not exist.
+    NoSuchEdge {
+        /// Human-readable description of the missing `src -rel-> dst` triple.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -47,6 +68,17 @@ impl fmt::Display for Error {
             Error::UnknownId { kind, index } => write!(f, "unknown {kind} id {index}"),
             Error::UnknownName { kind, name } => write!(f, "unknown {kind} name {name:?}"),
             Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::DuplicateEntity { name } => {
+                write!(
+                    f,
+                    "entity {name:?} already exists; delta additions must be fresh"
+                )
+            }
+            Error::EntityInUse { name, edges } => write!(
+                f,
+                "entity {name:?} is still referenced by {edges} live relationship edge(s)"
+            ),
+            Error::NoSuchEdge { detail } => write!(f, "no such relationship edge: {detail}"),
         }
     }
 }

@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 use serde::{Deserialize, Serialize};
 
 use crate::csr::{Csr, RelGroupedNeighbors};
+use crate::delta::{self, AppliedDelta, GraphDelta};
 use crate::entity::{Edge, Entity, RelType};
 use crate::error::{Error, Result};
 use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
@@ -285,6 +286,49 @@ impl EntityGraph {
             entity_types: self.type_count(),
             relationship_types: self.relationship_type_count(),
         }
+    }
+
+    /// Applies a batch of edits, producing the next frozen graph version by
+    /// splicing the delta into this graph's CSR arrays — byte-identical to a
+    /// from-scratch rebuild of the updated content, without re-running the
+    /// full build. This graph is never modified; a failed batch (typed
+    /// error) leaves everything as it was.
+    ///
+    /// See the [`delta`](crate::delta) module docs for batch semantics, the
+    /// splice contract, and an example.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first op that fails validation: [`Error::DuplicateEntity`],
+    /// [`Error::EntityInUse`], [`Error::NoSuchEdge`], [`Error::UnknownName`]
+    /// or [`Error::TypeMismatch`].
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<AppliedDelta> {
+        delta::apply(self, delta)
+    }
+}
+
+/// Structural equality over the full storage: entities, name indexes, type
+/// and relationship-type tables, the interner, the edge list and **every CSR
+/// offset/payload array**. Two equal graphs are indistinguishable to any
+/// reader — this is the equality the delta splice contract (spliced ==
+/// rebuilt, see [`delta`](crate::delta)) is stated in. The memoized schema
+/// cache is deliberately excluded: it is derived state.
+impl PartialEq for EntityGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.entities == other.entities
+            && self.entity_by_name == other.entity_by_name
+            && self.type_names == other.type_names
+            && self.type_by_name == other.type_by_name
+            && self.rel_types == other.rel_types
+            && self.rel_names == other.rel_names
+            && self.rel_by_key == other.rel_by_key
+            && self.edges == other.edges
+            && self.entities_by_type == other.entities_by_type
+            && self.edges_by_rel == other.edges_by_rel
+            && self.out_edges == other.out_edges
+            && self.in_edges == other.in_edges
+            && self.out_neighbors == other.out_neighbors
+            && self.in_neighbors == other.in_neighbors
     }
 }
 

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 /// The interner is generic over the identifier newtype so that entity names,
 /// entity-type names and relationship-type surface names each live in their
 /// own identifier space and cannot be mixed up at compile time.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Interner {
     lookup: HashMap<String, u32>,
     strings: Vec<String>,

@@ -56,11 +56,13 @@ mod interner;
 mod schema;
 mod stats;
 
+pub mod delta;
 pub mod fixtures;
 pub mod triples;
 
 pub use builder::EntityGraphBuilder;
 pub use csr::{Csr, RelGroupedNeighbors};
+pub use delta::{AppliedDelta, DeltaOp, DeltaSummary, GraphDelta};
 pub use distance::{DistanceMatrix, UNREACHABLE};
 pub use entity::{Edge, Entity, RelType};
 pub use error::{Error, Result};
@@ -83,6 +85,8 @@ mod static_assertions {
 
     const _: () = {
         assert_send_sync_clone::<EntityGraph>();
+        assert_send_sync_clone::<GraphDelta>();
+        assert_send_sync_clone::<DeltaSummary>();
         assert_send_sync_clone::<SchemaGraph>();
         assert_send_sync_clone::<DistanceMatrix>();
         assert_send_sync_clone::<GraphStats>();

@@ -1,0 +1,384 @@
+//! Property tests for the delta splice path: applying a random update stream
+//! to a random multigraph must produce a graph **byte-identical** (full
+//! structural equality, covering every CSR offset/payload array, both name
+//! indexes and the interner) to building the updated content from scratch
+//! through `EntityGraphBuilder`.
+//!
+//! Two independent references are used:
+//!
+//! * a naive *model* (plain vectors of names) that applies the same ops with
+//!   the documented batch semantics and is rebuilt through the builder — so a
+//!   splice bug that corrupts content *and* indexes consistently still fails,
+//! * [`delta::rebuild`], the canonical replay of a graph through the builder
+//!   — so the spliced indexes must be exactly what the builder would have
+//!   produced.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use entity_graph::{delta, EntityGraph, EntityGraphBuilder, GraphDelta};
+
+/// A naive content model: everything by name, applied with the documented
+/// batch semantics, rebuilt through the builder for comparison.
+#[derive(Clone)]
+struct Model {
+    types: Vec<String>,
+    /// (surface name, src type index, dst type index), creation order.
+    rels: Vec<(String, usize, usize)>,
+    /// Live entities in insertion order: (name, sorted type indexes).
+    entities: Vec<(String, Vec<usize>)>,
+    /// Live edges in insertion order: (src name, rel index, dst name).
+    edges: Vec<(String, usize, String)>,
+}
+
+impl Model {
+    fn of(graph: &EntityGraph) -> Self {
+        Self {
+            types: graph.types().map(|(_, n)| n.to_owned()).collect(),
+            rels: graph
+                .rel_types()
+                .map(|(_, r)| (r.name.clone(), r.src_type.index(), r.dst_type.index()))
+                .collect(),
+            entities: graph
+                .entities()
+                .map(|(_, e)| (e.name.clone(), e.types.iter().map(|t| t.index()).collect()))
+                .collect(),
+            edges: graph
+                .edges()
+                .map(|(_, e)| {
+                    (
+                        graph.entity(e.src).name.clone(),
+                        e.rel.index(),
+                        graph.entity(e.dst).name.clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn type_idx(&mut self, name: &str) -> usize {
+        if let Some(i) = self.types.iter().position(|t| t == name) {
+            return i;
+        }
+        self.types.push(name.to_owned());
+        self.types.len() - 1
+    }
+
+    fn rel_idx(&mut self, name: &str, src: usize, dst: usize) -> usize {
+        if let Some(i) = self
+            .rels
+            .iter()
+            .position(|(n, s, d)| n == name && *s == src && *d == dst)
+        {
+            return i;
+        }
+        self.rels.push((name.to_owned(), src, dst));
+        self.rels.len() - 1
+    }
+
+    fn degree(&self, name: &str) -> usize {
+        self.edges
+            .iter()
+            .filter(|(s, _, d)| s == name || d == name)
+            .count()
+    }
+
+    /// Rebuilds the modelled content through the builder — the canonical
+    /// "build from the updated triple set" reference.
+    fn build(&self) -> EntityGraph {
+        let mut b = EntityGraphBuilder::new();
+        let type_ids: Vec<_> = self.types.iter().map(|t| b.entity_type(t)).collect();
+        let rel_ids: Vec<_> = self
+            .rels
+            .iter()
+            .map(|(name, s, d)| b.relationship_type(name, type_ids[*s], type_ids[*d]))
+            .collect();
+        for (name, types) in &self.entities {
+            let tys: Vec<_> = types.iter().map(|&t| type_ids[t]).collect();
+            b.entity(name, &tys);
+        }
+        for (src, rel, dst) in &self.edges {
+            let s = self
+                .entities
+                .iter()
+                .position(|(n, _)| n == src)
+                .expect("model edge endpoints are live");
+            let d = self
+                .entities
+                .iter()
+                .position(|(n, _)| n == dst)
+                .expect("model edge endpoints are live");
+            b.edge(
+                entity_graph::EntityId::from_usize(s),
+                rel_ids[*rel],
+                entity_graph::EntityId::from_usize(d),
+            )
+            .expect("model edges are well-typed");
+        }
+        b.build()
+    }
+}
+
+/// Generates a random multigraph (same shape family as `csr_props`).
+fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> EntityGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = EntityGraphBuilder::new();
+    let type_ids: Vec<_> = (0..types)
+        .map(|i| builder.entity_type(&format!("T{i}")))
+        .collect();
+    let entities: Vec<Vec<_>> = type_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| {
+            (0..rng.gen_range(1..6))
+                .map(|j| {
+                    let mut tys = vec![ty];
+                    if rng.gen_bool(0.2) {
+                        tys.push(type_ids[rng.gen_range(0..types)]);
+                    }
+                    builder.entity(&format!("e{i}-{j}"), &tys)
+                })
+                .collect()
+        })
+        .collect();
+    let rels: Vec<_> = (0..rel_types)
+        .map(|i| {
+            let src = rng.gen_range(0..types);
+            let dst = rng.gen_range(0..types);
+            let name = format!("r{}", i % 3);
+            (
+                builder.relationship_type(&name, type_ids[src], type_ids[dst]),
+                src,
+                dst,
+            )
+        })
+        .collect();
+    for _ in 0..edges {
+        let &(rel, src, dst) = &rels[rng.gen_range(0..rels.len())];
+        let s = entities[src][rng.gen_range(0..entities[src].len())];
+        let d = entities[dst][rng.gen_range(0..entities[dst].len())];
+        builder.edge(s, rel, d).expect("endpoints carry the types");
+    }
+    builder.build()
+}
+
+/// Generates one random, always-valid delta against the model, applying each
+/// op to the model as it is chosen (sequential batch semantics).
+fn random_delta(
+    rng: &mut ChaCha8Rng,
+    model: &mut Model,
+    ops: usize,
+    fresh: &mut u32,
+) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    for _ in 0..ops {
+        match rng.gen_range(0..10u32) {
+            // Add a fresh entity under 1–2 (possibly new) types.
+            0..=2 => {
+                let name = format!("added-{}", *fresh);
+                *fresh += 1;
+                let mut type_names = vec![if rng.gen_bool(0.2) {
+                    let t = format!("NT{}", *fresh);
+                    *fresh += 1;
+                    t
+                } else {
+                    model.types[rng.gen_range(0..model.types.len())].clone()
+                }];
+                if rng.gen_bool(0.3) {
+                    type_names.push(model.types[rng.gen_range(0..model.types.len())].clone());
+                }
+                let refs: Vec<&str> = type_names.iter().map(String::as_str).collect();
+                delta.add_entity(&name, &refs);
+                let tys: Vec<usize> = {
+                    let mut t: Vec<usize> = type_names.iter().map(|n| model.type_idx(n)).collect();
+                    t.sort_unstable();
+                    t.dedup();
+                    t
+                };
+                model.entities.push((name, tys));
+            }
+            // Add an edge of an existing (or occasionally fresh) rel type.
+            3..=6 => {
+                if model.rels.is_empty() {
+                    continue;
+                }
+                let rel = if rng.gen_bool(0.15) {
+                    // Fresh rel type between random existing types, reusing a
+                    // small surface-name pool so names collide on purpose.
+                    let name = format!("r{}", rng.gen_range(0..4u32));
+                    let s = rng.gen_range(0..model.types.len());
+                    let d = rng.gen_range(0..model.types.len());
+                    model.rel_idx(&name, s, d)
+                } else {
+                    rng.gen_range(0..model.rels.len())
+                };
+                let (rel_name, src_ty, dst_ty) = model.rels[rel].clone();
+                let src_pool: Vec<String> = model
+                    .entities
+                    .iter()
+                    .filter(|(_, t)| t.binary_search(&src_ty).is_ok())
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                let dst_pool: Vec<String> = model
+                    .entities
+                    .iter()
+                    .filter(|(_, t)| t.binary_search(&dst_ty).is_ok())
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                if src_pool.is_empty() || dst_pool.is_empty() {
+                    continue;
+                }
+                let src = src_pool[rng.gen_range(0..src_pool.len())].clone();
+                let dst = dst_pool[rng.gen_range(0..dst_pool.len())].clone();
+                delta.add_edge(
+                    &src,
+                    &rel_name,
+                    &dst,
+                    &model.types[src_ty],
+                    &model.types[dst_ty],
+                );
+                model.edges.push((src, rel, dst));
+            }
+            // Remove all parallel instances of a random live edge.
+            7..=8 => {
+                if model.edges.is_empty() {
+                    continue;
+                }
+                let (src, rel, dst) = model.edges[rng.gen_range(0..model.edges.len())].clone();
+                let (rel_name, src_ty, dst_ty) = model.rels[rel].clone();
+                delta.remove_edge(
+                    &src,
+                    &rel_name,
+                    &dst,
+                    &model.types[src_ty],
+                    &model.types[dst_ty],
+                );
+                model
+                    .edges
+                    .retain(|(s, r, d)| !(*s == src && *r == rel && *d == dst));
+            }
+            // Remove an edgeless entity, if any exists.
+            _ => {
+                let lonely: Vec<String> = model
+                    .entities
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .filter(|n| model.degree(n) == 0)
+                    .collect();
+                if lonely.is_empty() {
+                    continue;
+                }
+                let name = lonely[rng.gen_range(0..lonely.len())].clone();
+                delta.remove_entity(&name);
+                model.entities.retain(|(n, _)| n != &name);
+            }
+        }
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// A stream of random deltas, each spliced onto the previous version,
+    /// stays byte-identical to (a) the builder-rebuilt naive model and
+    /// (b) `delta::rebuild` of its own content, at every step.
+    #[test]
+    fn spliced_graph_is_byte_identical_to_rebuild(
+        seed in 0u64..100_000,
+        types in 2usize..5,
+        rel_types in 1usize..6,
+        edges in 0usize..40,
+        steps in 1usize..4,
+        ops in 1usize..14,
+    ) {
+        let mut graph = random_graph(seed, types, rel_types, edges);
+        let mut model = Model::of(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xde17_af00);
+        let mut fresh = 0u32;
+        for _ in 0..steps {
+            let before_entities = model.entities.len();
+            let before_edges = model.edges.len();
+            let delta = random_delta(&mut rng, &mut model, ops, &mut fresh);
+            let applied = graph.apply_delta(&delta).expect("generated deltas are valid");
+
+            // (a) Content + indexes match the naive model rebuilt from scratch.
+            let reference = model.build();
+            prop_assert!(
+                applied.graph == reference,
+                "spliced graph diverged from the model rebuild"
+            );
+            // (b) Replaying the spliced graph through the builder is a fixed
+            // point: the spliced indexes are exactly the builder's output.
+            prop_assert!(
+                applied.graph == delta::rebuild(&applied.graph),
+                "spliced graph is not a builder fixed point"
+            );
+
+            // Net entity/edge counts in the summary match the model diff.
+            let net_entities =
+                applied.summary.entities_added as i64 - applied.summary.entities_removed as i64;
+            let net_edges =
+                applied.summary.edges_added as i64 - applied.summary.edges_removed as i64;
+            prop_assert_eq!(
+                model.entities.len() as i64 - before_entities as i64,
+                net_entities
+            );
+            prop_assert_eq!(model.edges.len() as i64 - before_edges as i64, net_edges);
+
+            // The spliced graph keeps serving: schema derivation agrees with
+            // per-type counts.
+            let schema = applied.graph.schema_graph();
+            for (ty, _) in applied.graph.types() {
+                prop_assert_eq!(
+                    schema.entity_count_of(ty) as usize,
+                    applied.graph.entities_of_type(ty).len()
+                );
+            }
+            graph = applied.graph;
+        }
+    }
+
+    /// Every touched relationship type reported by the summary exists in the
+    /// new graph, is sorted ascending, and covers exactly the rel types whose
+    /// edge set the batch targeted.
+    #[test]
+    fn summary_touched_rels_are_sound(
+        seed in 0u64..100_000,
+        types in 2usize..4,
+        rel_types in 1usize..5,
+        edges in 1usize..30,
+        ops in 1usize..10,
+    ) {
+        let graph = random_graph(seed, types, rel_types, edges);
+        let mut model = Model::of(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(31) ^ 7);
+        let mut fresh = 0u32;
+        let delta = random_delta(&mut rng, &mut model, ops, &mut fresh);
+        let applied = graph.apply_delta(&delta).expect("generated deltas are valid");
+        let touched = &applied.summary.touched_rels;
+        prop_assert!(touched.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        for &rel in touched {
+            prop_assert!(rel.index() < applied.graph.relationship_type_count());
+        }
+        // Any rel whose live edge multiset changed must be in the touched set
+        // (the converse need not hold: the summary is conservative).
+        let count_by_rel = |g: &EntityGraph| -> Vec<usize> {
+            (0..g.relationship_type_count())
+                .map(|r| g.edges_of_rel_type(entity_graph::RelTypeId::from_usize(r)).len())
+                .collect()
+        };
+        let old_counts = count_by_rel(&graph);
+        let new_counts = count_by_rel(&applied.graph);
+        for (r, &new_count) in new_counts.iter().enumerate() {
+            let old_count = old_counts.get(r).copied().unwrap_or(0);
+            if old_count != new_count {
+                prop_assert!(
+                    applied.summary.rel_touched(entity_graph::RelTypeId::from_usize(r)),
+                    "rel {r} changed ({old_count} -> {new_count}) but is not touched"
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,10 @@
 //! Scoring configuration and the pre-computed [`ScoredSchema`].
 
-use entity_graph::{Direction, DistanceMatrix, EntityGraph, SchemaGraph, TypeId};
+use std::collections::HashMap;
+
+use entity_graph::{
+    DeltaSummary, Direction, DistanceMatrix, EntityGraph, RelTypeId, SchemaGraph, TypeId,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::candidates::{self, Candidate};
@@ -174,6 +178,125 @@ impl ScoredSchema {
         })
     }
 
+    /// Re-scores after a graph delta, recomputing only what the delta
+    /// touched and reusing every untouched score **bitwise**.
+    ///
+    /// `graph` must be the new version produced by
+    /// [`EntityGraph::apply_delta`] and `summary` the [`DeltaSummary`] that
+    /// came with it. The result is guaranteed bit-identical to a full
+    /// [`ScoredSchema::build`] on the new graph (the determinism guard and
+    /// `update-bench` enforce this), but the expensive part — entropy
+    /// scoring, which walks the entity population of every candidate
+    /// attribute — runs only for schema edges whose relationship type is in
+    /// [`DeltaSummary::touched_rels`]:
+    ///
+    /// * **entropy non-key scores**: an untouched relationship type has a
+    ///   bit-identical value distribution in the new version (edits to other
+    ///   rel types cannot change which neighbor sets its tuples hold, and
+    ///   entity additions/removals without incident edges of the type only
+    ///   add/remove empty-valued tuples, which the measure excludes), so its
+    ///   two orientation scores are copied from this instance verbatim;
+    /// * **coverage scores** (key and non-key) are plain counts read off the
+    ///   new schema graph — recomputing them is already cheaper than
+    ///   tracking them incrementally;
+    /// * **random-walk key scores** are a global stationary distribution:
+    ///   any edit can shift every component, so they are recomputed in full
+    ///   (still schema-sized, not entity-sized);
+    /// * candidate lists, prefix sums, eligibility and the distance matrix
+    ///   are schema-sized derivations and are rebuilt from the (possibly
+    ///   reused) scores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates random-walk convergence failures, exactly like
+    /// [`build`](Self::build).
+    pub fn rescore_delta(&self, graph: &EntityGraph, summary: &DeltaSummary) -> Result<Self> {
+        let schema = graph.schema_graph().clone();
+        let key_scores = match self.config.key {
+            KeyScoring::Coverage => key::coverage_scores(&schema),
+            KeyScoring::RandomWalk => key::random_walk_scores(&schema, &self.config.random_walk)?,
+        };
+        let (nonkey_outgoing, nonkey_incoming) = match self.config.non_key {
+            NonKeyScoring::Coverage => {
+                let cov = nonkey::coverage_scores(&schema);
+                (cov.clone(), cov)
+            }
+            NonKeyScoring::Entropy => {
+                // Schema-edge positions shift when rel types gain their
+                // first or lose their last edge; reuse is keyed by the
+                // stable relationship-type id instead.
+                let old_slot: HashMap<RelTypeId, usize> = self
+                    .schema
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, edge)| (edge.rel, slot))
+                    .collect();
+                let mut outgoing = Vec::with_capacity(schema.edges().len());
+                let mut incoming = Vec::with_capacity(schema.edges().len());
+                for edge in schema.edges() {
+                    let reusable = (!summary.rel_touched(edge.rel))
+                        .then(|| old_slot.get(&edge.rel))
+                        .flatten();
+                    match reusable {
+                        Some(&slot) => {
+                            outgoing.push(self.nonkey_outgoing[slot]);
+                            incoming.push(self.nonkey_incoming[slot]);
+                        }
+                        None => {
+                            let (out, inc) = nonkey::entropy_scores_for_edge(graph, &schema, edge);
+                            outgoing.push(out);
+                            incoming.push(inc);
+                        }
+                    }
+                }
+                (outgoing, incoming)
+            }
+        };
+        let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
+        let prefix_sums = candidates::prefix_sums(&candidates);
+        let eligible = candidates::eligible_types(&candidates);
+        let distances = schema.distance_matrix();
+        Ok(Self {
+            schema,
+            distances,
+            config: self.config,
+            key_scores,
+            nonkey_outgoing,
+            nonkey_incoming,
+            candidates,
+            prefix_sums,
+            eligible,
+        })
+    }
+
+    /// Whether `other` would drive every discovery algorithm to the same
+    /// result as `self`, bit for bit.
+    ///
+    /// True iff the schema shape (type count and the relationship-type
+    /// sequence of the edge list — type and rel ids are stable across
+    /// deltas) and all score vectors match bitwise. Discovery reads nothing
+    /// else: candidate lists, prefix sums, eligibility and distances are
+    /// pure functions of shape + scores. The serving layer uses this to
+    /// prove cached previews unaffected by a published delta and carry them
+    /// forward across the version bump.
+    pub fn scores_identical(&self, other: &Self) -> bool {
+        fn bits(v: &[f64]) -> impl Iterator<Item = u64> + '_ {
+            v.iter().map(|f| f.to_bits())
+        }
+        self.schema.type_count() == other.schema.type_count()
+            && self.schema.edges().len() == other.schema.edges().len()
+            && self
+                .schema
+                .edges()
+                .iter()
+                .zip(other.schema.edges())
+                .all(|(a, b)| a.rel == b.rel && a.src == b.src && a.dst == b.dst)
+            && bits(&self.key_scores).eq(bits(&other.key_scores))
+            && bits(&self.nonkey_outgoing).eq(bits(&other.nonkey_outgoing))
+            && bits(&self.nonkey_incoming).eq(bits(&other.nonkey_incoming))
+    }
+
     /// The underlying schema graph.
     pub fn schema(&self) -> &SchemaGraph {
         &self.schema
@@ -344,6 +467,117 @@ mod tests {
                 assert!(c.score.is_finite() && c.score >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn rescore_delta_matches_full_build_bitwise() {
+        use entity_graph::GraphDelta;
+        let graph = fixtures::figure1_graph();
+        let mut delta = GraphDelta::new();
+        delta
+            .add_entity("Bad Boys", &[types::FILM])
+            .add_edge(
+                "Will Smith",
+                "Actor",
+                "Bad Boys",
+                types::FILM_ACTOR,
+                types::FILM,
+            )
+            .remove_edge(
+                "Men in Black",
+                "Genres",
+                "Action Film",
+                types::FILM,
+                types::FILM_GENRE,
+            );
+        let applied = graph.apply_delta(&delta).unwrap();
+        for config in [
+            ScoringConfig::coverage(),
+            ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy),
+            ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy),
+        ] {
+            let old = ScoredSchema::build(&graph, &config).unwrap();
+            let rescored = old.rescore_delta(&applied.graph, &applied.summary).unwrap();
+            let full = ScoredSchema::build(&applied.graph, &config).unwrap();
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&rescored.key_scores), bits(&full.key_scores));
+            assert_eq!(bits(&rescored.nonkey_outgoing), bits(&full.nonkey_outgoing));
+            assert_eq!(bits(&rescored.nonkey_incoming), bits(&full.nonkey_incoming));
+            assert!(rescored.scores_identical(&full));
+            assert_eq!(rescored.eligible_types(), full.eligible_types());
+        }
+    }
+
+    #[test]
+    fn rescore_delta_reuses_untouched_entropy_slots() {
+        use entity_graph::GraphDelta;
+        let graph = fixtures::figure1_graph();
+        // Touch only the Genres relationship; Director must be reused.
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(
+            "Men in Black",
+            "Genres",
+            "Action Film",
+            types::FILM,
+            types::FILM_GENRE,
+        );
+        let applied = graph.apply_delta(&delta).unwrap();
+        let config = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
+        let old = ScoredSchema::build(&graph, &config).unwrap();
+        let rescored = old.rescore_delta(&applied.graph, &applied.summary).unwrap();
+        let schema = rescored.schema();
+        let director = schema
+            .edges()
+            .iter()
+            .position(|e| e.name == "Director")
+            .unwrap();
+        let genres = schema
+            .edges()
+            .iter()
+            .position(|e| e.name == "Genres")
+            .unwrap();
+        // Untouched slot: copied bitwise from the old instance.
+        assert_eq!(
+            rescored.nonkey_incoming[director].to_bits(),
+            old.nonkey_incoming[director].to_bits()
+        );
+        // Touched slot: the distribution changed, and so did the score.
+        assert_ne!(
+            rescored.nonkey_outgoing[genres].to_bits(),
+            old.nonkey_outgoing[genres].to_bits()
+        );
+    }
+
+    #[test]
+    fn scores_identical_detects_unaffected_deltas() {
+        use entity_graph::GraphDelta;
+        let graph = fixtures::figure1_graph();
+        let entropy = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
+        let old = ScoredSchema::build(&graph, &entropy).unwrap();
+
+        // A duplicate parallel edge: neighbors de-duplicate, so the entropy
+        // distribution — and the coverage key scores — are untouched, even
+        // though the graph itself changed.
+        let mut dup = GraphDelta::new();
+        dup.add_edge(
+            "Will Smith",
+            "Actor",
+            "Men in Black",
+            types::FILM_ACTOR,
+            types::FILM,
+        );
+        let applied = graph.apply_delta(&dup).unwrap();
+        let rescored = old.rescore_delta(&applied.graph, &applied.summary).unwrap();
+        assert!(old.scores_identical(&rescored));
+
+        // Under coverage/coverage the same delta changes an edge count, so
+        // the scores are provably affected.
+        let coverage = ScoringConfig::coverage();
+        let old_cov = ScoredSchema::build(&graph, &coverage).unwrap();
+        let rescored_cov = old_cov
+            .rescore_delta(&applied.graph, &applied.summary)
+            .unwrap();
+        assert!(!old_cov.scores_identical(&rescored_cov));
     }
 
     #[test]

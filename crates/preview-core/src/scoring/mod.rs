@@ -14,4 +14,6 @@ pub use config::{KeyScoring, NonKeyScoring, ScoredSchema, ScoringConfig};
 pub use key::{
     coverage_scores as key_coverage_scores, random_walk_scores, transition_matrix, RandomWalkConfig,
 };
-pub use nonkey::{coverage_scores as nonkey_coverage_scores, entropy_scores};
+pub use nonkey::{
+    coverage_scores as nonkey_coverage_scores, entropy_scores, entropy_scores_for_edge,
+};

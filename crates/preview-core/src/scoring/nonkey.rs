@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use entity_graph::{Direction, EntityGraph, EntityId, SchemaGraph};
+use entity_graph::{Direction, EntityGraph, EntityId, SchemaEdge, SchemaGraph};
 
 use crate::par::FjPool;
 
@@ -50,26 +50,42 @@ pub fn entropy_scores_with(
 ) -> (Vec<f64>, Vec<f64>) {
     FjPool::global()
         .map(threads, schema.edges(), |_, edge| {
-            let outgoing = orientation_entropy(
-                graph,
-                schema,
-                edge.name.as_str(),
-                edge.src,
-                edge.dst,
-                Direction::Outgoing,
-            );
-            let incoming = orientation_entropy(
-                graph,
-                schema,
-                edge.name.as_str(),
-                edge.src,
-                edge.dst,
-                Direction::Incoming,
-            );
-            (outgoing, incoming)
+            entropy_scores_for_edge(graph, schema, edge)
         })
         .into_iter()
         .unzip()
+}
+
+/// Entropy scores of a single schema edge: `(outgoing, incoming)`.
+///
+/// Bit-identical to the corresponding entries of [`entropy_scores`] — the
+/// per-edge computation is independent of every other edge, which is what
+/// both the parallel scoring path and incremental rescoring
+/// ([`ScoredSchema::rescore_delta`](crate::ScoredSchema::rescore_delta))
+/// build on: a delta recomputes only the touched edges through this function
+/// and reuses every untouched score bitwise.
+pub fn entropy_scores_for_edge(
+    graph: &EntityGraph,
+    schema: &SchemaGraph,
+    edge: &SchemaEdge,
+) -> (f64, f64) {
+    let outgoing = orientation_entropy(
+        graph,
+        schema,
+        edge.name.as_str(),
+        edge.src,
+        edge.dst,
+        Direction::Outgoing,
+    );
+    let incoming = orientation_entropy(
+        graph,
+        schema,
+        edge.name.as_str(),
+        edge.src,
+        edge.dst,
+        Direction::Incoming,
+    );
+    (outgoing, incoming)
 }
 
 fn orientation_entropy(

@@ -163,6 +163,45 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         evicted
     }
 
+    /// Removes every entry whose key matches `pred`, returning the removed
+    /// pairs (recency order, most recent first).
+    fn extract_matching(&mut self, pred: &dyn Fn(&K) -> bool) -> Vec<(K, V)> {
+        let mut victims = Vec::new();
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let next = self.slots[cursor].next;
+            if pred(&self.slots[cursor].key) {
+                victims.push(cursor);
+            }
+            cursor = next;
+        }
+        victims
+            .into_iter()
+            .map(|slot| {
+                self.detach(slot);
+                self.map.remove(&self.slots[slot].key);
+                self.free.push(slot);
+                (self.slots[slot].key.clone(), self.slots[slot].value.clone())
+            })
+            .collect()
+    }
+
+    /// Clones every entry whose key matches `pred` without touching recency.
+    fn collect_matching(&self, pred: &dyn Fn(&K) -> bool) -> Vec<(K, V)> {
+        let mut found = Vec::new();
+        let mut cursor = self.head;
+        while cursor != NIL {
+            if pred(&self.slots[cursor].key) {
+                found.push((
+                    self.slots[cursor].key.clone(),
+                    self.slots[cursor].value.clone(),
+                ));
+            }
+            cursor = self.slots[cursor].next;
+        }
+        found
+    }
+
     /// Keys in recency order, most recent first (test / introspection aid).
     fn keys_by_recency(&self) -> Vec<K> {
         let mut keys = Vec::with_capacity(self.len());
@@ -272,6 +311,31 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         }
     }
 
+    /// Removes and returns every entry whose key matches `pred`.
+    ///
+    /// Used by the serving layer's version-bump maintenance to purge entries
+    /// of graph versions that are no longer resolvable. Removals are not
+    /// counted as evictions (nothing was displaced by a new entry).
+    pub fn extract_matching(&self, pred: impl Fn(&K) -> bool) -> Vec<(K, V)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().expect("cache shard lock").extract_matching(&pred))
+            .collect()
+    }
+
+    /// Clones every entry whose key matches `pred`, leaving the cache (and
+    /// the entries' recency) untouched.
+    ///
+    /// Used to carry provably-unaffected entries forward across a graph
+    /// version bump: the matching entries are re-inserted under the new
+    /// version's key.
+    pub fn collect_matching(&self, pred: impl Fn(&K) -> bool) -> Vec<(K, V)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().expect("cache shard lock").collect_matching(&pred))
+            .collect()
+    }
+
     /// Keys of every shard in recency order (most recent first per shard),
     /// concatenated shard by shard. With a single shard this is the exact
     /// global LRU order, which the property tests rely on.
@@ -332,6 +396,38 @@ mod tests {
         assert_eq!(cache.capacity(), 12);
         let zero: ShardedLruCache<u32, u32> = ShardedLruCache::new(0, 0);
         assert_eq!(zero.capacity(), 1);
+    }
+
+    #[test]
+    fn extract_matching_removes_without_eviction_counts() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(8, 2);
+        for k in 0..6 {
+            cache.insert(k, k * 10);
+        }
+        let mut removed = cache.extract_matching(|&k| k % 2 == 0);
+        removed.sort_unstable();
+        assert_eq!(removed, vec![(0, 0), (2, 20), (4, 40)]);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&3), Some(30));
+        // Freed slots are reused by later insertions.
+        cache.insert(6, 60);
+        assert_eq!(cache.get(&6), Some(60));
+    }
+
+    #[test]
+    fn collect_matching_clones_without_promoting() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(4, 1);
+        for k in 0..4 {
+            cache.insert(k, k + 100);
+        }
+        let mut found = cache.collect_matching(|&k| k >= 2);
+        found.sort_unstable();
+        assert_eq!(found, vec![(2, 102), (3, 103)]);
+        // Recency untouched: 3 (last inserted) is still most recent.
+        assert_eq!(cache.keys_by_recency(), vec![3, 2, 1, 0]);
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]

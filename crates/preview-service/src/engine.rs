@@ -7,6 +7,8 @@ use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use entity_graph::{DeltaSummary, GraphDelta};
+
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::registry::GraphRegistry;
 use crate::request::{
@@ -188,6 +190,38 @@ impl Shared {
     }
 }
 
+/// The outcome of [`PreviewService::publish_delta`]: the registry-level
+/// publish plus the result-cache maintenance that came with it.
+#[derive(Debug, Clone)]
+pub struct PublishReport {
+    /// Graph name the delta was published to.
+    pub graph: String,
+    /// The version that was latest before the publish.
+    pub previous_version: u32,
+    /// The version now serving "latest" requests.
+    pub version: u32,
+    /// Whether a new version was created (`false` iff the delta was empty —
+    /// an empty delta never bumps the version).
+    pub bumped: bool,
+    /// What the delta changed.
+    pub summary: DeltaSummary,
+    /// Memoized scoring configurations carried forward through incremental
+    /// rescoring.
+    pub rescored_configs: usize,
+    /// How many of those configurations were provably unaffected (bitwise
+    /// identical scores).
+    pub unaffected_configs: usize,
+    /// Cache entries re-keyed onto the new version because their scoring
+    /// configuration was provably unaffected.
+    pub cache_carried_forward: u64,
+    /// Cache entries of the superseded version that were not carried
+    /// forward — cold for latest traffic as of this bump. Counted once per
+    /// entry; later retention purges are not re-counted.
+    pub cache_invalidated: u64,
+    /// Superseded graph versions dropped by the retention window.
+    pub versions_dropped: usize,
+}
+
 /// A handle to an answer that is still being computed.
 ///
 /// Returned by [`PreviewService::submit`]; [`wait`](PendingResponse::wait)
@@ -317,6 +351,88 @@ impl PreviewService {
     /// Latency is not recorded in the service stats.
     pub fn execute_inline(&self, request: &PreviewRequest) -> ServiceResult<PreviewResponse> {
         self.shared.execute(request, Duration::ZERO)
+    }
+
+    /// Publishes a batch of graph edits against the latest version of
+    /// `name`, with version-aware cache maintenance.
+    ///
+    /// The registry applies the delta by CSR splicing and carries every
+    /// memoized scoring configuration forward through incremental rescoring
+    /// (see [`GraphRegistry::publish_delta`]); this method then maintains
+    /// the result cache:
+    ///
+    /// * entries keyed to graph versions that fell out of the retention
+    ///   window are purged (they could never be served again — resolution
+    ///   fails before the cache is consulted),
+    /// * entries of the superseded latest version whose scoring
+    ///   configuration the delta **provably did not affect** (bitwise
+    ///   identical scores and schema shape — deterministic discovery
+    ///   therefore returns the identical preview) are re-keyed onto the new
+    ///   version, so latest-version traffic keeps hitting warm entries
+    ///   across the bump,
+    /// * superseded-version entries that are **not** carried are counted as
+    ///   invalidated — exactly once, at the bump that made them cold for
+    ///   latest traffic (later retention purges are cleanup, not counted
+    ///   again).
+    ///
+    /// The retention/invalidation counts are returned and accumulated into
+    /// [`ServiceStats`]. An empty delta is a no-op: no version bump, no
+    /// cache maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphRegistry::publish_delta`] errors; the cache is only
+    /// touched after the registry publish succeeded.
+    pub fn publish_delta(&self, name: &str, delta: &GraphDelta) -> ServiceResult<PublishReport> {
+        let publish = self.shared.registry.publish_delta(name, delta)?;
+        let mut carried_forward = 0u64;
+        let mut invalidated = 0u64;
+        if publish.bumped {
+            if let Some(cache) = &self.shared.cache {
+                let new_version = publish.registered.version();
+                let previous = publish.previous_version;
+                let live = self.shared.registry.versions(name);
+                // Collect the superseded version's entries before purging:
+                // with a retention window of 1 the previous version itself
+                // is already unresolvable, but its unaffected entries are
+                // still bit-correct for the new version.
+                let previous_entries =
+                    cache.collect_matching(|k| k.graph == name && k.version == previous);
+                // Purge entries of versions that fell out of the retention
+                // window — they can never resolve again. This is cleanup,
+                // not invalidation: each entry already went cold (and was
+                // counted) at the bump that superseded its version.
+                cache.extract_matching(|k| k.graph == name && !live.contains(&k.version));
+                for (key, value) in previous_entries {
+                    if publish.unaffected_configs.contains(&key.scoring) {
+                        let mut carried = key;
+                        carried.version = new_version;
+                        cache.insert(carried, value);
+                        carried_forward += 1;
+                    } else {
+                        // Cold for latest traffic as of this bump — counted
+                        // exactly once, here, whether or not the superseded
+                        // version stays resolvable for pinned requests.
+                        invalidated += 1;
+                    }
+                }
+            }
+            self.shared
+                .stats
+                .record_publish(carried_forward, invalidated);
+        }
+        Ok(PublishReport {
+            graph: name.to_string(),
+            previous_version: publish.previous_version,
+            version: publish.registered.version(),
+            bumped: publish.bumped,
+            summary: publish.summary,
+            rescored_configs: publish.rescored_configs,
+            unaffected_configs: publish.unaffected_configs.len(),
+            cache_carried_forward: carried_forward,
+            cache_invalidated: invalidated,
+            versions_dropped: publish.versions_dropped,
+        })
     }
 
     /// A point-in-time snapshot of throughput, latency and cache behaviour.

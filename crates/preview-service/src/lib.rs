@@ -15,7 +15,12 @@
 //!   eviction counters,
 //! * [`PreviewService`] — a fixed-size worker pool with a bounded request
 //!   queue, per-request latency capture and a [`ServiceStats`] snapshot
-//!   (throughput, p50/p99, cache hit rate).
+//!   (throughput, p50/p99, cache hit rate),
+//! * [`PreviewService::publish_delta`] — batched live graph updates: a
+//!   [`GraphDelta`] is spliced onto the latest version (no full rebuild),
+//!   memoized scores are carried forward through incremental rescoring,
+//!   provably unaffected cache entries survive the version bump, and
+//!   superseded versions are pruned to a retention window.
 //!
 //! # Quick start: register a graph, spawn the pool, submit, read stats
 //!
@@ -59,13 +64,17 @@ mod stats;
 pub mod worker;
 
 pub use cache::{CacheStats, ShardedLruCache};
-pub use engine::{PendingResponse, PreviewService, ServiceConfig};
-pub use registry::{GraphRegistry, RegisteredGraph};
+pub use engine::{PendingResponse, PreviewService, PublishReport, ServiceConfig};
+pub use registry::{DeltaPublish, GraphRegistry, RegisteredGraph, DEFAULT_VERSION_RETENTION};
 pub use request::{
     Algorithm, CacheKey, CachedPreview, PreviewRequest, PreviewResponse, ResolvedAlgorithm,
     ScoringKey, ServiceError, ServiceResult,
 };
 pub use stats::ServiceStats;
+
+// Re-exported so callers can build and publish deltas without importing
+// `entity-graph` directly.
+pub use entity_graph::{DeltaSummary, GraphDelta};
 
 /// Compile-time guarantees that everything shared across worker threads is
 /// `Send + Sync` (and cheaply shareable where `Clone` is claimed). A failure

@@ -1,17 +1,38 @@
 //! The graph registry: named, versioned entity graphs with memoized
 //! per-configuration [`ScoredSchema`]s, all behind `Arc` so worker threads
 //! share one copy of every precomputed structure.
+//!
+//! Versions advance two ways: [`register`](GraphRegistry::register) swaps in
+//! a fully rebuilt graph, while [`publish_delta`](GraphRegistry::publish_delta)
+//! splices a [`GraphDelta`] onto the latest version — carrying every
+//! memoized scoring configuration forward through the incremental
+//! [`rescore_delta`](ScoredSchema::rescore_delta) path — and prunes
+//! superseded versions down to the configured retention window so old
+//! `Arc<RegisteredGraph>`s can actually drop.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use entity_graph::EntityGraph;
+use entity_graph::{DeltaSummary, EntityGraph, GraphDelta};
 use preview_core::{ScoredSchema, ScoringConfig};
 
 use crate::request::{ScoringKey, ServiceError, ServiceResult};
 
+/// How many versions of a graph [`publish_delta`](GraphRegistry::publish_delta)
+/// keeps by default (the new version included).
+pub const DEFAULT_VERSION_RETENTION: usize = 4;
+
 /// The memoized outcome of scoring one graph version under one configuration.
 type ScoredSlot = Arc<OnceLock<Result<Arc<ScoredSchema>, preview_core::Error>>>;
+
+/// One memoized scoring configuration: the slot plus the configuration that
+/// produced it, kept so a delta publish can re-score it on the next version.
+#[derive(Debug)]
+struct ScoredEntry {
+    config: ScoringConfig,
+    slot: ScoredSlot,
+}
 
 /// One immutable registered graph version.
 ///
@@ -25,7 +46,7 @@ pub struct RegisteredGraph {
     name: String,
     version: u32,
     graph: Arc<EntityGraph>,
-    scored: Mutex<HashMap<ScoringKey, ScoredSlot>>,
+    scored: Mutex<HashMap<ScoringKey, ScoredEntry>>,
 }
 
 impl RegisteredGraph {
@@ -64,7 +85,14 @@ impl RegisteredGraph {
         let key = ScoringKey::from(config);
         let slot = {
             let mut map = self.scored.lock().expect("scored map lock");
-            Arc::clone(map.entry(key).or_default())
+            Arc::clone(
+                &map.entry(key)
+                    .or_insert_with(|| ScoredEntry {
+                        config: *config,
+                        slot: ScoredSlot::default(),
+                    })
+                    .slot,
+            )
         };
         // Build outside the map lock: other configurations stay servable
         // while this one scores, and OnceLock still guarantees one build.
@@ -74,6 +102,60 @@ impl RegisteredGraph {
             Err(e) => Err(ServiceError::Discovery(e.clone())),
         }
     }
+
+    /// Every successfully memoized `(config, scored)` pair, in unspecified
+    /// order. In-flight (unfinished) builds are skipped.
+    fn memoized_scored(&self) -> Vec<(ScoringConfig, Arc<ScoredSchema>)> {
+        self.scored
+            .lock()
+            .expect("scored map lock")
+            .values()
+            .filter_map(|entry| {
+                entry
+                    .slot
+                    .get()
+                    .and_then(|outcome| outcome.as_ref().ok())
+                    .map(|scored| (entry.config, Arc::clone(scored)))
+            })
+            .collect()
+    }
+
+    /// Pre-populates the memo with an already-built schema (the delta
+    /// publish path seeds the new version with rescored configurations).
+    fn seed_scored(&self, config: &ScoringConfig, scored: Arc<ScoredSchema>) {
+        let slot = ScoredSlot::default();
+        slot.set(Ok(scored)).expect("fresh slot accepts one value");
+        self.scored.lock().expect("scored map lock").insert(
+            ScoringKey::from(config),
+            ScoredEntry {
+                config: *config,
+                slot,
+            },
+        );
+    }
+}
+
+/// The outcome of a [`GraphRegistry::publish_delta`] call.
+#[derive(Debug, Clone)]
+pub struct DeltaPublish {
+    /// The version now serving "latest" requests — the freshly spliced one,
+    /// or the unchanged current version when the delta was empty.
+    pub registered: Arc<RegisteredGraph>,
+    /// The version that was latest before the publish.
+    pub previous_version: u32,
+    /// Whether a new version was created (`false` iff the delta was empty).
+    pub bumped: bool,
+    /// What the delta changed (all-zero when not bumped).
+    pub summary: DeltaSummary,
+    /// Memoized scoring configurations carried to the new version through
+    /// the incremental rescore path.
+    pub rescored_configs: usize,
+    /// The subset of those configurations whose scores are **bitwise
+    /// unchanged** by the delta ([`ScoredSchema::scores_identical`]): any
+    /// cached preview under these keys is provably still optimal.
+    pub unaffected_configs: Vec<ScoringKey>,
+    /// Superseded versions dropped by the retention window.
+    pub versions_dropped: usize,
 }
 
 /// A concurrent registry of named, versioned graphs.
@@ -82,15 +164,45 @@ impl RegisteredGraph {
 /// explicit version resolve to the latest. All returned handles are `Arc`s,
 /// so a version stays fully usable by in-flight requests even after newer
 /// versions supersede it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GraphRegistry {
     graphs: RwLock<HashMap<String, Vec<Arc<RegisteredGraph>>>>,
+    /// Versions kept per name by `publish_delta` (latest included).
+    version_retention: AtomicUsize,
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        Self {
+            graphs: RwLock::new(HashMap::new()),
+            version_retention: AtomicUsize::new(DEFAULT_VERSION_RETENTION),
+        }
+    }
 }
 
 impl GraphRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default version retention.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry keeping at most `keep` versions per name on
+    /// delta publishes (clamped to ≥ 1).
+    pub fn with_retention(keep: usize) -> Self {
+        let registry = Self::default();
+        registry.set_version_retention(keep);
+        registry
+    }
+
+    /// Sets the number of versions `publish_delta` retains per name
+    /// (clamped to ≥ 1; the latest version is always kept).
+    pub fn set_version_retention(&self, keep: usize) {
+        self.version_retention.store(keep.max(1), Ordering::Relaxed);
+    }
+
+    /// The current retention window.
+    pub fn version_retention(&self) -> usize {
+        self.version_retention.load(Ordering::Relaxed)
     }
 
     /// Registers `graph` under `name`, returning the new version's handle.
@@ -124,6 +236,124 @@ impl GraphRegistry {
         Ok(registered)
     }
 
+    /// Applies a [`GraphDelta`] to the latest version of `name`, registering
+    /// the spliced result as the next version.
+    ///
+    /// * An **empty delta does not bump the version** — the current handle
+    ///   is returned with `bumped == false`.
+    /// * Every scoring configuration memoized on the superseded version is
+    ///   carried forward through [`ScoredSchema::rescore_delta`], so
+    ///   requests against the new version reuse all untouched scores and
+    ///   never pay a cold full scoring pass.
+    /// * Configurations whose scores come out bitwise identical are reported
+    ///   in [`DeltaPublish::unaffected_configs`]; the serving layer uses
+    ///   this to retain result-cache entries across the bump.
+    /// * Superseded versions beyond the retention window
+    ///   ([`set_version_retention`](Self::set_version_retention)) are
+    ///   dropped, releasing their memory once in-flight requests finish.
+    ///
+    /// Concurrent publishes against the same name are safe: splicing and
+    /// rescoring run off the registry lock, and registration revalidates
+    /// under the write lock that the latest version is still the one the
+    /// delta was applied to — if another publish (or `register`) won the
+    /// race, the batch is transparently re-applied on top of the new latest,
+    /// so no acknowledged edit is ever lost.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::GraphNotFound`] if `name` is unknown,
+    /// [`ServiceError::Delta`] if the graph layer rejects the batch (the
+    /// current version stays untouched), [`ServiceError::Discovery`] if
+    /// rescoring a memoized configuration fails.
+    pub fn publish_delta(&self, name: &str, delta: &GraphDelta) -> ServiceResult<DeltaPublish> {
+        let mut current = self.resolve(name, None)?;
+        if delta.is_empty() {
+            return Ok(DeltaPublish {
+                previous_version: current.version(),
+                bumped: false,
+                registered: current,
+                summary: DeltaSummary::default(),
+                rescored_configs: 0,
+                unaffected_configs: Vec::new(),
+                versions_dropped: 0,
+            });
+        }
+        loop {
+            let applied = current
+                .graph()
+                .apply_delta(delta)
+                .map_err(ServiceError::Delta)?;
+            // Warm the schema memo off the request path, like `register`.
+            applied.graph.schema_graph();
+            let mut seeds = Vec::new();
+            let mut unaffected_configs = Vec::new();
+            for (config, old_scored) in current.memoized_scored() {
+                let rescored = Arc::new(
+                    old_scored
+                        .rescore_delta(&applied.graph, &applied.summary)
+                        .map_err(ServiceError::Discovery)?,
+                );
+                if old_scored.scores_identical(&rescored) {
+                    unaffected_configs.push(ScoringKey::from(&config));
+                }
+                seeds.push((config, rescored));
+            }
+            let rescored_configs = seeds.len();
+            let keep = self.version_retention();
+            let outcome = {
+                let mut graphs = self.graphs.write().expect("registry lock");
+                let versions = graphs.entry(name.to_string()).or_default();
+                let latest = versions.last().map(|g| g.version);
+                if latest != Some(current.version()) {
+                    // Lost the race: someone registered or published while we
+                    // were splicing. Re-apply the batch on top of the new
+                    // latest instead of silently overwriting their edits.
+                    versions.last().cloned()
+                } else {
+                    let version = current.version() + 1;
+                    let registered = Arc::new(RegisteredGraph::new(
+                        name.to_string(),
+                        version,
+                        Arc::new(applied.graph),
+                    ));
+                    for (config, scored) in seeds {
+                        registered.seed_scored(&config, scored);
+                    }
+                    versions.push(Arc::clone(&registered));
+                    let dropped = versions.len().saturating_sub(keep);
+                    versions.drain(..dropped);
+                    return Ok(DeltaPublish {
+                        registered,
+                        previous_version: current.version(),
+                        bumped: true,
+                        summary: applied.summary,
+                        rescored_configs,
+                        unaffected_configs,
+                        versions_dropped: dropped,
+                    });
+                }
+            };
+            current = outcome.ok_or_else(|| ServiceError::GraphNotFound {
+                graph: name.to_string(),
+                version: None,
+            })?;
+        }
+    }
+
+    /// Drops all but the newest `keep` versions of `name` (clamped to ≥ 1),
+    /// returning how many were dropped. Dropped versions become
+    /// unresolvable; their memory is released once the last in-flight `Arc`
+    /// goes away.
+    pub fn retain_latest(&self, name: &str, keep: usize) -> usize {
+        let mut graphs = self.graphs.write().expect("registry lock");
+        let Some(versions) = graphs.get_mut(name) else {
+            return 0;
+        };
+        let dropped = versions.len().saturating_sub(keep.max(1));
+        versions.drain(..dropped);
+        dropped
+    }
+
     /// Looks up a graph by name and version (`None` = latest).
     pub fn get(&self, name: &str, version: Option<u32>) -> Option<Arc<RegisteredGraph>> {
         let graphs = self.graphs.read().expect("registry lock");
@@ -146,6 +376,16 @@ impl GraphRegistry {
     /// The latest version number registered under `name`.
     pub fn latest_version(&self, name: &str) -> Option<u32> {
         self.get(name, None).map(|g| g.version())
+    }
+
+    /// The resolvable version numbers of `name`, ascending.
+    pub fn versions(&self, name: &str) -> Vec<u32> {
+        self.graphs
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map(|versions| versions.iter().map(|g| g.version).collect())
+            .unwrap_or_default()
     }
 
     /// All registered names, sorted.
@@ -181,6 +421,7 @@ impl GraphRegistry {
 mod tests {
     use super::*;
     use entity_graph::fixtures;
+    use std::sync::Weak;
 
     #[test]
     fn versions_increment_and_latest_wins() {
@@ -195,6 +436,7 @@ mod tests {
         assert!(registry.get("fig1", Some(3)).is_none());
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.names(), vec!["fig1".to_string()]);
+        assert_eq!(registry.versions("fig1"), vec![1, 2]);
     }
 
     #[test]
@@ -256,5 +498,100 @@ mod tests {
         for pair in schemas.windows(2) {
             assert!(Arc::ptr_eq(&pair[0], &pair[1]));
         }
+    }
+
+    #[test]
+    fn retain_latest_drops_old_versions_and_releases_memory() {
+        let registry = GraphRegistry::new();
+        for _ in 0..4 {
+            registry.register("fig1", fixtures::figure1_graph());
+        }
+        let old: Weak<RegisteredGraph> = Arc::downgrade(&registry.get("fig1", Some(1)).unwrap());
+        assert!(old.upgrade().is_some());
+        assert_eq!(registry.retain_latest("fig1", 2), 2);
+        // Old versions are no longer resolvable...
+        assert!(registry.get("fig1", Some(1)).is_none());
+        assert!(registry.get("fig1", Some(2)).is_none());
+        assert_eq!(registry.versions("fig1"), vec![3, 4]);
+        assert_eq!(registry.latest_version("fig1"), Some(4));
+        // ...and their memory is actually released (the weak handle is the
+        // only reference left).
+        assert!(old.upgrade().is_none());
+        // Unknown names and generous windows are no-ops.
+        assert_eq!(registry.retain_latest("absent", 1), 0);
+        assert_eq!(registry.retain_latest("fig1", 10), 0);
+    }
+
+    #[test]
+    fn publish_delta_bumps_and_carries_memoized_configs() {
+        let registry = GraphRegistry::new();
+        registry
+            .register_precomputed(
+                "fig1",
+                fixtures::figure1_graph(),
+                &[ScoringConfig::coverage()],
+            )
+            .unwrap();
+        let mut delta = entity_graph::GraphDelta::new();
+        delta.add_entity("Bad Boys", &["FILM"]).add_edge(
+            "Will Smith",
+            "Actor",
+            "Bad Boys",
+            "FILM ACTOR",
+            "FILM",
+        );
+        let publish = registry.publish_delta("fig1", &delta).unwrap();
+        assert!(publish.bumped);
+        assert_eq!(publish.previous_version, 1);
+        assert_eq!(publish.registered.version(), 2);
+        assert_eq!(publish.rescored_configs, 1);
+        // The new version serves without a cold scoring pass.
+        assert_eq!(publish.registered.scored_config_count(), 1);
+        assert_eq!(
+            publish.registered.graph().entity_count(),
+            fixtures::figure1_graph().entity_count() + 1
+        );
+        assert_eq!(registry.latest_version("fig1"), Some(2));
+    }
+
+    #[test]
+    fn publish_delta_empty_does_not_bump() {
+        let registry = GraphRegistry::new();
+        let v1 = registry.register("fig1", fixtures::figure1_graph());
+        let publish = registry
+            .publish_delta("fig1", &entity_graph::GraphDelta::new())
+            .unwrap();
+        assert!(!publish.bumped);
+        assert!(Arc::ptr_eq(&publish.registered, &v1));
+        assert_eq!(registry.latest_version("fig1"), Some(1));
+        assert_eq!(publish.summary, DeltaSummary::default());
+    }
+
+    #[test]
+    fn publish_delta_rejection_leaves_version_untouched() {
+        let registry = GraphRegistry::new();
+        registry.register("fig1", fixtures::figure1_graph());
+        let mut delta = entity_graph::GraphDelta::new();
+        delta.remove_entity("Men in Black"); // still referenced by edges
+        let err = registry.publish_delta("fig1", &delta).unwrap_err();
+        assert!(matches!(err, ServiceError::Delta(_)));
+        assert_eq!(registry.latest_version("fig1"), Some(1));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn publish_delta_enforces_retention() {
+        let registry = GraphRegistry::with_retention(2);
+        registry.register("fig1", fixtures::figure1_graph());
+        let mut delta = entity_graph::GraphDelta::new();
+        delta.add_entity("Extra", &["FILM"]);
+        let first = registry.publish_delta("fig1", &delta).unwrap();
+        assert_eq!(first.versions_dropped, 0);
+        let mut delta2 = entity_graph::GraphDelta::new();
+        delta2.add_entity("Extra 2", &["FILM"]);
+        let second = registry.publish_delta("fig1", &delta2).unwrap();
+        assert_eq!(second.versions_dropped, 1);
+        assert_eq!(registry.versions("fig1"), vec![2, 3]);
+        assert!(registry.get("fig1", Some(1)).is_none());
     }
 }

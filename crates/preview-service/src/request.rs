@@ -259,6 +259,10 @@ pub enum ServiceError {
     /// Scoring or discovery failed (e.g. dynamic programming asked to solve
     /// a distance-constrained space).
     Discovery(preview_core::Error),
+    /// A published [`GraphDelta`](entity_graph::GraphDelta) was rejected by
+    /// the graph layer (duplicate entity, entity still referenced, missing
+    /// edge, …); the current version is left untouched.
+    Delta(entity_graph::Error),
 }
 
 impl fmt::Display for ServiceError {
@@ -275,6 +279,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "request handling panicked: {message}")
             }
             ServiceError::Discovery(e) => write!(f, "discovery failed: {e}"),
+            ServiceError::Delta(e) => write!(f, "delta rejected: {e}"),
         }
     }
 }
@@ -283,6 +288,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Discovery(e) => Some(e),
+            ServiceError::Delta(e) => Some(e),
             _ => None,
         }
     }

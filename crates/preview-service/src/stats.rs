@@ -115,6 +115,9 @@ pub(crate) struct StatsRecorder {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    publishes: AtomicU64,
+    cache_carried_forward: AtomicU64,
+    cache_invalidated: AtomicU64,
     /// Total (queue wait + compute) latency of completed requests, µs.
     latencies: Mutex<LatencyReservoir>,
 }
@@ -126,8 +129,22 @@ impl StatsRecorder {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            cache_carried_forward: AtomicU64::new(0),
+            cache_invalidated: AtomicU64::new(0),
             latencies: Mutex::new(LatencyReservoir::new()),
         }
+    }
+
+    /// Records one version-bumping delta publish and its cache maintenance
+    /// outcome: superseded-version entries re-keyed onto the new version vs
+    /// entries that went cold because the delta affected their scores.
+    pub(crate) fn record_publish(&self, carried_forward: u64, invalidated: u64) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.cache_carried_forward
+            .fetch_add(carried_forward, Ordering::Relaxed);
+        self.cache_invalidated
+            .fetch_add(invalidated, Ordering::Relaxed);
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -173,6 +190,9 @@ impl StatsRecorder {
             latency_p50_us: percentile(&sample, 50.0),
             latency_p99_us: percentile(&sample, 99.0),
             latency_max_us: max_us,
+            publishes: self.publishes.load(Ordering::Relaxed),
+            cache_carried_forward: self.cache_carried_forward.load(Ordering::Relaxed),
+            cache_invalidated: self.cache_invalidated.load(Ordering::Relaxed),
             cache,
         }
     }
@@ -210,6 +230,15 @@ pub struct ServiceStats {
     pub latency_p99_us: u64,
     /// Worst observed total latency, microseconds.
     pub latency_max_us: u64,
+    /// Version-bumping delta publishes served by this service.
+    pub publishes: u64,
+    /// Cache entries carried forward across version bumps because the delta
+    /// provably did not affect their scores (re-keyed to the new version).
+    pub cache_carried_forward: u64,
+    /// Cache entries invalidated by version bumps: entries of a superseded
+    /// version whose scoring configuration the delta affected, counted once
+    /// at the bump that made them cold for latest traffic.
+    pub cache_invalidated: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
 }

@@ -283,3 +283,218 @@ fn versioned_requests_resolve_independently() {
     assert!(!pinned.cache_hit);
     assert_eq!(pinned.score.to_bits(), latest.score.to_bits());
 }
+
+/// Live updates: an empty delta never bumps the version; a real delta bumps
+/// it, serves fresh results for latest traffic, and keeps version-pinned
+/// requests answering from the superseded data.
+#[test]
+fn publish_delta_bumps_latest_but_not_pinned_requests() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("g", fixtures::figure1_graph());
+    let service = PreviewService::start(ServiceConfig::default(), registry);
+    let space = PreviewSpace::concise(2, 6).unwrap();
+
+    let before = service
+        .submit_wait(PreviewRequest::new("g", space))
+        .unwrap();
+    assert_eq!(before.version, 1);
+    assert!((before.score - 84.0).abs() < 1e-9);
+
+    // Empty delta: explicitly not a version bump.
+    let noop = service
+        .publish_delta("g", &preview_service::GraphDelta::new())
+        .unwrap();
+    assert!(!noop.bumped);
+    assert_eq!(noop.version, 1);
+    assert_eq!(service.stats().publishes, 0);
+
+    // A real delta: one more film and one more Actor edge.
+    let mut delta = preview_service::GraphDelta::new();
+    delta.add_entity("Bad Boys", &["FILM"]).add_edge(
+        "Will Smith",
+        "Actor",
+        "Bad Boys",
+        "FILM ACTOR",
+        "FILM",
+    );
+    let report = service.publish_delta("g", &delta).unwrap();
+    assert!(report.bumped);
+    assert_eq!(report.previous_version, 1);
+    assert_eq!(report.version, 2);
+    assert_eq!(report.summary.entities_added, 1);
+    assert_eq!(report.summary.edges_added, 1);
+
+    let after = service
+        .submit_wait(PreviewRequest::new("g", space))
+        .unwrap();
+    assert_eq!(after.version, 2);
+    // FILM coverage rose from 4 to 5 entities and Actor from 6 to 7 edges;
+    // the optimal concise preview score moves accordingly.
+    assert_ne!(after.score.to_bits(), before.score.to_bits());
+
+    let pinned = service
+        .submit_wait(PreviewRequest::new("g", space).with_version(1))
+        .unwrap();
+    assert_eq!(pinned.version, 1);
+    assert_eq!(pinned.score.to_bits(), before.score.to_bits());
+    assert_eq!(service.stats().publishes, 1);
+}
+
+/// Version-aware cache retention: entries whose scoring configuration a
+/// delta provably does not affect are carried across the version bump (and
+/// stay byte-identical); affected configurations go cold and recompute.
+#[test]
+fn unaffected_cache_entries_survive_version_bumps_bitwise() {
+    use preview_core::{KeyScoring, NonKeyScoring};
+
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("g", fixtures::figure1_graph());
+    let service = PreviewService::start(ServiceConfig::default(), registry);
+    let space = PreviewSpace::concise(2, 6).unwrap();
+    let entropy = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
+
+    // Warm the cache under both configurations on version 1.
+    let warm_entropy = service
+        .submit_wait(PreviewRequest::new("g", space).with_scoring(entropy))
+        .unwrap();
+    let warm_coverage = service
+        .submit_wait(PreviewRequest::new("g", space))
+        .unwrap();
+    assert!(!warm_entropy.cache_hit && !warm_coverage.cache_hit);
+
+    // A duplicate parallel Actor edge: attribute values are sets, so the
+    // entropy distribution (and coverage *key* scores) cannot move — but the
+    // Actor edge count does, so coverage non-key scoring is affected.
+    let mut delta = preview_service::GraphDelta::new();
+    delta.add_edge("Will Smith", "Actor", "Men in Black", "FILM ACTOR", "FILM");
+    let report = service.publish_delta("g", &delta).unwrap();
+    assert!(report.bumped);
+    assert_eq!(report.rescored_configs, 2);
+    assert_eq!(report.unaffected_configs, 1);
+    assert!(report.cache_carried_forward >= 1);
+    assert!(report.cache_invalidated >= 1);
+
+    // The entropy entry was carried forward: a latest-version request hits
+    // the cache without recomputing, byte-identical to the pre-bump answer.
+    let entropy_after = service
+        .submit_wait(PreviewRequest::new("g", space).with_scoring(entropy))
+        .unwrap();
+    assert_eq!(entropy_after.version, 2);
+    assert!(entropy_after.cache_hit);
+    assert_eq!(entropy_after.preview, warm_entropy.preview);
+    assert_eq!(entropy_after.score.to_bits(), warm_entropy.score.to_bits());
+
+    // The coverage entry went cold with the bump and is recomputed.
+    let coverage_after = service
+        .submit_wait(PreviewRequest::new("g", space))
+        .unwrap();
+    assert_eq!(coverage_after.version, 2);
+    assert!(!coverage_after.cache_hit);
+
+    let stats = service.stats();
+    assert_eq!(stats.publishes, 1);
+    assert_eq!(stats.cache_carried_forward, report.cache_carried_forward);
+    assert_eq!(stats.cache_invalidated, report.cache_invalidated);
+}
+
+/// A rejected batch is atomic at the service level: typed error, no version
+/// bump, no cache maintenance, and serving continues unperturbed.
+#[test]
+fn rejected_delta_leaves_the_service_untouched() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("g", fixtures::figure1_graph());
+    let service = PreviewService::start(ServiceConfig::default(), registry);
+    let space = PreviewSpace::concise(2, 6).unwrap();
+    let before = service
+        .submit_wait(PreviewRequest::new("g", space))
+        .unwrap();
+
+    let mut delta = preview_service::GraphDelta::new();
+    delta.remove_entity("Men in Black"); // still referenced by edges
+    let err = service.publish_delta("g", &delta).unwrap_err();
+    assert!(matches!(err, preview_service::ServiceError::Delta(_)));
+
+    let after = service
+        .submit_wait(PreviewRequest::new("g", space))
+        .unwrap();
+    assert_eq!(after.version, 1);
+    assert!(after.cache_hit);
+    assert_eq!(after.score.to_bits(), before.score.to_bits());
+    let stats = service.stats();
+    assert_eq!(stats.publishes, 0);
+    assert_eq!(stats.cache_carried_forward + stats.cache_invalidated, 0);
+}
+
+/// With a retention window of 1, publishing drops the superseded version —
+/// pinned requests against it fail fast — while unaffected cache entries are
+/// still carried onto the new version.
+#[test]
+fn retention_window_of_one_prunes_superseded_versions() {
+    use preview_core::{KeyScoring, NonKeyScoring};
+
+    let registry = Arc::new(GraphRegistry::with_retention(1));
+    registry.register("g", fixtures::figure1_graph());
+    let service = PreviewService::start(ServiceConfig::default(), registry);
+    let space = PreviewSpace::concise(2, 6).unwrap();
+    let entropy = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
+    let warm = service
+        .submit_wait(PreviewRequest::new("g", space).with_scoring(entropy))
+        .unwrap();
+
+    let mut delta = preview_service::GraphDelta::new();
+    delta.add_edge("Will Smith", "Actor", "Men in Black", "FILM ACTOR", "FILM");
+    let report = service.publish_delta("g", &delta).unwrap();
+    assert!(report.bumped);
+    assert_eq!(report.versions_dropped, 1);
+    assert_eq!(report.cache_carried_forward, 1);
+
+    // Version 1 is gone.
+    let err = service
+        .submit_wait(PreviewRequest::new("g", space).with_version(1))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        preview_service::ServiceError::GraphNotFound { .. }
+    ));
+    // The carried entry still serves latest traffic, byte-identically.
+    let after = service
+        .submit_wait(PreviewRequest::new("g", space).with_scoring(entropy))
+        .unwrap();
+    assert!(after.cache_hit);
+    assert_eq!(after.score.to_bits(), warm.score.to_bits());
+}
+
+/// Racing publishes against the same name must not lose edits: each batch is
+/// re-applied on top of the latest version if another publish won the race,
+/// so every acknowledged delta is present in the final graph.
+#[test]
+fn concurrent_publishes_lose_no_edits() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.register("g", fixtures::figure1_graph());
+    let publishers: Vec<_> = (0..4)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let mut delta = preview_service::GraphDelta::new();
+                delta.add_entity(format!("Race #{i}"), &["FILM"]);
+                registry.publish_delta("g", &delta).unwrap()
+            })
+        })
+        .collect();
+    for publisher in publishers {
+        assert!(publisher.join().unwrap().bumped);
+    }
+    let latest = registry.get("g", None).unwrap();
+    assert_eq!(latest.version(), 5);
+    let graph = latest.graph();
+    for i in 0..4 {
+        assert!(
+            graph.entity_by_name(&format!("Race #{i}")).is_some(),
+            "edit {i} was lost by a racing publish"
+        );
+    }
+    assert_eq!(
+        graph.entity_count(),
+        fixtures::figure1_graph().entity_count() + 4
+    );
+}

@@ -6,7 +6,8 @@
 //! * [`graph`] — the entity-graph substrate (typed directed multigraph in a
 //!   compact CSR columnar layout with zero-allocation neighbor lookup,
 //!   memoized schema-graph derivation, triple ingestion, distances,
-//!   statistics),
+//!   statistics, and the `GraphDelta` batched-update subsystem whose CSR
+//!   splice is byte-identical to a from-scratch rebuild),
 //! * [`core`] — the paper's contribution: preview model, scoring measures and
 //!   the brute-force / dynamic-programming / Apriori discovery algorithms,
 //!   parallelized over a deterministic fork-join pool (`core::par`) whose
@@ -39,7 +40,8 @@ pub mod prelude {
     pub use baseline::Yps09Summarizer;
     pub use datagen::{DomainSpec, FreebaseDomain, SyntheticGenerator};
     pub use entity_graph::{
-        Direction, EntityGraph, EntityGraphBuilder, EntityId, RelTypeId, SchemaGraph, TypeId,
+        Direction, EntityGraph, EntityGraphBuilder, EntityId, GraphDelta, RelTypeId, SchemaGraph,
+        TypeId,
     };
     pub use preview_core::{
         AprioriDiscovery, BruteForceDiscovery, DistanceConstraint, DynamicProgrammingDiscovery,

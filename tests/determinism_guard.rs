@@ -184,3 +184,107 @@ fn figure1_materialisation_is_byte_identical_to_pre_csr_golden() {
         vec![golden_film.to_string(), golden_actor.to_string()]
     );
 }
+
+/// The delta subsystem's two bitwise contracts, checked end to end over a
+/// seeded Zipf-skewed update stream on both reference graphs:
+///
+/// 1. the spliced graph equals a from-scratch rebuild of the updated
+///    content, field for field (every CSR offset/payload array included),
+/// 2. `rescore_delta` — which recomputes only touched scoring slots and
+///    reuses the rest — equals a full `ScoredSchema::build` on the new
+///    graph, bit for bit, under every scoring configuration.
+#[test]
+fn delta_splice_and_incremental_rescore_are_byte_identical() {
+    use preview_tables::datagen::{UpdateStream, UpdateStreamConfig};
+    use preview_tables::graph::delta;
+
+    let starts = [
+        ("fig1", fixtures::figure1_graph()),
+        (
+            "film",
+            SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(1e-4)),
+        ),
+    ];
+    for (label, start) in starts {
+        let configs = [config_of("coverage"), config_of("entropy")];
+        let mut graph = start;
+        let mut scored: Vec<ScoredSchema> = configs
+            .iter()
+            .map(|c| ScoredSchema::build(&graph, c).unwrap())
+            .collect();
+        let mut stream = UpdateStream::new(2016, UpdateStreamConfig::with_batch_size(8));
+        for step in 0..4 {
+            let batch = stream.next_delta(&graph);
+            let applied = graph
+                .apply_delta(&batch)
+                .unwrap_or_else(|e| panic!("{label} step {step}: delta rejected: {e}"));
+            let rebuilt = delta::rebuild(&applied.graph);
+            assert!(
+                applied.graph == rebuilt,
+                "{label} step {step}: spliced graph differs from the rebuild"
+            );
+            scored = scored
+                .iter()
+                .zip(&configs)
+                .map(|(old, config)| {
+                    let rescored = old.rescore_delta(&applied.graph, &applied.summary).unwrap();
+                    let full = ScoredSchema::build(&applied.graph, config).unwrap();
+                    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(rescored.key_scores()),
+                        bits(full.key_scores()),
+                        "{label} step {step}: key scores drifted"
+                    );
+                    assert!(
+                        rescored.scores_identical(&full),
+                        "{label} step {step}: non-key scores or schema shape drifted"
+                    );
+                    rescored
+                })
+                .collect();
+            graph = applied.graph;
+        }
+    }
+}
+
+/// After a stream of deltas, discovery on the evolved graph still produces
+/// byte-identical output whether it runs on the incrementally maintained
+/// scored schema or on a cold full build — previews, descriptions and score
+/// bits included.
+#[test]
+fn discovery_on_rescored_schema_is_byte_identical_to_cold_build() {
+    use preview_tables::datagen::{UpdateStream, UpdateStreamConfig};
+
+    let mut graph = SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(1e-4));
+    let config = config_of("entropy");
+    let mut scored = ScoredSchema::build(&graph, &config).unwrap();
+    let mut stream = UpdateStream::new(7, UpdateStreamConfig::with_batch_size(10));
+    for _ in 0..3 {
+        let batch = stream.next_delta(&graph);
+        let applied = graph.apply_delta(&batch).unwrap();
+        scored = scored
+            .rescore_delta(&applied.graph, &applied.summary)
+            .unwrap();
+        graph = applied.graph;
+    }
+    let cold = ScoredSchema::build(&graph, &config).unwrap();
+    for space_label in ["concise", "tight", "diverse"] {
+        let space = space_of(space_label);
+        let algo = Algorithm::Auto.resolve(&space);
+        let warm = algo.discovery().discover(&scored, &space).unwrap();
+        let from_cold = algo.discovery().discover(&cold, &space).unwrap();
+        assert_eq!(warm, from_cold, "{space_label}: preview structure drifted");
+        if let (Some(warm), Some(from_cold)) = (&warm, &from_cold) {
+            assert_eq!(
+                warm.describe(scored.schema()),
+                from_cold.describe(cold.schema()),
+                "{space_label}: description drifted"
+            );
+            assert_eq!(
+                scored.preview_score(warm).to_bits(),
+                cold.preview_score(from_cold).to_bits(),
+                "{space_label}: score bits drifted"
+            );
+        }
+    }
+}
