@@ -50,4 +50,14 @@ echo "==> update-bench smoke workload (emits BENCH_updates.json)"
 cargo run --release -p bench --bin update-bench -- \
     --out BENCH_updates.json --check
 
+echo "==> scale-bench smoke tier (emits nothing; 10x scale, identity enforced)"
+# Sharded build + entropy + registry publish at 10x the smoke scale.
+# Bitwise identity (sharded vs unsharded entropy; published version vs
+# from-scratch reshard) is always enforced. The full 100x/1000x sweep that
+# produces the committed BENCH_scale.json is invoked manually:
+#   cargo run --release -p bench --bin scale-bench -- \
+#       --factors 10,100,1000 --out BENCH_scale.json --check
+cargo run --release -p bench --bin scale-bench -- \
+    --factors 10 --check
+
 echo "CI green."

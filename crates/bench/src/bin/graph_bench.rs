@@ -161,7 +161,8 @@ fn main() -> ExitCode {
             " \"build\":{{\"graph_build_s\":{:.6},\"schema_derive_s\":{:.6}}},\n",
             " \"neighbor_sweep\":{{\"csr_s\":{:.6},\"naive_s\":{:.6},\"speedup\":{:.2},\"neighbors_visited\":{}}},\n",
             " \"entropy_scoring\":{{\"csr_s\":{:.6},\"naive_s\":{:.6},\"speedup\":{:.2}}},\n",
-            " \"materialise\":{{\"seconds\":{:.6},\"cells\":{}}}}}"
+            " \"materialise\":{{\"seconds\":{:.6},\"cells\":{}}},\n",
+            " \"peak_rss_bytes\":{}}}"
         ),
         options.domain.name(),
         options.scale,
@@ -180,6 +181,7 @@ fn main() -> ExitCode {
         entropy_speedup,
         materialise_s,
         cells,
+        bench::util::json_opt_u64(bench::util::peak_rss_bytes()),
     );
     println!("{json}");
     if let Some(path) = &options.out {

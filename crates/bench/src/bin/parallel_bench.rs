@@ -270,7 +270,8 @@ fn main() -> ExitCode {
             " \"entropy_scoring\":{{\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.2},\"identical\":true}},\n",
             " \"brute_force_discovery\":{{\"space\":\"concise(3,6)\",\"subsets\":{},\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.2},\"identical\":true}},\n",
             " \"apriori_discovery\":{{\"space\":\"diverse(3,6,d=2)\",\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.2},\"identical\":true}},\n",
-            " \"check\":{{\"full_floors_enforced\":{},\"brute_force_floor\":{},\"entropy_floor\":{},\"apriori_floor\":{}}}}}"
+            " \"check\":{{\"full_floors_enforced\":{},\"brute_force_floor\":{},\"entropy_floor\":{},\"apriori_floor\":{}}},\n",
+            " \"peak_rss_bytes\":{}}}"
         ),
         options.domain.name(),
         options.scale,
@@ -294,6 +295,7 @@ fn main() -> ExitCode {
         floor_of("brute-force discovery"),
         floor_of("entropy scoring"),
         floor_of("apriori discovery"),
+        bench::util::json_opt_u64(bench::util::peak_rss_bytes()),
     );
     println!("{json}");
     if let Some(path) = &options.out {

@@ -239,7 +239,8 @@ fn main() -> ExitCode {
             "\"requests\":{},\"unique_keys\":{},\"repeated_fraction\":{:.4}}},\n",
             " \"baseline\":{},\n",
             " \"service\":{},\n",
-            " \"speedup\":{:.2}}}"
+            " \"speedup\":{:.2},\n",
+            " \"peak_rss_bytes\":{}}}"
         ),
         workload.graph_name,
         options.spec.scale,
@@ -250,6 +251,7 @@ fn main() -> ExitCode {
         pass_json(&baseline),
         pass_json(&service),
         speedup,
+        bench::util::json_opt_u64(bench::util::peak_rss_bytes()),
     );
     println!("{json}");
     if let Some(path) = &options.out {

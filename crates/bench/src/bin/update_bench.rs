@@ -337,7 +337,8 @@ fn main() -> ExitCode {
                 " \"speedup\":{:.2},\n",
                 " \"cache_retention\":{{\"warmed\":{},\"carried_forward\":{},\"invalidated\":{},",
                 "\"carried_hits_bitwise\":{}}},\n",
-                " \"check\":{{\"speedup_floor\":{}}}}}"
+                " \"check\":{{\"speedup_floor\":{}}},\n",
+                " \"peak_rss_bytes\":{}}}"
             ),
             options.domain.name(),
             options.scale,
@@ -360,6 +361,7 @@ fn main() -> ExitCode {
             retention.invalidated,
             retention.carried_hits,
             SPEEDUP_FLOOR,
+            bench::util::json_opt_u64(bench::util::peak_rss_bytes()),
         )
     };
     let mut rendered = json(&timings);

@@ -51,6 +51,30 @@ pub enum SpecError {
     DuplicateTypeName(String),
     /// Two relationship types share name *and* endpoints.
     DuplicateRelationship(String),
+    /// The spec's cardinalities would overflow the `u32`-indexed graph store
+    /// the generator lowers into (entity ids, edge ids and every CSR offset
+    /// are `u32`-backed; see [`entity_graph::check_graph_capacity`]).
+    ///
+    /// Large scale factors hit this long before allocation fails: at film
+    /// scale 1.0 a single extra `×300` on the edge scale silently wraps the
+    /// edge-id space. Validation rejects the combination up front instead.
+    CardinalityOverflow {
+        /// Which counter overflowed (`"entities"`, `"edges"`,
+        /// `"type memberships"`).
+        what: &'static str,
+        /// The requested total.
+        requested: u64,
+        /// The largest representable total.
+        max: u64,
+    },
+    /// A type-name lookup failed; carries did-you-mean suggestions ranked by
+    /// edit distance (matching the experiments-CLI unknown-flag pattern).
+    UnknownTypeName {
+        /// The name that did not match any entity type.
+        name: String,
+        /// The closest declared type names, nearest first.
+        suggestions: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -71,6 +95,24 @@ impl std::fmt::Display for SpecError {
                     f,
                     "duplicate relationship type {name:?} (same name and endpoints)"
                 )
+            }
+            SpecError::CardinalityOverflow {
+                what,
+                requested,
+                max,
+            } => {
+                write!(
+                    f,
+                    "spec cardinalities too large: {requested} {what} exceed the \
+                     u32-indexed limit of {max}; lower the scale factor"
+                )
+            }
+            SpecError::UnknownTypeName { name, suggestions } => {
+                write!(f, "unknown entity type name {name:?}")?;
+                if !suggestions.is_empty() {
+                    write!(f, "; did you mean {}?", suggestions.join(" or "))?;
+                }
+                Ok(())
             }
         }
     }
@@ -104,6 +146,34 @@ impl DomainSpec {
         self.entity_types.iter().position(|t| t.name == name)
     }
 
+    /// Resolves an entity-type name to its index, or fails with a
+    /// [`SpecError::UnknownTypeName`] carrying did-you-mean suggestions —
+    /// the closest declared names by edit distance, nearest first.
+    pub fn resolve_type(&self, name: &str) -> Result<usize, SpecError> {
+        if let Some(index) = self.type_index(name) {
+            return Ok(index);
+        }
+        // Same tolerance rule as the experiments-CLI flag matcher: accept
+        // candidates within a third of the query length (at least 1 edit),
+        // so short names don't suggest arbitrary strangers.
+        let max_distance = (name.chars().count() / 3).max(1);
+        let mut ranked: Vec<(usize, &str)> = self
+            .entity_types
+            .iter()
+            .map(|t| (levenshtein(name, &t.name), t.name.as_str()))
+            .filter(|&(d, _)| d <= max_distance)
+            .collect();
+        ranked.sort();
+        Err(SpecError::UnknownTypeName {
+            name: name.to_string(),
+            suggestions: ranked
+                .into_iter()
+                .take(3)
+                .map(|(_, n)| n.to_string())
+                .collect(),
+        })
+    }
+
     /// Validates internal consistency of the specification.
     pub fn validate(&self) -> Result<(), SpecError> {
         let mut names = std::collections::HashSet::new();
@@ -126,8 +196,46 @@ impl DomainSpec {
                 return Err(SpecError::DuplicateRelationship(r.name.clone()));
             }
         }
+        // Reject cardinalities the u32-indexed graph store cannot hold before
+        // the generator burns minutes building a graph that must fail. The
+        // generator assigns exactly one type per entity, so type memberships
+        // equal total entities.
+        let entities = self.total_entities();
+        if let Err(entity_graph::Error::GraphTooLarge {
+            what,
+            requested,
+            max,
+        }) = entity_graph::check_graph_capacity(entities, self.total_edges(), entities)
+        {
+            return Err(SpecError::CardinalityOverflow {
+                what,
+                requested,
+                max,
+            });
+        }
         Ok(())
     }
+}
+
+/// Levenshtein edit distance over `char`s, for did-you-mean suggestions.
+///
+/// Duplicated from the bench crate's experiments-CLI helper rather than
+/// imported: bench depends on datagen, so the dependency can't point the
+/// other way.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -213,5 +321,80 @@ mod tests {
             index: 3,
         };
         assert!(e.to_string().contains("unknown entity type index 3"));
+    }
+
+    #[test]
+    fn validate_rejects_entity_overflow() {
+        let mut spec = tiny_spec();
+        spec.entity_types[0].entities = u64::from(u32::MAX);
+        let err = spec.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::CardinalityOverflow {
+                what: "entities",
+                requested,
+                ..
+            } if requested == u64::from(u32::MAX) + 5
+        ));
+        assert!(err.to_string().contains("lower the scale factor"));
+    }
+
+    #[test]
+    fn validate_rejects_edge_overflow() {
+        let mut spec = tiny_spec();
+        spec.relationship_types[0].edges = u64::from(u32::MAX) + 7;
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::CardinalityOverflow { what: "edges", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_near_limit_cardinalities() {
+        let mut spec = tiny_spec();
+        // MAX_GRAPH_DIMENSION itself is representable.
+        spec.entity_types[0].entities = entity_graph::MAX_GRAPH_DIMENSION - 5;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn resolve_type_finds_exact_names() {
+        let spec = tiny_spec();
+        assert_eq!(spec.resolve_type("B"), Ok(1));
+    }
+
+    #[test]
+    fn resolve_type_suggests_near_misses() {
+        let mut spec = tiny_spec();
+        spec.entity_types[0].name = "FILM".into();
+        spec.entity_types[1].name = "FILM GENRE".into();
+        let err = spec.resolve_type("FILN").unwrap_err();
+        match &err {
+            SpecError::UnknownTypeName { name, suggestions } => {
+                assert_eq!(name, "FILN");
+                assert_eq!(suggestions, &["FILM".to_string()]);
+            }
+            other => panic!("expected UnknownTypeName, got {other:?}"),
+        }
+        assert!(err.to_string().contains("did you mean FILM?"));
+    }
+
+    #[test]
+    fn resolve_type_omits_far_fetched_suggestions() {
+        let spec = tiny_spec(); // types "A" and "B"
+        let err = spec.resolve_type("COMPLETELY DIFFERENT").unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::UnknownTypeName { ref suggestions, .. } if suggestions.is_empty()
+        ));
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
     }
 }

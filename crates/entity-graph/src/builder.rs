@@ -10,6 +10,46 @@ use crate::graph::EntityGraph;
 use crate::id::{EdgeId, EntityId, RelTypeId, TypeId};
 use crate::interner::Interner;
 
+/// The largest count any `u32`-indexed graph dimension can hold.
+///
+/// `u32::MAX` itself is excluded: [`crate::delta`] uses it as its removed-slot
+/// sentinel, and `from_usize` on the id newtypes rejects it.
+pub const MAX_GRAPH_DIMENSION: u64 = u32::MAX as u64 - 1;
+
+/// Checks that a prospective graph fits every `u32`-indexed capacity limit:
+/// entity ids, edge ids, CSR offsets and the type-membership counting sort.
+///
+/// Use this before driving a builder at tens-of-millions-of-edges scale (the
+/// `datagen` spec validation and [`EntityGraphBuilder::try_build`] both
+/// route through it); the unchecked [`EntityGraphBuilder::build`] would only
+/// fail on these limits via an id-newtype panic or a silent `u32` offset
+/// wrap.
+///
+/// `type_memberships` is the sum of per-entity type-set sizes — it bounds
+/// the entities-by-type CSR payload, which can exceed `entities` when
+/// entities carry several types.
+///
+/// # Errors
+///
+/// Returns [`Error::GraphTooLarge`] naming the first dimension that exceeds
+/// [`MAX_GRAPH_DIMENSION`].
+pub fn check_graph_capacity(entities: u64, edges: u64, type_memberships: u64) -> Result<()> {
+    for (what, requested) in [
+        ("entities", entities),
+        ("edges", edges),
+        ("type memberships", type_memberships),
+    ] {
+        if requested > MAX_GRAPH_DIMENSION {
+            return Err(Error::GraphTooLarge {
+                what,
+                requested,
+                max: MAX_GRAPH_DIMENSION,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Builder for [`EntityGraph`].
 ///
 /// The builder interns entity types, relationship types and entities as they
@@ -147,6 +187,13 @@ impl EntityGraphBuilder {
                 ),
             });
         }
+        if self.edges.len() as u64 >= MAX_GRAPH_DIMENSION {
+            return Err(Error::GraphTooLarge {
+                what: "edges",
+                requested: self.edges.len() as u64 + 1,
+                max: MAX_GRAPH_DIMENSION,
+            });
+        }
         let id = EdgeId::from_usize(self.edges.len());
         self.edges.push(Edge { src, dst, rel });
         Ok(id)
@@ -160,6 +207,28 @@ impl EntityGraphBuilder {
     /// Number of edges added so far.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// [`build`](Self::build) with an explicit capacity check: verifies the
+    /// accumulated entity, edge and type-membership counts fit every
+    /// `u32`-indexed limit (see [`check_graph_capacity`]) before freezing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::GraphTooLarge`] if any dimension exceeds
+    /// [`MAX_GRAPH_DIMENSION`]; the builder is consumed either way.
+    pub fn try_build(self) -> Result<EntityGraph> {
+        let memberships: u64 = self
+            .entities
+            .iter()
+            .map(|entity| entity.types.len() as u64)
+            .sum();
+        check_graph_capacity(
+            self.entities.len() as u64,
+            self.edges.len() as u64,
+            memberships,
+        )?;
+        Ok(self.build())
     }
 
     /// Freezes the builder into an immutable [`EntityGraph`], computing the
@@ -322,6 +391,41 @@ mod tests {
         assert_eq!(g.entity_count(), 0);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.type_count(), 0);
+    }
+
+    #[test]
+    fn capacity_check_rejects_u32_overflow() {
+        // 20M entities / 180M edges (the 10000x film scale) still fits …
+        assert!(check_graph_capacity(20_000_000, 180_000_000, 40_000_000).is_ok());
+        // … but anything past u32 territory is a typed error, per dimension.
+        let err = check_graph_capacity(5_000_000_000, 0, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::GraphTooLarge {
+                what: "entities",
+                ..
+            }
+        ));
+        let err = check_graph_capacity(0, u64::from(u32::MAX), 0).unwrap_err();
+        assert!(matches!(err, Error::GraphTooLarge { what: "edges", .. }));
+        let err = check_graph_capacity(0, 0, 1 << 40).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::GraphTooLarge {
+                what: "type memberships",
+                ..
+            }
+        ));
+        assert_eq!(MAX_GRAPH_DIMENSION, u64::from(u32::MAX) - 1);
+    }
+
+    #[test]
+    fn try_build_checks_and_builds() {
+        let mut b = EntityGraphBuilder::new();
+        let film = b.entity_type("FILM");
+        b.entity("Men in Black", &[film]);
+        let g = b.try_build().unwrap();
+        assert_eq!(g.entity_count(), 1);
     }
 
     #[test]

@@ -71,16 +71,20 @@ impl<T: Copy> Csr<T> {
         }
         // Fill with per-group cursors; `counts` is reused as the cursor array.
         counts.copy_from_slice(&offsets[..group_count]);
-        let mut data: Vec<Option<T>> = vec![None; pairs.len()];
+        // Prefill with the first payload value instead of `Option<T>`: every
+        // slot is overwritten exactly once below (the offsets cover
+        // `pairs.len()` slots and each pair advances one cursor), and the
+        // plain-`T` array skips the discriminant, halving the scatter pass's
+        // working set for `u32` payloads at million-edge scale.
+        let mut data: Vec<T> = match pairs.first() {
+            Some(&(_, seed)) => vec![seed; pairs.len()],
+            None => Vec::new(),
+        };
         for &(group, item) in pairs {
             let slot = counts[group] as usize;
-            data[slot] = Some(item);
+            data[slot] = item;
             counts[group] += 1;
         }
-        let data = data
-            .into_iter()
-            .map(|v| v.expect("every CSR slot is written exactly once"))
-            .collect();
         Self { offsets, data }
     }
 }
@@ -125,6 +129,14 @@ impl<T> Csr<T> {
     #[inline]
     pub fn total_len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Heap bytes of the offset and payload arrays (element sizes, not
+    /// allocator capacity) — the unit the sharding layer's
+    /// [`MemoryReport`](crate::MemoryReport) accounts in.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u32>()) as u64
+            + (self.data.len() * std::mem::size_of::<T>()) as u64
     }
 }
 
@@ -226,6 +238,50 @@ impl RelGroupedNeighbors {
     #[inline]
     pub fn total_len(&self) -> usize {
         self.payload.len()
+    }
+
+    /// Number of stored (entity, relationship type) segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.seg_rels.len()
+    }
+
+    /// Iterates an entity's segments in relationship-type order, yielding
+    /// each type together with its sorted, de-duplicated neighbor slice.
+    ///
+    /// This is the sharding layer's bulk-encode input: one pass over the
+    /// segment directory, no per-segment binary search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    pub fn segments(&self, entity: usize) -> impl Iterator<Item = (RelTypeId, &[EntityId])> {
+        let lo = self.seg_offsets[entity] as usize;
+        let hi = self.seg_offsets[entity + 1] as usize;
+        (lo..hi).map(move |j| {
+            let start = if j == 0 {
+                0
+            } else {
+                self.seg_ends[j - 1] as usize
+            };
+            (
+                self.seg_rels[j],
+                &self.payload[start..self.seg_ends[j] as usize],
+            )
+        })
+    }
+
+    /// Heap bytes split as `(payload_bytes, total_bytes)`: the raw neighbor
+    /// payload versus payload plus all directory arrays (element sizes, not
+    /// allocator capacity). The sharding layer's
+    /// [`MemoryReport`](crate::MemoryReport) compares its encoded storage
+    /// against these numbers.
+    pub fn heap_bytes(&self) -> (u64, u64) {
+        let payload = (self.payload.len() * std::mem::size_of::<EntityId>()) as u64;
+        let directory = ((self.seg_offsets.len() + self.seg_ends.len())
+            * std::mem::size_of::<u32>()) as u64
+            + (self.seg_rels.len() * std::mem::size_of::<RelTypeId>()) as u64;
+        (payload, payload + directory)
     }
 }
 

@@ -1,0 +1,477 @@
+//! Compact varint/delta encoding of sorted neighbor segments.
+//!
+//! The sharded storage layer ([`crate::shard`]) keeps per-entity neighbor
+//! sets in the same segment shape as [`RelGroupedNeighbors`], but stores the
+//! payload as bytes instead of `u32` ids: every segment is already sorted and
+//! de-duplicated (attribute values are sets, Def. 1 of the paper), so the
+//! first id is written as a LEB128 varint and every following id as the
+//! varint of its **gap** to the predecessor (always ≥ 1). Freebase-class
+//! neighbor ids cluster by construction order, so most gaps fit in one byte —
+//! the film-domain graphs compress to roughly a third of the raw `u32`
+//! payload (see `MemoryReport` and `BENCH_scale.json`).
+//!
+//! The encoding is **canonical**: a neighbor set has exactly one byte string.
+//! Two segments are equal as sets iff their encoded bytes are equal, which is
+//! what lets cross-shard entropy scoring group tuples by borrowed encoded
+//! bytes and still produce bitwise-identical scores to the unsharded path
+//! (see `preview-core`'s sharded scoring).
+//!
+//! [`RelGroupedNeighbors`]: crate::RelGroupedNeighbors
+
+use crate::id::{EntityId, RelTypeId};
+
+/// Appends `value` to `out` as an LEB128 varint (7 payload bits per byte,
+/// high bit = continuation; at most 5 bytes for a `u32`).
+pub fn encode_u32(mut value: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint from `bytes` starting at `*pos`, advancing
+/// `*pos` past it. Returns `None` on a truncated varint or one that does not
+/// fit a `u32`.
+pub fn decode_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value: u32 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let payload = u32::from(byte & 0x7f);
+        // The fifth byte may only contribute the top 4 bits of a u32.
+        if shift == 28 && payload > 0x0f {
+            return None;
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return None;
+        }
+    }
+}
+
+/// Encodes a sorted, strictly-ascending (de-duplicated) id slice: the first
+/// id verbatim, every later id as the gap to its predecessor.
+///
+/// An empty slice encodes to zero bytes. The encoding is canonical — equal
+/// sets produce equal bytes and vice versa.
+///
+/// # Panics
+///
+/// Debug-panics if `ids` is not strictly ascending.
+pub fn encode_segment(ids: &[EntityId], out: &mut Vec<u8>) {
+    let mut prev: Option<u32> = None;
+    for &id in ids {
+        let raw = id.raw();
+        match prev {
+            None => encode_u32(raw, out),
+            Some(p) => {
+                debug_assert!(raw > p, "segment ids must be strictly ascending");
+                encode_u32(raw - p, out);
+            }
+        }
+        prev = Some(raw);
+    }
+}
+
+/// Decodes an [`encode_segment`] byte string, appending the ids to `out`.
+///
+/// Returns the number of ids decoded, or `None` if the bytes are not a valid
+/// canonical segment (truncated varint, zero gap, or id overflow). Exactly
+/// inverse to [`encode_segment`] on its image: `decode(encode(ids)) == ids`
+/// for every strictly-ascending slice, which `tests/encoding_props.rs`
+/// enforces on arbitrary inputs.
+pub fn decode_segment(bytes: &[u8], out: &mut Vec<EntityId>) -> Option<usize> {
+    let mut pos = 0usize;
+    let mut prev: Option<u32> = None;
+    let mut count = 0usize;
+    while pos < bytes.len() {
+        let value = decode_u32(bytes, &mut pos)?;
+        let id = match prev {
+            None => value,
+            // Gaps are ≥ 1 in a strictly-ascending segment; a zero gap or an
+            // overflowing sum cannot come from `encode_segment`.
+            Some(p) => {
+                if value == 0 {
+                    return None;
+                }
+                p.checked_add(value)?
+            }
+        };
+        out.push(EntityId::new(id));
+        prev = Some(id);
+        count += 1;
+    }
+    Some(count)
+}
+
+/// Per-entity neighbor segments with varint/delta-encoded payloads — the
+/// byte-level sibling of [`RelGroupedNeighbors`](crate::RelGroupedNeighbors).
+///
+/// Layout: entity `v` (a shard-local index) owns the segment directory range
+/// `seg_offsets[v] .. seg_offsets[v + 1]`; segment `j` covers relationship
+/// type `seg_rels[j]` and the byte slice `payload[start_of(j) .. seg_ends[j]]`
+/// where `start_of(j)` is the previous segment's end. Segments are sorted by
+/// relationship type within an entity and only non-empty segments are stored,
+/// mirroring the uncompressed index exactly. Byte offsets are `u64`: at
+/// tens-of-millions-of-edges scale the encoded payload can legitimately pass
+/// what a narrower offset would index (see `Error::GraphTooLarge` for the id
+/// spaces themselves, which stay `u32`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedNeighbors {
+    /// `entity_count + 1` boundaries into the segment directory.
+    seg_offsets: Vec<u32>,
+    /// Relationship type of each segment, sorted within an entity's range.
+    seg_rels: Vec<RelTypeId>,
+    /// Exclusive payload byte-end of each segment.
+    seg_ends: Vec<u64>,
+    /// All encoded segments, back to back.
+    payload: Vec<u8>,
+}
+
+impl EncodedNeighbors {
+    /// Number of entities indexed.
+    #[inline]
+    pub fn entity_count(&self) -> usize {
+        self.seg_offsets.len() - 1
+    }
+
+    /// Total number of stored (entity, relationship type) segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.seg_rels.len()
+    }
+
+    /// Total encoded payload size in bytes.
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Approximate heap footprint of this index in bytes (payload plus the
+    /// segment directory arrays).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.payload.len()
+            + self.seg_offsets.len() * std::mem::size_of::<u32>()
+            + self.seg_rels.len() * std::mem::size_of::<RelTypeId>()
+            + self.seg_ends.len() * std::mem::size_of::<u64>()) as u64
+    }
+
+    #[inline]
+    fn seg_start(&self, j: usize) -> usize {
+        if j == 0 {
+            0
+        } else {
+            self.seg_ends[j - 1] as usize
+        }
+    }
+
+    /// The encoded bytes of `entity`'s neighbor set through `rel`, or `None`
+    /// if the entity has no such neighbors. A present segment is never empty,
+    /// so `Some` always carries at least one byte.
+    ///
+    /// Because the encoding is canonical, two returned slices compare equal
+    /// iff the underlying neighbor sets are equal — the property cross-shard
+    /// entropy grouping relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    #[inline]
+    pub fn encoded(&self, entity: usize, rel: RelTypeId) -> Option<&[u8]> {
+        let lo = self.seg_offsets[entity] as usize;
+        let hi = self.seg_offsets[entity + 1] as usize;
+        match self.seg_rels[lo..hi].binary_search(&rel) {
+            Ok(found) => {
+                let j = lo + found;
+                Some(&self.payload[self.seg_start(j)..self.seg_ends[j] as usize])
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates `entity`'s segments as `(rel, encoded bytes)` pairs, in
+    /// ascending relationship-type order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    pub fn segments(&self, entity: usize) -> impl Iterator<Item = (RelTypeId, &[u8])> + '_ {
+        let lo = self.seg_offsets[entity] as usize;
+        let hi = self.seg_offsets[entity + 1] as usize;
+        (lo..hi).map(move |j| {
+            (
+                self.seg_rels[j],
+                &self.payload[self.seg_start(j)..self.seg_ends[j] as usize],
+            )
+        })
+    }
+
+    /// Decodes `entity`'s neighbors through `rel` into `out` (cleared first).
+    /// Returns `true` if a segment was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range, or if the stored bytes are not a
+    /// valid segment (impossible for builder-produced indexes).
+    pub fn decode_neighbors(&self, entity: usize, rel: RelTypeId, out: &mut Vec<EntityId>) -> bool {
+        out.clear();
+        match self.encoded(entity, rel) {
+            Some(bytes) => {
+                decode_segment(bytes, out).expect("stored segments are canonical");
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Incremental constructor for [`EncodedNeighbors`]: entities are appended
+/// one at a time, each as a run of `(rel, ids)` segments in ascending
+/// relationship-type order — or copied verbatim from a previous index when a
+/// delta provably left the entity's neighbor sets untouched.
+#[derive(Debug)]
+pub struct EncodedNeighborsBuilder {
+    seg_offsets: Vec<u32>,
+    seg_rels: Vec<RelTypeId>,
+    seg_ends: Vec<u64>,
+    payload: Vec<u8>,
+    /// Segments pushed since the last `finish_entity` call.
+    open_segments: u32,
+}
+
+impl Default for EncodedNeighborsBuilder {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl EncodedNeighborsBuilder {
+    /// Creates a builder sized for roughly `entity_hint` entities.
+    pub fn new(entity_hint: usize) -> Self {
+        let mut seg_offsets = Vec::with_capacity(entity_hint + 1);
+        seg_offsets.push(0);
+        Self {
+            seg_offsets,
+            seg_rels: Vec::new(),
+            seg_ends: Vec::new(),
+            payload: Vec::new(),
+            open_segments: 0,
+        }
+    }
+
+    /// Appends one segment of the current entity. Call with ascending `rel`
+    /// within an entity; empty `ids` slices are skipped (only non-empty
+    /// segments are stored).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `rel` is not greater than the current entity's
+    /// previous segment rel, or if `ids` is not strictly ascending.
+    pub fn push_segment(&mut self, rel: RelTypeId, ids: &[EntityId]) {
+        if ids.is_empty() {
+            return;
+        }
+        if self.open_segments > 0 {
+            debug_assert!(
+                *self.seg_rels.last().expect("open segment") < rel,
+                "segments must be pushed in ascending rel order"
+            );
+        }
+        encode_segment(ids, &mut self.payload);
+        self.seg_rels.push(rel);
+        self.seg_ends.push(self.payload.len() as u64);
+        self.open_segments += 1;
+    }
+
+    /// Closes the current entity (possibly with zero segments) and moves to
+    /// the next one.
+    pub fn finish_entity(&mut self) {
+        self.seg_offsets.push(
+            u32::try_from(self.seg_rels.len()).expect("segment count bounded by edge count (u32)"),
+        );
+        self.open_segments = 0;
+    }
+
+    /// Appends the next entity by block-copying `entity`'s segments (rels and
+    /// encoded bytes) verbatim from a previous index — the delta fast path
+    /// for entities whose neighbor sets provably did not change.
+    ///
+    /// Byte-identical to re-encoding the same sets from scratch, because the
+    /// encoding is canonical and neighbor ids are global (a delta that
+    /// removes no entities keeps every surviving id).
+    pub fn copy_entity_verbatim(&mut self, from: &EncodedNeighbors, entity: usize) {
+        debug_assert_eq!(self.open_segments, 0, "finish the open entity first");
+        let lo = from.seg_offsets[entity] as usize;
+        let hi = from.seg_offsets[entity + 1] as usize;
+        if lo < hi {
+            let byte_start = from.seg_start(lo);
+            let byte_end = from.seg_ends[hi - 1] as usize;
+            let base = self.payload.len() as u64;
+            self.seg_rels.extend_from_slice(&from.seg_rels[lo..hi]);
+            self.seg_ends.extend(
+                from.seg_ends[lo..hi]
+                    .iter()
+                    .map(|&end| end - byte_start as u64 + base),
+            );
+            self.payload
+                .extend_from_slice(&from.payload[byte_start..byte_end]);
+        }
+        self.finish_entity();
+    }
+
+    /// Freezes the builder into the finished index.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an entity is still open (segments pushed without a
+    /// closing [`finish_entity`](Self::finish_entity)).
+    pub fn build(self) -> EncodedNeighbors {
+        debug_assert_eq!(self.open_segments, 0, "finish the open entity first");
+        EncodedNeighbors {
+            seg_offsets: self.seg_offsets,
+            seg_rels: self.seg_rels,
+            seg_ends: self.seg_ends,
+            payload: self.payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<EntityId> {
+        raw.iter().copied().map(EntityId::new).collect()
+    }
+
+    fn roundtrip(raw: &[u32]) {
+        let input = ids(raw);
+        let mut bytes = Vec::new();
+        encode_segment(&input, &mut bytes);
+        let mut output = Vec::new();
+        assert_eq!(decode_segment(&bytes, &mut output), Some(input.len()));
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for value in [0u32, 1, 127, 128, 129, 16383, 16384, 1 << 21, u32::MAX] {
+            let mut bytes = Vec::new();
+            encode_u32(value, &mut bytes);
+            let mut pos = 0;
+            assert_eq!(decode_u32(&bytes, &mut pos), Some(value));
+            assert_eq!(pos, bytes.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[0x80], &mut pos), None);
+        // Six continuation bytes: too long for a u32.
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[0x80; 6], &mut pos), None);
+        // Fifth byte carrying more than the top 4 bits.
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[0xff, 0xff, 0xff, 0xff, 0x1f], &mut pos), None);
+    }
+
+    #[test]
+    fn segments_roundtrip() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[u32::MAX]);
+        roundtrip(&[0, 1, 2, 3]);
+        roundtrip(&[5, 100, 101, 1_000_000, u32::MAX - 1, u32::MAX]);
+    }
+
+    #[test]
+    fn dense_segments_compress() {
+        let input = ids(&(1000..2000).collect::<Vec<u32>>());
+        let mut bytes = Vec::new();
+        encode_segment(&input, &mut bytes);
+        // First id takes 2 bytes, every gap of 1 takes a single byte.
+        assert_eq!(bytes.len(), 2 + 999);
+        assert!(bytes.len() * 3 < input.len() * 4);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let a = ids(&[3, 7, 9]);
+        let b = ids(&[3, 7, 9]);
+        let c = ids(&[3, 7, 10]);
+        let encode = |v: &[EntityId]| {
+            let mut bytes = Vec::new();
+            encode_segment(v, &mut bytes);
+            bytes
+        };
+        assert_eq!(encode(&a), encode(&b));
+        assert_ne!(encode(&a), encode(&c));
+    }
+
+    #[test]
+    fn decode_rejects_zero_gaps() {
+        // "5, gap 0" cannot come from a strictly ascending segment.
+        let mut out = Vec::new();
+        assert_eq!(decode_segment(&[5, 0], &mut out), None);
+    }
+
+    #[test]
+    fn builder_matches_segment_layout() {
+        let r = RelTypeId::new;
+        let mut b = EncodedNeighborsBuilder::new(3);
+        b.push_segment(r(0), &ids(&[7]));
+        b.push_segment(r(2), &ids(&[3, 5]));
+        b.finish_entity();
+        b.finish_entity(); // entity 1: no segments
+        b.push_segment(r(1), &ids(&[1]));
+        b.push_segment(r(3), &[]); // skipped: empty
+        b.finish_entity();
+        let enc = b.build();
+        assert_eq!(enc.entity_count(), 3);
+        assert_eq!(enc.segment_count(), 3);
+        let mut out = Vec::new();
+        assert!(enc.decode_neighbors(0, r(0), &mut out));
+        assert_eq!(out, ids(&[7]));
+        assert!(enc.decode_neighbors(0, r(2), &mut out));
+        assert_eq!(out, ids(&[3, 5]));
+        assert!(!enc.decode_neighbors(1, r(0), &mut out));
+        assert!(enc.decode_neighbors(2, r(1), &mut out));
+        assert_eq!(out, ids(&[1]));
+        assert!(enc.encoded(2, r(3)).is_none());
+        assert_eq!(enc.segments(0).count(), 2);
+        assert!(enc.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn builder_verbatim_copy_is_byte_identical() {
+        let r = RelTypeId::new;
+        let build = |via_copy: bool| {
+            let mut b = EncodedNeighborsBuilder::new(2);
+            b.push_segment(r(1), &ids(&[10, 20, 30]));
+            b.finish_entity();
+            b.push_segment(r(0), &ids(&[4]));
+            b.push_segment(r(5), &ids(&[100, 4000]));
+            b.finish_entity();
+            let first = b.build();
+            if !via_copy {
+                return first;
+            }
+            let mut c = EncodedNeighborsBuilder::new(2);
+            c.copy_entity_verbatim(&first, 0);
+            c.copy_entity_verbatim(&first, 1);
+            c.build()
+        };
+        assert_eq!(build(true), build(false));
+    }
+}

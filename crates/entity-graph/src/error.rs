@@ -57,6 +57,25 @@ pub enum Error {
         /// Human-readable description of the missing `src -rel-> dst` triple.
         detail: String,
     },
+    /// A graph would exceed a `u32`-indexed capacity limit.
+    ///
+    /// All identifier spaces ([`EntityId`](crate::EntityId),
+    /// [`EdgeId`](crate::EdgeId), …) and every CSR offset array are
+    /// `u32`-backed; the counting sorts in
+    /// [`EntityGraphBuilder::build`](crate::EntityGraphBuilder::build) would
+    /// silently wrap past `u32::MAX` entities, edges or type memberships.
+    /// [`check_graph_capacity`](crate::check_graph_capacity) and
+    /// [`EntityGraphBuilder::try_build`](crate::EntityGraphBuilder::try_build)
+    /// surface the limit as this typed error instead.
+    GraphTooLarge {
+        /// Which counter overflowed (`"entities"`, `"edges"`,
+        /// `"type memberships"`).
+        what: &'static str,
+        /// The requested count.
+        requested: u64,
+        /// The largest representable count.
+        max: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -79,6 +98,14 @@ impl fmt::Display for Error {
                 "entity {name:?} is still referenced by {edges} live relationship edge(s)"
             ),
             Error::NoSuchEdge { detail } => write!(f, "no such relationship edge: {detail}"),
+            Error::GraphTooLarge {
+                what,
+                requested,
+                max,
+            } => write!(
+                f,
+                "graph too large: {requested} {what} exceed the u32-indexed limit of {max}"
+            ),
         }
     }
 }
@@ -113,6 +140,14 @@ mod tests {
             message: "expected 4 fields".into(),
         };
         assert!(e.to_string().contains("line 3"));
+
+        let e = Error::GraphTooLarge {
+            what: "edges",
+            requested: 5_000_000_000,
+            max: u64::from(u32::MAX),
+        };
+        assert!(e.to_string().contains("5000000000"));
+        assert!(e.to_string().contains("edges"));
     }
 
     #[test]

@@ -217,6 +217,32 @@ impl EntityGraph {
         }
     }
 
+    /// Iterates an entity's neighbor segments in relationship-type order,
+    /// yielding each relationship type together with its sorted,
+    /// de-duplicated neighbor slice — the bulk counterpart of
+    /// [`neighbors_via`](Self::neighbors_via), used by the sharding layer to
+    /// encode an entity's whole adjacency in one directory pass.
+    pub fn neighbor_segments(
+        &self,
+        entity: EntityId,
+        direction: Direction,
+    ) -> impl Iterator<Item = (RelTypeId, &[EntityId])> {
+        match direction {
+            Direction::Outgoing => self.out_neighbors.segments(entity.index()),
+            Direction::Incoming => self.in_neighbors.segments(entity.index()),
+        }
+    }
+
+    /// Heap bytes of the two pre-grouped neighbor indexes, split as
+    /// `(payload_bytes, total_bytes)` summed over both directions — the
+    /// unsharded baseline a [`MemoryReport`](crate::MemoryReport) compares
+    /// sharded storage against.
+    pub fn neighbor_index_bytes(&self) -> (u64, u64) {
+        let (out_payload, out_total) = self.out_neighbors.heap_bytes();
+        let (in_payload, in_total) = self.in_neighbors.heap_bytes();
+        (out_payload + in_payload, out_total + in_total)
+    }
+
     /// Compatibility shim over [`neighbors_via`](Self::neighbors_via) for
     /// callers that need to own the neighbor set (one copy, still no scan or
     /// sort).

@@ -57,19 +57,26 @@ mod schema;
 mod stats;
 
 pub mod delta;
+pub mod encoding;
 pub mod fixtures;
+pub mod shard;
 pub mod triples;
 
-pub use builder::EntityGraphBuilder;
+pub use builder::{check_graph_capacity, EntityGraphBuilder, MAX_GRAPH_DIMENSION};
 pub use csr::{Csr, RelGroupedNeighbors};
 pub use delta::{AppliedDelta, DeltaOp, DeltaSummary, GraphDelta};
 pub use distance::{DistanceMatrix, UNREACHABLE};
+pub use encoding::{EncodedNeighbors, EncodedNeighborsBuilder};
 pub use entity::{Edge, Entity, RelType};
 pub use error::{Error, Result};
 pub use graph::{Direction, EntityGraph};
 pub use id::{EdgeId, EntityId, RelTypeId, TypeId};
 pub use interner::Interner;
 pub use schema::{SchemaEdge, SchemaGraph};
+pub use shard::{
+    AppliedShardedDelta, GraphShard, MemoryReport, ShardLoc, ShardMemoryReport, ShardedGraph,
+    ShardingStrategy,
+};
 pub use stats::GraphStats;
 
 /// Compile-time guarantees that the substrate types shared across serving
@@ -93,5 +100,9 @@ mod static_assertions {
         assert_send_sync_clone::<Interner>();
         assert_send_sync_clone::<Csr<EntityId>>();
         assert_send_sync_clone::<RelGroupedNeighbors>();
+        assert_send_sync_clone::<EncodedNeighbors>();
+        assert_send_sync_clone::<ShardedGraph>();
+        assert_send_sync_clone::<GraphShard>();
+        assert_send_sync_clone::<MemoryReport>();
     };
 }

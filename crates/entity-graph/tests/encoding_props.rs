@@ -1,0 +1,260 @@
+//! Property tests for the varint/delta neighbor encoding and the sharded
+//! storage layer built on it.
+//!
+//! The encoding's contract is *canonicality*: `encode_segment` is a
+//! bijection between sorted deduplicated id slices and byte strings, so
+//! byte equality of encoded segments is exactly set equality of neighbor
+//! sets. Cross-shard entropy aggregation groups by encoded bytes and is
+//! only correct because of this — so the property is pinned here, over
+//! arbitrary id sets including the empty and single-element cases.
+//!
+//! The sharded model check mirrors `delta_props`: applying a random delta
+//! to a [`ShardedGraph`] must equal resharding the spliced logical graph
+//! from scratch, under arbitrary sharding strategies.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+use entity_graph::encoding::{decode_segment, decode_u32, encode_segment, encode_u32};
+use entity_graph::{
+    EntityGraph, EntityGraphBuilder, EntityId, GraphDelta, ShardedGraph, ShardingStrategy,
+};
+
+/// Strategy for a sorted, deduplicated id list — the exact shape
+/// `encode_segment` accepts. Lengths include 0 and 1; the id domain is
+/// sometimes tiny (so independently drawn sets collide and the equal-sets
+/// branch of the canonicality property is actually exercised) and sometimes
+/// the full `u32` range below the `u32::MAX` sentinel.
+#[derive(Clone, Copy)]
+struct SortedIds;
+
+impl Strategy for SortedIds {
+    type Value = Vec<EntityId>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<EntityId> {
+        use rand::Rng as _;
+        let rng = rng.rng();
+        let max_id: u32 = if rng.gen_bool(0.5) { 16 } else { u32::MAX - 1 };
+        let len = rng.gen_range(0..40usize);
+        let mut set = std::collections::BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rng.gen_range(0..=max_id));
+        }
+        set.into_iter()
+            .map(|raw| EntityId::from_usize(raw as usize))
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// LEB128 round-trip over the full `u32` range, and the decoder
+    /// consumes exactly the bytes the encoder produced.
+    #[test]
+    fn varint_round_trips(value in 0u32..=u32::MAX, trailing in 0u8..=u8::MAX) {
+        let mut bytes = Vec::new();
+        encode_u32(value, &mut bytes);
+        prop_assert!(bytes.len() <= 5);
+        let encoded_len = bytes.len();
+        bytes.push(trailing);
+        let mut pos = 0;
+        prop_assert_eq!(decode_u32(&bytes, &mut pos), Some(value));
+        prop_assert_eq!(pos, encoded_len);
+    }
+
+    /// Segment round-trip: encode → decode restores the ids exactly,
+    /// including the empty and single-id segments, and reports the
+    /// decoded id count.
+    #[test]
+    fn segment_round_trips(ids in SortedIds) {
+        let mut bytes = Vec::new();
+        encode_segment(&ids, &mut bytes);
+        let mut decoded = Vec::new();
+        let count = decode_segment(&bytes, &mut decoded);
+        prop_assert_eq!(count, Some(ids.len()));
+        prop_assert_eq!(decoded, ids);
+    }
+
+    /// Canonicality: encoded bytes are equal **iff** the id sets are equal.
+    /// The forward direction is determinism; the reverse (distinct sets
+    /// never collide) is what lets the sharded entropy scorer group tuples
+    /// by encoded bytes instead of decoded neighbor lists.
+    #[test]
+    fn encoding_is_canonical(a in SortedIds, b in SortedIds) {
+        let mut bytes_a = Vec::new();
+        let mut bytes_b = Vec::new();
+        encode_segment(&a, &mut bytes_a);
+        encode_segment(&b, &mut bytes_b);
+        prop_assert_eq!(bytes_a == bytes_b, a == b);
+    }
+}
+
+/// Random multigraph, same shape family as `delta_props`.
+fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> EntityGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = EntityGraphBuilder::new();
+    let type_ids: Vec<_> = (0..types)
+        .map(|i| builder.entity_type(&format!("T{i}")))
+        .collect();
+    let entities: Vec<Vec<_>> = type_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| {
+            (0..rng.gen_range(1..6))
+                .map(|j| builder.entity(&format!("e{i}-{j}"), &[ty]))
+                .collect()
+        })
+        .collect();
+    let rels: Vec<_> = (0..rel_types)
+        .map(|i| {
+            let src = rng.gen_range(0..types);
+            let dst = rng.gen_range(0..types);
+            (
+                builder.relationship_type(&format!("r{}", i % 3), type_ids[src], type_ids[dst]),
+                src,
+                dst,
+            )
+        })
+        .collect();
+    for _ in 0..edges {
+        let &(rel, src, dst) = &rels[rng.gen_range(0..rels.len())];
+        let s = entities[src][rng.gen_range(0..entities[src].len())];
+        let d = entities[dst][rng.gen_range(0..entities[dst].len())];
+        builder.edge(s, rel, d).expect("endpoints carry the types");
+    }
+    builder.build()
+}
+
+/// A random always-valid delta built by inspecting the graph directly:
+/// fresh entities, extra parallel edges of existing relationship types,
+/// removals of existing edges, and removals of edgeless entities (which
+/// force the full-reshard path).
+fn random_delta(rng: &mut ChaCha8Rng, graph: &EntityGraph, ops: usize) -> GraphDelta {
+    let type_names: Vec<String> = graph.types().map(|(_, n)| n.to_owned()).collect();
+    let edge_list: Vec<(String, String, String, String, String)> = graph
+        .edges()
+        .map(|(_, e)| {
+            let rel = graph.rel_type(e.rel);
+            (
+                graph.entity(e.src).name.clone(),
+                rel.name.clone(),
+                graph.entity(e.dst).name.clone(),
+                type_names[rel.src_type.index()].clone(),
+                type_names[rel.dst_type.index()].clone(),
+            )
+        })
+        .collect();
+    let mut delta = GraphDelta::new();
+    let mut removed_edges: Vec<usize> = Vec::new();
+    let mut fresh = 0u32;
+    for _ in 0..ops {
+        match rng.gen_range(0..10u32) {
+            // Fresh entity under an existing type.
+            0..=3 => {
+                let name = format!("shard-added-{fresh}");
+                fresh += 1;
+                let ty = &type_names[rng.gen_range(0..type_names.len())];
+                delta.add_entity(&name, &[ty]);
+            }
+            // Duplicate an existing edge (parallel instance).
+            4..=6 => {
+                if edge_list.is_empty() {
+                    continue;
+                }
+                let (s, r, d, st, dt) = &edge_list[rng.gen_range(0..edge_list.len())];
+                delta.add_edge(s, r, d, st, dt);
+            }
+            // Remove all parallel instances of an existing edge.
+            7..=8 => {
+                if edge_list.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(0..edge_list.len());
+                let (s, r, d, st, dt) = &edge_list[i];
+                delta.remove_edge(s, r, d, st, dt);
+                removed_edges.push(i);
+            }
+            // Remove an entity that was edgeless at batch start (triggers
+            // the id-compacting full reshard).
+            _ => {
+                let lonely: Vec<&str> = graph
+                    .entities()
+                    .filter(|(id, _)| {
+                        graph
+                            .neighbor_segments(*id, entity_graph::Direction::Outgoing)
+                            .next()
+                            .is_none()
+                            && graph
+                                .neighbor_segments(*id, entity_graph::Direction::Incoming)
+                                .next()
+                                .is_none()
+                    })
+                    .map(|(_, e)| e.name.as_str())
+                    .collect();
+                if lonely.is_empty() {
+                    continue;
+                }
+                delta.remove_entity(lonely[rng.gen_range(0..lonely.len())]);
+            }
+        }
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Model check: applying a random delta through the sharded path equals
+    /// sharding the spliced logical graph from scratch — under arbitrary
+    /// strategies, covering both the stable-id fast path and the
+    /// removal-triggered full reshard. When the batch is invalid (e.g. a
+    /// removed edge was duplicated first and the endpoint removal now
+    /// conflicts), both paths must agree on rejection and leave the sharded
+    /// version untouched.
+    #[test]
+    fn sharded_apply_delta_matches_reshard_from_scratch(
+        seed in 0u64..100_000,
+        types in 2usize..5,
+        rel_types in 1usize..6,
+        edges in 0usize..40,
+        ops in 1usize..12,
+        shards in 1usize..6,
+        by_type in proptest::bool::ANY,
+    ) {
+        let graph = Arc::new(random_graph(seed, types, rel_types, edges));
+        let strategy = if by_type {
+            ShardingStrategy::ByEntityType { shards }
+        } else {
+            ShardingStrategy::ByIdHash { shards }
+        };
+        let sharded = ShardedGraph::from_graph(Arc::clone(&graph), strategy);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0051_a24d);
+        let delta = random_delta(&mut rng, &graph, ops);
+
+        match graph.apply_delta(&delta) {
+            Ok(applied) => {
+                let applied_sharded = sharded
+                    .apply_delta(&delta)
+                    .expect("logical apply succeeded, sharded apply must too");
+                prop_assert_eq!(&applied_sharded.summary, &applied.summary);
+                // Shard-level equality against a from-scratch reshard of the
+                // *same* logical result.
+                let reference =
+                    ShardedGraph::from_graph(Arc::new(applied.graph), strategy);
+                prop_assert!(
+                    applied_sharded.sharded == reference,
+                    "sharded splice diverged from the from-scratch reshard"
+                );
+            }
+            Err(expected) => {
+                let err = sharded
+                    .apply_delta(&delta)
+                    .expect_err("logical apply failed, sharded apply must too");
+                prop_assert_eq!(format!("{err}"), format!("{expected}"));
+            }
+        }
+    }
+}

@@ -47,6 +47,7 @@ mod error;
 pub mod par;
 mod preview;
 pub mod scoring;
+pub mod sharded;
 
 pub use algo::{
     brute_force_subset_count, AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery,
@@ -58,6 +59,7 @@ pub use error::{Error, Result};
 pub use par::FjPool;
 pub use preview::{MaterializedRow, MaterializedTable, NonKeyAttr, Preview, PreviewTable};
 pub use scoring::{KeyScoring, NonKeyScoring, RandomWalkConfig, ScoredSchema, ScoringConfig};
+pub use sharded::{apply_delta_parallel, build_sharded, sharded_entropy_scores_with};
 
 /// Compile-time guarantees that the types a serving layer shares across
 /// threads are `Send + Sync + Clone`. Discovery over a shared

@@ -144,6 +144,51 @@ impl ScoredSchema {
         Self::build_with_schema(graph, schema, config)
     }
 
+    /// Like [`build`](Self::build) but reads entity-population scores from
+    /// **sharded** storage: entropy non-key scores run through the
+    /// cross-shard aggregation in [`crate::sharded`] (bitwise identical to
+    /// the unsharded scorer — the serving layer relies on this to register
+    /// sharded graphs transparently); everything else is schema-sized and
+    /// reads the logical graph.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`build`](Self::build).
+    pub fn build_sharded(
+        sharded: &entity_graph::ShardedGraph,
+        config: &ScoringConfig,
+    ) -> Result<Self> {
+        let schema = sharded.graph().schema_graph().clone();
+        let key_scores = match config.key {
+            KeyScoring::Coverage => key::coverage_scores(&schema),
+            KeyScoring::RandomWalk => key::random_walk_scores(&schema, &config.random_walk)?,
+        };
+        let (nonkey_outgoing, nonkey_incoming) = match config.non_key {
+            NonKeyScoring::Coverage => {
+                let cov = nonkey::coverage_scores(&schema);
+                (cov.clone(), cov)
+            }
+            NonKeyScoring::Entropy => {
+                crate::sharded::sharded_entropy_scores_with(sharded, &schema, config.threads)
+            }
+        };
+        let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
+        let prefix_sums = candidates::prefix_sums(&candidates);
+        let eligible = candidates::eligible_types(&candidates);
+        let distances = schema.distance_matrix();
+        Ok(Self {
+            schema,
+            distances,
+            config: *config,
+            key_scores,
+            nonkey_outgoing,
+            nonkey_incoming,
+            candidates,
+            prefix_sums,
+            eligible,
+        })
+    }
+
     /// Like [`build`](Self::build) but reuses an already-derived schema graph.
     pub fn build_with_schema(
         graph: &EntityGraph,
@@ -578,6 +623,39 @@ mod tests {
             .rescore_delta(&applied.graph, &applied.summary)
             .unwrap();
         assert!(!old_cov.scores_identical(&rescored_cov));
+    }
+
+    #[test]
+    fn build_sharded_matches_unsharded_build_bitwise() {
+        use entity_graph::{ShardedGraph, ShardingStrategy};
+        use std::sync::Arc;
+        let graph = Arc::new(fixtures::figure1_graph());
+        for config in [
+            ScoringConfig::coverage(),
+            ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy),
+            ScoringConfig::new(KeyScoring::RandomWalk, NonKeyScoring::Entropy).with_threads(0),
+        ] {
+            let unsharded = ScoredSchema::build(&graph, &config).unwrap();
+            for strategy in [
+                ShardingStrategy::ByEntityType { shards: 3 },
+                ShardingStrategy::ByIdHash { shards: 5 },
+            ] {
+                let sharded = ShardedGraph::from_graph(Arc::clone(&graph), strategy);
+                let scored = ScoredSchema::build_sharded(&sharded, &config).unwrap();
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&scored.key_scores), bits(&unsharded.key_scores));
+                assert_eq!(
+                    bits(&scored.nonkey_outgoing),
+                    bits(&unsharded.nonkey_outgoing)
+                );
+                assert_eq!(
+                    bits(&scored.nonkey_incoming),
+                    bits(&unsharded.nonkey_incoming)
+                );
+                assert!(scored.scores_identical(&unsharded));
+                assert_eq!(scored.eligible_types(), unsharded.eligible_types());
+            }
+        }
     }
 
     #[test]

@@ -129,11 +129,20 @@ fn orientation_entropy(
     if non_empty == 0 {
         return 0.0;
     }
-    // Sum group terms in sorted-count order: float addition is not
-    // associative, and HashMap iteration order is randomized per process, so
-    // an unsorted sum drifts by ulps run to run — enough to break the
-    // byte-identical serving guarantee the service layer tests.
-    let mut counts: Vec<u64> = groups.into_values().collect();
+    entropy_from_counts(groups.into_values().collect(), non_empty)
+}
+
+/// The entropy sum shared by the unsharded and sharded scoring paths: both
+/// group tuples by attribute value (borrowed neighbor slices there, canonical
+/// encoded bytes here — a bijection, since the encoding is canonical) and
+/// hand the group sizes to this function, so equal count multisets produce
+/// bitwise-equal scores.
+///
+/// Group terms are summed in sorted-count order: float addition is not
+/// associative, and `HashMap` iteration order is randomized per process, so
+/// an unsorted sum drifts by ulps run to run — enough to break the
+/// byte-identical serving guarantee the service layer tests.
+pub(crate) fn entropy_from_counts(mut counts: Vec<u64>, non_empty: u64) -> f64 {
     counts.sort_unstable();
     let total = non_empty as f64;
     counts

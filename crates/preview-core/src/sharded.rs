@@ -1,0 +1,250 @@
+//! Sharded-storage drivers: parallel shard builds, parallel delta
+//! re-splicing and cross-shard entropy aggregation, all on the crate's
+//! fork-join pool ([`FjPool`]).
+//!
+//! `entity-graph` keeps its sharding layer runtime-free by inverting control
+//! (see [`ShardedGraph::from_graph_with`]); this module injects the pool.
+//! Everything here is **bitwise identical** to the unsharded path:
+//!
+//! * shard builds and re-splices are independent per shard and collected in
+//!   shard order, so any schedule produces the same `ShardedGraph`;
+//! * entropy scoring groups tuples by their *canonical encoded* neighbor
+//!   bytes instead of borrowed neighbor slices — a bijection on value sets —
+//!   then merges the per-shard groups into one global count multiset and
+//!   sums it through the same sorted-order kernel as the unsharded scorer,
+//!   so every score matches [`nonkey::entropy_scores`] bit for bit (the
+//!   determinism guard enforces this).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use entity_graph::{
+    AppliedShardedDelta, Direction, EntityGraph, GraphDelta, SchemaEdge, SchemaGraph, ShardedGraph,
+    ShardingStrategy, TypeId,
+};
+
+use crate::par::FjPool;
+use crate::scoring::nonkey;
+
+/// Shards `graph` under `strategy`, building the shards in parallel on the
+/// [global fork-join pool](FjPool::global) with the given thread budget
+/// (`1` = sequential, `0` = auto; see
+/// [`ScoringConfig::threads`](crate::ScoringConfig::threads)).
+///
+/// The result is identical to [`ShardedGraph::from_graph`] for every
+/// `threads` value: shards are independent and collected in shard order.
+pub fn build_sharded(
+    graph: Arc<EntityGraph>,
+    strategy: ShardingStrategy,
+    threads: usize,
+) -> ShardedGraph {
+    ShardedGraph::from_graph_with(graph, strategy, |count, build| {
+        let indexes: Vec<usize> = (0..count).collect();
+        FjPool::global().map(threads, &indexes, |_, &shard| build(shard))
+    })
+}
+
+/// Applies a delta to a sharded graph, re-splicing the shards in parallel on
+/// the [global fork-join pool](FjPool::global).
+///
+/// Identical to [`ShardedGraph::apply_delta`] for every `threads` value —
+/// and therefore equal to resharding the spliced logical graph from scratch.
+///
+/// # Errors
+///
+/// Exactly those of [`entity_graph::EntityGraph::apply_delta`]; a failed
+/// batch leaves `sharded` untouched.
+pub fn apply_delta_parallel(
+    sharded: &ShardedGraph,
+    delta: &GraphDelta,
+    threads: usize,
+) -> entity_graph::Result<AppliedShardedDelta> {
+    sharded.apply_delta_with(delta, |count, build| {
+        let indexes: Vec<usize> = (0..count).collect();
+        FjPool::global().map(threads, &indexes, |_, &shard| build(shard))
+    })
+}
+
+/// Entropy-based non-key scores computed from sharded storage, sequentially.
+/// See [`sharded_entropy_scores_with`].
+pub fn sharded_entropy_scores(
+    sharded: &ShardedGraph,
+    schema: &SchemaGraph,
+) -> (Vec<f64>, Vec<f64>) {
+    sharded_entropy_scores_with(sharded, schema, 1)
+}
+
+/// Entropy-based non-key scores for both orientations of every schema edge,
+/// computed from sharded storage with cross-shard aggregation, scoring the
+/// candidate attributes in parallel on the
+/// [global fork-join pool](FjPool::global).
+///
+/// Bitwise identical to
+/// [`nonkey::entropy_scores_with`] on the logical graph for every `threads`
+/// value: tuples group equal iff their canonical encoded neighbor bytes are
+/// equal, merging per-shard groups preserves the global count multiset (an
+/// entity lives in exactly one shard), and the final sum runs over sorted
+/// counts in both paths.
+pub fn sharded_entropy_scores_with(
+    sharded: &ShardedGraph,
+    schema: &SchemaGraph,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    FjPool::global()
+        .map(threads, schema.edges(), |_, edge| {
+            sharded_entropy_scores_for_edge(sharded, schema, edge)
+        })
+        .into_iter()
+        .unzip()
+}
+
+/// Entropy scores of a single schema edge from sharded storage:
+/// `(outgoing, incoming)`. Bitwise identical to
+/// [`nonkey::entropy_scores_for_edge`].
+pub fn sharded_entropy_scores_for_edge(
+    sharded: &ShardedGraph,
+    schema: &SchemaGraph,
+    edge: &SchemaEdge,
+) -> (f64, f64) {
+    let outgoing = sharded_orientation_entropy(
+        sharded,
+        schema,
+        edge.name.as_str(),
+        edge.src,
+        edge.dst,
+        Direction::Outgoing,
+    );
+    let incoming = sharded_orientation_entropy(
+        sharded,
+        schema,
+        edge.name.as_str(),
+        edge.src,
+        edge.dst,
+        Direction::Incoming,
+    );
+    (outgoing, incoming)
+}
+
+fn sharded_orientation_entropy(
+    sharded: &ShardedGraph,
+    schema: &SchemaGraph,
+    rel_name: &str,
+    src: TypeId,
+    dst: TypeId,
+    direction: Direction,
+) -> f64 {
+    let graph = sharded.graph();
+    // Same name-based resolution as the unsharded scorer, so schema graphs
+    // from a different builder run still line up.
+    let (src_in_graph, dst_in_graph) = match (
+        graph.type_by_name(schema.type_name(src)),
+        graph.type_by_name(schema.type_name(dst)),
+    ) {
+        (Some(s), Some(d)) => (s, d),
+        _ => return 0.0,
+    };
+    let rel = match graph.rel_type_by_key(rel_name, src_in_graph, dst_in_graph) {
+        Some(r) => r,
+        None => return 0.0,
+    };
+    let key_type = match direction {
+        Direction::Outgoing => src_in_graph,
+        Direction::Incoming => dst_in_graph,
+    };
+    // Cross-shard aggregation: every shard contributes its members' encoded
+    // value bytes to one global group map. The encoding is canonical —
+    // identical neighbor sets encode to identical bytes and vice versa — so
+    // the groups are exactly the unsharded scorer's slice-keyed groups, just
+    // discovered shard by shard.
+    let mut groups: HashMap<&[u8], u64> = HashMap::new();
+    let mut non_empty = 0u64;
+    for shard in sharded.shards() {
+        for &local in shard.locals_of_type(key_type) {
+            if let Some(bytes) = shard.encoded(local as usize, rel, direction) {
+                non_empty += 1;
+                *groups.entry(bytes).or_insert(0) += 1;
+            }
+        }
+    }
+    if non_empty == 0 {
+        return 0.0;
+    }
+    nonkey::entropy_from_counts(groups.into_values().collect(), non_empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_graph::fixtures;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|f| f.to_bits()).collect()
+    }
+
+    fn strategies() -> [ShardingStrategy; 3] {
+        [
+            ShardingStrategy::ByEntityType { shards: 1 },
+            ShardingStrategy::ByEntityType { shards: 4 },
+            ShardingStrategy::ByIdHash { shards: 3 },
+        ]
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_reference() {
+        let graph = Arc::new(fixtures::figure1_graph());
+        for strategy in strategies() {
+            let reference = ShardedGraph::from_graph(Arc::clone(&graph), strategy);
+            for threads in [0, 1, 2, 8] {
+                let parallel = build_sharded(Arc::clone(&graph), strategy, threads);
+                assert_eq!(parallel, reference, "{strategy:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_entropy_is_bitwise_identical_to_unsharded() {
+        let graph = Arc::new(fixtures::figure1_graph());
+        let schema = graph.schema_graph().clone();
+        let (expected_out, expected_inc) = nonkey::entropy_scores(&graph, &schema);
+        for strategy in strategies() {
+            let sharded = build_sharded(Arc::clone(&graph), strategy, 0);
+            for threads in [0, 1, 2, 8] {
+                let (out, inc) = sharded_entropy_scores_with(&sharded, &schema, threads);
+                assert_eq!(bits(&out), bits(&expected_out), "{strategy:?}");
+                assert_eq!(bits(&inc), bits(&expected_inc), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_delta_apply_matches_reshard_from_scratch() {
+        let graph = Arc::new(fixtures::figure1_graph());
+        let mut delta = GraphDelta::new();
+        delta
+            .add_entity("Bad Boys", &["FILM"])
+            .add_edge("Will Smith", "Actor", "Bad Boys", "FILM ACTOR", "FILM")
+            .remove_edge(
+                "Men in Black",
+                "Genres",
+                "Action Film",
+                "FILM",
+                "FILM GENRE",
+            );
+        for strategy in strategies() {
+            let sharded = build_sharded(Arc::clone(&graph), strategy, 0);
+            for threads in [0, 1, 4] {
+                let applied = apply_delta_parallel(&sharded, &delta, threads).unwrap();
+                let reference =
+                    ShardedGraph::from_graph(Arc::clone(applied.sharded.graph()), strategy);
+                assert_eq!(applied.sharded, reference, "{strategy:?} threads={threads}");
+                // Entropy over the new version stays bitwise identical too.
+                let schema = applied.sharded.graph().schema_graph().clone();
+                let (expected_out, expected_inc) =
+                    nonkey::entropy_scores(applied.sharded.graph(), &schema);
+                let (out, inc) = sharded_entropy_scores(&applied.sharded, &schema);
+                assert_eq!(bits(&out), bits(&expected_out));
+                assert_eq!(bits(&inc), bits(&expected_inc));
+            }
+        }
+    }
+}

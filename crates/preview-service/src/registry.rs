@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use entity_graph::{DeltaSummary, EntityGraph, GraphDelta};
+use entity_graph::{DeltaSummary, EntityGraph, GraphDelta, ShardedGraph, ShardingStrategy};
 use preview_core::{ScoredSchema, ScoringConfig};
 
 use crate::request::{ScoringKey, ServiceError, ServiceResult};
@@ -46,15 +46,26 @@ pub struct RegisteredGraph {
     name: String,
     version: u32,
     graph: Arc<EntityGraph>,
+    /// Sharded storage for this version, when registered through
+    /// [`GraphRegistry::register_sharded`]. The inner `Arc<EntityGraph>` is
+    /// the same allocation as `graph`, so the logical graph is never held
+    /// twice; scoring routes through the sharded path transparently.
+    sharded: Option<Arc<ShardedGraph>>,
     scored: Mutex<HashMap<ScoringKey, ScoredEntry>>,
 }
 
 impl RegisteredGraph {
-    fn new(name: String, version: u32, graph: Arc<EntityGraph>) -> Self {
+    fn new(
+        name: String,
+        version: u32,
+        graph: Arc<EntityGraph>,
+        sharded: Option<Arc<ShardedGraph>>,
+    ) -> Self {
         Self {
             name,
             version,
             graph,
+            sharded,
             scored: Mutex::new(HashMap::new()),
         }
     }
@@ -72,6 +83,12 @@ impl RegisteredGraph {
     /// The underlying entity graph.
     pub fn graph(&self) -> &Arc<EntityGraph> {
         &self.graph
+    }
+
+    /// The sharded storage backing this version, if it was registered
+    /// sharded (see [`GraphRegistry::register_sharded`]).
+    pub fn sharded(&self) -> Option<&Arc<ShardedGraph>> {
+        self.sharded.as_ref()
     }
 
     /// Number of scoring configurations already memoized.
@@ -96,7 +113,13 @@ impl RegisteredGraph {
         };
         // Build outside the map lock: other configurations stay servable
         // while this one scores, and OnceLock still guarantees one build.
-        let outcome = slot.get_or_init(|| ScoredSchema::build(&self.graph, config).map(Arc::new));
+        // Sharded versions score through cross-shard aggregation, which is
+        // bitwise identical to the unsharded path — callers cannot tell the
+        // storage layouts apart.
+        let outcome = slot.get_or_init(|| match &self.sharded {
+            Some(sharded) => ScoredSchema::build_sharded(sharded, config).map(Arc::new),
+            None => ScoredSchema::build(&self.graph, config).map(Arc::new),
+        });
         match outcome {
             Ok(scored) => Ok(Arc::clone(scored)),
             Err(e) => Err(ServiceError::Discovery(e.clone())),
@@ -211,12 +234,39 @@ impl GraphRegistry {
     /// path, so the first preview request against the new version never pays
     /// it.
     pub fn register(&self, name: impl Into<String>, graph: EntityGraph) -> Arc<RegisteredGraph> {
-        let name = name.into();
+        self.register_version(name.into(), Arc::new(graph), None)
+    }
+
+    /// Registers `graph` under `name` with **sharded** storage: the graph is
+    /// partitioned under `strategy` (shards built in parallel on the global
+    /// fork-join pool) before the new version goes live, and every scoring
+    /// request and delta publish against it runs through the sharded path —
+    /// transparently, since all sharded outputs are bitwise identical to the
+    /// unsharded ones.
+    pub fn register_sharded(
+        &self,
+        name: impl Into<String>,
+        graph: EntityGraph,
+        strategy: ShardingStrategy,
+    ) -> Arc<RegisteredGraph> {
+        let graph = Arc::new(graph);
+        let sharded = Arc::new(preview_core::build_sharded(Arc::clone(&graph), strategy, 0));
+        self.register_version(name.into(), graph, Some(sharded))
+    }
+
+    /// Shared registration tail: warms the schema memo off the request path
+    /// and appends the new version under the write lock.
+    fn register_version(
+        &self,
+        name: String,
+        graph: Arc<EntityGraph>,
+        sharded: Option<Arc<ShardedGraph>>,
+    ) -> Arc<RegisteredGraph> {
         graph.schema_graph();
         let mut graphs = self.graphs.write().expect("registry lock");
         let versions = graphs.entry(name.clone()).or_default();
         let version = versions.last().map_or(1, |g| g.version + 1);
-        let registered = Arc::new(RegisteredGraph::new(name, version, Arc::new(graph)));
+        let registered = Arc::new(RegisteredGraph::new(name, version, graph, sharded));
         versions.push(Arc::clone(&registered));
         registered
     }
@@ -279,18 +329,35 @@ impl GraphRegistry {
             });
         }
         loop {
-            let applied = current
-                .graph()
-                .apply_delta(delta)
-                .map_err(ServiceError::Delta)?;
+            // Sharded versions splice through the per-shard path (shards
+            // re-spliced in parallel, untouched entities block-copied); the
+            // logical outcome and summary are identical either way.
+            let (new_graph, new_sharded, summary) = match current.sharded() {
+                Some(sharded) => {
+                    let applied = preview_core::apply_delta_parallel(sharded, delta, 0)
+                        .map_err(ServiceError::Delta)?;
+                    (
+                        Arc::clone(applied.sharded.graph()),
+                        Some(Arc::new(applied.sharded)),
+                        applied.summary,
+                    )
+                }
+                None => {
+                    let applied = current
+                        .graph()
+                        .apply_delta(delta)
+                        .map_err(ServiceError::Delta)?;
+                    (Arc::new(applied.graph), None, applied.summary)
+                }
+            };
             // Warm the schema memo off the request path, like `register`.
-            applied.graph.schema_graph();
+            new_graph.schema_graph();
             let mut seeds = Vec::new();
             let mut unaffected_configs = Vec::new();
             for (config, old_scored) in current.memoized_scored() {
                 let rescored = Arc::new(
                     old_scored
-                        .rescore_delta(&applied.graph, &applied.summary)
+                        .rescore_delta(&new_graph, &summary)
                         .map_err(ServiceError::Discovery)?,
                 );
                 if old_scored.scores_identical(&rescored) {
@@ -314,7 +381,8 @@ impl GraphRegistry {
                     let registered = Arc::new(RegisteredGraph::new(
                         name.to_string(),
                         version,
-                        Arc::new(applied.graph),
+                        new_graph,
+                        new_sharded,
                     ));
                     for (config, scored) in seeds {
                         registered.seed_scored(&config, scored);
@@ -326,7 +394,7 @@ impl GraphRegistry {
                         registered,
                         previous_version: current.version(),
                         bumped: true,
-                        summary: applied.summary,
+                        summary,
                         rescored_configs,
                         unaffected_configs,
                         versions_dropped: dropped,
@@ -577,6 +645,69 @@ mod tests {
         assert!(matches!(err, ServiceError::Delta(_)));
         assert_eq!(registry.latest_version("fig1"), Some(1));
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn register_sharded_serves_identical_scores() {
+        let registry = GraphRegistry::new();
+        let plain = registry.register("plain", fixtures::figure1_graph());
+        let sharded = registry.register_sharded(
+            "sharded",
+            fixtures::figure1_graph(),
+            ShardingStrategy::ByIdHash { shards: 3 },
+        );
+        assert!(plain.sharded().is_none());
+        assert!(sharded.sharded().is_some());
+        let entropy = ScoringConfig::new(
+            preview_core::KeyScoring::Coverage,
+            preview_core::NonKeyScoring::Entropy,
+        );
+        for config in [ScoringConfig::coverage(), entropy] {
+            let a = plain.scored_for(&config).unwrap();
+            let b = sharded.scored_for(&config).unwrap();
+            assert!(a.scores_identical(&b), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn publish_delta_keeps_versions_sharded() {
+        let registry = GraphRegistry::new();
+        let strategy = ShardingStrategy::ByEntityType { shards: 4 };
+        let v1 = registry.register_sharded("fig1", fixtures::figure1_graph(), strategy);
+        let entropy = ScoringConfig::new(
+            preview_core::KeyScoring::Coverage,
+            preview_core::NonKeyScoring::Entropy,
+        );
+        v1.scored_for(&entropy).unwrap();
+        let mut delta = entity_graph::GraphDelta::new();
+        delta.add_entity("Bad Boys", &["FILM"]).add_edge(
+            "Will Smith",
+            "Actor",
+            "Bad Boys",
+            "FILM ACTOR",
+            "FILM",
+        );
+        let publish = registry.publish_delta("fig1", &delta).unwrap();
+        assert!(publish.bumped);
+        assert_eq!(publish.rescored_configs, 1);
+        let new_sharded = publish.registered.sharded().expect("version stays sharded");
+        // The spliced sharded storage equals a reshard of the new logical
+        // graph from scratch, and the logical graph is shared, not copied.
+        let reference = entity_graph::ShardedGraph::from_graph(
+            Arc::clone(publish.registered.graph()),
+            strategy,
+        );
+        assert_eq!(**new_sharded, reference);
+        assert!(Arc::ptr_eq(new_sharded.graph(), publish.registered.graph()));
+        // The carried-forward rescore matches a cold sharded build bitwise.
+        let rescored = publish.registered.scored_for(&entropy).unwrap();
+        let cold = ScoredSchema::build_sharded(new_sharded, &entropy).unwrap();
+        assert!(rescored.scores_identical(&cold));
+        // A rejected delta leaves the sharded version in place.
+        let mut bad = entity_graph::GraphDelta::new();
+        bad.remove_entity("Men in Black");
+        assert!(registry.publish_delta("fig1", &bad).is_err());
+        assert_eq!(registry.latest_version("fig1"), Some(2));
     }
 
     #[test]

@@ -120,6 +120,65 @@ fn figure1_discovery_outputs_are_byte_identical_at_four_threads() {
     assert_goldens_with_threads(&fixtures::figure1_graph(), &FIG1_GOLDENS, 4);
 }
 
+/// Sharded storage is a pure refactor of the storage layer: discovery on a
+/// `ScoredSchema` built from sharded storage must reproduce the pre-CSR
+/// goldens bit for bit, under every sharding strategy and thread budget —
+/// the same bytes the monolithic path is pinned to above.
+fn assert_goldens_sharded(graph: EntityGraph, goldens: &[Golden]) {
+    use preview_tables::graph::ShardingStrategy;
+    let graph = std::sync::Arc::new(graph);
+    let strategies = [
+        ShardingStrategy::ByEntityType { shards: 1 },
+        ShardingStrategy::ByEntityType { shards: 4 },
+        ShardingStrategy::ByIdHash { shards: 3 },
+    ];
+    for strategy in strategies {
+        for threads in [1, 4] {
+            let sharded = preview_tables::core::build_sharded(
+                std::sync::Arc::clone(&graph),
+                strategy,
+                threads,
+            );
+            for golden in goldens {
+                let config = config_of(golden.config).with_threads(threads);
+                let scored = ScoredSchema::build_sharded(&sharded, &config).unwrap();
+                let space = space_of(golden.space);
+                let preview = Algorithm::Auto
+                    .resolve(&space)
+                    .discovery()
+                    .discover(&scored, &space)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{}/{}: no preview", golden.config, golden.space));
+                assert_eq!(
+                    scored.preview_score(&preview).to_bits(),
+                    golden.score_bits,
+                    "{}/{} ({strategy:?}, threads={threads}): sharded score drifted",
+                    golden.config,
+                    golden.space
+                );
+                assert_eq!(
+                    preview.describe(scored.schema()),
+                    golden.describe.replace("\\n", "\n"),
+                    "{}/{} ({strategy:?}, threads={threads}): sharded description drifted",
+                    golden.config,
+                    golden.space
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure1_sharded_discovery_outputs_are_byte_identical_to_goldens() {
+    assert_goldens_sharded(fixtures::figure1_graph(), &FIG1_GOLDENS);
+}
+
+#[test]
+fn datagen_sharded_discovery_outputs_are_byte_identical_to_goldens() {
+    let graph = SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4));
+    assert_goldens_sharded(graph, &FILM_GOLDENS);
+}
+
 #[test]
 fn datagen_discovery_outputs_are_byte_identical_at_four_threads() {
     let graph = SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4));
