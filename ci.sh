@@ -34,6 +34,14 @@ echo "==> preview-serve smoke workload (emits BENCH_service.json)"
 cargo run --release -p bench --bin preview-serve -- \
     --requests 1000 --scale 5e-5 --out BENCH_service.json --check
 
+echo "==> obs-bench smoke workload (emits BENCH_obs.json)"
+# Observability overhead gate: the disabled recorder must cost < 1% on the
+# serving path and full span recording < 5% (best paired round wins), and
+# the exported ObsSnapshot JSON must parse and enumerate every stage and
+# counter with exact request counts.
+cargo run --release -p bench --bin obs-bench -- \
+    --out BENCH_obs.json --check
+
 echo "==> parallel-bench smoke workload (emits BENCH_parallel.json)"
 # Sequential vs 4-thread discovery, bitwise-identical outputs enforced.
 # Speedup floors are host-aware (full 1.5x discovery floor with >= 4 cores,

@@ -3,7 +3,10 @@
 //! Replays a synthetic `datagen` workload (Zipf-skewed repeated requests)
 //! against two service configurations — a 1-worker, cache-disabled baseline
 //! and the full multi-worker cached service — and prints a JSON summary of
-//! throughput, latency percentiles and cache behaviour.
+//! throughput, latency percentiles and cache behaviour. The service pass
+//! runs with an enabled [`Recorder`], and its full [`ObsSnapshot`] rides
+//! along in the summary under `"obs"` (per-stage histograms, counters,
+//! flight dumps).
 //!
 //! ```text
 //! cargo run -p bench --release --bin preview-serve
@@ -18,6 +21,7 @@ use std::sync::Arc;
 use bench::service_workload::{synth_workload, workload_graph, ServiceWorkload, WorkloadSpec};
 use datagen::FreebaseDomain;
 use entity_graph::EntityGraph;
+use preview_obs::{ObsSnapshot, Recorder};
 use preview_service::{GraphRegistry, PreviewService, ServiceConfig};
 
 struct Options {
@@ -105,17 +109,26 @@ struct PassSummary {
     failed: u64,
 }
 
+/// Runs one measured pass; with `recorder`, the service is traced and its
+/// [`ObsSnapshot`] is returned alongside the summary.
 fn run_pass(
     label: &'static str,
     graph: &EntityGraph,
     workload: &ServiceWorkload,
     config: ServiceConfig,
-) -> PassSummary {
+    recorder: Option<Arc<Recorder>>,
+) -> (PassSummary, Option<ObsSnapshot>) {
     let registry = Arc::new(GraphRegistry::new());
     registry
         .register_precomputed(&workload.graph_name, graph.clone(), &workload.configs)
         .expect("scoring the workload graph succeeds");
-    let service = PreviewService::start(config, registry);
+    let service = match &recorder {
+        Some(recorder) => {
+            recorder.enable();
+            PreviewService::start_with_recorder(config, registry, Arc::clone(recorder))
+        }
+        None => PreviewService::start(config, registry),
+    };
 
     let handles: Vec<_> = workload
         .requests
@@ -126,8 +139,13 @@ fn run_pass(
         handle.wait().expect("workload requests succeed");
     }
 
+    let snapshot = recorder.as_ref().map(|recorder| {
+        let snapshot = service.snapshot();
+        recorder.disable();
+        snapshot
+    });
     let stats = service.shutdown();
-    PassSummary {
+    let summary = PassSummary {
         label,
         workers: config.workers,
         cache_enabled: config.cache_capacity > 0,
@@ -143,7 +161,8 @@ fn run_pass(
         cache_invalidated: stats.cache_invalidated,
         completed: stats.completed,
         failed: stats.failed,
-    }
+    };
+    (summary, snapshot)
 }
 
 fn pass_json(pass: &PassSummary) -> String {
@@ -201,7 +220,7 @@ fn main() -> ExitCode {
         "[preview-serve] baseline pass: {} worker(s), cache disabled ...",
         options.baseline_workers
     );
-    let baseline = run_pass(
+    let (baseline, _) = run_pass(
         "baseline",
         &graph,
         &workload,
@@ -211,12 +230,13 @@ fn main() -> ExitCode {
             cache_capacity: 0,
             cache_shards: 1,
         },
+        None,
     );
     eprintln!(
         "[preview-serve] service pass: {} worker(s), cache capacity {} ...",
         options.workers, options.cache_capacity
     );
-    let service = run_pass(
+    let (service, obs) = run_pass(
         "service",
         &graph,
         &workload,
@@ -226,7 +246,9 @@ fn main() -> ExitCode {
             cache_capacity: options.cache_capacity,
             cache_shards: 8,
         },
+        Some(Arc::new(Recorder::default())),
     );
+    let obs = obs.expect("the traced pass returns a snapshot");
 
     let speedup = if baseline.throughput_rps > 0.0 {
         service.throughput_rps / baseline.throughput_rps
@@ -240,7 +262,8 @@ fn main() -> ExitCode {
             " \"baseline\":{},\n",
             " \"service\":{},\n",
             " \"speedup\":{:.2},\n",
-            " \"peak_rss_bytes\":{}}}"
+            " \"peak_rss_bytes\":{},\n",
+            " \"obs\":{}}}"
         ),
         workload.graph_name,
         options.spec.scale,
@@ -252,6 +275,7 @@ fn main() -> ExitCode {
         pass_json(&service),
         speedup,
         bench::util::json_opt_u64(bench::util::peak_rss_bytes()),
+        obs.to_json(),
     );
     println!("{json}");
     if let Some(path) = &options.out {

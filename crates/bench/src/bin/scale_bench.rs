@@ -35,6 +35,7 @@ use std::sync::Arc;
 use bench::util::{json_opt_u64, parse_checked as parse, peak_rss_bytes, timed};
 use datagen::{FreebaseDomain, SyntheticGenerator, UpdateStream, UpdateStreamConfig};
 use entity_graph::{ShardedGraph, ShardingStrategy};
+use preview_obs::Recorder;
 use preview_service::GraphRegistry;
 
 /// Throughput floors enforced with `--check` at factor 100 — set ~4x below
@@ -260,6 +261,13 @@ fn main() -> ExitCode {
         }
     };
 
+    // Trace every tier: the sharded build, splice, rescore and publish
+    // spans all fire on this thread, so one attached recorder sees the
+    // whole sweep and its snapshot rides along in the summary.
+    let recorder = Arc::new(Recorder::default());
+    recorder.enable();
+    let _attach = recorder.attach();
+
     let mut tiers = Vec::new();
     for &factor in &options.factors {
         match run_tier(&options, strategy, factor) {
@@ -283,7 +291,8 @@ fn main() -> ExitCode {
             "\"strategy\":\"{}\",\"shards\":{},\"batch\":{}}},\n",
             " \"tiers\":[\n{}\n ],\n",
             " \"check\":{{\"floor_factor\":{},\"build_edges_per_s_floor\":{},\"publish_edits_per_s_floor\":{}}},\n",
-            " \"peak_rss_bytes\":{}}}"
+            " \"peak_rss_bytes\":{},\n",
+            " \"obs\":{}}}"
         ),
         options.domain.name(),
         options.base_scale,
@@ -296,6 +305,7 @@ fn main() -> ExitCode {
         BUILD_EDGES_PER_S_FLOOR,
         PUBLISH_EDITS_PER_S_FLOOR,
         json_opt_u64(peak_rss_bytes()),
+        recorder.snapshot().to_json(),
     );
     println!("{json}");
     if let Some(path) = &options.out {

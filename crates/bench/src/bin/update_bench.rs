@@ -22,7 +22,9 @@
 //! under entropy and coverage scoring, publish a provably score-neutral
 //! delta (a duplicate parallel edge), and verify that entropy entries are
 //! carried across the version bump byte-identically while coverage entries
-//! are invalidated — the version-aware cache-retention contract.
+//! are invalidated — the version-aware cache-retention contract. This phase
+//! runs with an enabled [`Recorder`]; its [`ObsSnapshot`] (publish spans,
+//! carried/invalidated counters) rides along in the summary under `"obs"`.
 //!
 //! ```text
 //! cargo run -p bench --release --bin update-bench
@@ -37,6 +39,7 @@ use bench::util::{min_timed as timed, parse_checked as parse};
 use datagen::{FreebaseDomain, SyntheticGenerator, UpdateStream, UpdateStreamConfig};
 use entity_graph::{delta, Direction, EntityGraph, GraphDelta};
 use preview_core::{KeyScoring, NonKeyScoring, PreviewSpace, ScoredSchema, ScoringConfig};
+use preview_obs::{ObsSnapshot, Recorder};
 use preview_service::{
     GraphRegistry, PreviewRequest, PreviewResponse, PreviewService, ServiceConfig,
 };
@@ -204,14 +207,23 @@ struct RetentionPhase {
     carried_forward: u64,
     invalidated: u64,
     carried_hits: usize,
+    obs: ObsSnapshot,
 }
 
 /// Warms a service cache under entropy + coverage scoring, publishes a
 /// score-neutral delta, and verifies the version-aware retention contract.
+/// The service is traced, so the publish/splice spans and retention counters
+/// land in the returned snapshot.
 fn retention_phase(graph: &EntityGraph) -> Result<RetentionPhase, String> {
     let registry = Arc::new(GraphRegistry::new());
     registry.register("film", graph.clone());
-    let service = PreviewService::start(ServiceConfig::default(), registry);
+    let recorder = Arc::new(Recorder::default());
+    recorder.enable();
+    let service = PreviewService::start_with_recorder(
+        ServiceConfig::default(),
+        registry,
+        Arc::clone(&recorder),
+    );
     let entropy = ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy);
     let coverage = ScoringConfig::coverage();
     let spaces = [
@@ -275,11 +287,14 @@ fn retention_phase(graph: &EntityGraph) -> Result<RetentionPhase, String> {
         }
     }
     let stats = service.stats();
+    let obs = service.snapshot();
+    recorder.disable();
     Ok(RetentionPhase {
         warmed_entries: warmed.len(),
         carried_forward: stats.cache_carried_forward,
         invalidated: stats.cache_invalidated,
         carried_hits,
+        obs,
     })
 }
 
@@ -338,7 +353,8 @@ fn main() -> ExitCode {
                 " \"cache_retention\":{{\"warmed\":{},\"carried_forward\":{},\"invalidated\":{},",
                 "\"carried_hits_bitwise\":{}}},\n",
                 " \"check\":{{\"speedup_floor\":{}}},\n",
-                " \"peak_rss_bytes\":{}}}"
+                " \"peak_rss_bytes\":{},\n",
+                " \"obs\":{}}}"
             ),
             options.domain.name(),
             options.scale,
@@ -362,6 +378,7 @@ fn main() -> ExitCode {
             retention.carried_hits,
             SPEEDUP_FLOOR,
             bench::util::json_opt_u64(bench::util::peak_rss_bytes()),
+            retention.obs.to_json(),
         )
     };
     let mut rendered = json(&timings);

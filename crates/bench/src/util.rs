@@ -162,36 +162,14 @@ pub fn closest_matches<'a>(
 /// Peak resident set size (high-water mark) of this process in bytes, or
 /// `None` where the platform doesn't expose it.
 ///
-/// On Linux this reads `VmHWM` from `/proc/self/status` — the kernel's
-/// lifetime RSS high-water mark, which is exactly the "peak memory" a
-/// scale benchmark should report (a post-build measurement still sees the
-/// build-time peak). Other platforms return `None` and benchmarks emit
-/// `null` for the field rather than a fabricated number.
+/// Delegates to [`preview_obs::peak_rss_bytes`], the canonical reader (on
+/// Linux: `VmHWM` from `/proc/self/status`, the lifetime RSS high-water
+/// mark — exactly the "peak memory" a scale benchmark should report, since
+/// a post-build measurement still sees the build-time peak). Elsewhere it
+/// returns `None` and benchmarks emit `null` rather than a fabricated
+/// number.
 pub fn peak_rss_bytes() -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        parse_vm_hwm(&status)
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        None
-    }
-}
-
-/// Parses the `VmHWM:` line of a `/proc/<pid>/status` document into bytes.
-/// Split from [`peak_rss_bytes`] so the parsing is unit-testable.
-fn parse_vm_hwm(status: &str) -> Option<u64> {
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    // Format: "VmHWM:      123456 kB" — the kernel always reports kB.
-    let kb: u64 = line
-        .trim_start_matches("VmHWM:")
-        .trim()
-        .trim_end_matches("kB")
-        .trim()
-        .parse()
-        .ok()?;
-    Some(kb * 1024)
+    preview_obs::peak_rss_bytes()
 }
 
 /// Renders an `Option<u64>` as a JSON value: the number, or `null`.
@@ -274,14 +252,6 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt3(0.12345), "0.123");
         assert_eq!(fmt2(5.67891), "5.68");
-    }
-
-    #[test]
-    fn vm_hwm_parsing() {
-        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t    4096 kB\nThreads:\t1\n";
-        assert_eq!(parse_vm_hwm(status), Some(4096 * 1024));
-        assert_eq!(parse_vm_hwm("Name:\tbench\n"), None);
-        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
     }
 
     #[cfg(target_os = "linux")]

@@ -329,6 +329,7 @@ impl EntityGraph {
     /// [`Error::EntityInUse`], [`Error::NoSuchEdge`], [`Error::UnknownName`]
     /// or [`Error::TypeMismatch`].
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<AppliedDelta> {
+        let _span = preview_obs::span!(preview_obs::Stage::DeltaApply, ops = delta.ops().len());
         delta::apply(self, delta)
     }
 }

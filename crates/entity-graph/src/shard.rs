@@ -380,6 +380,14 @@ pub struct AppliedShardedDelta {
     pub sharded: ShardedGraph,
     /// What changed relative to the input version.
     pub summary: DeltaSummary,
+    /// Whether the identity splice fast path applied (no pre-existing
+    /// entity removed: untouched shards were block-copied). `false` means
+    /// the delta forced a full reshard.
+    pub spliced: bool,
+    /// Shards whose storage had to be rebuilt rather than block-copied:
+    /// shards holding a delta-touched or newly added entity on the splice
+    /// path, or every shard on a full reshard.
+    pub touched_shards: usize,
 }
 
 /// A logical [`EntityGraph`] partitioned across N [`GraphShard`]s (see the
@@ -426,7 +434,9 @@ impl ShardedGraph {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> GraphShard + Sync)) -> Vec<GraphShard>,
     {
+        let mut span = preview_obs::span!(preview_obs::Stage::ShardedBuild);
         let (directory, members) = plan(&graph, strategy);
+        span.set_attr(members.len() as u64);
         let build = |shard: usize| GraphShard::build(&graph, &members[shard]);
         let shards = run(members.len(), &build);
         assert_eq!(
@@ -545,6 +555,23 @@ impl ShardedGraph {
         } else {
             Vec::new()
         };
+        // A shard is "touched" if its storage cannot be block-copied
+        // wholesale: it gained a new entity or holds a delta-touched one.
+        // On a full reshard every shard rebuilds.
+        let touched_shards = if identity {
+            members
+                .iter()
+                .filter(|shard_members| {
+                    shard_members
+                        .iter()
+                        .any(|e| e.index() >= old_entity_count || touched[e.index()])
+                })
+                .count()
+        } else {
+            members.len()
+        };
+        let mut span = preview_obs::span!(preview_obs::Stage::ShardSplice);
+        span.set_attr(touched_shards as u64);
         let build = |shard: usize| -> GraphShard {
             if identity {
                 GraphShard::build_inner(
@@ -570,6 +597,8 @@ impl ShardedGraph {
                 shards,
             },
             summary,
+            spliced: identity,
+            touched_shards,
         })
     }
 

@@ -133,6 +133,7 @@ impl Preview {
         schema: &SchemaGraph,
         max_rows: usize,
     ) -> Vec<MaterializedTable> {
+        let _span = preview_obs::span!(preview_obs::Stage::Materialize, tables = self.tables.len());
         self.tables
             .iter()
             .map(|table| materialize_table(table, graph, schema, max_rows))

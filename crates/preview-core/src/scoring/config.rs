@@ -169,9 +169,17 @@ impl ScoredSchema {
                 (cov.clone(), cov)
             }
             NonKeyScoring::Entropy => {
+                let _span = preview_obs::span!(
+                    preview_obs::Stage::EntropyScoring,
+                    edges = schema.edges().len()
+                );
                 crate::sharded::sharded_entropy_scores_with(sharded, &schema, config.threads)
             }
         };
+        let _span = preview_obs::span!(
+            preview_obs::Stage::CandidateGen,
+            edges = schema.edges().len()
+        );
         let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
         let prefix_sums = candidates::prefix_sums(&candidates);
         let eligible = candidates::eligible_types(&candidates);
@@ -204,8 +212,18 @@ impl ScoredSchema {
                 let cov = nonkey::coverage_scores(&schema);
                 (cov.clone(), cov)
             }
-            NonKeyScoring::Entropy => nonkey::entropy_scores_with(graph, &schema, config.threads),
+            NonKeyScoring::Entropy => {
+                let _span = preview_obs::span!(
+                    preview_obs::Stage::EntropyScoring,
+                    edges = schema.edges().len()
+                );
+                nonkey::entropy_scores_with(graph, &schema, config.threads)
+            }
         };
+        let _span = preview_obs::span!(
+            preview_obs::Stage::CandidateGen,
+            edges = schema.edges().len()
+        );
         let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
         let prefix_sums = candidates::prefix_sums(&candidates);
         let eligible = candidates::eligible_types(&candidates);
@@ -256,6 +274,10 @@ impl ScoredSchema {
     /// Propagates random-walk convergence failures, exactly like
     /// [`build`](Self::build).
     pub fn rescore_delta(&self, graph: &EntityGraph, summary: &DeltaSummary) -> Result<Self> {
+        let _span = preview_obs::span!(
+            preview_obs::Stage::Rescore,
+            touched_rels = summary.touched_rels.len()
+        );
         let schema = graph.schema_graph().clone();
         let key_scores = match self.config.key {
             KeyScoring::Coverage => key::coverage_scores(&schema),

@@ -1,0 +1,302 @@
+//! Exact log-linear histograms (HDR-style) over `u64` values in microseconds.
+//!
+//! The bucket layout is fixed at compile time: values below
+//! [`LINEAR_CUTOFF`] get one bucket each (exact), every octave above is
+//! split into 32 sub-buckets, so the relative quantile error is bounded by
+//! `1/32` (~3.1%) everywhere. Values at or above 2³⁶ µs (~19 hours)
+//! saturate into the top bucket; the exact maximum is tracked separately.
+//!
+//! Unlike a sampling reservoir, every recorded value lands in its bucket —
+//! the histogram is *exact* up to bucket granularity, so tail quantiles
+//! (p99, p999) do not degrade as the record count grows. Recording is one
+//! relaxed `fetch_add` per counter: lock-free, wait-free, and safe to hammer
+//! from any number of threads ([`Histogram`] is `Sync`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets in the fixed layout (32 linear + 31 octaves × 32).
+pub const BUCKETS: usize = 1024;
+
+/// Values below this get one exact bucket each.
+pub const LINEAR_CUTOFF: u64 = 32;
+
+/// Sub-buckets per octave above the linear range (2^5).
+const SUB_BITS: u32 = 5;
+
+/// The bucket a value lands in. Total order: `v <= w` implies
+/// `bucket_index(v) <= bucket_index(w)`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_CUTOFF {
+        return value as usize;
+    }
+    let octave = 63 - u64::from(value.leading_zeros()); // >= SUB_BITS
+    let group = (octave - u64::from(SUB_BITS) + 1) as usize;
+    if group > 31 {
+        return BUCKETS - 1; // saturate: value >= 2^36
+    }
+    let sub = ((value >> (octave - u64::from(SUB_BITS))) & 31) as usize;
+    group * 32 + sub
+}
+
+/// The smallest value that maps to bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+#[inline]
+pub fn bucket_lower(index: usize) -> u64 {
+    assert!(index < BUCKETS);
+    if index < LINEAR_CUTOFF as usize {
+        return index as u64;
+    }
+    let group = index / 32;
+    let sub = (index % 32) as u64;
+    (32 + sub) << (group - 1)
+}
+
+/// A fixed-layout log-linear histogram with lock-free atomic counters.
+///
+/// All mutation is through `&self`; share it behind an `Arc` (or plain
+/// reference) across threads and record concurrently. Totals (`count`,
+/// `sum`, `max`) are exact; per-bucket counts are exact; only the *position
+/// within a bucket* is quantized.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (microseconds by convention).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as saturating whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters.
+    ///
+    /// Buckets are read one by one without a global lock, so a snapshot
+    /// racing concurrent `record`s may be off by the in-flight records —
+    /// never torn within a counter, and exact once writers quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no recorded values.
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The per-bucket counts (length [`BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Nearest-rank quantile, reported as the lower bound of the bucket the
+    /// rank-`⌈q·n⌉` value landed in (`q` in `0.0..=1.0`; `0` when empty).
+    ///
+    /// Because the bucket order respects the value order, this is the lower
+    /// bound of the bucket containing the true nearest-rank value — an
+    /// underestimate by at most one bucket width, i.e. a relative error of
+    /// at most `1/32` (and exact below the linear cutoff of 32).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                return bucket_lower(index);
+            }
+        }
+        bucket_lower(BUCKETS - 1)
+    }
+
+    /// Adds every counter of `other` into `self`. Merging snapshots of two
+    /// histograms is bucket-for-bucket identical to recording both value
+    /// streams into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..LINEAR_CUTOFF {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_monotone() {
+        // Every bucket's lower bound maps back to that bucket, and lower
+        // bounds strictly increase.
+        for index in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(index)), index, "index {index}");
+            if index > 0 {
+                assert!(bucket_lower(index) > bucket_lower(index - 1));
+            }
+        }
+        // The value just below each bucket's lower bound lands in the bucket
+        // before it.
+        for index in 1..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(index) - 1), index - 1);
+        }
+    }
+
+    #[test]
+    fn saturation_lands_in_the_top_bucket() {
+        assert_eq!(bucket_index(1 << 36), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index((1 << 36) - 1), BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0), bucket_lower(BUCKETS - 1));
+        assert_eq!(s.max(), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_thirty_second() {
+        for index in 32..BUCKETS - 1 {
+            let lower = bucket_lower(index);
+            let width = bucket_lower(index + 1) - lower;
+            assert!(
+                width * 32 <= lower,
+                "bucket {index}: width {width} lower {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_match_reference_on_a_ramp() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10_000);
+        assert_eq!(s.sum(), 10_000 * 10_001 / 2);
+        assert_eq!(s.max(), 10_000);
+        for (q, expected) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = s.quantile(q);
+            assert_eq!(got, bucket_lower(bucket_index(expected)), "q={q}");
+            assert!(got <= expected && expected - got <= expected / 32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistogramSnapshot::empty());
+    }
+}

@@ -1,0 +1,556 @@
+//! The [`Recorder`]: per-stage histograms, event counters, the flight ring,
+//! and the thread-local span machinery behind the [`span!`](crate::span)
+//! macro.
+//!
+//! # Cost model
+//!
+//! The crate keeps one global count of *enabled* recorders. When it is zero
+//! — the production default — [`enter`] is a single relaxed atomic load plus
+//! a `None` guard, so instrumentation compiled into hot paths costs well
+//! under 1% of service throughput (enforced by `obs-bench --check`). When a
+//! recorder is enabled and attached to the current thread, a span costs two
+//! monotonic clock reads and a dozen relaxed atomic operations — no locks.
+//!
+//! # Attachment
+//!
+//! Recorders are explicit, not ambient: a thread records into whichever
+//! recorder it has [attached](Recorder::attach). Worker pools attach once
+//! per worker at startup; fork-join helper threads stay unattached, which
+//! keeps parallel sections uninstrumented and the outputs deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::flight::{FlightDump, FlightRing, SpanEvent};
+use crate::histogram::Histogram;
+use crate::stage::{Counter, Stage, COUNTER_COUNT, STAGE_COUNT};
+
+/// Number of recorders currently enabled, across the whole process. The
+/// [`enter`] fast path is one relaxed load of this.
+static ENABLED_RECORDERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Source of small per-process thread ids for flight events.
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    /// The recorder this thread records spans into, if any.
+    static CURRENT: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// This thread's small id, assigned on first use.
+    static THREAD_ID: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+fn thread_id() -> u32 {
+    THREAD_ID.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Configuration for a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Flight-ring capacity in events (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Requests slower than this many microseconds trigger a flight dump
+    /// (`None` disables slow-request dumps).
+    pub slow_threshold_us: Option<u64>,
+    /// Most recent dumps retained; older dumps are discarded.
+    pub max_dumps: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            ring_capacity: 1024,
+            slow_threshold_us: None,
+            max_dumps: 16,
+        }
+    }
+}
+
+/// What triggered a flight-recorder dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpReason {
+    /// A worker panicked while serving a request.
+    Panic,
+    /// A request exceeded [`ObsConfig::slow_threshold_us`].
+    Slow,
+    /// An explicit snapshot/dump call.
+    OnDemand,
+}
+
+impl DumpReason {
+    /// Stable name used in dump JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DumpReason::Panic => "panic",
+            DumpReason::Slow => "slow",
+            DumpReason::OnDemand => "on_demand",
+        }
+    }
+}
+
+/// Collects spans, counters, and flight events for one serving stack.
+///
+/// A recorder starts *disabled*: attached threads skip all span work until
+/// [`enable`](Recorder::enable) is called. Enabling is process-visible
+/// (it feeds the [`enter`] fast-path check) and reversible.
+pub struct Recorder {
+    config: ObsConfig,
+    epoch: Instant,
+    enabled: AtomicBool,
+    stages: [Histogram; STAGE_COUNT],
+    counters: [AtomicU64; COUNTER_COUNT],
+    ring: FlightRing,
+    dumps: Mutex<VecDeque<FlightDump>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("config", &self.config)
+            .field("ring", &self.ring)
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(ObsConfig::default())
+    }
+}
+
+impl Recorder {
+    /// A disabled recorder with the given configuration.
+    pub fn new(config: ObsConfig) -> Recorder {
+        Recorder {
+            config,
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            ring: FlightRing::new(config.ring_capacity),
+            dumps: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts recording spans on attached threads. Idempotent.
+    pub fn enable(&self) {
+        if !self.enabled.swap(true, Ordering::Relaxed) {
+            ENABLED_RECORDERS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stops recording spans. Idempotent; counters and histograms persist.
+    pub fn disable(&self) {
+        if self.enabled.swap(false, Ordering::Relaxed) {
+            ENABLED_RECORDERS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Makes this recorder the current thread's span sink until the
+    /// returned guard drops (which restores the previous attachment).
+    pub fn attach(self: &Arc<Recorder>) -> AttachGuard {
+        let previous = CURRENT.with(|cell| cell.replace(Some(Arc::clone(self))));
+        AttachGuard { previous }
+    }
+
+    /// Microseconds elapsed since this recorder was created.
+    pub fn epoch_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records a finished span directly (the [`SpanGuard`] drop path).
+    /// Also available to callers that measure a duration themselves, e.g.
+    /// queue wait computed from an enqueue timestamp.
+    pub fn record_span(&self, stage: Stage, depth: u8, start_us: u64, duration_us: u64, attr: u64) {
+        self.stages[stage as usize].record(duration_us);
+        self.ring.push(&SpanEvent {
+            stage,
+            depth,
+            thread: thread_id(),
+            start_us,
+            duration_us,
+            attr,
+        });
+    }
+
+    /// Records a duration against `stage` as a depth-0 span ending now.
+    pub fn record_duration(&self, stage: Stage, duration: std::time::Duration) {
+        let duration_us = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+        let now = self.epoch_us();
+        self.record_span(stage, 0, now.saturating_sub(duration_us), duration_us, 0);
+    }
+
+    /// Adds `n` to an event counter. Always live, even when disabled —
+    /// counters are one relaxed `fetch_add` and feed the snapshot.
+    pub fn add_counter(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of an event counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// The histogram of recorded durations for `stage` (microseconds).
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Total events ever pushed into the flight ring.
+    pub fn events_recorded(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Current flight-ring contents, oldest first.
+    pub fn ring_snapshot(&self) -> Vec<SpanEvent> {
+        self.ring.snapshot()
+    }
+
+    /// Captures a flight dump now, retains it (bounded by
+    /// [`ObsConfig::max_dumps`]), and returns a copy. Panic and slow dumps
+    /// bump their respective counters.
+    pub fn capture_dump(&self, reason: DumpReason, detail: &str) -> FlightDump {
+        match reason {
+            DumpReason::Panic => self.add_counter(Counter::PanicDumps, 1),
+            DumpReason::Slow => self.add_counter(Counter::SlowDumps, 1),
+            DumpReason::OnDemand => {}
+        }
+        let dump = FlightDump {
+            reason: reason.name().to_string(),
+            detail: detail.to_string(),
+            events: self.ring.snapshot(),
+        };
+        let mut dumps = self.dumps.lock().unwrap();
+        if dumps.len() >= self.config.max_dumps.max(1) {
+            dumps.pop_front();
+        }
+        dumps.push_back(dump.clone());
+        dump
+    }
+
+    /// Captures a slow-request dump if `latency_us` exceeds the configured
+    /// threshold; returns whether a dump was taken.
+    pub fn maybe_dump_slow(&self, latency_us: u64, detail: &str) -> bool {
+        match self.config.slow_threshold_us {
+            Some(threshold) if latency_us > threshold => {
+                self.capture_dump(DumpReason::Slow, detail);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Retained dumps, oldest first.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.dumps.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        // Keep the global enabled count honest if dropped while enabled.
+        self.disable();
+    }
+}
+
+/// Restores the previous thread attachment when dropped.
+/// Returned by [`Recorder::attach`].
+#[derive(Debug)]
+pub struct AttachGuard {
+    previous: Option<Arc<Recorder>>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|cell| {
+            *cell.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// A live span; recorded when dropped. Produced by [`enter`] / [`span!`](crate::span).
+#[derive(Debug)]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    recorder: Arc<Recorder>,
+    stage: Stage,
+    depth: u8,
+    attr: u64,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (the disabled path).
+    pub const fn noop() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the span's free-form attribute (e.g. a candidate count computed
+    /// mid-stage). No-op on the disabled path.
+    pub fn set_attr(&mut self, attr: u64) {
+        if let Some(active) = &mut self.0 {
+            active.attr = attr;
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let start_us = active
+                .start
+                .saturating_duration_since(active.recorder.epoch)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            let duration_us = active.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            active.recorder.record_span(
+                active.stage,
+                active.depth,
+                start_us,
+                duration_us,
+                active.attr,
+            );
+        }
+    }
+}
+
+/// Opens a span for `stage` on the current thread's attached recorder.
+///
+/// Returns a no-op guard — after a single relaxed atomic load — when no
+/// recorder in the process is enabled, or when this thread has no enabled
+/// recorder attached. This runs during panic unwinding too: guards dropped
+/// by an unwind still record, which is how a panicking request's span trail
+/// reaches the flight ring before `catch_unwind` returns.
+#[inline]
+pub fn enter(stage: Stage) -> SpanGuard {
+    enter_with(stage, 0)
+}
+
+/// [`enter`], with a free-form attribute attached to the span event.
+#[inline]
+pub fn enter_with(stage: Stage, attr: u64) -> SpanGuard {
+    if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
+        return SpanGuard::noop();
+    }
+    enter_slow(stage, attr)
+}
+
+#[cold]
+fn enter_slow(stage: Stage, attr: u64) -> SpanGuard {
+    CURRENT.with(|cell| {
+        let current = cell.borrow();
+        match current.as_ref() {
+            Some(recorder) if recorder.is_enabled() => {
+                let depth = DEPTH.with(|d| {
+                    let v = d.get();
+                    d.set(v + 1);
+                    v
+                });
+                SpanGuard(Some(ActiveSpan {
+                    recorder: Arc::clone(recorder),
+                    stage,
+                    depth: depth.min(u32::from(u8::MAX)) as u8,
+                    attr,
+                    start: Instant::now(),
+                }))
+            }
+            _ => SpanGuard::noop(),
+        }
+    })
+}
+
+/// Opens a [`SpanGuard`] for a stage: `span!(Stage::Discovery)`, with an
+/// optional attribute — `span!(Stage::EntropyScoring, rel_type = id)` or
+/// `span!(Stage::Algorithm, candidates)`. The attribute name is
+/// documentation only; the value is stored as a `u64` on the span event.
+#[macro_export]
+macro_rules! span {
+    ($stage:expr) => {
+        $crate::enter($stage)
+    };
+    ($stage:expr, $name:ident = $attr:expr) => {
+        $crate::enter_with($stage, $attr as u64)
+    };
+    ($stage:expr, $attr:expr) => {
+        $crate::enter_with($stage, $attr as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that observe the process-global enabled count.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_process_records_nothing() {
+        let _serial = serial();
+        // No enabled recorder anywhere: guard is a no-op even when attached.
+        let recorder = Arc::new(Recorder::default());
+        let _attach = recorder.attach();
+        let guard = enter(Stage::Request);
+        assert!(!guard.is_recording());
+        drop(guard);
+        assert_eq!(recorder.stage_histogram(Stage::Request).count(), 0);
+        assert_eq!(recorder.events_recorded(), 0);
+    }
+
+    #[test]
+    fn enabled_and_attached_records_nested_spans() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::default());
+        recorder.enable();
+        let _attach = recorder.attach();
+        {
+            let _request = span!(Stage::Request);
+            {
+                let mut discovery = span!(Stage::Discovery, candidates = 3);
+                discovery.set_attr(9);
+            }
+        }
+        recorder.disable();
+        assert_eq!(recorder.stage_histogram(Stage::Request).count(), 1);
+        assert_eq!(recorder.stage_histogram(Stage::Discovery).count(), 1);
+        let events = recorder.ring_snapshot();
+        assert_eq!(events.len(), 2);
+        // Inner span drops first, so it is the older ring entry.
+        assert_eq!(events[0].stage, Stage::Discovery);
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[0].attr, 9);
+        assert_eq!(events[1].stage, Stage::Request);
+        assert_eq!(events[1].depth, 0);
+    }
+
+    #[test]
+    fn unattached_thread_records_nothing_while_another_recorder_is_enabled() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::default());
+        recorder.enable();
+        // This thread never attached `recorder`; even though the global
+        // enabled count is non-zero, the slow path finds no attachment.
+        let handle = std::thread::spawn(|| enter(Stage::Request).is_recording());
+        assert!(!handle.join().unwrap());
+        recorder.disable();
+    }
+
+    #[test]
+    fn attach_guard_restores_previous_recorder() {
+        let _serial = serial();
+        let outer = Arc::new(Recorder::default());
+        let inner = Arc::new(Recorder::default());
+        outer.enable();
+        inner.enable();
+        let _outer_attach = outer.attach();
+        {
+            let _inner_attach = inner.attach();
+            drop(span!(Stage::Algorithm));
+        }
+        drop(span!(Stage::Response));
+        outer.disable();
+        inner.disable();
+        assert_eq!(inner.stage_histogram(Stage::Algorithm).count(), 1);
+        assert_eq!(inner.stage_histogram(Stage::Response).count(), 0);
+        assert_eq!(outer.stage_histogram(Stage::Response).count(), 1);
+        assert_eq!(outer.stage_histogram(Stage::Algorithm).count(), 0);
+    }
+
+    #[test]
+    fn counters_and_dumps_work_while_disabled() {
+        let recorder = Recorder::new(ObsConfig {
+            max_dumps: 2,
+            ..ObsConfig::default()
+        });
+        recorder.add_counter(Counter::Publishes, 3);
+        assert_eq!(recorder.counter(Counter::Publishes), 3);
+        recorder.capture_dump(DumpReason::Panic, "first");
+        recorder.capture_dump(DumpReason::OnDemand, "second");
+        recorder.capture_dump(DumpReason::Slow, "third");
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 2, "bounded by max_dumps");
+        assert_eq!(dumps[0].detail, "second");
+        assert_eq!(dumps[1].detail, "third");
+        assert_eq!(recorder.counter(Counter::PanicDumps), 1);
+        assert_eq!(recorder.counter(Counter::SlowDumps), 1);
+    }
+
+    #[test]
+    fn slow_threshold_gates_slow_dumps() {
+        let recorder = Recorder::new(ObsConfig {
+            slow_threshold_us: Some(1_000),
+            ..ObsConfig::default()
+        });
+        assert!(!recorder.maybe_dump_slow(500, "fast"));
+        assert!(recorder.maybe_dump_slow(1_500, "slow"));
+        assert_eq!(recorder.dumps().len(), 1);
+        assert_eq!(recorder.counter(Counter::SlowDumps), 1);
+
+        let unset = Recorder::default();
+        assert!(!unset.maybe_dump_slow(u64::MAX, "never"));
+    }
+
+    #[test]
+    fn panic_unwind_still_records_open_spans() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::default());
+        recorder.enable();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _attach = recorder.attach();
+            let _request = span!(Stage::Request);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        recorder.disable();
+        assert_eq!(recorder.stage_histogram(Stage::Request).count(), 1);
+        assert_eq!(recorder.ring_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn dropping_an_enabled_recorder_releases_the_global_count() {
+        let _serial = serial();
+        let before = ENABLED_RECORDERS.load(Ordering::Relaxed);
+        {
+            let recorder = Recorder::default();
+            recorder.enable();
+            recorder.enable(); // idempotent
+            assert_eq!(ENABLED_RECORDERS.load(Ordering::Relaxed), before + 1);
+        }
+        assert_eq!(ENABLED_RECORDERS.load(Ordering::Relaxed), before);
+    }
+}

@@ -1,0 +1,55 @@
+//! Process peak-RSS reading for snapshots and benchmarks.
+
+/// Peak resident set size (high-water mark) of this process in bytes, or
+/// `None` where the platform doesn't expose it.
+///
+/// On Linux this reads `VmHWM` from `/proc/self/status` — the kernel's
+/// lifetime RSS high-water mark, which is exactly the "peak memory" a
+/// scale benchmark should report (a post-build measurement still sees the
+/// build-time peak). Other platforms return `None` and exporters emit
+/// `null` for the field rather than a fabricated number.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parses the `VmHWM:` line of a `/proc/<pid>/status` document into bytes.
+/// Split from [`peak_rss_bytes`] so the parsing is unit-testable.
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: "VmHWM:      123456 kB" — the kernel always reports kB.
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_vm_hwm_line() {
+        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t   4096 kB\nVmRSS:\t 2048 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(4096 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tbench\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_reports_a_positive_peak() {
+        assert!(peak_rss_bytes().unwrap() > 0);
+    }
+}

@@ -8,6 +8,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use entity_graph::{DeltaSummary, GraphDelta};
+use preview_obs::{Counter, DumpReason, MemorySection, ObsSnapshot, Recorder, ShardMemory, Stage};
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::registry::GraphRegistry;
@@ -78,6 +79,13 @@ struct Shared {
     /// removed as soon as the computation finishes.
     inflight: Mutex<HashMap<CacheKey, InflightSlot>>,
     stats: StatsRecorder,
+    /// The observability recorder every worker attaches at startup. Disabled
+    /// by default: spans then cost one relaxed atomic load each.
+    obs: Arc<Recorder>,
+    /// Test-only fault injection: when set, the next computed request panics
+    /// inside its span stack, exercising the panic-dump path end to end.
+    #[cfg(test)]
+    inject_panic: AtomicBool,
 }
 
 impl Shared {
@@ -120,6 +128,7 @@ impl Shared {
         key: &CacheKey,
     ) -> ServiceResult<(Arc<CachedPreview>, bool)> {
         if let Some(cache) = &self.cache {
+            let _lookup = preview_obs::span!(Stage::CacheLookup);
             if let Some(cached) = cache.get(key) {
                 return Ok((cached, true));
             }
@@ -162,13 +171,22 @@ impl Shared {
         request: &PreviewRequest,
         key: &CacheKey,
     ) -> ServiceResult<Arc<CachedPreview>> {
+        let _discovery = preview_obs::span!(Stage::Discovery);
+        #[cfg(test)]
+        if self.inject_panic.swap(false, Ordering::SeqCst) {
+            panic!("injected test panic");
+        }
         let graph = self.registry.resolve(&request.graph, request.version)?;
         let scored = graph.scored_for(&request.scoring)?;
-        let preview = key.algorithm.discovery().discover_with_threads(
-            &scored,
-            &request.space,
-            request.scoring.threads,
-        )?;
+        let preview = {
+            let _algorithm =
+                preview_obs::span!(Stage::Algorithm, threads = request.scoring.threads);
+            key.algorithm.discovery().discover_with_threads(
+                &scored,
+                &request.space,
+                request.scoring.threads,
+            )?
+        };
         let score = preview
             .as_ref()
             .map(|p| scored.preview_score(p))
@@ -220,6 +238,14 @@ pub struct PublishReport {
     pub cache_invalidated: u64,
     /// Superseded graph versions dropped by the retention window.
     pub versions_dropped: usize,
+    /// Whether the sharded representation was updated by splicing only the
+    /// touched shards (`true`) or rebuilt by a full reshard (`false`;
+    /// removals invalidate shard-local indices). Always `true` for graphs
+    /// without a sharded representation.
+    pub spliced: bool,
+    /// Shards whose payload the publish actually rewrote; `0` for unsharded
+    /// graphs, every shard for a full reshard.
+    pub touched_shards: usize,
 }
 
 /// A handle to an answer that is still being computed.
@@ -269,8 +295,21 @@ impl std::fmt::Debug for PreviewService {
 }
 
 impl PreviewService {
-    /// Spawns the worker pool over `registry`.
+    /// Spawns the worker pool over `registry` with a fresh, disabled
+    /// [`Recorder`] — instrumentation stays at its near-zero cost until
+    /// [`recorder()`](Self::recorder)`.enable()` is called.
     pub fn start(config: ServiceConfig, registry: Arc<GraphRegistry>) -> Self {
+        Self::start_with_recorder(config, registry, Arc::new(Recorder::default()))
+    }
+
+    /// Spawns the worker pool with a caller-supplied [`Recorder`] (e.g. one
+    /// with a slow-request threshold or a larger flight ring). Every worker
+    /// thread attaches it for its whole lifetime.
+    pub fn start_with_recorder(
+        config: ServiceConfig,
+        registry: Arc<GraphRegistry>,
+        recorder: Arc<Recorder>,
+    ) -> Self {
         let cache = (config.cache_capacity > 0)
             .then(|| ShardedLruCache::new(config.cache_capacity, config.cache_shards));
         let shared = Arc::new(Shared {
@@ -278,6 +317,9 @@ impl PreviewService {
             cache,
             inflight: Mutex::new(HashMap::new()),
             stats: StatsRecorder::new(),
+            obs: recorder,
+            #[cfg(test)]
+            inject_panic: AtomicBool::new(false),
         });
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let workers = (0..config.workers.max(1))
@@ -306,6 +348,51 @@ impl PreviewService {
     /// The registry this service answers from.
     pub fn registry(&self) -> &Arc<GraphRegistry> {
         &self.shared.registry
+    }
+
+    /// The observability recorder the workers record into. Enable it to
+    /// start collecting spans; counters accumulate regardless.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.shared.obs
+    }
+
+    /// A unified observability snapshot: counters, per-stage histograms,
+    /// retained flight dumps, the exact end-to-end service latency
+    /// histogram, and the memory breakdown of the latest sharded graph
+    /// version (when one is registered).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut snapshot = self.shared.obs.snapshot();
+        snapshot.service_latency = Some(self.shared.stats.latency_histogram());
+        snapshot.memory = self.latest_sharded_memory();
+        snapshot
+    }
+
+    /// Memory report of the first registered graph whose latest version has
+    /// a sharded representation, converted into the snapshot's schema.
+    fn latest_sharded_memory(&self) -> Option<MemorySection> {
+        let registry = &self.shared.registry;
+        registry.names().iter().find_map(|name| {
+            let report = registry.get(name, None)?.sharded()?.memory_report();
+            Some(MemorySection {
+                shard_count: report.shard_count as u64,
+                entities: report.entities as u64,
+                edges: report.edges as u64,
+                sharded_total_bytes: report.sharded_total_bytes,
+                unsharded_total_bytes: report.unsharded_total_bytes,
+                shards: report
+                    .shards
+                    .iter()
+                    .map(|shard| ShardMemory {
+                        shard: shard.shard as u64,
+                        entities: shard.entities as u64,
+                        segments: shard.segments as u64,
+                        encoded_payload_bytes: shard.encoded_payload_bytes,
+                        directory_bytes: shard.directory_bytes,
+                        total_bytes: shard.total_bytes,
+                    })
+                    .collect(),
+            })
+        })
     }
 
     /// Enqueues a request, blocking while the queue is full (backpressure).
@@ -384,6 +471,7 @@ impl PreviewService {
     /// Propagates [`GraphRegistry::publish_delta`] errors; the cache is only
     /// touched after the registry publish succeeded.
     pub fn publish_delta(&self, name: &str, delta: &GraphDelta) -> ServiceResult<PublishReport> {
+        let publish_start = Instant::now();
         let publish = self.shared.registry.publish_delta(name, delta)?;
         let mut carried_forward = 0u64;
         let mut invalidated = 0u64;
@@ -420,6 +508,24 @@ impl PreviewService {
             self.shared
                 .stats
                 .record_publish(carried_forward, invalidated);
+            let obs = &self.shared.obs;
+            obs.add_counter(Counter::Publishes, 1);
+            obs.add_counter(
+                if publish.spliced {
+                    Counter::PublishSplices
+                } else {
+                    Counter::PublishFullReshards
+                },
+                1,
+            );
+            obs.add_counter(Counter::PublishTouchedShards, publish.touched_shards as u64);
+            obs.add_counter(Counter::CacheCarried, carried_forward);
+            obs.add_counter(Counter::CacheInvalidated, invalidated);
+            // The publisher thread is usually not a worker (no attachment),
+            // so record the stage duration directly when enabled.
+            if obs.is_enabled() {
+                obs.record_duration(Stage::Publish, publish_start.elapsed());
+            }
         }
         Ok(PublishReport {
             graph: name.to_string(),
@@ -432,6 +538,8 @@ impl PreviewService {
             cache_carried_forward: carried_forward,
             cache_invalidated: invalidated,
             versions_dropped: publish.versions_dropped,
+            spliced: publish.spliced,
+            touched_shards: publish.touched_shards,
         })
     }
 
@@ -471,24 +579,53 @@ impl Drop for PreviewService {
 }
 
 fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
+    // Workers record into the service's recorder for their whole lifetime;
+    // fork-join helper threads inside discovery stay unattached, so parallel
+    // sections never record and outputs stay deterministic.
+    let _attach = shared.obs.attach();
     while let Some(job) = queue.pop() {
         let queue_wait = job.enqueued.elapsed();
+        if shared.obs.is_enabled() {
+            // Queue wait has no live guard — the span ended before the
+            // worker saw the job — so it is recorded from the timestamp.
+            shared.obs.record_duration(Stage::QueueWait, queue_wait);
+        }
         // Isolate panics per request: a buggy graph/space combination must
         // not take the worker (and with it the whole pool) down — the caller
-        // gets a typed error and the worker moves on to the next job.
+        // gets a typed error and the worker moves on to the next job. The
+        // request span lives *inside* the unwind boundary: an unwinding
+        // request drops its guards on the way out, so its whole span trail
+        // reaches the flight ring before the panic dump below is captured.
         let result = catch_unwind(AssertUnwindSafe(|| {
+            let _request = preview_obs::span!(Stage::Request);
             shared.execute(&job.request, queue_wait)
         }))
         .unwrap_or_else(|payload| {
-            Err(ServiceError::Panicked {
-                message: panic_message(&payload),
-            })
+            // `as_ref`, not `&payload`: a `&Box<dyn Any>` coerces to
+            // `&dyn Any` *as the box itself*, which no downcast matches.
+            let message = panic_message(payload.as_ref());
+            shared.obs.capture_dump(
+                DumpReason::Panic,
+                &format!("graph={} panic={message}", job.request.graph),
+            );
+            Err(ServiceError::Panicked { message })
         });
         match &result {
-            Ok(response) => shared.stats.record_completed(response.latency()),
+            Ok(response) => {
+                let latency = response.latency();
+                shared.stats.record_completed(latency);
+                if shared.obs.config().slow_threshold_us.is_some() {
+                    let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+                    shared.obs.maybe_dump_slow(
+                        latency_us,
+                        &format!("graph={} latency_us={latency_us}", job.request.graph),
+                    );
+                }
+            }
             Err(_) => shared.stats.record_failed(),
         }
         // The client may have dropped its handle; that is not an error.
+        let _response = preview_obs::span!(Stage::Response);
         let _ = job.reply.send(result);
     }
 }
@@ -596,5 +733,160 @@ mod tests {
         let service = PreviewService::start(ServiceConfig::with_workers(1), registry);
         let stats = service.shutdown();
         assert_eq!(stats.completed, 0);
+    }
+
+    /// Satellite: a panicking request must leave a flight-recorder dump
+    /// containing its span trail — the unwind drops the request's guards
+    /// into the ring before the dump is captured.
+    #[test]
+    fn panicking_request_leaves_a_flight_dump_with_its_span_trail() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        let recorder = Arc::new(Recorder::default());
+        recorder.enable();
+        let service = PreviewService::start_with_recorder(
+            ServiceConfig::with_workers(1),
+            registry,
+            Arc::clone(&recorder),
+        );
+
+        service.shared.inject_panic.store(true, Ordering::SeqCst);
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        let err = service.submit_wait(request.clone()).unwrap_err();
+        assert!(matches!(err, ServiceError::Panicked { .. }));
+        assert_eq!(service.stats().failed, 1);
+
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "panic");
+        assert!(
+            dumps[0].detail.contains("injected test panic"),
+            "detail = {:?}",
+            dumps[0].detail
+        );
+        let stages: Vec<Stage> = dumps[0].events.iter().map(|e| e.stage).collect();
+        assert!(stages.contains(&Stage::Discovery), "{stages:?}");
+        assert!(stages.contains(&Stage::Request), "{stages:?}");
+        assert_eq!(recorder.counter(Counter::PanicDumps), 1);
+
+        // The worker survived the panic and keeps serving.
+        let response = service.submit_wait(request).unwrap();
+        assert!((response.score - 84.0).abs() < 1e-9);
+        recorder.disable();
+    }
+
+    #[test]
+    fn slow_threshold_captures_a_slow_dump() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        // Threshold 0: every request is "slow".
+        let recorder = Arc::new(Recorder::new(preview_obs::ObsConfig {
+            slow_threshold_us: Some(0),
+            ..preview_obs::ObsConfig::default()
+        }));
+        recorder.enable();
+        let service = PreviewService::start_with_recorder(
+            ServiceConfig::with_workers(1),
+            registry,
+            Arc::clone(&recorder),
+        );
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        service.submit_wait(request).unwrap();
+        recorder.disable();
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "slow");
+        assert!(dumps[0].detail.contains("graph=fig1"));
+        assert_eq!(recorder.counter(Counter::SlowDumps), 1);
+    }
+
+    /// Tentpole invariant: instrumentation is output-neutral. The same
+    /// request served with an enabled recorder is byte-identical to one
+    /// served with instrumentation off — while the recorder actually
+    /// collected per-stage spans.
+    #[test]
+    fn enabled_recorder_never_changes_responses() {
+        let plain = fig1_service(ServiceConfig::default());
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        let recorder = Arc::new(Recorder::default());
+        recorder.enable();
+        let traced = PreviewService::start_with_recorder(
+            ServiceConfig::default(),
+            registry,
+            Arc::clone(&recorder),
+        );
+
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap())
+            .with_threads(4);
+        let expected = plain.submit_wait(request.clone()).unwrap();
+        let observed = traced.submit_wait(request).unwrap();
+        recorder.disable();
+
+        assert_eq!(observed.preview, expected.preview);
+        assert_eq!(observed.score.to_bits(), expected.score.to_bits());
+        for stage in [
+            Stage::Request,
+            Stage::QueueWait,
+            Stage::Discovery,
+            Stage::Algorithm,
+        ] {
+            assert_eq!(
+                recorder.stage_histogram(stage).count(),
+                1,
+                "stage {} not recorded",
+                stage.name()
+            );
+        }
+        assert!(recorder.events_recorded() >= 4);
+    }
+
+    #[test]
+    fn snapshot_carries_service_latency_and_publish_counters() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register_sharded(
+            "fig1",
+            fixtures::figure1_graph(),
+            entity_graph::ShardingStrategy::ByIdHash { shards: 2 },
+        );
+        let service = PreviewService::start(ServiceConfig::default(), registry);
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        service.submit_wait(request).unwrap();
+
+        let mut delta = GraphDelta::new();
+        delta.add_entity("Bad Boys", &["FILM"]);
+        let report = service.publish_delta("fig1", &delta).unwrap();
+        assert!(report.spliced);
+        assert!(report.touched_shards >= 1);
+
+        let snapshot = service.snapshot();
+        let latency = snapshot
+            .service_latency
+            .as_ref()
+            .expect("latency histogram");
+        assert_eq!(latency.count(), 1);
+        let counters: std::collections::HashMap<_, _> = snapshot.counters.iter().copied().collect();
+        assert_eq!(counters[&Counter::Publishes], 1);
+        assert_eq!(counters[&Counter::PublishSplices], 1);
+        assert_eq!(counters[&Counter::PublishFullReshards], 0);
+        assert_eq!(
+            counters[&Counter::PublishTouchedShards],
+            report.touched_shards as u64
+        );
+        let memory = snapshot.memory.as_ref().expect("sharded memory section");
+        assert_eq!(memory.shard_count, 2);
+        assert_eq!(memory.shards.len(), 2);
+        assert!(memory.sharded_total_bytes > 0);
+        // The JSON document parses with the crate's own parser.
+        let parsed = preview_obs::JsonValue::parse(&snapshot.to_json()).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("publishes")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
     }
 }

@@ -20,7 +20,11 @@
 //!   [`GraphDelta`] is spliced onto the latest version (no full rebuild),
 //!   memoized scores are carried forward through incremental rescoring,
 //!   provably unaffected cache entries survive the version bump, and
-//!   superseded versions are pruned to a retention window.
+//!   superseded versions are pruned to a retention window,
+//! * [`PreviewService::snapshot`] — a unified observability export built on
+//!   `preview-obs`: per-stage span histograms, the exact service latency
+//!   histogram, splice-vs-reshard publish counters, per-shard memory, and
+//!   flight-recorder dumps captured on worker panics and slow requests.
 //!
 //! # Quick start: register a graph, spawn the pool, submit, read stats
 //!
@@ -76,6 +80,10 @@ pub use stats::ServiceStats;
 // `entity-graph` directly.
 pub use entity_graph::{DeltaSummary, GraphDelta};
 
+// Re-exported so callers can configure, enable and snapshot the service's
+// observability recorder without importing `preview-obs` directly.
+pub use preview_obs::{ObsConfig, ObsSnapshot, Recorder};
+
 /// Compile-time guarantees that everything shared across worker threads is
 /// `Send + Sync` (and cheaply shareable where `Clone` is claimed). A failure
 /// here is a build error, so thread-safety of the serving layer is enforced
@@ -101,5 +109,9 @@ mod static_assertions {
         assert_send_sync_clone::<ServiceError>();
         assert_send_sync_clone::<ServiceStats>();
         assert_send_sync_clone::<CacheStats>();
+        // Observability: the recorder is shared by every worker thread and
+        // snapshots cross thread boundaries to exporters.
+        assert_send_sync::<Recorder>();
+        assert_send_sync_clone::<ObsSnapshot>();
     };
 }

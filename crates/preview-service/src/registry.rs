@@ -179,6 +179,14 @@ pub struct DeltaPublish {
     pub unaffected_configs: Vec<ScoringKey>,
     /// Superseded versions dropped by the retention window.
     pub versions_dropped: usize,
+    /// Whether shard storage took the identity splice fast path
+    /// (block-copying untouched shards) rather than a full reshard. Always
+    /// `true` on the unsharded path, whose CSR splice has no reshard
+    /// fallback; `false` only when a sharded delta removed entities.
+    pub spliced: bool,
+    /// Shards whose storage was rebuilt for this publish (`0` for empty
+    /// deltas and unsharded versions).
+    pub touched_shards: usize,
 }
 
 /// A concurrent registry of named, versioned graphs.
@@ -316,6 +324,7 @@ impl GraphRegistry {
     /// current version stays untouched), [`ServiceError::Discovery`] if
     /// rescoring a memoized configuration fails.
     pub fn publish_delta(&self, name: &str, delta: &GraphDelta) -> ServiceResult<DeltaPublish> {
+        let _span = preview_obs::span!(preview_obs::Stage::Publish, ops = delta.ops().len());
         let mut current = self.resolve(name, None)?;
         if delta.is_empty() {
             return Ok(DeltaPublish {
@@ -326,13 +335,16 @@ impl GraphRegistry {
                 rescored_configs: 0,
                 unaffected_configs: Vec::new(),
                 versions_dropped: 0,
+                spliced: true,
+                touched_shards: 0,
             });
         }
         loop {
             // Sharded versions splice through the per-shard path (shards
             // re-spliced in parallel, untouched entities block-copied); the
             // logical outcome and summary are identical either way.
-            let (new_graph, new_sharded, summary) = match current.sharded() {
+            let (new_graph, new_sharded, summary, spliced, touched_shards) = match current.sharded()
+            {
                 Some(sharded) => {
                     let applied = preview_core::apply_delta_parallel(sharded, delta, 0)
                         .map_err(ServiceError::Delta)?;
@@ -340,6 +352,8 @@ impl GraphRegistry {
                         Arc::clone(applied.sharded.graph()),
                         Some(Arc::new(applied.sharded)),
                         applied.summary,
+                        applied.spliced,
+                        applied.touched_shards,
                     )
                 }
                 None => {
@@ -347,7 +361,9 @@ impl GraphRegistry {
                         .graph()
                         .apply_delta(delta)
                         .map_err(ServiceError::Delta)?;
-                    (Arc::new(applied.graph), None, applied.summary)
+                    // The unsharded CSR splice is always incremental and
+                    // has no per-shard storage to rebuild.
+                    (Arc::new(applied.graph), None, applied.summary, true, 0)
                 }
             };
             // Warm the schema memo off the request path, like `register`.
@@ -398,6 +414,8 @@ impl GraphRegistry {
                         rescored_configs,
                         unaffected_configs,
                         versions_dropped: dropped,
+                        spliced,
+                        touched_shards,
                     });
                 }
             };
@@ -613,6 +631,9 @@ mod tests {
         assert_eq!(publish.previous_version, 1);
         assert_eq!(publish.registered.version(), 2);
         assert_eq!(publish.rescored_configs, 1);
+        // Unsharded versions always report the incremental splice.
+        assert!(publish.spliced);
+        assert_eq!(publish.touched_shards, 0);
         // The new version serves without a cold scoring pass.
         assert_eq!(publish.registered.scored_config_count(), 1);
         assert_eq!(
@@ -690,7 +711,12 @@ mod tests {
         let publish = registry.publish_delta("fig1", &delta).unwrap();
         assert!(publish.bumped);
         assert_eq!(publish.rescored_configs, 1);
+        // No entity was removed, so the identity splice fast path applied,
+        // and only the shards touched by the edit were rebuilt.
+        assert!(publish.spliced);
+        assert!(publish.touched_shards >= 1);
         let new_sharded = publish.registered.sharded().expect("version stays sharded");
+        assert!(publish.touched_shards <= new_sharded.shard_count());
         // The spliced sharded storage equals a reshard of the new logical
         // graph from scratch, and the logical graph is shared, not copied.
         let reference = entity_graph::ShardedGraph::from_graph(
@@ -708,6 +734,27 @@ mod tests {
         bad.remove_entity("Men in Black");
         assert!(registry.publish_delta("fig1", &bad).is_err());
         assert_eq!(registry.latest_version("fig1"), Some(2));
+    }
+
+    #[test]
+    fn publish_delta_reports_splice_vs_full_reshard() {
+        let registry = GraphRegistry::new();
+        let strategy = ShardingStrategy::ByIdHash { shards: 4 };
+        registry.register_sharded("fig1", fixtures::figure1_graph(), strategy);
+        // Adding an entity keeps ids stable: identity splice.
+        let mut add = entity_graph::GraphDelta::new();
+        add.add_entity("Orphan", &["FILM"]);
+        let spliced = registry.publish_delta("fig1", &add).unwrap();
+        assert!(spliced.spliced);
+        // Removing an entity shifts ids: every shard rebuilds.
+        let mut remove = entity_graph::GraphDelta::new();
+        remove.remove_entity("Orphan");
+        let resharded = registry.publish_delta("fig1", &remove).unwrap();
+        assert!(!resharded.spliced);
+        assert_eq!(
+            resharded.touched_shards,
+            resharded.registered.sharded().unwrap().shard_count()
+        );
     }
 
     #[test]
