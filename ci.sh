@@ -49,6 +49,15 @@ echo "==> parallel-bench smoke workload (emits BENCH_parallel.json)"
 cargo run --release -p bench --bin parallel-bench -- \
     --threads 4 --out BENCH_parallel.json --check
 
+echo "==> anytime-bench smoke workload (emits BENCH_anytime.json)"
+# Best-first branch-and-bound vs brute-force enumeration. Bitwise identity
+# on the exact path is enforced on every space; the pruning gate requires
+# visiting <= 25% of the subset lattice and a >= 1.5x wall-clock speedup
+# (re-measured on a miss), and the anytime quality-vs-budget curve must be
+# monotone and converge to the exact optimum.
+cargo run --release -p bench --bin anytime-bench -- \
+    --out BENCH_anytime.json --check
+
 echo "==> update-bench smoke workload (emits BENCH_updates.json)"
 # Delta splice + incremental rescore vs full rebuild + full rescore on a
 # Zipf-skewed update stream. Byte-identity of the spliced graph and bitwise

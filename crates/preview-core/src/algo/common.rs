@@ -40,6 +40,26 @@ pub(crate) fn merge_best(
     }
 }
 
+/// Whether a freshly evaluated subset replaces the current incumbent under
+/// the sequential enumeration's tie-break, for algorithms that do **not**
+/// visit subsets in lexicographic order (best-first search pops by bound).
+///
+/// The sequential scan keeps the *first* subset in lexicographic order that
+/// attains the maximum score ([`merge_best`] realizes this as
+/// earliest-strict-argmax). Out of visit order, the same winner is the
+/// lexicographically smallest max-scoring subset, so a candidate replaces the
+/// incumbent iff it scores strictly higher, or ties the score with a
+/// lexicographically smaller index subset.
+pub(crate) fn replaces_incumbent(
+    candidate_score: f64,
+    candidate_subset: &[u32],
+    incumbent_score: f64,
+    incumbent_subset: &[u32],
+) -> bool {
+    candidate_score > incumbent_score
+        || (candidate_score == incumbent_score && candidate_subset < incumbent_subset)
+}
+
 /// Assembles the best preview whose key attributes are exactly `subset`
 /// (Alg. 1, lines 5–14; the `ComputePreview` routine of Alg. 3).
 ///

@@ -1,12 +1,13 @@
 //! Optimal preview discovery algorithms (Sec. 5 of the paper).
 //!
-//! Three algorithms implement the common [`PreviewDiscovery`] trait:
+//! Four algorithms implement the common [`PreviewDiscovery`] trait:
 //!
 //! | Algorithm | Paper | Supported spaces | Complexity |
 //! |---|---|---|---|
 //! | [`BruteForceDiscovery`] | Alg. 1 | concise, tight, diverse | exponential in `k` |
 //! | [`DynamicProgrammingDiscovery`] | Alg. 2 | concise | `O(K·N·logN + K·k·n²)` |
 //! | [`AprioriDiscovery`] | Alg. 3 | tight, diverse | exponential worst case, fast in practice |
+//! | [`BestFirstDiscovery`] | — (this work) | concise, tight, diverse | best-first branch-and-bound: exact with admissible-bound pruning, anytime under a budget |
 //!
 //! All algorithms consume a pre-computed [`ScoredSchema`]
 //! and return an optimal [`Preview`] (or `None` when the
@@ -15,11 +16,15 @@
 
 pub(crate) mod common;
 
+pub mod bound;
+
 mod apriori;
+mod best_first;
 mod brute_force;
 mod dynamic_programming;
 
 pub use apriori::AprioriDiscovery;
+pub use best_first::{AnytimeBudget, AnytimeOutcome, BestFirstDiscovery, SearchStats};
 pub use brute_force::BruteForceDiscovery;
 pub use dynamic_programming::DynamicProgrammingDiscovery;
 
@@ -69,6 +74,26 @@ pub fn brute_force_subset_count(eligible_types: usize, k: usize) -> u128 {
     common::binomial(eligible_types, k)
 }
 
+/// Assembles the best preview whose key attributes are exactly `subset`,
+/// together with its score, following Theorem 3 — the `ComputePreview`
+/// routine every algorithm shares.
+///
+/// Returns `None` when any type in `subset` has no candidate non-key
+/// attribute, or when the subset size does not match `space`'s table count.
+/// Exposed so out-of-crate harnesses (the bound-admissibility property test,
+/// `anytime-bench`) can score explicit subsets against algorithm output.
+pub fn best_preview_for_subset(
+    scored: &ScoredSchema,
+    subset: &[entity_graph::TypeId],
+    space: &PreviewSpace,
+) -> Option<(Preview, f64)> {
+    let size = space.size();
+    if subset.len() != size.tables {
+        return None;
+    }
+    common::compute_preview(scored, subset, size)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +108,7 @@ mod tests {
             "dynamic-programming"
         );
         assert_eq!(AprioriDiscovery::new().name(), "apriori");
+        assert_eq!(BestFirstDiscovery::new().name(), "best-first");
     }
 
     #[test]
@@ -93,6 +119,7 @@ mod tests {
         let algorithms: Vec<Box<dyn PreviewDiscovery>> = vec![
             Box::new(BruteForceDiscovery::new()),
             Box::new(DynamicProgrammingDiscovery::new()),
+            Box::new(BestFirstDiscovery::new()),
         ];
         for algo in &algorithms {
             let preview = algo.discover(&scored, &space).unwrap().unwrap();

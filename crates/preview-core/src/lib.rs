@@ -8,8 +8,10 @@
 //! * goodness measures for key and non-key attributes ([`scoring`], Sec. 3),
 //! * the concise / tight / diverse optimisation problems ([`SizeConstraint`],
 //!   [`DistanceConstraint`], [`PreviewSpace`], Sec. 4),
-//! * the three discovery algorithms ([`BruteForceDiscovery`],
-//!   [`DynamicProgrammingDiscovery`], [`AprioriDiscovery`], Sec. 5).
+//! * the discovery algorithms ([`BruteForceDiscovery`],
+//!   [`DynamicProgrammingDiscovery`], [`AprioriDiscovery`], Sec. 5), plus a
+//!   best-first branch-and-bound engine with an anytime mode
+//!   ([`BestFirstDiscovery`], this work).
 //!
 //! # Quick start
 //!
@@ -50,8 +52,9 @@ pub mod scoring;
 pub mod sharded;
 
 pub use algo::{
-    brute_force_subset_count, AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery,
-    PreviewDiscovery,
+    best_preview_for_subset, brute_force_subset_count, AnytimeBudget, AnytimeOutcome,
+    AprioriDiscovery, BestFirstDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery,
+    PreviewDiscovery, SearchStats,
 };
 pub use candidates::Candidate;
 pub use constraint::{DistanceConstraint, PreviewSpace, SizeConstraint};
@@ -91,5 +94,10 @@ mod static_assertions {
         assert_send_sync_clone::<BruteForceDiscovery>();
         assert_send_sync_clone::<DynamicProgrammingDiscovery>();
         assert_send_sync_clone::<AprioriDiscovery>();
+        assert_send_sync_clone::<BestFirstDiscovery>();
+        // Anytime results handed back across the serving boundary.
+        assert_send_sync_clone::<AnytimeBudget>();
+        assert_send_sync_clone::<AnytimeOutcome>();
+        assert_send_sync_clone::<SearchStats>();
     };
 }

@@ -133,6 +133,20 @@ pub struct ScoredSchema {
     candidates: Vec<Vec<Candidate>>,
     prefix_sums: Vec<Vec<f64>>,
     eligible: Vec<TypeId>,
+    weighted_top: Vec<f64>,
+}
+
+/// Per-type weighted score maxima `S(τ) × Sτ(γ₁)` — the largest score a
+/// single preview table keyed on each type can contribute per non-key slot
+/// (Eq. 2 with the best candidate). `0.0` for types without candidates.
+/// Precomputed once per build; the best-first bound
+/// ([`crate::algo::bound`]) reads it on every search node.
+fn weighted_top_scores(key_scores: &[f64], candidates: &[Vec<Candidate>]) -> Vec<f64> {
+    key_scores
+        .iter()
+        .zip(candidates)
+        .map(|(&key, cands)| cands.first().map_or(0.0, |c| key * c.score))
+        .collect()
 }
 
 impl ScoredSchema {
@@ -184,6 +198,7 @@ impl ScoredSchema {
         let prefix_sums = candidates::prefix_sums(&candidates);
         let eligible = candidates::eligible_types(&candidates);
         let distances = schema.distance_matrix();
+        let weighted_top = weighted_top_scores(&key_scores, &candidates);
         Ok(Self {
             schema,
             distances,
@@ -194,6 +209,7 @@ impl ScoredSchema {
             candidates,
             prefix_sums,
             eligible,
+            weighted_top,
         })
     }
 
@@ -228,6 +244,7 @@ impl ScoredSchema {
         let prefix_sums = candidates::prefix_sums(&candidates);
         let eligible = candidates::eligible_types(&candidates);
         let distances = schema.distance_matrix();
+        let weighted_top = weighted_top_scores(&key_scores, &candidates);
         Ok(Self {
             schema,
             distances,
@@ -238,6 +255,7 @@ impl ScoredSchema {
             candidates,
             prefix_sums,
             eligible,
+            weighted_top,
         })
     }
 
@@ -324,6 +342,7 @@ impl ScoredSchema {
         let prefix_sums = candidates::prefix_sums(&candidates);
         let eligible = candidates::eligible_types(&candidates);
         let distances = schema.distance_matrix();
+        let weighted_top = weighted_top_scores(&key_scores, &candidates);
         Ok(Self {
             schema,
             distances,
@@ -334,6 +353,7 @@ impl ScoredSchema {
             candidates,
             prefix_sums,
             eligible,
+            weighted_top,
         })
     }
 
@@ -428,6 +448,15 @@ impl ScoredSchema {
     /// Entity types eligible to be key attributes (at least one candidate).
     pub fn eligible_types(&self) -> &[TypeId] {
         &self.eligible
+    }
+
+    /// The largest single-slot contribution of a table keyed on `ty`:
+    /// `S(τ) × Sτ(γ₁)` for its best candidate, or `0.0` when `ty` has no
+    /// candidates. Precomputed at build time; the admissible bound of
+    /// [`BestFirstDiscovery`](crate::algo::BestFirstDiscovery) reads it per
+    /// search node.
+    pub fn weighted_top_score(&self, ty: TypeId) -> f64 {
+        self.weighted_top[ty.index()]
     }
 
     /// The score of a preview table (Eq. 2): `S(τ) × Σ_{γ} Sτ(γ)`.
@@ -678,6 +707,21 @@ mod tests {
                 assert_eq!(scored.eligible_types(), unsharded.eligible_types());
             }
         }
+    }
+
+    #[test]
+    fn weighted_top_score_is_key_times_best_candidate() {
+        let s = scored(ScoringConfig::coverage());
+        for ty in s.schema().types() {
+            let expected = s
+                .candidates(ty)
+                .first()
+                .map_or(0.0, |c| s.key_score(ty) * c.score);
+            assert_eq!(s.weighted_top_score(ty).to_bits(), expected.to_bits());
+        }
+        // Running example: FILM's best candidate (Actor, 6) at key score 4.
+        let film = s.schema().type_by_name(types::FILM).unwrap();
+        assert_eq!(s.weighted_top_score(film), 24.0);
     }
 
     #[test]

@@ -1,14 +1,17 @@
-//! Cross-algorithm agreement: the three discovery algorithms are exact
-//! optimizers over the same space, so on any graph they must agree on
-//! feasibility and on the optimal score — including the degenerate corners
-//! (`k == 0`, `n < k`, empty eligible sets, `k == 1` under a tight bound)
-//! where they historically diverged: the brute force assembled previews that
-//! violated Def. 1 (zero tables, or one mandatory non-key attribute per
-//! table overflowing `n`) while the Apriori join returned nothing.
+//! Cross-algorithm agreement: the exact discovery algorithms are optimizers
+//! over the same space, so on any graph they must agree on feasibility and
+//! on the optimal score — including the degenerate corners (`k == 0`,
+//! `n < k`, empty eligible sets, `k == 1` under a tight bound) where they
+//! historically diverged: the brute force assembled previews that violated
+//! Def. 1 (zero tables, or one mandatory non-key attribute per table
+//! overflowing `n`) while the Apriori join returned nothing. Best-first
+//! branch-and-bound additionally claims *bitwise* identity with the brute
+//! force (same earliest-strict-argmax tie-break), asserted below.
 
 use preview_core::{
-    AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring,
-    PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig, SizeConstraint,
+    AnytimeBudget, AprioriDiscovery, BestFirstDiscovery, BruteForceDiscovery,
+    DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring, PreviewDiscovery, PreviewSpace,
+    ScoredSchema, ScoringConfig, SizeConstraint,
 };
 
 use entity_graph::{EntityGraph, EntityGraphBuilder};
@@ -87,6 +90,30 @@ fn assert_agree(
     }
 }
 
+/// Asserts best-first output is *bitwise* identical to the brute force:
+/// identical preview structure and identical score bits, not just an
+/// epsilon-close score.
+fn assert_bitwise_matches_brute_force(scored: &ScoredSchema, space: &PreviewSpace, context: &str) {
+    let bf = BruteForceDiscovery::new().discover(scored, space).unwrap();
+    let best = BestFirstDiscovery::new().discover(scored, space).unwrap();
+    match (bf, best) {
+        (None, None) => {}
+        (Some(bf), Some(best)) => {
+            assert_eq!(bf, best, "{context}: preview diverged");
+            assert_eq!(
+                scored.preview_score(&bf).to_bits(),
+                scored.preview_score(&best).to_bits(),
+                "{context}: score bits diverged"
+            );
+        }
+        (bf, best) => panic!(
+            "{context}: feasibility diverged (brute-force={}, best-first={})",
+            bf.is_some(),
+            best.is_some()
+        ),
+    }
+}
+
 #[test]
 fn algorithms_agree_on_small_random_graphs() {
     let configs = [
@@ -107,6 +134,11 @@ fn algorithms_agree_on_small_random_graphs() {
                         &BruteForceDiscovery::new(),
                         &format!("seed={seed} k={k} n={n} concise"),
                     );
+                    assert_bitwise_matches_brute_force(
+                        &scored,
+                        &concise,
+                        &format!("seed={seed} k={k} n={n} concise"),
+                    );
                     for d in 1..=3u32 {
                         for space in [
                             PreviewSpace::tight(k, n, d).unwrap(),
@@ -117,6 +149,11 @@ fn algorithms_agree_on_small_random_graphs() {
                                 &space,
                                 &AprioriDiscovery::new(),
                                 &BruteForceDiscovery::new(),
+                                &format!("seed={seed} k={k} n={n} d={d} {space:?}"),
+                            );
+                            assert_bitwise_matches_brute_force(
+                                &scored,
+                                &space,
                                 &format!("seed={seed} k={k} n={n} d={d} {space:?}"),
                             );
                         }
@@ -149,12 +186,20 @@ fn zero_table_constraint_is_an_empty_space_for_every_algorithm() {
         .discover(&scored, &PreviewSpace::Concise(size))
         .unwrap()
         .is_none());
+    assert!(BestFirstDiscovery::new()
+        .discover(&scored, &PreviewSpace::Concise(size))
+        .unwrap()
+        .is_none());
     for space in [PreviewSpace::Tight(size, 1), PreviewSpace::Diverse(size, 1)] {
         assert!(BruteForceDiscovery::new()
             .discover(&scored, &space)
             .unwrap()
             .is_none());
         assert!(AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
+        assert!(BestFirstDiscovery::new()
             .discover(&scored, &space)
             .unwrap()
             .is_none());
@@ -180,6 +225,10 @@ fn overfull_table_budget_is_an_empty_space_for_every_algorithm() {
         .discover(&scored, &PreviewSpace::Concise(size))
         .unwrap()
         .is_none());
+    assert!(BestFirstDiscovery::new()
+        .discover(&scored, &PreviewSpace::Concise(size))
+        .unwrap()
+        .is_none());
     for space in [
         PreviewSpace::Tight(size, 10),
         PreviewSpace::Diverse(size, 1),
@@ -189,6 +238,10 @@ fn overfull_table_budget_is_an_empty_space_for_every_algorithm() {
             .unwrap()
             .is_none());
         assert!(AprioriDiscovery::new()
+            .discover(&scored, &space)
+            .unwrap()
+            .is_none());
+        assert!(BestFirstDiscovery::new()
             .discover(&scored, &space)
             .unwrap()
             .is_none());
@@ -218,6 +271,10 @@ fn empty_eligible_set_is_an_empty_space_for_every_algorithm() {
             .discover(&scored, &concise)
             .unwrap()
             .is_none());
+        assert!(BestFirstDiscovery::new()
+            .discover(&scored, &concise)
+            .unwrap()
+            .is_none());
         let tight = PreviewSpace::tight(k, k + 1, 1).unwrap();
         assert!(BruteForceDiscovery::new()
             .discover(&scored, &tight)
@@ -227,5 +284,59 @@ fn empty_eligible_set_is_an_empty_space_for_every_algorithm() {
             .discover(&scored, &tight)
             .unwrap()
             .is_none());
+        assert!(BestFirstDiscovery::new()
+            .discover(&scored, &tight)
+            .unwrap()
+            .is_none());
+    }
+}
+
+/// The anytime path is the same search: under an unlimited budget it proves
+/// optimality and returns a preview bitwise identical to [`discover`]
+/// (and hence to the brute force); under shrinking node budgets the
+/// incumbent score never increases past the optimum and the reported upper
+/// bound always dominates the exact optimum.
+///
+/// [`discover`]: PreviewDiscovery::discover
+#[test]
+fn anytime_agrees_with_exact_discovery_on_random_graphs() {
+    for seed in 0..6u64 {
+        let graph = random_graph(seed, 3 + (seed as usize % 4), 2 + (seed as usize % 5), 40);
+        let scored = ScoredSchema::build(&graph, &ScoringConfig::coverage()).unwrap();
+        for space in [
+            PreviewSpace::concise(2, 4).unwrap(),
+            PreviewSpace::diverse(2, 4, 2).unwrap(),
+        ] {
+            let exact = BestFirstDiscovery::new().discover(&scored, &space).unwrap();
+            let unlimited = BestFirstDiscovery::new()
+                .discover_anytime(&scored, &space, AnytimeBudget::UNLIMITED)
+                .unwrap();
+            assert!(unlimited.exact, "seed={seed}: unlimited budget must prove");
+            assert_eq!(unlimited.optimality_gap(), 0.0);
+            assert_eq!(exact, unlimited.preview, "seed={seed}: preview diverged");
+            let Some(exact) = exact else { continue };
+            let exact_score = scored.preview_score(&exact);
+            for budget in [0, 1, 2, 4, 8, 64] {
+                let outcome = BestFirstDiscovery::new()
+                    .discover_anytime(&scored, &space, AnytimeBudget::nodes(budget))
+                    .unwrap();
+                assert!(
+                    outcome.score <= exact_score,
+                    "seed={seed} budget={budget}: incumbent beat the optimum"
+                );
+                assert!(
+                    outcome.upper_bound >= exact_score,
+                    "seed={seed} budget={budget}: upper bound {} below optimum {exact_score}",
+                    outcome.upper_bound
+                );
+                if outcome.exact {
+                    assert_eq!(
+                        outcome.score.to_bits(),
+                        exact_score.to_bits(),
+                        "seed={seed} budget={budget}: proved but not optimal"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,160 @@
+//! Property test for the branch-and-bound admissibility invariant: on random
+//! graphs, spaces and prefixes, the upper bound computed by
+//! [`BoundContext::upper_bound`] dominates the true preview score of **every**
+//! feasible completion of the prefix (brute-force enumerated — the spaces are
+//! kept small enough to check them all). This is the property that makes the
+//! best-first search exact: an inadmissible bound could prune the optimum.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use entity_graph::{EntityGraph, EntityGraphBuilder};
+use preview_core::algo::bound::BoundContext;
+use preview_core::{
+    best_preview_for_subset, KeyScoring, NonKeyScoring, PreviewSpace, ScoredSchema, ScoringConfig,
+};
+
+/// A small random multigraph (same shape as the cross-algorithm agreement
+/// suite): a handful of types and entities, random well-typed edges.
+fn random_graph(seed: u64, types: usize, rel_types: usize, edges: usize) -> EntityGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = EntityGraphBuilder::new();
+    let type_ids: Vec<_> = (0..types)
+        .map(|t| builder.entity_type(&format!("T{t}")))
+        .collect();
+    let entities: Vec<Vec<_>> = type_ids
+        .iter()
+        .map(|&ty| {
+            let count = rng.gen_range(1..5);
+            (0..count)
+                .map(|e| builder.entity(&format!("e{ty:?}-{e}"), &[ty]))
+                .collect()
+        })
+        .collect();
+    let rels: Vec<(_, usize, usize)> = (0..rel_types)
+        .map(|r| {
+            let src = rng.gen_range(0..types);
+            let dst = rng.gen_range(0..types);
+            (
+                builder.relationship_type(&format!("r{r}"), type_ids[src], type_ids[dst]),
+                src,
+                dst,
+            )
+        })
+        .collect();
+    for _ in 0..edges {
+        let &(rel, src, dst) = &rels[rng.gen_range(0..rels.len())];
+        let s = entities[src][rng.gen_range(0..entities[src].len())];
+        let d = entities[dst][rng.gen_range(0..entities[dst].len())];
+        builder.edge(s, rel, d).expect("well-typed edge");
+    }
+    builder.build()
+}
+
+/// Calls `check` with every size-`need` combination of `feasible` whose
+/// members are pairwise compatible under `ctx` (compatibility against the
+/// prefix is already guaranteed by the feasible-extension set).
+fn for_each_feasible_completion(
+    ctx: &BoundContext<'_>,
+    feasible: &[u32],
+    need: usize,
+    chosen: &mut Vec<u32>,
+    start: usize,
+    check: &mut dyn FnMut(&[u32]),
+) {
+    if chosen.len() == need {
+        check(chosen);
+        return;
+    }
+    for pos in start..feasible.len() {
+        let j = feasible[pos];
+        if chosen.iter().all(|&c| ctx.pair_ok(c, j)) {
+            chosen.push(j);
+            for_each_feasible_completion(ctx, feasible, need, chosen, pos + 1, check);
+            chosen.pop();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every prefix of every feasible subset shape: the bound dominates
+    /// the exact score of each feasible completion, and when the prefix has
+    /// no completion the bound is `None` only if the feasible set is truly
+    /// too small.
+    #[test]
+    fn bound_dominates_every_feasible_completion(
+        seed in 0u64..2_000,
+        types in 3usize..7,
+        k in 1usize..4,
+        extra in 0usize..3,
+        space_kind in 0u8..3,
+        d in 1u32..4,
+        entropy in proptest::bool::ANY,
+    ) {
+        let graph = random_graph(seed, types, 1 + (seed as usize % 6), 35);
+        let config = if entropy {
+            ScoringConfig::new(KeyScoring::Coverage, NonKeyScoring::Entropy)
+        } else {
+            ScoringConfig::coverage()
+        };
+        let scored = ScoredSchema::build(&graph, &config).unwrap();
+        let space = match space_kind {
+            0 => PreviewSpace::concise(k, k + extra).unwrap(),
+            1 => PreviewSpace::tight(k, k + extra, d).unwrap(),
+            _ => PreviewSpace::diverse(k, k + extra, d).unwrap(),
+        };
+        let ctx = BoundContext::new(&scored, &space);
+        let eligible = scored.eligible_types();
+
+        // Every strictly increasing prefix of length < k over the eligible
+        // indices, enumerated the same way the search grows them: start from
+        // the empty prefix and extend through the feasible-extension sets.
+        let mut stack: Vec<Vec<u32>> = vec![Vec::new()];
+        while let Some(prefix) = stack.pop() {
+            let feasible = ctx.feasible_extensions(&prefix);
+            let need = k - prefix.len();
+            let bound = ctx.upper_bound(&prefix, &feasible);
+            if feasible.len() < need {
+                prop_assert!(
+                    bound.is_none(),
+                    "prefix {prefix:?}: bound must be None when no completion exists"
+                );
+                continue;
+            }
+            let mut chosen = Vec::with_capacity(need);
+            let mut violations: Vec<String> = Vec::new();
+            for_each_feasible_completion(&ctx, &feasible, need, &mut chosen, 0, &mut |completion| {
+                let subset: Vec<_> = prefix
+                    .iter()
+                    .chain(completion)
+                    .map(|&i| eligible[i as usize])
+                    .collect();
+                if let Some((_, score)) = best_preview_for_subset(&scored, &subset, &space) {
+                    match bound {
+                        None => violations.push(format!(
+                            "prefix {prefix:?} completion {completion:?}: \
+                             bound None but completion scores {score}"
+                        )),
+                        Some(bound) if bound < score => violations.push(format!(
+                            "prefix {prefix:?} completion {completion:?}: \
+                             bound {bound} < score {score}"
+                        )),
+                        Some(_) => {}
+                    }
+                }
+            });
+            prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
+            // Grow the prefix one level (children of this node).
+            if prefix.len() + 1 < k {
+                for &j in &feasible {
+                    let mut child = prefix.clone();
+                    child.push(j);
+                    stack.push(child);
+                }
+            }
+        }
+    }
+}

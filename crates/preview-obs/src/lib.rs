@@ -61,7 +61,9 @@ mod stage;
 pub use flight::{FlightDump, FlightRing, SpanEvent};
 pub use histogram::{bucket_index, bucket_lower, Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{write_json_f64, write_json_string, JsonValue};
-pub use recorder::{enter, enter_with, AttachGuard, DumpReason, ObsConfig, Recorder, SpanGuard};
+pub use recorder::{
+    counter_add, enter, enter_with, AttachGuard, DumpReason, ObsConfig, Recorder, SpanGuard,
+};
 pub use rss::peak_rss_bytes;
 pub use snapshot::{MemorySection, ObsSnapshot, ShardMemory};
 pub use stage::{Counter, Stage, COUNTER_COUNT, STAGE_COUNT};

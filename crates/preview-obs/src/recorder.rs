@@ -356,6 +356,22 @@ pub fn enter(stage: Stage) -> SpanGuard {
     enter_with(stage, 0)
 }
 
+/// Adds `n` to `counter` on the current thread's attached recorder, if any.
+///
+/// Counters are always live — [`Recorder::add_counter`] accumulates whether
+/// or not the recorder is enabled — so this helper deliberately skips the
+/// enabled fast path. Threads without an attached recorder (fork-join
+/// helpers, plain library callers) drop the increment: library code can
+/// report counters unconditionally and only instrumented serving stacks
+/// collect them.
+pub fn counter_add(counter: Counter, n: u64) {
+    CURRENT.with(|cell| {
+        if let Some(recorder) = cell.borrow().as_ref() {
+            recorder.add_counter(counter, n);
+        }
+    });
+}
+
 /// [`enter`], with a free-form attribute attached to the span event.
 #[inline]
 pub fn enter_with(stage: Stage, attr: u64) -> SpanGuard {

@@ -44,10 +44,13 @@ pub enum Stage {
     Rescore = 12,
     /// A whole `publish_delta` call in the registry.
     Publish = 13,
+    /// Best-first branch-and-bound search (a [`Stage::Algorithm`]-child span
+    /// on the discovery path; the attribute carries nodes expanded).
+    BestFirstSearch = 14,
 }
 
 /// Number of distinct stages.
-pub const STAGE_COUNT: usize = 14;
+pub const STAGE_COUNT: usize = 15;
 
 impl Stage {
     /// Every stage, in `repr` order.
@@ -66,6 +69,7 @@ impl Stage {
         Stage::ShardedBuild,
         Stage::Rescore,
         Stage::Publish,
+        Stage::BestFirstSearch,
     ];
 
     /// Stable snake_case name used in snapshot JSON and flight dumps.
@@ -85,6 +89,7 @@ impl Stage {
             Stage::ShardedBuild => "sharded_build",
             Stage::Rescore => "rescore",
             Stage::Publish => "publish",
+            Stage::BestFirstSearch => "best_first_search",
         }
     }
 
@@ -118,10 +123,18 @@ pub enum Counter {
     PanicDumps = 6,
     /// Flight-recorder dumps triggered by slow requests.
     SlowDumps = 7,
+    /// Prefix nodes expanded by best-first discovery searches.
+    NodesExpanded = 8,
+    /// Prefix subtrees discarded without expansion by best-first searches
+    /// (bound cutoffs plus infeasibility).
+    NodesPruned = 9,
+    /// Best-first discards attributable to the admissible bound failing to
+    /// beat the incumbent (a subset of [`Counter::NodesPruned`]).
+    BoundCutoffs = 10,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 8;
+pub const COUNTER_COUNT: usize = 11;
 
 impl Counter {
     /// Every counter, in `repr` order.
@@ -134,6 +147,9 @@ impl Counter {
         Counter::CacheInvalidated,
         Counter::PanicDumps,
         Counter::SlowDumps,
+        Counter::NodesExpanded,
+        Counter::NodesPruned,
+        Counter::BoundCutoffs,
     ];
 
     /// Stable snake_case name used in snapshot JSON.
@@ -147,6 +163,9 @@ impl Counter {
             Counter::CacheInvalidated => "cache_invalidated",
             Counter::PanicDumps => "panic_dumps",
             Counter::SlowDumps => "slow_dumps",
+            Counter::NodesExpanded => "nodes_expanded",
+            Counter::NodesPruned => "nodes_pruned",
+            Counter::BoundCutoffs => "bound_cutoffs",
         }
     }
 }

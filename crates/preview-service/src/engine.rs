@@ -10,11 +10,13 @@ use std::time::{Duration, Instant};
 use entity_graph::{DeltaSummary, GraphDelta};
 use preview_obs::{Counter, DumpReason, MemorySection, ObsSnapshot, Recorder, ShardMemory, Stage};
 
+use preview_core::{AnytimeBudget, BestFirstDiscovery};
+
 use crate::cache::{CacheStats, ShardedLruCache};
-use crate::registry::GraphRegistry;
+use crate::registry::{GraphRegistry, RegisteredGraph};
 use crate::request::{
-    CacheKey, CachedPreview, PreviewRequest, PreviewResponse, ScoringKey, ServiceError,
-    ServiceResult,
+    CacheKey, CachedPreview, PreviewRequest, PreviewResponse, ResolvedAlgorithm, ScoringKey,
+    ServiceError, ServiceResult,
 };
 use crate::stats::{ServiceStats, StatsRecorder};
 use crate::worker::{BoundedQueue, PushError};
@@ -99,7 +101,15 @@ impl Shared {
     ) -> ServiceResult<PreviewResponse> {
         let start = Instant::now();
         let graph = self.registry.resolve(&request.graph, request.version)?;
-        let algorithm = request.algorithm.resolve(&request.space);
+        if let Some(budget) = request.node_budget {
+            return self.execute_anytime(request, &graph, budget, queue_wait, start);
+        }
+        // Auto-resolution sizes the space by the schema's type count — an
+        // upper bound on the eligible types, deterministic per version and
+        // available without forcing scoring on the cache-hit path.
+        let algorithm = request
+            .algorithm
+            .resolve_for(&request.space, graph.graph().schema_graph().type_count());
         let key = CacheKey {
             graph: graph.name().to_string(),
             version: graph.version(),
@@ -117,6 +127,44 @@ impl Shared {
             cache_hit,
             queue_wait,
             compute: start.elapsed(),
+            optimality_gap: None,
+        })
+    }
+
+    /// Answers an anytime (budgeted) request: always the best-first engine,
+    /// and always **outside** the result cache — the incumbent under a
+    /// budget may be sub-optimal, and neither serving it to an exact request
+    /// nor serving a cached exact result while claiming a gap would be
+    /// honest, so budgeted requests are neither looked up nor inserted.
+    fn execute_anytime(
+        &self,
+        request: &PreviewRequest,
+        graph: &RegisteredGraph,
+        budget: u64,
+        queue_wait: Duration,
+        start: Instant,
+    ) -> ServiceResult<PreviewResponse> {
+        let _discovery = preview_obs::span!(Stage::Discovery);
+        let scored = graph.scored_for(&request.scoring)?;
+        let outcome = {
+            let _algorithm =
+                preview_obs::span!(Stage::Algorithm, threads = request.scoring.threads);
+            BestFirstDiscovery::new().discover_anytime(
+                &scored,
+                &request.space,
+                AnytimeBudget::nodes(budget),
+            )?
+        };
+        Ok(PreviewResponse {
+            graph: graph.name().to_string(),
+            version: graph.version(),
+            algorithm: ResolvedAlgorithm::BestFirst,
+            preview: outcome.preview.clone(),
+            score: outcome.score,
+            cache_hit: false,
+            queue_wait,
+            compute: start.elapsed(),
+            optimality_gap: Some(outcome.optimality_gap()),
         })
     }
 
@@ -725,6 +773,90 @@ mod tests {
             stats.cache.insertions
         );
         assert_eq!(service.shared.inflight_len(), 0);
+    }
+
+    #[test]
+    fn anytime_requests_bypass_the_cache_and_report_a_gap() {
+        let service = fig1_service(ServiceConfig::default());
+        let space = PreviewSpace::diverse(2, 6, 2).unwrap();
+        // An exact request populates the cache for this space.
+        let exact = service
+            .submit_wait(crate::PreviewRequest::new("fig1", space))
+            .unwrap();
+        assert_eq!(exact.optimality_gap, None);
+        assert!(!exact.cache_hit);
+
+        // A generous budget closes the proof: same preview, zero gap — but
+        // still flagged as anytime and never served from (or into) the cache.
+        let generous = service
+            .submit_wait(crate::PreviewRequest::new("fig1", space).with_node_budget(1 << 20))
+            .unwrap();
+        assert!(!generous.cache_hit);
+        assert_eq!(generous.algorithm, ResolvedAlgorithm::BestFirst);
+        assert_eq!(generous.optimality_gap, Some(0.0));
+        assert_eq!(generous.preview, exact.preview);
+        assert_eq!(generous.score.to_bits(), exact.score.to_bits());
+
+        // A zero budget returns no incumbent but a positive upper bound.
+        let starved = service
+            .submit_wait(crate::PreviewRequest::new("fig1", space).with_node_budget(0))
+            .unwrap();
+        assert!(!starved.cache_hit);
+        assert!(starved.preview.is_none());
+        assert!(starved.optimality_gap.unwrap() >= exact.score);
+
+        // Cache insertions: only the exact request's single entry.
+        assert_eq!(service.stats().cache.insertions, 1);
+        // And a repeat of the anytime request still does not hit the cache.
+        let repeat = service
+            .submit_wait(crate::PreviewRequest::new("fig1", space).with_node_budget(1 << 20))
+            .unwrap();
+        assert!(!repeat.cache_hit);
+        assert_eq!(service.stats().cache.insertions, 1);
+    }
+
+    #[test]
+    fn anytime_discovery_records_search_counters() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        let recorder = Arc::new(Recorder::default());
+        recorder.enable();
+        let service = PreviewService::start_with_recorder(
+            ServiceConfig::with_workers(1),
+            registry,
+            Arc::clone(&recorder),
+        );
+        let space = PreviewSpace::diverse(2, 6, 2).unwrap();
+        let request = crate::PreviewRequest::new("fig1", space).with_node_budget(1 << 20);
+        service.submit_wait(request).unwrap();
+        recorder.disable();
+        assert!(recorder.counter(Counter::NodesExpanded) > 0);
+        assert!(recorder.counter(Counter::NodesPruned) > 0);
+        assert!(recorder.stage_histogram(Stage::BestFirstSearch).count() >= 1);
+    }
+
+    #[test]
+    fn explicit_best_first_shares_exact_semantics() {
+        let service = fig1_service(ServiceConfig::default());
+        let space = PreviewSpace::tight(2, 6, 3).unwrap();
+        let apriori = service
+            .submit_wait(
+                crate::PreviewRequest::new("fig1", space).with_algorithm(crate::Algorithm::Apriori),
+            )
+            .unwrap();
+        let best_first = service
+            .submit_wait(
+                crate::PreviewRequest::new("fig1", space)
+                    .with_algorithm(crate::Algorithm::BestFirst),
+            )
+            .unwrap();
+        assert_eq!(best_first.algorithm, ResolvedAlgorithm::BestFirst);
+        assert_eq!(best_first.optimality_gap, None);
+        assert_eq!(best_first.preview, apriori.preview);
+        assert_eq!(best_first.score.to_bits(), apriori.score.to_bits());
+        // Distinct resolved algorithms keep distinct cache keys.
+        assert!(!best_first.cache_hit);
+        assert_eq!(service.stats().cache.insertions, 2);
     }
 
     #[test]

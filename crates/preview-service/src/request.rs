@@ -6,17 +6,29 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use preview_core::{
-    AprioriDiscovery, BruteForceDiscovery, DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring,
-    Preview, PreviewDiscovery, PreviewSpace, ScoringConfig,
+    brute_force_subset_count, AprioriDiscovery, BestFirstDiscovery, BruteForceDiscovery,
+    DynamicProgrammingDiscovery, KeyScoring, NonKeyScoring, Preview, PreviewDiscovery,
+    PreviewSpace, ScoringConfig,
 };
+
+/// Subset-count estimate above which [`Algorithm::Auto`] prefers the
+/// best-first branch-and-bound over the Apriori join on distance-constrained
+/// spaces. Below this, level-wise candidate growth over a small lattice is
+/// cheap and cache-friendly; above it, enumeration-style growth dominates the
+/// latency budget while best-first typically expands a small fraction of the
+/// lattice before its optimality proof closes (`anytime-bench` enforces the
+/// ratio).
+pub const BEST_FIRST_AUTO_THRESHOLD: u128 = 20_000;
 
 /// Which discovery algorithm a request asks for.
 ///
 /// [`Algorithm::Auto`] picks the asymptotically best exact algorithm for the
 /// requested space: dynamic programming for concise previews (Alg. 2 is
-/// polynomial but concise-only) and Apriori for tight / diverse previews
-/// (Alg. 3). Explicit choices are honoured verbatim, so a request can still
-/// pin the brute force for cross-checking.
+/// polynomial but concise-only), and for tight / diverse previews either
+/// Apriori (Alg. 3, small spaces) or best-first branch-and-bound (large
+/// spaces — see [`BEST_FIRST_AUTO_THRESHOLD`]). Explicit choices are
+/// honoured verbatim, so a request can still pin the brute force for
+/// cross-checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Algorithm {
     /// Pick the best exact algorithm for the requested space.
@@ -28,19 +40,48 @@ pub enum Algorithm {
     DynamicProgramming,
     /// Alg. 3: Apriori-style candidate growth, tight / diverse spaces.
     Apriori,
+    /// Best-first branch-and-bound with admissible bounds, any space; the
+    /// only engine that honours an anytime node budget
+    /// ([`PreviewRequest::node_budget`]).
+    BestFirst,
 }
 
 impl Algorithm {
-    /// Resolves the request-level choice to a concrete algorithm for `space`.
+    /// Resolves the request-level choice to a concrete algorithm for `space`,
+    /// without a schema-size estimate: `Auto` keeps its legacy mapping
+    /// (dynamic programming / Apriori). The serving engine resolves through
+    /// [`resolve_for`](Self::resolve_for) with the registered graph's type
+    /// count instead.
     pub fn resolve(self, space: &PreviewSpace) -> ResolvedAlgorithm {
+        self.resolve_for(space, 0)
+    }
+
+    /// Resolves the request-level choice to a concrete algorithm for `space`,
+    /// where `type_estimate` is an upper bound on the number of eligible
+    /// entity types (the serving engine passes the schema's type count —
+    /// cheap, deterministic per version, and available without scoring).
+    ///
+    /// `Auto` on a distance-constrained space prefers best-first once the
+    /// `C(type_estimate, k)` subset count exceeds
+    /// [`BEST_FIRST_AUTO_THRESHOLD`]; both resolutions are exact, so the
+    /// heuristic only affects latency, never results.
+    pub fn resolve_for(self, space: &PreviewSpace, type_estimate: usize) -> ResolvedAlgorithm {
         match self {
             Algorithm::Auto => match space {
                 PreviewSpace::Concise(_) => ResolvedAlgorithm::DynamicProgramming,
-                PreviewSpace::Tight(..) | PreviewSpace::Diverse(..) => ResolvedAlgorithm::Apriori,
+                PreviewSpace::Tight(..) | PreviewSpace::Diverse(..) => {
+                    let subsets = brute_force_subset_count(type_estimate, space.size().tables);
+                    if subsets > BEST_FIRST_AUTO_THRESHOLD {
+                        ResolvedAlgorithm::BestFirst
+                    } else {
+                        ResolvedAlgorithm::Apriori
+                    }
+                }
             },
             Algorithm::BruteForce => ResolvedAlgorithm::BruteForce,
             Algorithm::DynamicProgramming => ResolvedAlgorithm::DynamicProgramming,
             Algorithm::Apriori => ResolvedAlgorithm::Apriori,
+            Algorithm::BestFirst => ResolvedAlgorithm::BestFirst,
         }
     }
 }
@@ -57,6 +98,8 @@ pub enum ResolvedAlgorithm {
     DynamicProgramming,
     /// Alg. 3.
     Apriori,
+    /// Best-first branch-and-bound (this work).
+    BestFirst,
 }
 
 impl ResolvedAlgorithm {
@@ -66,6 +109,7 @@ impl ResolvedAlgorithm {
             ResolvedAlgorithm::BruteForce => Box::new(BruteForceDiscovery::new()),
             ResolvedAlgorithm::DynamicProgramming => Box::new(DynamicProgrammingDiscovery::new()),
             ResolvedAlgorithm::Apriori => Box::new(AprioriDiscovery::new()),
+            ResolvedAlgorithm::BestFirst => Box::new(BestFirstDiscovery::new()),
         }
     }
 
@@ -75,6 +119,7 @@ impl ResolvedAlgorithm {
             ResolvedAlgorithm::BruteForce => "brute-force",
             ResolvedAlgorithm::DynamicProgramming => "dynamic-programming",
             ResolvedAlgorithm::Apriori => "apriori",
+            ResolvedAlgorithm::BestFirst => "best-first",
         }
     }
 }
@@ -92,6 +137,14 @@ pub struct PreviewRequest {
     pub algorithm: Algorithm,
     /// Key / non-key scoring configuration.
     pub scoring: ScoringConfig,
+    /// Anytime node budget: when set, discovery runs the best-first engine
+    /// with this expansion budget (overriding [`algorithm`](Self::algorithm))
+    /// and may return a sub-optimal incumbent — the response then carries
+    /// [`PreviewResponse::optimality_gap`]. Budgeted requests bypass the
+    /// result cache entirely, so a non-optimal incumbent is never served
+    /// where an optimal preview is expected. `None` (the default) means
+    /// exact discovery.
+    pub node_budget: Option<u64>,
 }
 
 impl PreviewRequest {
@@ -104,7 +157,15 @@ impl PreviewRequest {
             space,
             algorithm: Algorithm::Auto,
             scoring: ScoringConfig::coverage(),
+            node_budget: None,
         }
+    }
+
+    /// Makes this an anytime request with a best-first node budget (see
+    /// [`PreviewRequest::node_budget`]).
+    pub fn with_node_budget(mut self, nodes: u64) -> Self {
+        self.node_budget = Some(nodes);
+        self
     }
 
     /// Sets an explicit graph version.
@@ -222,6 +283,12 @@ pub struct PreviewResponse {
     pub queue_wait: Duration,
     /// Time spent resolving + computing (or fetching) the result.
     pub compute: Duration,
+    /// `Some(gap)` for anytime (budgeted) results: the difference between
+    /// the best-first upper bound on the optimal score and the served
+    /// incumbent's score. `None` for exact results. A gap of `0.0` still
+    /// means "not proven optimal" — the budget expired at the moment the
+    /// frontier bound met the incumbent.
+    pub optimality_gap: Option<f64>,
 }
 
 impl PreviewResponse {
@@ -330,9 +397,54 @@ mod tests {
             ResolvedAlgorithm::BruteForce,
             ResolvedAlgorithm::DynamicProgramming,
             ResolvedAlgorithm::Apriori,
+            ResolvedAlgorithm::BestFirst,
         ] {
             assert_eq!(algo.discovery().name(), algo.name());
         }
+    }
+
+    #[test]
+    fn auto_prefers_best_first_on_large_distance_spaces() {
+        let diverse = PreviewSpace::diverse(3, 6, 2).unwrap();
+        let concise = PreviewSpace::concise(3, 6).unwrap();
+        // C(8, 3) = 56 ≤ threshold: small schemas stay on Apriori.
+        assert_eq!(
+            Algorithm::Auto.resolve_for(&diverse, 8),
+            ResolvedAlgorithm::Apriori
+        );
+        // C(63, 3) = 39711 > threshold: large schemas route to best-first.
+        assert_eq!(
+            Algorithm::Auto.resolve_for(&diverse, 63),
+            ResolvedAlgorithm::BestFirst
+        );
+        // Concise spaces keep dynamic programming regardless of size.
+        assert_eq!(
+            Algorithm::Auto.resolve_for(&concise, 63),
+            ResolvedAlgorithm::DynamicProgramming
+        );
+        // Explicit choices are never overridden by the estimate.
+        assert_eq!(
+            Algorithm::Apriori.resolve_for(&diverse, 63),
+            ResolvedAlgorithm::Apriori
+        );
+        assert_eq!(
+            Algorithm::BestFirst.resolve_for(&diverse, 8),
+            ResolvedAlgorithm::BestFirst
+        );
+        // The estimate-free legacy form never picks best-first.
+        assert_eq!(
+            Algorithm::Auto.resolve(&diverse),
+            ResolvedAlgorithm::Apriori
+        );
+    }
+
+    #[test]
+    fn request_builder_sets_node_budget() {
+        let space = PreviewSpace::diverse(2, 4, 2).unwrap();
+        let request = PreviewRequest::new("wiki", space);
+        assert_eq!(request.node_budget, None);
+        let budgeted = request.with_node_budget(500);
+        assert_eq!(budgeted.node_budget, Some(500));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   the brute-force / dynamic-programming / Apriori discovery algorithms,
 //!   parallelized over a deterministic fork-join pool (`core::par`) whose
 //!   outputs are byte-identical to the sequential path at any thread count,
+//!   plus a best-first branch-and-bound engine with admissible bounds and an
+//!   anytime mode (`core::BestFirstDiscovery`),
 //! * [`baseline`] — the YPS09 relational-database-summarisation baseline
 //!   adapted to entity graphs,
 //! * [`datagen`] — synthetic Freebase-like domain generation, gold standards
@@ -44,9 +46,9 @@ pub mod prelude {
         TypeId,
     };
     pub use preview_core::{
-        AprioriDiscovery, BruteForceDiscovery, DistanceConstraint, DynamicProgrammingDiscovery,
-        FjPool, KeyScoring, NonKeyScoring, Preview, PreviewDiscovery, PreviewSpace, ScoredSchema,
-        ScoringConfig, SizeConstraint,
+        AnytimeBudget, AnytimeOutcome, AprioriDiscovery, BestFirstDiscovery, BruteForceDiscovery,
+        DistanceConstraint, DynamicProgrammingDiscovery, FjPool, KeyScoring, NonKeyScoring,
+        Preview, PreviewDiscovery, PreviewSpace, ScoredSchema, ScoringConfig, SizeConstraint,
     };
     pub use preview_service::{
         Algorithm, GraphRegistry, PreviewRequest, PreviewResponse, PreviewService, ServiceConfig,

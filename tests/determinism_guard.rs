@@ -223,6 +223,62 @@ fn brute_force_parallel_discovery_matches_sequential_bit_for_bit() {
     }
 }
 
+/// Best-first branch-and-bound is the newest exact engine and never selected
+/// by the legacy `Algorithm::Auto` goldens above, so pin it separately: on
+/// both reference graphs it must reproduce every golden *score bit* at
+/// thread budgets 1 and 4 (the budget is ignored by design, so the outputs
+/// must be identical, not merely equivalent), and its full preview —
+/// structure and description — must be bitwise identical to the brute
+/// force's, which is the tie-break contract it claims. (The DP-captured
+/// `describe` goldens are not asserted here: on concise spaces the DP may
+/// assemble a different same-score preview when trailing extras score zero.)
+#[test]
+fn best_first_discovery_reproduces_goldens_at_any_thread_budget() {
+    use preview_tables::core::{BestFirstDiscovery, BruteForceDiscovery, PreviewDiscovery};
+    let cases = [
+        (fixtures::figure1_graph(), &FIG1_GOLDENS),
+        (
+            SyntheticGenerator::new(1).generate(&FreebaseDomain::Film.spec(2e-4)),
+            &FILM_GOLDENS,
+        ),
+    ];
+    for (graph, goldens) in &cases {
+        for golden in goldens.iter() {
+            let scored = ScoredSchema::build(graph, &config_of(golden.config)).unwrap();
+            let space = space_of(golden.space);
+            let reference = BruteForceDiscovery::new()
+                .discover(&scored, &space)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{}/{}: no preview", golden.config, golden.space));
+            for threads in [1, 4] {
+                let preview = BestFirstDiscovery::new()
+                    .discover_with_threads(&scored, &space, threads)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{}/{}: no preview", golden.config, golden.space));
+                assert_eq!(
+                    scored.preview_score(&preview).to_bits(),
+                    golden.score_bits,
+                    "{}/{} (threads={threads}): best-first score drifted",
+                    golden.config,
+                    golden.space
+                );
+                assert_eq!(
+                    preview, reference,
+                    "{}/{} (threads={threads}): best-first diverged from brute force",
+                    golden.config, golden.space
+                );
+                assert_eq!(
+                    preview.describe(scored.schema()),
+                    reference.describe(scored.schema()),
+                    "{}/{} (threads={threads}): best-first description diverged",
+                    golden.config,
+                    golden.space
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn figure1_materialisation_is_byte_identical_to_pre_csr_golden() {
     let graph = fixtures::figure1_graph();
