@@ -26,6 +26,12 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> preview-lint --check (emits LINT_REPORT.json)"
+# Workspace invariant lint: determinism, concurrency, and policy rules
+# over every crate. Fails on any unsuppressed finding; the JSON report
+# carries per-rule counts plus the full suppression inventory.
+cargo run --release -p preview-lint -- --check --out LINT_REPORT.json
+
 echo "==> graph-bench smoke workload (emits BENCH_graph.json)"
 cargo run --release -p bench --bin graph-bench -- \
     --out BENCH_graph.json --check

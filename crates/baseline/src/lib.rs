@@ -20,7 +20,7 @@
 //! summary is the "YPS09" arm of the user study.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod importance;
 pub mod kcenter;

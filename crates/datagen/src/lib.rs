@@ -23,7 +23,7 @@
 //! [`GraphDelta`]: entity_graph::GraphDelta
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crowd;
 pub mod domains;

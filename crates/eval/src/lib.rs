@@ -15,7 +15,7 @@
 //! ranking/user-study style evaluation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod correlation;
 pub mod descriptive;

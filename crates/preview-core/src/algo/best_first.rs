@@ -135,6 +135,7 @@ impl AnytimeBudget {
     }
 
     /// Whether the budget is spent after `nodes` expansions since `start`.
+    // lint: allow(wall-clock, anytime-mode budgets are wall-clock by definition; the exact path never consults them)
     fn exhausted(&self, nodes: u64, start: Instant) -> bool {
         if self.max_nodes.is_some_and(|max| nodes >= max) {
             return true;
@@ -274,6 +275,7 @@ fn search(scored: &ScoredSchema, space: &PreviewSpace, budget: AnytimeBudget) ->
             stats,
         };
     }
+    // lint: allow(wall-clock, anytime budget epoch; result content stays deterministic, only the stop point varies)
     let start = Instant::now();
     let ctx = BoundContext::new(scored, space);
     let eligible = scored.eligible_types();

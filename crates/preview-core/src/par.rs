@@ -128,12 +128,14 @@ impl FjPool {
 
     /// Tokens currently available (for diagnostics; racy by nature).
     pub fn available(&self) -> usize {
+        // lint: ordering-ok(diagnostic read, documented racy; acquisition goes through the CAS loop)
         self.available.load(Ordering::Relaxed)
     }
 
     /// Acquires up to `want` tokens without blocking; returns how many were
     /// granted (possibly zero).
     fn try_acquire(&self, want: usize) -> usize {
+        // lint: ordering-ok(Acquire pairs with release()'s AcqRel so granted tokens observe the releasing worker's effects)
         let mut current = self.available.load(Ordering::Acquire);
         loop {
             let take = want.min(current);
@@ -143,7 +145,9 @@ impl FjPool {
             match self.available.compare_exchange_weak(
                 current,
                 current - take,
+                // lint: ordering-ok(AcqRel: acquire the releasing worker's effects, release our claim to later acquirers)
                 Ordering::AcqRel,
+                // lint: ordering-ok(failure path only refreshes the counter; Acquire keeps pairing with release())
                 Ordering::Acquire,
             ) {
                 Ok(_) => return take,
@@ -154,6 +158,7 @@ impl FjPool {
 
     fn release(&self, tokens: usize) {
         if tokens > 0 {
+            // lint: ordering-ok(AcqRel makes returned tokens carry this worker's writes to the next try_acquire)
             self.available.fetch_add(tokens, Ordering::AcqRel);
         }
     }
@@ -206,6 +211,7 @@ impl FjPool {
         let run = || {
             let mut buffer: Vec<(usize, R)> = Vec::new();
             loop {
+                // lint: ordering-ok(work-stealing cursor only needs unique indices; scope join publishes the results)
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(index) else {
                     break;

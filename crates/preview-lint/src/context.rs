@@ -1,0 +1,497 @@
+//! Per-file analysis context: crate classification, `#[cfg(test)]` /
+//! `#[test]` region detection, and suppression-comment parsing.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Which target class a file belongs to, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`src/**`, excluding `src/bin/**` and `src/main.rs`).
+    Lib,
+    /// Binary source (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Tests,
+    /// Benchmarks (`benches/**`).
+    Benches,
+    /// Examples (`examples/**`).
+    Examples,
+    /// A `build.rs` build script.
+    Build,
+}
+
+/// Path-derived metadata for one file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Crate name from the path (`crates/<name>/...`), or the facade
+    /// crate name for files at the workspace root.
+    pub crate_name: String,
+    /// Target class, see [`FileClass`].
+    pub class: FileClass,
+    /// Whether the file is a crate root (`src/lib.rs` or `src/main.rs`).
+    pub is_crate_root: bool,
+}
+
+/// The name used for files belonging to the workspace-root facade crate.
+pub const ROOT_CRATE: &str = "preview-tables";
+
+impl FileMeta {
+    /// Classifies a workspace-relative path (with `/` separators).
+    pub fn from_path(path: &str) -> Self {
+        let (crate_name, rest) = match path.strip_prefix("crates/") {
+            Some(tail) => match tail.split_once('/') {
+                Some((name, rest)) => (name.to_string(), rest.to_string()),
+                None => (tail.to_string(), String::new()),
+            },
+            None => (ROOT_CRATE.to_string(), path.to_string()),
+        };
+        let class = if rest == "build.rs" {
+            FileClass::Build
+        } else if rest == "src/main.rs" || rest.starts_with("src/bin/") {
+            FileClass::Bin
+        } else if rest.starts_with("src/") {
+            FileClass::Lib
+        } else if rest.starts_with("tests/") {
+            FileClass::Tests
+        } else if rest.starts_with("benches/") {
+            FileClass::Benches
+        } else if rest.starts_with("examples/") {
+            FileClass::Examples
+        } else {
+            FileClass::Lib
+        };
+        let is_crate_root = rest == "src/lib.rs" || rest == "src/main.rs";
+        Self {
+            crate_name,
+            class,
+            is_crate_root,
+        }
+    }
+}
+
+/// A parsed suppression comment.
+///
+/// Two forms are recognised, each applying to findings on the same line
+/// as the comment or on the line immediately below it:
+///
+/// * `// lint: allow(<rule-id>, <reason>)` — suppress `<rule-id>`.
+/// * `// lint: ordering-ok(<reason>)` — shorthand accepted by the
+///   `atomic-ordering-annotation` rule; annotating an atomic-ordering
+///   site with its correctness argument *is* the compliance mechanism.
+///
+/// For file-scope rules (crate-root attribute checks) a suppression
+/// anywhere in the file applies.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id being suppressed.
+    pub rule: String,
+    /// Free-text justification captured from the comment.
+    pub reason: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// Everything rules need to analyse one file.
+#[derive(Debug)]
+pub struct FileContext {
+    /// The file being analysed.
+    pub file: SourceFile,
+    /// Full token stream, including whitespace and comments.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Path-derived metadata.
+    pub meta: FileMeta,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Byte ranges of `use ...;` declarations.
+    pub use_ranges: Vec<(usize, usize)>,
+    /// Suppression comments found in the file.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl FileContext {
+    /// Lexes and classifies `file`.
+    pub fn build(file: SourceFile) -> Self {
+        let tokens = crate::lexer::lex(&file.text);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind.is_significant())
+            .map(|(i, _)| i)
+            .collect();
+        let meta = FileMeta::from_path(&file.path);
+        let test_regions = find_test_regions(&file.text, &tokens, &sig);
+        let use_ranges = find_use_ranges(&file.text, &tokens, &sig);
+        let suppressions = find_suppressions(&file, &tokens);
+        Self {
+            file,
+            tokens,
+            sig,
+            meta,
+            test_regions,
+            use_ranges,
+            suppressions,
+        }
+    }
+
+    /// Whether a byte offset falls inside a test-only region.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether a byte offset falls inside a `use ...;` declaration.
+    pub fn in_use_decl(&self, offset: usize) -> bool {
+        self.use_ranges
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The text of the significant token at `sig[i]`, or `""` out of range.
+    pub fn sig_text(&self, i: usize) -> &str {
+        match self.sig.get(i) {
+            Some(&t) => self.tokens[t].text(&self.file.text),
+            None => "",
+        }
+    }
+
+    /// The kind of the significant token at `sig[i]`.
+    pub fn sig_kind(&self, i: usize) -> Option<TokenKind> {
+        self.sig.get(i).map(|&t| self.tokens[t].kind)
+    }
+
+    /// The token behind significant index `i`.
+    pub fn sig_token(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&t| &self.tokens[t])
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+}
+
+/// Finds byte ranges of items gated by a test attribute: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]` and similar. An attribute
+/// counts as test-gated when the identifier `test` appears in it outside
+/// any `not(...)` group, so `#[cfg(not(test))]` does *not* create a test
+/// region. The region runs from the attribute to the end of the item it
+/// decorates: the matching `}` of the first `{` block, or the first `;`
+/// if one appears before any block.
+fn find_test_regions(src: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let text = |i: usize| tokens[sig[i]].text(src);
+    let mut i = 0usize;
+    while i < sig.len() {
+        if text(i) != "#" {
+            i += 1;
+            continue;
+        }
+        // Inner attributes (`#![...]`) configure the enclosing item, not a
+        // following one; skip them.
+        let mut j = i + 1;
+        if j < sig.len() && text(j) == "!" {
+            i += 1;
+            continue;
+        }
+        if j >= sig.len() || text(j) != "[" {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body, tracking bracket depth and `not(...)`
+        // paren groups.
+        let mut depth = 1usize; // count of open ( and [
+        let mut not_depths: Vec<usize> = Vec::new();
+        let mut is_test_attr = false;
+        j += 1;
+        while j < sig.len() && depth > 0 {
+            let t = text(j);
+            match t {
+                "[" | "(" => {
+                    depth += 1;
+                }
+                "]" | ")" => {
+                    if not_depths.last() == Some(&depth) {
+                        not_depths.pop();
+                    }
+                    depth -= 1;
+                }
+                "not" if text(j + 1) == "(" => {
+                    // The group being opened next has depth `depth + 1`.
+                    not_depths.push(depth + 1);
+                }
+                "test" if not_depths.is_empty() => {
+                    is_test_attr = true;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // `j` now points just past the closing `]`. Skip any further
+        // attributes, then extend over the decorated item.
+        let region_start = tokens[sig[i]].start;
+        let mut k = j;
+        while k + 1 < sig.len() && text(k) == "#" && text(k + 1) == "[" {
+            let mut d = 1usize;
+            k += 2;
+            while k < sig.len() && d > 0 {
+                match text(k) {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        // A decorated struct/enum field has no `;` and no body of its own —
+        // it ends at a top-level `,` (or at the enclosing `}`). Item
+        // keywords mean a `,` is part of a signature (params, where clauses)
+        // instead, and `,` inside `(...)`/`[...]` groups never terminates.
+        let mut seen_item_kw = false;
+        let mut paren_depth = 0usize;
+        let mut region_end = src.len();
+        while k < sig.len() {
+            match text(k) {
+                "fn" | "struct" | "enum" | "union" | "trait" | "impl" | "mod" | "macro_rules" => {
+                    seen_item_kw = true;
+                }
+                "(" | "[" => {
+                    paren_depth += 1;
+                }
+                ")" | "]" => {
+                    paren_depth = paren_depth.saturating_sub(1);
+                }
+                "{" => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    if !entered {
+                        // Enclosing block's close: the decorated field ended
+                        // just before it.
+                        region_end = tokens[sig[k]].start;
+                        break;
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if brace_depth == 0 {
+                        region_end = tokens[sig[k]].end;
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if !entered => {
+                    region_end = tokens[sig[k]].end;
+                    k += 1;
+                    break;
+                }
+                "," if !entered && !seen_item_kw && paren_depth == 0 => {
+                    region_end = tokens[sig[k]].end;
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((region_start, region_end));
+        i = k;
+    }
+    regions
+}
+
+/// Finds byte ranges of `use ...;` declarations so that, e.g., the
+/// wall-clock rule does not flag `use std::time::Instant;` import lines.
+fn find_use_ranges(src: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let text = |i: usize| tokens[sig[i]].text(src);
+    let mut i = 0usize;
+    while i < sig.len() {
+        if text(i) == "use" {
+            let start = tokens[sig[i]].start;
+            let mut j = i + 1;
+            while j < sig.len() && text(j) != ";" {
+                j += 1;
+            }
+            let end = if j < sig.len() {
+                tokens[sig[j]].end
+            } else {
+                src.len()
+            };
+            ranges.push((start, end));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Parses suppression comments. Only comments whose text (after the
+/// comment markers) starts with `lint:` are considered, so prose that
+/// merely mentions the syntax is ignored.
+fn find_suppressions(file: &SourceFile, tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let raw = t.text(&file.text);
+        let body = raw
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (line, _) = file.line_col(t.start);
+        if let Some(args) = strip_call(rest, "allow") {
+            let (rule, reason) = match args.split_once(',') {
+                Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+                None => (args.trim().to_string(), String::new()),
+            };
+            if !rule.is_empty() {
+                out.push(Suppression { rule, reason, line });
+            }
+        } else if let Some(reason) = strip_call(rest, "ordering-ok") {
+            out.push(Suppression {
+                rule: crate::rules::ATOMIC_ORDERING_RULE.to_string(),
+                reason: reason.trim().to_string(),
+                line,
+            });
+        }
+    }
+    out
+}
+
+/// If `s` looks like `name(<args>)...`, returns `<args>` up to the
+/// matching close paren.
+fn strip_call<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    let tail = s.strip_prefix(name)?;
+    let tail = tail.trim_start();
+    let inner = tail.strip_prefix('(')?;
+    let mut depth = 1usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&inner[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileContext {
+        FileContext::build(SourceFile::new(path.into(), src.into()))
+    }
+
+    #[test]
+    fn classifies_paths() {
+        let m = FileMeta::from_path("crates/preview-core/src/par.rs");
+        assert_eq!(m.crate_name, "preview-core");
+        assert_eq!(m.class, FileClass::Lib);
+        assert!(!m.is_crate_root);
+
+        let m = FileMeta::from_path("crates/bench/src/bin/graph-bench.rs");
+        assert_eq!(m.class, FileClass::Bin);
+
+        let m = FileMeta::from_path("crates/preview-obs/src/lib.rs");
+        assert!(m.is_crate_root);
+
+        let m = FileMeta::from_path("src/lib.rs");
+        assert_eq!(m.crate_name, ROOT_CRATE);
+        assert!(m.is_crate_root);
+
+        let m = FileMeta::from_path("crates/eval/tests/harness.rs");
+        assert_eq!(m.class, FileClass::Tests);
+        let m = FileMeta::from_path("examples/quickstart.rs");
+        assert_eq!(m.class, FileClass::Examples);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let c = ctx("crates/x/src/a.rs", src);
+        let inner = src.find("inner").unwrap();
+        let live = src.find("live").unwrap();
+        let after = src.find("after").unwrap();
+        assert!(c.in_test(inner));
+        assert!(!c.in_test(live));
+        assert!(!c.in_test(after));
+    }
+
+    #[test]
+    fn test_fn_and_not_test_cfg() {
+        let src = "#[test]\nfn t() { body(); }\n#[cfg(not(test))]\nfn live() { x(); }\n";
+        let c = ctx("crates/x/src/a.rs", src);
+        assert!(c.in_test(src.find("body").unwrap()));
+        assert!(!c.in_test(src.find("x()").unwrap()));
+    }
+
+    #[test]
+    fn cfg_all_test_is_a_region() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m { fn g() {} }\nfn live() {}\n";
+        let c = ctx("crates/x/src/a.rs", src);
+        assert!(c.in_test(src.find("g()").unwrap()));
+        assert!(!c.in_test(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn attr_then_statement_without_braces() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let c = ctx("crates/x/src/a.rs", src);
+        assert!(c.in_test(src.find("bar").unwrap()));
+        assert!(!c.in_test(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn use_ranges_found() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let c = ctx("crates/x/src/a.rs", src);
+        assert!(c.in_use_decl(src.find("Instant").unwrap()));
+        assert!(!c.in_use_decl(src.rfind("Instant").unwrap()));
+    }
+
+    #[test]
+    fn parses_suppressions() {
+        let src = "\
+// lint: allow(wall-clock, latency budget needs wall time)
+fn f() {}
+let x = 1; // lint: ordering-ok(monotonic counter, no ordering needed)
+// not a suppression: mentions lint: allow syntax in prose? no — prefix rule
+";
+        let c = ctx("crates/x/src/a.rs", src);
+        assert_eq!(c.suppressions.len(), 2);
+        assert_eq!(c.suppressions[0].rule, "wall-clock");
+        assert_eq!(c.suppressions[0].line, 1);
+        assert_eq!(c.suppressions[0].reason, "latency budget needs wall time");
+        assert_eq!(c.suppressions[1].rule, crate::rules::ATOMIC_ORDERING_RULE);
+        assert_eq!(c.suppressions[1].line, 3);
+    }
+
+    #[test]
+    fn prose_mentioning_lint_is_not_a_suppression() {
+        let src = "// use the form lint: allow(id, reason) to suppress\nfn f() {}\n";
+        let c = ctx("crates/x/src/a.rs", src);
+        assert!(c.suppressions.is_empty());
+    }
+}

@@ -1,0 +1,425 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The lint pass needs token-level structure (idents, punctuation,
+//! comments, string literals) but not a full parse tree, so this module
+//! implements a small hand-rolled tokenizer instead of pulling in `syn`
+//! (the workspace vendors every dependency, and `syn`'s transitive
+//! surface is far larger than what the rules require).
+//!
+//! Guarantees:
+//!
+//! * Tokens are contiguous: `token[i].end == token[i + 1].start`, the
+//!   first token starts at byte 0 and the last ends at `src.len()`.
+//!   Concatenating every token's text therefore reproduces the input
+//!   exactly (the round-trip property the lexer proptest exercises).
+//! * Comments and string/char literals are single tokens, so rules that
+//!   scan for identifiers can never match text inside a literal or a
+//!   comment by accident.
+//! * Malformed input (unterminated strings or comments) never panics;
+//!   the open token simply extends to end of file.
+//!
+//! Known simplifications, acceptable for linting purposes: a float like
+//! `1.` (trailing dot, no fraction digits) lexes as `Int` + `Punct('.')`
+//! so that range expressions like `0..n` tokenize correctly, and numeric
+//! type suffixes are folded into the number token.
+
+/// The class of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `Ordering`).
+    Ident,
+    /// A lifetime or loop label including the leading quote (`'a`).
+    Lifetime,
+    /// An integer literal including any suffix (`42`, `0xFF_u32`).
+    Int,
+    /// A float literal including any suffix (`1.5`, `2e-3`, `1.0f64`).
+    Float,
+    /// A (possibly byte-) string literal including quotes (`"x"`, `b"x"`).
+    Str,
+    /// A raw (possibly byte-) string literal (`r#"x"#`, `br"x"`).
+    RawStr,
+    /// A (possibly byte-) character literal (`'x'`, `b'\n'`).
+    Char,
+    /// A line comment without the trailing newline (`// ...`, `/// ...`).
+    LineComment,
+    /// A block comment, nesting handled (`/* /* .. */ */`).
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, ...).
+    Punct,
+    /// A maximal run of whitespace.
+    Whitespace,
+}
+
+impl TokenKind {
+    /// Whether this token carries syntactic meaning (not whitespace or a
+    /// comment). Rules iterate significant tokens only.
+    pub fn is_significant(self) -> bool {
+        !matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One token: a kind plus the half-open byte span `[start, end)` into the
+/// source it was lexed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The text of this token within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenizes `src` completely. Never fails: unrecognised bytes become
+/// single-byte [`TokenKind::Punct`] tokens and unterminated literals run
+/// to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        self.out
+    }
+
+    fn at(&self, offset: usize) -> u8 {
+        self.src.get(self.pos + offset).copied().unwrap_or(0)
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.at(0);
+        if b.is_ascii_whitespace() {
+            while self.at(0).is_ascii_whitespace() && self.pos < self.src.len() {
+                self.pos += 1;
+            }
+            return TokenKind::Whitespace;
+        }
+        if b == b'/' && self.at(1) == b'/' {
+            while self.pos < self.src.len() && self.at(0) != b'\n' {
+                self.pos += 1;
+            }
+            return TokenKind::LineComment;
+        }
+        if b == b'/' && self.at(1) == b'*' {
+            self.pos += 2;
+            let mut depth = 1usize;
+            while self.pos < self.src.len() && depth > 0 {
+                if self.at(0) == b'/' && self.at(1) == b'*' {
+                    depth += 1;
+                    self.pos += 2;
+                } else if self.at(0) == b'*' && self.at(1) == b'/' {
+                    depth -= 1;
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+            }
+            return TokenKind::BlockComment;
+        }
+        // Raw strings: r"..", r#".."#, br".." with any number of hashes.
+        if b == b'r' || (b == b'b' && self.at(1) == b'r') {
+            let prefix = if b == b'r' { 1 } else { 2 };
+            let mut hashes = 0usize;
+            while self.at(prefix + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.at(prefix + hashes) == b'"' {
+                self.pos += prefix + hashes + 1;
+                'scan: while self.pos < self.src.len() {
+                    if self.at(0) == b'"' {
+                        for h in 0..hashes {
+                            if self.at(1 + h) != b'#' {
+                                self.pos += 1;
+                                continue 'scan;
+                            }
+                        }
+                        self.pos += 1 + hashes;
+                        return TokenKind::RawStr;
+                    }
+                    self.pos += 1;
+                }
+                return TokenKind::RawStr; // unterminated: runs to EOF
+            }
+        }
+        // Plain and byte strings.
+        if b == b'"' || (b == b'b' && self.at(1) == b'"') {
+            self.pos += if b == b'"' { 1 } else { 2 };
+            while self.pos < self.src.len() {
+                match self.at(0) {
+                    b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                    b'"' => {
+                        self.pos += 1;
+                        return TokenKind::Str;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+            return TokenKind::Str; // unterminated
+        }
+        // Char literals vs lifetimes. `'a` with no closing quote after one
+        // ident char is a lifetime; `'a'`, `'\n'`, `'Δ'` are chars.
+        if b == b'\'' || (b == b'b' && self.at(1) == b'\'') {
+            let quote = if b == b'\'' { 0 } else { 1 };
+            let first = self.at(quote + 1);
+            if quote == 0 && is_ident_start(first) && self.at(2) != b'\'' {
+                self.pos += 1;
+                while is_ident_continue(self.at(0)) && self.pos < self.src.len() {
+                    self.pos += 1;
+                }
+                return TokenKind::Lifetime;
+            }
+            self.pos += quote + 1;
+            while self.pos < self.src.len() {
+                match self.at(0) {
+                    b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                    b'\'' => {
+                        self.pos += 1;
+                        return TokenKind::Char;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+            return TokenKind::Char; // unterminated
+        }
+        if is_ident_start(b) {
+            while is_ident_continue(self.at(0)) && self.pos < self.src.len() {
+                self.pos += 1;
+            }
+            return TokenKind::Ident;
+        }
+        if b.is_ascii_digit() {
+            return self.number();
+        }
+        self.pos += 1;
+        TokenKind::Punct
+    }
+
+    fn number(&mut self) -> TokenKind {
+        if self.at(0) == b'0' && matches!(self.at(1), b'x' | b'o' | b'b') {
+            // Radix-prefixed integer: fold digits, underscores and the
+            // type suffix into one token.
+            self.pos += 2;
+            while is_ident_continue(self.at(0)) && self.pos < self.src.len() {
+                self.pos += 1;
+            }
+            return TokenKind::Int;
+        }
+        let mut is_float = false;
+        while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+            self.pos += 1;
+        }
+        if self.at(0) == b'.' && self.at(1).is_ascii_digit() {
+            is_float = true;
+            self.pos += 1;
+            while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.at(0), b'e' | b'E') {
+            let sign = matches!(self.at(1), b'+' | b'-');
+            let exp_digit = if sign { self.at(2) } else { self.at(1) };
+            if exp_digit.is_ascii_digit() {
+                is_float = true;
+                self.pos += if sign { 2 } else { 1 };
+                while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, ...). `1f32` stays Int by this rule,
+        // which is fine for linting: suffix floats are not scanned for.
+        while is_ident_continue(self.at(0)) && self.pos < self.src.len() {
+            self.pos += 1;
+        }
+        if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind.is_significant())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn assert_round_trip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+        for pair in toks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "tokens must be contiguous");
+        }
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("fn main() {}"),
+            vec![
+                (TokenKind::Ident, "fn"),
+                (TokenKind::Ident, "main"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Punct, "{"),
+                (TokenKind::Punct, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(
+            kinds(src),
+            vec![(TokenKind::Ident, "a"), (TokenKind::Ident, "b")]
+        );
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside"# ; let t = br##"x"# still"## ;"####;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawStr && s.contains("quote")));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawStr && s.contains("still")));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s = 'static; }";
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && *s == "'a"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Char && *s == "'x'"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Char && *s == "'\\n'"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && *s == "'static"));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = r#"let a = b"bytes"; let b = b'\0'; let c = br"raw";"#;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && *s == "b\"bytes\""));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Char && *s == "b'\\0'"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawStr && *s == "br\"raw\""));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "0..n; 1.5; 2e-3; 0xFF_u32; 10_000usize; 1..=2";
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Int && *s == "0"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Float && *s == "1.5"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Float && *s == "2e-3"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Int && *s == "0xFF_u32"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Int && *s == "10_000usize"));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn string_with_escaped_quote_does_not_leak() {
+        let src = r#"let s = "say \"Ordering::Relaxed\""; x"#;
+        let got = kinds(src);
+        // The ident scan must not see tokens inside the literal.
+        assert!(!got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "Relaxed"));
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Ident && *s == "x"));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        for src in ["\"open", "r#\"open", "/* open", "'\\", "b\"open"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().unwrap().end, src.len());
+            assert_round_trip(src);
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// println!(\"hi\")\nfn f() {}\n//! inner\n";
+        let got = kinds(src);
+        assert!(!got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "println"));
+        assert_round_trip(src);
+    }
+}

@@ -1,0 +1,111 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! preview-lint [--root <dir>] [--check] [--out <file>] [--list-rules]
+//! ```
+//!
+//! * `--root <dir>` — workspace root to analyse (default `.`).
+//! * `--check` — exit non-zero if any unsuppressed finding remains (the
+//!   CI mode; `ci.sh` runs this before the bench gates).
+//! * `--out <file>` — write the JSON report to `<file>`.
+//! * `--list-rules` — print the rule table and exit.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut check = false;
+    let mut out: Option<PathBuf> = None;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage("--out needs a value"),
+            },
+            "--check" => check = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("preview-lint [--root <dir>] [--check] [--out <file>] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        println!(
+            "{:<28} {:<12} {:<8} description",
+            "id", "family", "severity"
+        );
+        for rule in preview_lint::rules::all_rules() {
+            println!(
+                "{:<28} {:<12} {:<8} {}",
+                rule.id(),
+                rule.family().name(),
+                rule.severity().name(),
+                rule.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match preview_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "preview-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("preview-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let open: Vec<_> = report.unsuppressed().collect();
+    for f in &open {
+        println!(
+            "{}: {}:{}:{}: {}\n    {}",
+            f.rule, f.path, f.line, f.col, f.message, f.snippet
+        );
+    }
+    let suppressed = report.findings.len() - open.len();
+    println!(
+        "preview-lint: {} files, {} rules, {} findings ({} annotated/suppressed), {} unused suppressions",
+        report.files_scanned,
+        report.rules.len(),
+        open.len(),
+        suppressed,
+        report.unused_suppressions.len()
+    );
+
+    if check && !open.is_empty() {
+        eprintln!(
+            "preview-lint: --check failed: {} unsuppressed finding(s)",
+            open.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("preview-lint: {msg}\nusage: preview-lint [--root <dir>] [--check] [--out <file>] [--list-rules]");
+    ExitCode::FAILURE
+}

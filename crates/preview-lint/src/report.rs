@@ -1,0 +1,233 @@
+//! The machine-readable lint report and its JSON serialisation.
+//!
+//! The writer is hand-rolled (~60 lines) so the tool stays std-only; the
+//! output is plain JSON that future PRs can diff (`LINT_REPORT.json` is
+//! committed by CI).
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Per-rule roll-up for the report header.
+#[derive(Debug, Clone)]
+pub struct RuleSummary {
+    /// Rule id.
+    pub id: &'static str,
+    /// Invariant family name.
+    pub family: &'static str,
+    /// Severity name.
+    pub severity: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Count of unsuppressed findings.
+    pub findings: usize,
+    /// Count of suppressed (annotated) findings.
+    pub suppressed: usize,
+}
+
+/// A suppression comment that matched no finding — usually a leftover
+/// after the offending code was removed, or a typo in the rule id.
+/// Reported for inventory purposes; does not fail `--check`.
+#[derive(Debug, Clone)]
+pub struct UnusedSuppression {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Rule id named by the comment.
+    pub rule: String,
+    /// Reason text from the comment.
+    pub reason: String,
+}
+
+/// The full result of analysing a workspace.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Per-rule summaries, in registry order.
+    pub rules: Vec<RuleSummary>,
+    /// Every finding, suppressed or not, in (path, line, rule) order.
+    pub findings: Vec<Finding>,
+    /// Suppression comments that matched nothing.
+    pub unused_suppressions: Vec<UnusedSuppression>,
+}
+
+impl Report {
+    /// Whether the workspace is clean: zero unsuppressed findings.
+    pub fn clean(&self) -> bool {
+        self.findings.iter().all(|f| f.suppressed.is_some())
+    }
+
+    /// Unsuppressed findings only.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Findings of a given rule (suppressed or not).
+    pub fn of_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"clean\": {},\n", self.clean()));
+
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in self.rules.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"family\": {}, \"severity\": {}, \"description\": {}, \
+                 \"findings\": {}, \"suppressed\": {}}}{}\n",
+                json_str(r.id),
+                json_str(r.family),
+                json_str(r.severity),
+                json_str(r.description),
+                r.findings,
+                r.suppressed,
+                comma(i, self.rules.len())
+            ));
+        }
+        s.push_str("  ],\n");
+
+        let open: Vec<&Finding> = self.unsuppressed().collect();
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in open.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \
+                 \"col\": {}, \"snippet\": {}, \"message\": {}}}{}\n",
+                json_str(f.rule),
+                json_str(f.severity.name()),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.snippet),
+                json_str(&f.message),
+                comma(i, open.len())
+            ));
+        }
+        s.push_str("  ],\n");
+
+        let annotated: Vec<&Finding> = self
+            .findings
+            .iter()
+            .filter(|f| f.suppressed.is_some())
+            .collect();
+        s.push_str("  \"suppressions\": [\n");
+        for (i, f) in annotated.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(f.suppressed.as_deref().unwrap_or("")),
+                comma(i, annotated.len())
+            ));
+        }
+        s.push_str("  ],\n");
+
+        // Suppression counts per rule, for at-a-glance diffing.
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &annotated {
+            *per_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        s.push_str("  \"suppression_counts\": {");
+        let mut first = true;
+        for (rule, count) in &per_rule {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("{}: {}", json_str(rule), count));
+        }
+        s.push_str("},\n");
+
+        s.push_str("  \"unused_suppressions\": [\n");
+        for (i, u) in self.unused_suppressions.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+                json_str(&u.rule),
+                json_str(&u.path),
+                u.line,
+                json_str(&u.reason),
+                comma(i, self.unused_suppressions.len())
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn clean_report_serialises() {
+        let r = Report {
+            files_scanned: 2,
+            rules: vec![RuleSummary {
+                id: "x",
+                family: "policy",
+                severity: "error",
+                description: "d",
+                findings: 0,
+                suppressed: 1,
+            }],
+            findings: vec![Finding {
+                rule: "x",
+                severity: Severity::Error,
+                path: "a.rs".into(),
+                line: 3,
+                col: 1,
+                snippet: "let x;".into(),
+                message: "m".into(),
+                file_scope: false,
+                suppressed: Some("fine".into()),
+            }],
+            unused_suppressions: vec![],
+        };
+        assert!(r.clean());
+        let js = r.to_json();
+        assert!(js.contains("\"clean\": true"));
+        assert!(js.contains("\"suppression_counts\": {\"x\": 1}"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Determinism rules: the paper's exact-optimality guarantees (Theorems
+//! 4.1/5.1) only hold because every engine is bitwise-deterministic, so
+//! these rules ban the usual sources of run-to-run drift.
+
+use crate::context::{FileClass, FileContext};
+use crate::rules::{Family, Finding, Rule, Severity};
+
+/// Crates whose scoring/algorithm paths must be bitwise-deterministic.
+const SCORING_CRATES: &[&str] = &["preview-core", "baseline", "entity-graph"];
+
+/// Iterator adapters that are order-insensitive or that materialise the
+/// stream, ending the order-sensitivity of a map-iteration chain.
+const CHAIN_BREAKERS: &[&str] = &[
+    "collect",
+    "count",
+    "len",
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "all",
+    "any",
+    "find",
+    "position",
+    "unzip",
+    "partition",
+];
+
+/// Float-accumulation sinks that make iteration order observable in the
+/// result (float addition is not associative).
+const FLOAT_SINKS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// `hash-iter-float-sink`: flags `.values()` / `.keys()` /
+/// `.into_values()` / `.into_keys()` chains that reach a float
+/// accumulation sink (`sum`/`product`/`fold`/`reduce`) without first
+/// materialising through an order-insensitive adapter, in the scoring
+/// crates. `HashMap` iteration order varies run to run, and float
+/// addition is non-associative, so such a chain silently breaks bitwise
+/// determinism — the exact bug shape goldens caught late in PR 3.
+///
+/// The check is lexical (no type information), so `BTreeMap::values()`
+/// chains match too; if one is genuinely deterministic, annotate it with
+/// `// lint: allow(hash-iter-float-sink, <reason>)`.
+pub struct HashIterFloatSink;
+
+impl Rule for HashIterFloatSink {
+    fn id(&self) -> &'static str {
+        "hash-iter-float-sink"
+    }
+    fn family(&self) -> Family {
+        Family::Determinism
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "map-iteration chain feeds a float accumulation sink in a scoring crate"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if !SCORING_CRATES.contains(&ctx.meta.crate_name.as_str())
+            || ctx.meta.class != FileClass::Lib
+        {
+            return;
+        }
+        let n = ctx.sig_len();
+        let mut i = 0usize;
+        while i + 3 < n {
+            let starts_chain = ctx.sig_text(i) == "."
+                && matches!(
+                    ctx.sig_text(i + 1),
+                    "values" | "keys" | "into_values" | "into_keys"
+                )
+                && ctx.sig_text(i + 2) == "("
+                && ctx.sig_text(i + 3) == ")";
+            if !starts_chain || ctx.in_test(ctx.sig_token(i).map(|t| t.start).unwrap_or(0)) {
+                i += 1;
+                continue;
+            }
+            // Walk the method chain: `.name(<balanced>)` repeated.
+            let mut j = i + 4;
+            while j + 2 < n && ctx.sig_text(j) == "." && ctx.sig_text(j + 2) == "(" {
+                let name = ctx.sig_text(j + 1).to_string();
+                if FLOAT_SINKS.contains(&name.as_str()) {
+                    let offset = ctx.sig_token(j + 1).map(|t| t.start).unwrap_or(0);
+                    out.push(Finding::at(
+                        ctx,
+                        self.id(),
+                        self.severity(),
+                        offset,
+                        format!(
+                            "map iteration (`.{}()`) reaches `.{}()` without materialising; \
+                             HashMap order is nondeterministic and float accumulation is \
+                             order-sensitive — collect and sort first",
+                            ctx.sig_text(i + 1),
+                            name
+                        ),
+                    ));
+                    break;
+                }
+                if CHAIN_BREAKERS.contains(&name.as_str()) {
+                    break;
+                }
+                // Skip the balanced argument list of this adapter.
+                let mut depth = 1usize;
+                let mut k = j + 3;
+                while k < n && depth > 0 {
+                    match ctx.sig_text(k) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k;
+            }
+            i += 4;
+        }
+    }
+}
+
+/// `wall-clock`: flags `Instant` / `SystemTime` mentions outside the
+/// `preview-obs` and `bench` crates (and outside tests, benches,
+/// examples, and `use` declarations). Wall-clock reads in engine code
+/// make outputs timing-dependent; legitimate uses (latency stats,
+/// anytime budgets) must carry `// lint: allow(wall-clock, <reason>)`.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+    fn family(&self) -> Family {
+        Family::Determinism
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "Instant/SystemTime use outside preview-obs and bench"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if matches!(ctx.meta.crate_name.as_str(), "preview-obs" | "bench")
+            || !matches!(ctx.meta.class, FileClass::Lib | FileClass::Bin)
+        {
+            return;
+        }
+        for i in 0..ctx.sig_len() {
+            let t = ctx.sig_text(i);
+            if t != "Instant" && t != "SystemTime" {
+                continue;
+            }
+            let offset = ctx.sig_token(i).map(|tok| tok.start).unwrap_or(0);
+            if ctx.in_test(offset) || ctx.in_use_decl(offset) {
+                continue;
+            }
+            out.push(Finding::at(
+                ctx,
+                self.id(),
+                self.severity(),
+                offset,
+                format!(
+                    "`{t}` outside preview-obs/bench: wall-clock reads make engine \
+                     behaviour timing-dependent"
+                ),
+            ));
+        }
+    }
+}
+
+/// `ambient-randomness`: flags `thread_rng`, `from_entropy`, `OsRng`,
+/// and `rand::random` — ambient entropy sources that cannot be replayed.
+/// All randomness must flow from an explicitly seeded generator.
+pub struct AmbientRandomness;
+
+impl Rule for AmbientRandomness {
+    fn id(&self) -> &'static str {
+        "ambient-randomness"
+    }
+    fn family(&self) -> Family {
+        Family::Determinism
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "ambient entropy source (thread_rng/from_entropy/OsRng/rand::random)"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if !matches!(ctx.meta.class, FileClass::Lib | FileClass::Bin) {
+            return;
+        }
+        for i in 0..ctx.sig_len() {
+            let t = ctx.sig_text(i);
+            let hit = matches!(t, "thread_rng" | "from_entropy" | "OsRng")
+                || (t == "random"
+                    && i >= 3
+                    && ctx.sig_text(i - 1) == ":"
+                    && ctx.sig_text(i - 2) == ":"
+                    && ctx.sig_text(i - 3) == "rand");
+            if !hit {
+                continue;
+            }
+            let offset = ctx.sig_token(i).map(|tok| tok.start).unwrap_or(0);
+            if ctx.in_test(offset) || ctx.in_use_decl(offset) {
+                continue;
+            }
+            out.push(Finding::at(
+                ctx,
+                self.id(),
+                self.severity(),
+                offset,
+                format!("`{t}` draws ambient entropy; seed an explicit RNG instead"),
+            ));
+        }
+    }
+}

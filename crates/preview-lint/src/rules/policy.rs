@@ -1,0 +1,206 @@
+//! Policy rules: panic discipline on the serving path, crate-root
+//! hygiene attributes, and stray console output in library code.
+
+use crate::context::{FileClass, FileContext};
+use crate::rules::{Family, Finding, Rule, Severity};
+
+/// `request-path-unwrap`: flags `.unwrap(` / `.expect(` / `panic!` in
+/// `preview-service` library code outside tests. The serving path must
+/// degrade (shed, error out) rather than abort: a panic in a worker
+/// poisons shared locks and can take the whole process down. Genuinely
+/// unreachable cases (startup-time spawns, freshly created slots) carry
+/// `// lint: allow(request-path-unwrap, <invariant>)`.
+///
+/// `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` are distinct
+/// identifiers and do not match — they are the encouraged alternatives.
+pub struct RequestPathUnwrap;
+
+impl Rule for RequestPathUnwrap {
+    fn id(&self) -> &'static str {
+        "request-path-unwrap"
+    }
+    fn family(&self) -> Family {
+        Family::Policy
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! in preview-service request-path code"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.meta.crate_name != "preview-service" || ctx.meta.class != FileClass::Lib {
+            return;
+        }
+        for i in 0..ctx.sig_len() {
+            let t = ctx.sig_text(i);
+            let hit = (matches!(t, "unwrap" | "expect")
+                && ctx.sig_text(i + 1) == "("
+                && i >= 1
+                && ctx.sig_text(i - 1) == ".")
+                || (t == "panic" && ctx.sig_text(i + 1) == "!");
+            if !hit {
+                continue;
+            }
+            let offset = ctx.sig_token(i).map(|tok| tok.start).unwrap_or(0);
+            if ctx.in_test(offset) {
+                continue;
+            }
+            out.push(Finding::at(
+                ctx,
+                self.id(),
+                self.severity(),
+                offset,
+                format!(
+                    "`{t}` can abort the serving path; recover (unwrap_or_else, poison \
+                     recovery, error return) or annotate the unreachable-case invariant"
+                ),
+            ));
+        }
+    }
+}
+
+/// Checks whether a crate root's inner attributes contain
+/// `#![<level>(<lint_name>)]` for any of `levels`.
+fn has_inner_attr(ctx: &FileContext, levels: &[&str], lint_name: &str) -> bool {
+    for i in 0..ctx.sig_len() {
+        if ctx.sig_text(i) == "#"
+            && ctx.sig_text(i + 1) == "!"
+            && ctx.sig_text(i + 2) == "["
+            && levels.contains(&ctx.sig_text(i + 3))
+            && ctx.sig_text(i + 4) == "("
+            && ctx.sig_text(i + 5) == lint_name
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `forbid-unsafe`: every non-bench crate root must carry
+/// `#![forbid(unsafe_code)]`. The workspace `[lints]` table forbids it
+/// too, but the in-source attribute survives a crate being built outside
+/// the workspace and is visible at the point of review.
+pub struct ForbidUnsafe;
+
+impl Rule for ForbidUnsafe {
+    fn id(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+    fn family(&self) -> Family {
+        Family::Policy
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "crate root missing #![forbid(unsafe_code)]"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if !ctx.meta.is_crate_root || ctx.meta.crate_name == "bench" {
+            return;
+        }
+        if has_inner_attr(ctx, &["forbid", "deny"], "unsafe_code") {
+            return;
+        }
+        let mut f = Finding::at(
+            ctx,
+            self.id(),
+            self.severity(),
+            0,
+            "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        );
+        f.file_scope = true;
+        out.push(f);
+    }
+}
+
+/// `deny-missing-docs`: every non-bench crate root must carry
+/// `#![deny(missing_docs)]` (or a documented exemption via
+/// `// lint: allow(deny-missing-docs, <reason>)` anywhere in the file).
+/// Public API without docs fails the rustdoc CI gate late; denying at
+/// the crate root fails it at the definition site.
+pub struct DenyMissingDocs;
+
+impl Rule for DenyMissingDocs {
+    fn id(&self) -> &'static str {
+        "deny-missing-docs"
+    }
+    fn family(&self) -> Family {
+        Family::Policy
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn description(&self) -> &'static str {
+        "crate root missing #![deny(missing_docs)]"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if !ctx.meta.is_crate_root || ctx.meta.crate_name == "bench" {
+            return;
+        }
+        if has_inner_attr(ctx, &["deny", "forbid"], "missing_docs") {
+            return;
+        }
+        let mut f = Finding::at(
+            ctx,
+            self.id(),
+            self.severity(),
+            0,
+            "crate root lacks `#![deny(missing_docs)]`".to_string(),
+        );
+        f.file_scope = true;
+        out.push(f);
+    }
+}
+
+/// Console-output macros banned from library code.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+/// `no-println`: flags `println!` / `eprintln!` / `print!` / `eprint!`
+/// in library code outside tests (binaries, benches, and examples own
+/// their stdout; libraries do not). Observability goes through
+/// `preview-obs`; a deliberate stderr diagnostic carries
+/// `// lint: allow(no-println, <reason>)`.
+pub struct NoPrintln;
+
+impl Rule for NoPrintln {
+    fn id(&self) -> &'static str {
+        "no-println"
+    }
+    fn family(&self) -> Family {
+        Family::Policy
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn description(&self) -> &'static str {
+        "println!/eprintln! in library code"
+    }
+
+    fn check_file(&mut self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.meta.class != FileClass::Lib || ctx.meta.crate_name == "bench" {
+            return;
+        }
+        for i in 0..ctx.sig_len() {
+            let t = ctx.sig_text(i);
+            if !PRINT_MACROS.contains(&t) || ctx.sig_text(i + 1) != "!" {
+                continue;
+            }
+            let offset = ctx.sig_token(i).map(|tok| tok.start).unwrap_or(0);
+            if ctx.in_test(offset) {
+                continue;
+            }
+            out.push(Finding::at(
+                ctx,
+                self.id(),
+                self.severity(),
+                offset,
+                format!("`{t}!` in library code; route output through preview-obs or a bin"),
+            ));
+        }
+    }
+}

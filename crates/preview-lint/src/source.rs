@@ -1,0 +1,84 @@
+//! Source files with line/column lookup for span-accurate diagnostics.
+
+/// One source file under analysis: a workspace-relative path, the full
+/// text, and a precomputed line table.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+    /// Byte offset of the first byte of every line (line 1 is index 0).
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Builds a source file, computing the line table.
+    pub fn new(path: String, text: String) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self {
+            path,
+            text,
+            line_starts,
+        }
+    }
+
+    /// Maps a byte offset to a 1-based `(line, column)` pair. Columns are
+    /// byte columns, which match character columns for ASCII source.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The text of a 1-based line, without its trailing newline. Returns
+    /// an empty string for out-of-range lines.
+    pub fn line_text(&self, line: usize) -> &str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next - 1)
+            .unwrap_or(self.text.len());
+        self.text
+            .get(start..end)
+            .unwrap_or("")
+            .trim_end_matches('\r')
+    }
+
+    /// Number of lines in the file (a trailing newline does not add one).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_round_trip() {
+        let f = SourceFile::new("x.rs".into(), "ab\ncde\n\nf".into());
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(5), (2, 3));
+        assert_eq!(f.line_col(7), (3, 1));
+        assert_eq!(f.line_col(8), (4, 1));
+        assert_eq!(f.line_text(1), "ab");
+        assert_eq!(f.line_text(2), "cde");
+        assert_eq!(f.line_text(3), "");
+        assert_eq!(f.line_text(4), "f");
+        assert_eq!(f.line_text(99), "");
+    }
+}

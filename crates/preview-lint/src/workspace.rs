@@ -1,0 +1,166 @@
+//! Workspace walking and the analysis driver.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::context::FileContext;
+use crate::report::{Report, RuleSummary, UnusedSuppression};
+use crate::rules::{all_rules, Finding};
+use crate::source::SourceFile;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Path fragments excluded from analysis: lint fixtures intentionally
+/// violate the rules.
+const SKIP_FRAGMENTS: &[&str] = &["tests/fixtures/"];
+
+/// Collects every workspace-relative `.rs` path under `root`, skipping
+/// `target/`, `vendor/` (vendored stand-ins are out of policy scope),
+/// and the lint fixture corpus. Paths are returned sorted with `/`
+/// separators for deterministic reports.
+pub fn collect_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, &mut paths)?;
+    let mut rels: Vec<String> = paths
+        .iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).ok()?;
+            let s = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some(s)
+        })
+        .filter(|s| !SKIP_FRAGMENTS.iter().any(|f| s.contains(f)))
+        .collect();
+    rels.sort();
+    let mut out = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let text = fs::read_to_string(root.join(&rel))?;
+        out.push(SourceFile::new(rel, text));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the given sources and resolves suppressions.
+///
+/// This is the pure core shared by the CLI and the fixture tests: it
+/// takes in-memory sources (path + text), so tests can lint synthetic
+/// files under virtual paths like `crates/preview-core/src/fixture.rs`
+/// to exercise path-scoped rules.
+pub fn analyze(sources: Vec<SourceFile>) -> Report {
+    let contexts: Vec<FileContext> = sources.into_iter().map(FileContext::build).collect();
+    let mut rules = all_rules();
+    let mut findings: Vec<Finding> = Vec::new();
+    for rule in rules.iter_mut() {
+        for ctx in &contexts {
+            rule.check_file(ctx, &mut findings);
+        }
+        rule.finish(&mut findings);
+    }
+
+    // Resolve suppressions: a finding is suppressed by a comment naming
+    // its rule on the same line or the line above (anywhere in the file
+    // for file-scope findings). One comment may suppress several
+    // findings (e.g. two orderings in one `compare_exchange`).
+    let mut used = vec![false; contexts.iter().map(|c| c.suppressions.len()).sum()];
+    let mut base = Vec::with_capacity(contexts.len());
+    let mut acc = 0usize;
+    for c in &contexts {
+        base.push(acc);
+        acc += c.suppressions.len();
+    }
+    for f in findings.iter_mut() {
+        let Some((ci, ctx)) = contexts
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.file.path == f.path)
+        else {
+            continue;
+        };
+        for (si, s) in ctx.suppressions.iter().enumerate() {
+            if s.rule != f.rule {
+                continue;
+            }
+            let adjacent = s.line == f.line || s.line + 1 == f.line;
+            if f.file_scope || adjacent {
+                f.suppressed = Some(s.reason.clone());
+                used[base[ci] + si] = true;
+                break;
+            }
+        }
+    }
+
+    let mut unused_suppressions: Vec<UnusedSuppression> = Vec::new();
+    for (ci, c) in contexts.iter().enumerate() {
+        for (si, s) in c.suppressions.iter().enumerate() {
+            if !used[base[ci] + si] {
+                unused_suppressions.push(UnusedSuppression {
+                    path: c.file.path.clone(),
+                    line: s.line,
+                    rule: s.rule.clone(),
+                    reason: s.reason.clone(),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    let rule_summaries: Vec<RuleSummary> = rules
+        .iter()
+        .map(|r| RuleSummary {
+            id: r.id(),
+            family: r.family().name(),
+            severity: r.severity().name(),
+            description: r.description(),
+            findings: findings
+                .iter()
+                .filter(|f| f.rule == r.id() && f.suppressed.is_none())
+                .count(),
+            suppressed: findings
+                .iter()
+                .filter(|f| f.rule == r.id() && f.suppressed.is_some())
+                .count(),
+        })
+        .collect();
+
+    Report {
+        files_scanned: contexts.len(),
+        rules: rule_summaries,
+        findings,
+        unused_suppressions,
+    }
+}
+
+/// Walks `root` and analyses every workspace source file.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    Ok(analyze(collect_files(root)?))
+}

@@ -1,0 +1,20 @@
+//@ path: crates/datagen/src/jitter.rs
+//! Fixture: explicitly seeded randomness is replayable and allowed.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// All randomness flows from a caller-supplied seed.
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rand::Rng::gen(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ambient_entropy() {
+        // Exploratory tests are allowed to draw real entropy.
+        let _flip: bool = rand::random();
+    }
+}

@@ -1,0 +1,14 @@
+//@ path: crates/datagen/src/jitter.rs
+//! Fixture: ambient entropy sources that cannot be replayed.
+
+/// Draws from the thread-local RNG: every run generates a different
+/// graph, so goldens and A/B comparisons are meaningless.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+/// `rand::random` is the same ambient source in free-function clothing.
+pub fn coin_flip() -> bool {
+    rand::random()
+}

@@ -1,0 +1,36 @@
+//@ path: crates/preview-obs/src/counters.rs
+//! Fixture: every ordering site carries an `ordering-ok(<reason>)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter whose orderings are justified at each site.
+pub struct HitCounter {
+    hits: AtomicU64,
+}
+
+impl HitCounter {
+    /// Records one hit.
+    pub fn record(&self) {
+        // lint: ordering-ok(independent monotonic counter; readers tolerate skew)
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the current count.
+    pub fn get(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed) // lint: ordering-ok(statistical read; no ordering with other state needed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let c = HitCounter {
+            hits: AtomicU64::new(0),
+        };
+        c.hits.store(3, Ordering::SeqCst);
+        assert_eq!(c.get(), 3);
+    }
+}

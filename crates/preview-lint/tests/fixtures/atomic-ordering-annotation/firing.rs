@@ -1,0 +1,22 @@
+//@ path: crates/preview-obs/src/counters.rs
+//! Fixture: memory-ordering sites without a reviewer-facing reason.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter whose orderings carry no justification — exactly the shape
+/// that rots into cargo-culted `Relaxed`.
+pub struct HitCounter {
+    hits: AtomicU64,
+}
+
+impl HitCounter {
+    /// Records one hit.
+    pub fn record(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the current count.
+    pub fn get(&self) -> u64 {
+        self.hits.load(Ordering::Acquire)
+    }
+}

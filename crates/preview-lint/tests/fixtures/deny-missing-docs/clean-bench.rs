@@ -1,0 +1,6 @@
+//@ path: crates/bench/src/lib.rs
+//! Fixture: the bench crate is exempt from the missing-docs mandate.
+
+#![forbid(unsafe_code)]
+
+pub fn run() {}

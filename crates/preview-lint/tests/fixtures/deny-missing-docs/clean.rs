@@ -1,0 +1,8 @@
+//@ path: crates/preview-core/src/lib.rs
+//! Fixture: missing docs are denied at the definition site.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Documented, as the attribute demands.
+pub fn noop() {}

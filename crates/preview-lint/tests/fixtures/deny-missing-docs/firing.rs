@@ -1,0 +1,9 @@
+//@ path: crates/preview-core/src/lib.rs
+//! Fixture: a crate root that only warns on missing docs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Warnings scroll past; the rustdoc gate fails late instead of at the
+/// definition site.
+pub fn noop() {}

@@ -1,0 +1,8 @@
+//@ path: crates/preview-core/src/lib.rs
+//! Fixture: the hygienic crate root.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Unsafe code is a compile error anywhere in this crate.
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//@ path: crates/preview-core/src/lib.rs
+//! Fixture: a crate root without the unsafe-code hygiene attribute.
+
+#![deny(missing_docs)]
+
+/// Nothing unsafe here yet — but nothing stops it arriving either.
+pub fn noop() {}

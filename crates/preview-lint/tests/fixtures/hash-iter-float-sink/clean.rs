@@ -1,0 +1,17 @@
+//@ path: crates/preview-core/src/scoring/weights.rs
+//! Fixture: the deterministic version — materialise, sort, then sum.
+
+use std::collections::HashMap;
+
+/// Collects into a sorted buffer first, so the float accumulation runs in
+/// a fixed order regardless of the map's iteration order.
+pub fn total_weight(weights: &HashMap<u32, f64>) -> f64 {
+    let mut all: Vec<f64> = weights.values().copied().collect();
+    all.sort_by(f64::total_cmp);
+    all.iter().sum()
+}
+
+/// Order-insensitive terminal adapters end the chain without a finding.
+pub fn weight_count(weights: &HashMap<u32, f64>) -> usize {
+    weights.values().count()
+}

@@ -1,0 +1,15 @@
+//@ path: crates/preview-core/src/scoring/weights.rs
+//! Fixture: a HashMap iteration chain feeding a float sum directly.
+
+use std::collections::HashMap;
+
+/// Sums entity weights straight off the map iterator: iteration order is
+/// nondeterministic and float addition is order-sensitive.
+pub fn total_weight(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}
+
+/// A longer chain that still reaches the sink without materialising.
+pub fn scaled_weight(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().map(|w| w * 0.5).sum()
+}

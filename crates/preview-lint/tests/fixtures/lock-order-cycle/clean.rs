@@ -1,0 +1,26 @@
+//@ path: crates/preview-obs/src/ledger.rs
+//! Fixture: both paths honour one global acquisition order — no cycle.
+
+use std::sync::Mutex;
+
+/// Two independent ledgers guarded by separate locks.
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    /// Acquires `accounts` then `journal`.
+    pub fn post(&self) {
+        let accounts = self.accounts.lock();
+        let journal = self.journal.lock();
+        drop((accounts, journal));
+    }
+
+    /// Same order as `post`: `accounts` strictly before `journal`.
+    pub fn audit(&self) {
+        let accounts = self.accounts.lock();
+        let journal = self.journal.lock();
+        drop((accounts, journal));
+    }
+}

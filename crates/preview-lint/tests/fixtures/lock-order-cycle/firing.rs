@@ -1,0 +1,27 @@
+//@ path: crates/preview-obs/src/ledger.rs
+//! Fixture: two paths acquire the same pair of locks in opposite orders.
+
+use std::sync::Mutex;
+
+/// Two independent ledgers guarded by separate locks.
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    /// Acquires `accounts` then `journal`.
+    pub fn post(&self) {
+        let accounts = self.accounts.lock();
+        let journal = self.journal.lock();
+        drop((accounts, journal));
+    }
+
+    /// Acquires `journal` then `accounts` — the reverse order: with
+    /// `post` running concurrently this can deadlock.
+    pub fn audit(&self) {
+        let journal = self.journal.lock();
+        let accounts = self.accounts.lock();
+        drop((journal, accounts));
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/entity-graph/src/loader.rs
+//! Fixture: a deliberate stderr diagnostic carries its reason.
+
+/// A last-resort diagnostic, annotated at the site.
+pub fn warn_corrupt(path: &str) {
+    // lint: allow(no-println, corruption diagnostic must reach stderr even if the recorder is down)
+    eprintln!("corrupt input skipped: {path}");
+}

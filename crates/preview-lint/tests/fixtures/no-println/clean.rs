@@ -1,0 +1,7 @@
+//@ path: crates/eval/src/main.rs
+//! Fixture: binaries own their stdout — printing there is fine.
+
+/// A CLI entry point printing its own report.
+pub fn main() {
+    println!("evaluation complete");
+}

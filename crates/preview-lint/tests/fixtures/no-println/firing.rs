@@ -1,0 +1,12 @@
+//@ path: crates/entity-graph/src/loader.rs
+//! Fixture: console output from library code.
+
+/// Reports progress straight to stdout — invisible to the observability
+/// layer and garbage for any caller that owns the terminal.
+pub fn load(paths: &[String]) -> usize {
+    for p in paths {
+        println!("loading {p}");
+    }
+    eprintln!("loaded {} files", paths.len());
+    paths.len()
+}

@@ -1,0 +1,33 @@
+//@ path: crates/preview-service/src/dispatch.rs
+//! Fixture: the serving path degrades instead of aborting.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Recovers from lock poison and reports missing handlers as errors.
+pub fn dispatch(handlers: &Mutex<HashMap<u32, String>>, id: u32) -> Result<String, String> {
+    let map = handlers.lock().unwrap_or_else(PoisonError::into_inner);
+    map.get(&id)
+        .cloned()
+        .ok_or_else(|| format!("no handler registered for {id}"))
+}
+
+/// A genuinely unreachable case carries its invariant as an annotation.
+pub fn capacity_label(capacity: usize) -> String {
+    let capacity = capacity.max(1);
+    // lint: allow(request-path-unwrap, capacity is clamped to >= 1 on the previous line)
+    let last = (0..capacity).last().expect("range is non-empty");
+    format!("slots: {last}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let handlers = Mutex::new(HashMap::new());
+        assert!(dispatch(&handlers, 1).is_err());
+        let _ = handlers.lock().unwrap();
+    }
+}

@@ -1,0 +1,20 @@
+//@ path: crates/preview-service/src/dispatch.rs
+//! Fixture: panics on the serving path.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Looks up a handler, aborting the worker on a missing entry and
+/// poisoning the shared lock for everyone else.
+pub fn dispatch(handlers: &Mutex<HashMap<u32, String>>, id: u32) -> String {
+    let map = handlers.lock().unwrap();
+    match map.get(&id) {
+        Some(h) => h.clone(),
+        None => panic!("no handler registered for {id}"),
+    }
+}
+
+/// `expect` is the same abort with a nicer epitaph.
+pub fn first(items: &[u64]) -> u64 {
+    *items.first().expect("at least one item")
+}

@@ -1,0 +1,21 @@
+//@ path: crates/preview-core/src/scoring/batch.rs
+//! Fixture: tracing wraps the pool call at the orchestration level.
+
+/// One span around the whole parallel region; the worker closure stays
+/// trace-free.
+pub fn score_all(pool: &FjPool, items: &[u64]) -> Vec<u64> {
+    let _guard = preview_obs::span!(Stage::Scoring);
+    pool.map(items, |x| x * 2)
+}
+
+/// A non-pool receiver may trace inside `.map(..)` freely: iterator map
+/// closures run on the calling thread.
+pub fn annotate(items: &[u64]) -> Vec<u64> {
+    items
+        .iter()
+        .map(|x| {
+            let _guard = preview_obs::span!(Stage::Scoring);
+            x * 2
+        })
+        .collect()
+}

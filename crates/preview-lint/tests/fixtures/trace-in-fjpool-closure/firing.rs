@@ -1,0 +1,20 @@
+//@ path: crates/preview-core/src/scoring/batch.rs
+//! Fixture: tracing from inside fork-join worker closures.
+
+/// Scores every item on the pool, opening a span per work item: the span
+/// takes the recorder lock, serialising the very workers the pool exists
+/// to parallelise.
+pub fn score_all(pool: &FjPool, items: &[u64]) -> Vec<u64> {
+    pool.map(items, |x| {
+        let _guard = preview_obs::span!(Stage::Scoring);
+        x * 2
+    })
+}
+
+/// The chunked variant has the same bug via a counter.
+pub fn score_chunked(pool: &FjPool, items: &[u64]) -> Vec<u64> {
+    pool.map_chunked(items, 64, |x| {
+        recorder.counter_add(Counter::Scored, 1);
+        x + 1
+    })
+}

@@ -1,0 +1,16 @@
+//@ path: crates/preview-core/src/algo/budget.rs
+//! Fixture: a legitimate anytime-budget clock, annotated with its reason.
+
+use std::time::Instant;
+
+/// Anytime mode trades determinism for a deadline on purpose; the
+/// annotation records that decision where a reviewer will see it.
+pub fn search_with_deadline(limit_ms: u64) -> u64 {
+    // lint: allow(wall-clock, anytime mode deliberately trades determinism for a caller deadline)
+    let start = Instant::now();
+    let mut nodes = 0u64;
+    while start.elapsed().as_millis() < u128::from(limit_ms) {
+        nodes += 1;
+    }
+    nodes
+}

@@ -1,0 +1,15 @@
+//@ path: crates/preview-core/src/algo/budget.rs
+//! Fixture: wall-clock reads inside an engine crate.
+
+use std::time::Instant;
+
+/// Times a search phase with the wall clock: results now depend on how
+/// fast the machine is, which breaks run-to-run determinism.
+pub fn search_with_deadline(limit_ms: u64) -> u64 {
+    let start = Instant::now();
+    let mut nodes = 0u64;
+    while start.elapsed().as_millis() < u128::from(limit_ms) {
+        nodes += 1;
+    }
+    nodes
+}

@@ -1,0 +1,106 @@
+//! Property tests for the lexer: tokens must tile the input exactly
+//! (contiguous, in order, covering every byte), so re-rendering the token
+//! stream reproduces the source byte-for-byte — on arbitrary inputs, not
+//! just on Rust that parses.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use preview_lint::lexer::lex;
+
+/// Concatenating every token's text must rebuild the input exactly.
+fn assert_round_trip(src: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, cursor, "gap or overlap before {t:?} in {src:?}");
+        assert!(t.end >= t.start, "negative span in {src:?}");
+        rebuilt.push_str(t.text(src));
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "tokens do not cover {src:?}");
+    assert_eq!(rebuilt, src);
+}
+
+/// Snippets of the constructs the lexer special-cases; the generators
+/// splice them so raw strings, nested comments and lifetimes collide in
+/// unplanned ways.
+const SNIPPETS: &[&str] = &[
+    "fn main() {}",
+    "r#\"raw \" string\"#",
+    "r\"plain raw\"",
+    "br#\"byte raw\"#",
+    "b\"bytes\\\"\"",
+    "b'x'",
+    "/* nested /* block */ comment */",
+    "// line comment\n",
+    "'a",
+    "'a'",
+    "'\\n'",
+    "\"str with \\\" escape\"",
+    "0..n",
+    "1.5e-3",
+    "0x_ff",
+    "ident_1",
+    "::",
+    "=>",
+    "#![deny(missing_docs)]",
+    "// lint: ordering-ok(reason)\n",
+    "\t \n",
+    "…", // multi-byte
+    "'",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "/* unterminated block",
+];
+
+/// Characters for the "arbitrary soup" generator: ASCII printables plus
+/// the lexer's hot bytes and a couple of multi-byte code points.
+const SOUP: &[char] = &[
+    'a', 'Z', '_', '0', '9', ' ', '\n', '\t', '\'', '"', '#', 'r', 'b', '/', '*', '\\', '.', ':',
+    '!', '(', ')', '{', '}', '[', ']', '<', '>', ',', ';', '=', '-', '…', 'é',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random splices of tricky snippets round-trip.
+    #[test]
+    fn spliced_snippets_round_trip(seed in 0u64..1_000_000, len in 0usize..12) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut src = String::new();
+        for _ in 0..len {
+            let idx = rng.gen_range(0..SNIPPETS.len());
+            src.push_str(SNIPPETS[idx]);
+        }
+        assert_round_trip(&src);
+    }
+
+    /// Character soup leans on the punctuation, literal and comment
+    /// paths with inputs that mostly do not parse as Rust: the lexer
+    /// must neither panic nor drop a byte.
+    #[test]
+    fn character_soup_round_trips(seed in 0u64..1_000_000, len in 0usize..80) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut src = String::new();
+        for _ in 0..len {
+            let idx = rng.gen_range(0..SOUP.len());
+            src.push(SOUP[idx]);
+        }
+        assert_round_trip(&src);
+    }
+}
+
+/// Significant-token spans must be non-empty and lie inside the source.
+#[test]
+fn significant_tokens_have_sane_spans() {
+    let src = "fn f<'a>(x: &'a str) -> u32 { x.len() as u32 /* c */ }";
+    for t in lex(src) {
+        assert!(t.end <= src.len());
+        if t.kind.is_significant() {
+            assert!(t.end > t.start, "empty significant token {t:?}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The lint's own acceptance gate as a test: the live workspace must be
+//! clean — every finding either fixed or carrying an in-source reason —
+//! and every suppression must be load-bearing.
+
+use std::path::Path;
+
+use preview_lint::analyze_workspace;
+
+fn workspace_root() -> &'static Path {
+    // crates/preview-lint -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let report = analyze_workspace(workspace_root()).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    let remaining: Vec<String> = report
+        .unsuppressed()
+        .map(|f| format!("{}: {}:{}:{} {}", f.rule, f.path, f.line, f.col, f.message))
+        .collect();
+    assert!(
+        remaining.is_empty(),
+        "workspace has unsuppressed lint findings:\n{}",
+        remaining.join("\n")
+    );
+}
+
+#[test]
+fn live_workspace_has_no_unused_suppressions() {
+    let report = analyze_workspace(workspace_root()).expect("scan workspace");
+    let unused: Vec<String> = report
+        .unused_suppressions
+        .iter()
+        .map(|u| format!("{}:{} allow({})", u.path, u.line, u.rule))
+        .collect();
+    assert!(
+        unused.is_empty(),
+        "stale lint suppressions (remove them):\n{}",
+        unused.join("\n")
+    );
+}
+
+#[test]
+fn all_ten_rules_are_registered() {
+    let report = analyze_workspace(workspace_root()).expect("scan workspace");
+    assert!(
+        report.rules.len() >= 8,
+        "expected at least 8 rules, found {}",
+        report.rules.len()
+    );
+    // The report's JSON must parse-ably serialise even on the full tree.
+    let json = report.to_json();
+    assert!(json.contains("\"rules\""));
+    assert!(json.contains("\"findings\""));
+}

@@ -12,7 +12,7 @@
 //! diagnostic buffer: under extreme contention a reader may drop a slot, but
 //! it never observes a torn event and never blocks a writer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::stage::Stage;
 
@@ -96,6 +96,7 @@ impl std::fmt::Debug for FlightRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlightRing")
             .field("capacity", &self.slots.len())
+            // lint: ordering-ok(diagnostic count; no payload depends on it)
             .field("written", &self.cursor.load(Ordering::Relaxed))
             .finish()
     }
@@ -120,21 +121,39 @@ impl FlightRing {
 
     /// Total events ever pushed (may exceed [`capacity`](Self::capacity)).
     pub fn pushed(&self) -> u64 {
+        // lint: ordering-ok(monotonic statistics counter; readers tolerate staleness)
         self.cursor.load(Ordering::Relaxed)
     }
 
     /// Publishes an event, overwriting the oldest slot when full.
     /// Wait-free for writers: one `fetch_add` plus six stores.
+    ///
+    /// Memory-ordering recipe (the classic safe-atomics seqlock writer):
+    /// mark the slot odd, `fence(Release)` so the payload stores cannot
+    /// become visible before the odd mark, store the payload relaxed, then
+    /// publish the even sequence with `Release` so a reader that observes
+    /// it also observes the payload. An earlier version used a `Release`
+    /// store for the odd mark and no fence, which does not stop the
+    /// payload stores from being reordered *above* the odd mark on weakly
+    /// ordered hardware — a reader could then copy a half-overwritten
+    /// payload yet still see a stable even sequence.
     pub fn push(&self, event: &SpanEvent) {
+        // lint: ordering-ok(slot claim only distributes tickets; the slot's own seqlock orders the payload)
         let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
-        // Odd sequence: write in progress. Release so readers that see the
-        // final even value also see the payload stores.
-        slot.seq.store(2 * ticket + 1, Ordering::Release);
+        // lint: ordering-ok(the Release fence below orders this odd mark before the payload stores)
+        slot.seq.store(2 * ticket + 1, Ordering::Relaxed);
+        // lint: ordering-ok(Release fence: payload stores cannot be reordered before the odd mark)
+        fence(Ordering::Release);
+        // lint: ordering-ok(payload ordered by the fences and the final Release store)
         slot.words[0].store(event.pack_word0(), Ordering::Relaxed);
+        // lint: ordering-ok(payload ordered by the fences and the final Release store)
         slot.words[1].store(event.start_us, Ordering::Relaxed);
+        // lint: ordering-ok(payload ordered by the fences and the final Release store)
         slot.words[2].store(event.duration_us, Ordering::Relaxed);
+        // lint: ordering-ok(payload ordered by the fences and the final Release store)
         slot.words[3].store(event.attr, Ordering::Relaxed);
+        // lint: ordering-ok(Release publish: a reader that Acquires this even value sees the whole payload)
         slot.seq.store(2 * ticket + 2, Ordering::Release);
     }
 
@@ -146,19 +165,30 @@ impl FlightRing {
     pub fn snapshot(&self) -> Vec<SpanEvent> {
         let mut events: Vec<(u64, SpanEvent)> = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
+            // lint: ordering-ok(Acquire pairs with the writer's Release publish; an even value here means the payload below is visible)
             let seq_before = slot.seq.load(Ordering::Acquire);
             if seq_before == 0 || seq_before % 2 == 1 {
                 continue; // never written, or write in progress
             }
             let words = [
+                // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
                 slot.words[0].load(Ordering::Relaxed),
+                // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
                 slot.words[1].load(Ordering::Relaxed),
+                // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
                 slot.words[2].load(Ordering::Relaxed),
+                // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
                 slot.words[3].load(Ordering::Relaxed),
             ];
-            // Acquire again: if the sequence moved, a writer raced us and
-            // the copied words may be torn — drop them.
-            if slot.seq.load(Ordering::Acquire) != seq_before {
+            // Acquire fence: the payload loads above cannot be reordered
+            // below the sequence re-check (a plain Acquire *load* would
+            // only order later accesses, not the earlier payload loads).
+            // lint: ordering-ok(Acquire fence pins the payload loads before the re-check)
+            fence(Ordering::Acquire);
+            // If the sequence moved, a writer raced us and the copied
+            // words may be torn — drop them.
+            // lint: ordering-ok(re-check is ordered by the Acquire fence above; Relaxed load suffices)
+            if slot.seq.load(Ordering::Relaxed) != seq_before {
                 continue;
             }
             if let Some(event) = SpanEvent::unpack(words) {

@@ -19,7 +19,7 @@ use std::time::Duration;
 pub const BUCKETS: usize = 1024;
 
 /// Values below this get one exact bucket each.
-pub const LINEAR_CUTOFF: u64 = 32;
+pub(crate) const LINEAR_CUTOFF: u64 = 32;
 
 /// Sub-buckets per octave above the linear range (2^5).
 const SUB_BITS: u32 = 5;
@@ -90,9 +90,13 @@ impl Histogram {
     /// Records one value (microseconds by convention).
     #[inline]
     pub fn record(&self, value: u64) {
+        // lint: ordering-ok(independent monotonic counters; snapshot() documents the off-by-in-flight race)
         self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // lint: ordering-ok(independent monotonic counters; snapshot() documents the off-by-in-flight race)
         self.count.fetch_add(1, Ordering::Relaxed);
+        // lint: ordering-ok(independent monotonic counters; snapshot() documents the off-by-in-flight race)
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // lint: ordering-ok(fetch_max is commutative and monotonic; ordering cannot change the final max)
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -104,6 +108,7 @@ impl Histogram {
 
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
+        // lint: ordering-ok(statistics read; exact only once writers quiesce, as documented)
         self.count.load(Ordering::Relaxed)
     }
 
@@ -117,10 +122,14 @@ impl Histogram {
             counts: self
                 .counts
                 .iter()
+                // lint: ordering-ok(per-bucket reads; the doc above states snapshots race in-flight records)
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            // lint: ordering-ok(per-counter reads; the doc above states snapshots race in-flight records)
             count: self.count.load(Ordering::Relaxed),
+            // lint: ordering-ok(per-counter reads; the doc above states snapshots race in-flight records)
             sum: self.sum.load(Ordering::Relaxed),
+            // lint: ordering-ok(per-counter reads; the doc above states snapshots race in-flight records)
             max: self.max.load(Ordering::Relaxed),
         }
     }

@@ -21,7 +21,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::flight::{FlightDump, FlightRing, SpanEvent};
@@ -48,6 +48,7 @@ fn thread_id() -> u32 {
     THREAD_ID.with(|cell| match cell.get() {
         Some(id) => id,
         None => {
+            // lint: ordering-ok(id allocation only needs uniqueness, which fetch_add gives at any ordering)
             let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
             cell.set(Some(id));
             id
@@ -151,19 +152,24 @@ impl Recorder {
 
     /// Whether spans are currently being recorded.
     pub fn is_enabled(&self) -> bool {
+        // lint: ordering-ok(advisory gate flag; a stale read only delays span capture by one transition)
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Starts recording spans on attached threads. Idempotent.
     pub fn enable(&self) {
+        // lint: ordering-ok(the swap makes the idempotence check atomic; cross-thread visibility timing is advisory)
         if !self.enabled.swap(true, Ordering::Relaxed) {
+            // lint: ordering-ok(global enabled count is a fast-path gate; spans near the transition may be missed by design)
             ENABLED_RECORDERS.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Stops recording spans. Idempotent; counters and histograms persist.
     pub fn disable(&self) {
+        // lint: ordering-ok(the swap makes the idempotence check atomic; cross-thread visibility timing is advisory)
         if self.enabled.swap(false, Ordering::Relaxed) {
+            // lint: ordering-ok(global enabled count is a fast-path gate; spans near the transition may be missed by design)
             ENABLED_RECORDERS.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -205,11 +211,13 @@ impl Recorder {
     /// Adds `n` to an event counter. Always live, even when disabled —
     /// counters are one relaxed `fetch_add` and feed the snapshot.
     pub fn add_counter(&self, counter: Counter, n: u64) {
+        // lint: ordering-ok(monotonic statistics counter; no other memory depends on its value)
         self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value of an event counter.
     pub fn counter(&self, counter: Counter) -> u64 {
+        // lint: ordering-ok(statistics read; snapshots tolerate slightly stale counts)
         self.counters[counter as usize].load(Ordering::Relaxed)
     }
 
@@ -242,7 +250,11 @@ impl Recorder {
             detail: detail.to_string(),
             events: self.ring.snapshot(),
         };
-        let mut dumps = self.dumps.lock().unwrap();
+        // Recover from poisoning instead of unwrapping: this path runs
+        // from the worker *panic* hook, where a second panic would abort
+        // the process. The critical section only rotates a bounded deque,
+        // so a poisoned guard still holds structurally valid data.
+        let mut dumps = self.dumps.lock().unwrap_or_else(PoisonError::into_inner);
         if dumps.len() >= self.config.max_dumps.max(1) {
             dumps.pop_front();
         }
@@ -264,7 +276,14 @@ impl Recorder {
 
     /// Retained dumps, oldest first.
     pub fn dumps(&self) -> Vec<FlightDump> {
-        self.dumps.lock().unwrap().iter().cloned().collect()
+        // Same poison recovery as `capture_dump`: dump retention must
+        // stay readable after a worker panic.
+        self.dumps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 }
 
@@ -375,6 +394,7 @@ pub fn counter_add(counter: Counter, n: u64) {
 /// [`enter`], with a free-form attribute attached to the span event.
 #[inline]
 pub fn enter_with(stage: Stage, attr: u64) -> SpanGuard {
+    // lint: ordering-ok(disabled-recorder fast path; a stale zero only skips a span near an enable transition)
     if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
         return SpanGuard::noop();
     }
@@ -568,5 +588,29 @@ mod tests {
             assert_eq!(ENABLED_RECORDERS.load(Ordering::Relaxed), before + 1);
         }
         assert_eq!(ENABLED_RECORDERS.load(Ordering::Relaxed), before);
+    }
+
+    /// Regression test: `capture_dump` runs from the worker panic hook, so
+    /// it must survive a poisoned dumps mutex instead of double-panicking
+    /// (which would abort the process mid-diagnosis).
+    #[test]
+    fn capture_dump_survives_a_poisoned_dumps_mutex() {
+        let recorder = Arc::new(Recorder::default());
+        // Poison the dumps mutex by panicking while holding it.
+        let poisoner = Arc::clone(&recorder);
+        std::thread::spawn(move || {
+            let _guard = poisoner.dumps.lock().unwrap();
+            panic!("poison the dumps lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(recorder.dumps.is_poisoned());
+
+        let dump = recorder.capture_dump(DumpReason::Panic, "worker died");
+        assert_eq!(dump.reason, "panic");
+        let retained = recorder.dumps();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].detail, "worker died");
+        assert_eq!(recorder.counter(Counter::PanicDumps), 1);
     }
 }

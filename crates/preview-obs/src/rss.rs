@@ -22,7 +22,7 @@ pub fn peak_rss_bytes() -> Option<u64> {
 
 /// Parses the `VmHWM:` line of a `/proc/<pid>/status` document into bytes.
 /// Split from [`peak_rss_bytes`] so the parsing is unit-testable.
-pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+pub(crate) fn parse_vm_hwm(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     // Format: "VmHWM:      123456 kB" — the kernel always reports kB.
     let kb: u64 = line

@@ -19,6 +19,7 @@ use crate::request::{
     ServiceError, ServiceResult,
 };
 use crate::stats::{ServiceStats, StatsRecorder};
+use crate::sync::lock_unpoisoned;
 use crate::worker::{BoundedQueue, PushError};
 
 /// Sizing knobs of a [`PreviewService`].
@@ -64,6 +65,8 @@ impl ServiceConfig {
 /// One queued unit of work.
 struct Job {
     request: PreviewRequest,
+    /// Enqueue time, for queue-wait latency accounting only.
+    // lint: allow(wall-clock, queue-wait measurement feeds stats only; results never depend on it)
     enqueued: Instant,
     reply: mpsc::Sender<ServiceResult<PreviewResponse>>,
 }
@@ -99,6 +102,7 @@ impl Shared {
         request: &PreviewRequest,
         queue_wait: Duration,
     ) -> ServiceResult<PreviewResponse> {
+        // lint: allow(wall-clock, compute-latency measurement feeds stats only)
         let start = Instant::now();
         let graph = self.registry.resolve(&request.graph, request.version)?;
         if let Some(budget) = request.node_budget {
@@ -142,6 +146,7 @@ impl Shared {
         graph: &RegisteredGraph,
         budget: u64,
         queue_wait: Duration,
+        // lint: allow(wall-clock, latency anchor threaded through for stats only)
         start: Instant,
     ) -> ServiceResult<PreviewResponse> {
         let _discovery = preview_obs::span!(Stage::Discovery);
@@ -182,7 +187,7 @@ impl Shared {
             }
         }
         let slot: InflightSlot = {
-            let mut inflight = self.inflight.lock().expect("inflight lock");
+            let mut inflight = lock_unpoisoned(&self.inflight);
             Arc::clone(inflight.entry(key.clone()).or_default())
         };
         let mut computed = false;
@@ -195,7 +200,7 @@ impl Shared {
         // First finisher retires the slot so the map cannot grow; later
         // identical requests find the result in the LRU cache instead.
         if computed {
-            let mut inflight = self.inflight.lock().expect("inflight lock");
+            let mut inflight = lock_unpoisoned(&self.inflight);
             if let Some(current) = inflight.get(key) {
                 if Arc::ptr_eq(current, &slot) {
                     inflight.remove(key);
@@ -252,7 +257,7 @@ impl Shared {
 
     #[cfg(test)]
     fn inflight_len(&self) -> usize {
-        self.inflight.lock().expect("inflight lock").len()
+        lock_unpoisoned(&self.inflight).len()
     }
 }
 
@@ -377,6 +382,7 @@ impl PreviewService {
                 thread::Builder::new()
                     .name(format!("preview-worker-{i}"))
                     .spawn(move || worker_loop(&shared, &queue))
+                    // lint: allow(request-path-unwrap, startup-only; a host that cannot spawn threads cannot serve at all)
                     .expect("spawn preview worker")
             })
             .collect();
@@ -458,6 +464,7 @@ impl PreviewService {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             request,
+            // lint: allow(wall-clock, queue-wait measurement feeds stats only)
             enqueued: Instant::now(),
             reply: tx,
         };
@@ -519,6 +526,7 @@ impl PreviewService {
     /// Propagates [`GraphRegistry::publish_delta`] errors; the cache is only
     /// touched after the registry publish succeeded.
     pub fn publish_delta(&self, name: &str, delta: &GraphDelta) -> ServiceResult<PublishReport> {
+        // lint: allow(wall-clock, publish-latency measurement feeds the obs snapshot only)
         let publish_start = Instant::now();
         let publish = self.shared.registry.publish_delta(name, delta)?;
         let mut carried_forward = 0u64;
@@ -605,6 +613,7 @@ impl PreviewService {
     }
 
     fn shutdown_in_place(&mut self) {
+        // lint: ordering-ok(one-shot shutdown latch; SeqCst is the conservative choice on a cold path)
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -614,6 +623,7 @@ impl PreviewService {
             // trips on a harness-level bug; never panic here — shutdown can
             // run from Drop during an unwind, where a panic would abort.
             if worker.join().is_err() {
+                // lint: allow(no-println, last-resort diagnostic during shutdown; no logger is safe to call here)
                 eprintln!("preview-service: worker thread panicked outside request handling");
             }
         }

@@ -58,13 +58,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod engine;
 pub mod registry;
 pub mod request;
 mod stats;
+pub(crate) mod sync;
 pub mod worker;
 
 pub use cache::{CacheStats, ShardedLruCache};

@@ -14,6 +14,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
+use crate::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
+
 use entity_graph::{DeltaSummary, EntityGraph, GraphDelta, ShardedGraph, ShardingStrategy};
 use preview_core::{ScoredSchema, ScoringConfig};
 
@@ -93,7 +95,7 @@ impl RegisteredGraph {
 
     /// Number of scoring configurations already memoized.
     pub fn scored_config_count(&self) -> usize {
-        self.scored.lock().expect("scored map lock").len()
+        lock_unpoisoned(&self.scored).len()
     }
 
     /// Returns the shared [`ScoredSchema`] for `config`, building (and
@@ -101,7 +103,7 @@ impl RegisteredGraph {
     pub fn scored_for(&self, config: &ScoringConfig) -> ServiceResult<Arc<ScoredSchema>> {
         let key = ScoringKey::from(config);
         let slot = {
-            let mut map = self.scored.lock().expect("scored map lock");
+            let mut map = lock_unpoisoned(&self.scored);
             Arc::clone(
                 &map.entry(key)
                     .or_insert_with(|| ScoredEntry {
@@ -129,9 +131,7 @@ impl RegisteredGraph {
     /// Every successfully memoized `(config, scored)` pair, in unspecified
     /// order. In-flight (unfinished) builds are skipped.
     fn memoized_scored(&self) -> Vec<(ScoringConfig, Arc<ScoredSchema>)> {
-        self.scored
-            .lock()
-            .expect("scored map lock")
+        lock_unpoisoned(&self.scored)
             .values()
             .filter_map(|entry| {
                 entry
@@ -147,8 +147,9 @@ impl RegisteredGraph {
     /// publish path seeds the new version with rescored configurations).
     fn seed_scored(&self, config: &ScoringConfig, scored: Arc<ScoredSchema>) {
         let slot = ScoredSlot::default();
+        // lint: allow(request-path-unwrap, freshly constructed OnceLock cannot already hold a value)
         slot.set(Ok(scored)).expect("fresh slot accepts one value");
-        self.scored.lock().expect("scored map lock").insert(
+        lock_unpoisoned(&self.scored).insert(
             ScoringKey::from(config),
             ScoredEntry {
                 config: *config,
@@ -228,11 +229,13 @@ impl GraphRegistry {
     /// Sets the number of versions `publish_delta` retains per name
     /// (clamped to ≥ 1; the latest version is always kept).
     pub fn set_version_retention(&self, keep: usize) {
+        // lint: ordering-ok(standalone tuning knob; no other memory is published with it)
         self.version_retention.store(keep.max(1), Ordering::Relaxed);
     }
 
     /// The current retention window.
     pub fn version_retention(&self) -> usize {
+        // lint: ordering-ok(standalone tuning knob; readers need no ordering with other state)
         self.version_retention.load(Ordering::Relaxed)
     }
 
@@ -271,7 +274,7 @@ impl GraphRegistry {
         sharded: Option<Arc<ShardedGraph>>,
     ) -> Arc<RegisteredGraph> {
         graph.schema_graph();
-        let mut graphs = self.graphs.write().expect("registry lock");
+        let mut graphs = write_unpoisoned(&self.graphs);
         let versions = graphs.entry(name.clone()).or_default();
         let version = versions.last().map_or(1, |g| g.version + 1);
         let registered = Arc::new(RegisteredGraph::new(name, version, graph, sharded));
@@ -384,7 +387,7 @@ impl GraphRegistry {
             let rescored_configs = seeds.len();
             let keep = self.version_retention();
             let outcome = {
-                let mut graphs = self.graphs.write().expect("registry lock");
+                let mut graphs = write_unpoisoned(&self.graphs);
                 let versions = graphs.entry(name.to_string()).or_default();
                 let latest = versions.last().map(|g| g.version);
                 if latest != Some(current.version()) {
@@ -431,7 +434,7 @@ impl GraphRegistry {
     /// unresolvable; their memory is released once the last in-flight `Arc`
     /// goes away.
     pub fn retain_latest(&self, name: &str, keep: usize) -> usize {
-        let mut graphs = self.graphs.write().expect("registry lock");
+        let mut graphs = write_unpoisoned(&self.graphs);
         let Some(versions) = graphs.get_mut(name) else {
             return 0;
         };
@@ -442,7 +445,7 @@ impl GraphRegistry {
 
     /// Looks up a graph by name and version (`None` = latest).
     pub fn get(&self, name: &str, version: Option<u32>) -> Option<Arc<RegisteredGraph>> {
-        let graphs = self.graphs.read().expect("registry lock");
+        let graphs = read_unpoisoned(&self.graphs);
         let versions = graphs.get(name)?;
         match version {
             None => versions.last().cloned(),
@@ -466,9 +469,7 @@ impl GraphRegistry {
 
     /// The resolvable version numbers of `name`, ascending.
     pub fn versions(&self, name: &str) -> Vec<u32> {
-        self.graphs
-            .read()
-            .expect("registry lock")
+        read_unpoisoned(&self.graphs)
             .get(name)
             .map(|versions| versions.iter().map(|g| g.version).collect())
             .unwrap_or_default()
@@ -476,25 +477,14 @@ impl GraphRegistry {
 
     /// All registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .graphs
-            .read()
-            .expect("registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = read_unpoisoned(&self.graphs).keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Total number of registered (name, version) pairs.
     pub fn len(&self) -> usize {
-        self.graphs
-            .read()
-            .expect("registry lock")
-            .values()
-            .map(Vec::len)
-            .sum()
+        read_unpoisoned(&self.graphs).values().map(Vec::len).sum()
     }
 
     /// Whether the registry is empty.

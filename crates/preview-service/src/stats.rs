@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use preview_obs::{Histogram, HistogramSnapshot};
 
 use crate::cache::CacheStats;
+use crate::sync::lock_unpoisoned;
 
 /// Upper bound on retained latency samples. Percentiles beyond this many
 /// completions come from a uniform reservoir (Vitter's Algorithm R), so a
@@ -119,6 +120,8 @@ impl LatencyReservoir {
 /// Shared mutable statistics the workers write into.
 #[derive(Debug)]
 pub(crate) struct StatsRecorder {
+    /// Service start time, for uptime / throughput reporting only.
+    // lint: allow(wall-clock, uptime and throughput are reporting-only; no decision depends on it)
     started: Instant,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -136,6 +139,7 @@ pub(crate) struct StatsRecorder {
 impl StatsRecorder {
     pub(crate) fn new() -> Self {
         Self {
+            // lint: allow(wall-clock, uptime anchor for reporting-only throughput)
             started: Instant::now(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -152,22 +156,27 @@ impl StatsRecorder {
     /// outcome: superseded-version entries re-keyed onto the new version vs
     /// entries that went cold because the delta affected their scores.
     pub(crate) fn record_publish(&self, carried_forward: u64, invalidated: u64) {
+        // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.cache_carried_forward
+            // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
             .fetch_add(carried_forward, Ordering::Relaxed);
         self.cache_invalidated
+            // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
             .fetch_add(invalidated, Ordering::Relaxed);
     }
 
     pub(crate) fn record_submitted(&self) {
+        // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_completed(&self, latency: Duration) {
+        // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
         self.completed.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         self.latency_hist.record(us);
-        self.latencies.lock().expect("latency lock").record(us);
+        lock_unpoisoned(&self.latencies).record(us);
     }
 
     /// The exact latency distribution (for the observability snapshot).
@@ -176,21 +185,25 @@ impl StatsRecorder {
     }
 
     pub(crate) fn record_failed(&self) {
+        // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self, cache: CacheStats, queue_depth: usize) -> ServiceStats {
         let (mean_us, max_us) = {
-            let reservoir = self.latencies.lock().expect("latency lock");
+            let reservoir = lock_unpoisoned(&self.latencies);
             (reservoir.mean_us(), reservoir.max_us)
         };
         let hist = self.latency_hist.snapshot();
         let elapsed = self.started.elapsed();
+        // lint: ordering-ok(statistical snapshot; counters may be mutually skewed)
         let completed = self.completed.load(Ordering::Relaxed);
         ServiceStats {
             elapsed,
+            // lint: ordering-ok(statistical snapshot; counters may be mutually skewed)
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
+            // lint: ordering-ok(statistical snapshot; counters may be mutually skewed)
             failed: self.failed.load(Ordering::Relaxed),
             queue_depth,
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
@@ -202,8 +215,11 @@ impl StatsRecorder {
             latency_p50_us: hist.quantile(0.50),
             latency_p99_us: hist.quantile(0.99),
             latency_max_us: max_us,
+            // lint: ordering-ok(statistical snapshot; counters may be mutually skewed)
             publishes: self.publishes.load(Ordering::Relaxed),
+            // lint: ordering-ok(statistical snapshot; counters may be mutually skewed)
             cache_carried_forward: self.cache_carried_forward.load(Ordering::Relaxed),
+            // lint: ordering-ok(statistical snapshot; counters may be mutually skewed)
             cache_invalidated: self.cache_invalidated.load(Ordering::Relaxed),
             cache,
         }

@@ -9,6 +9,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
@@ -55,7 +57,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        lock_unpoisoned(&self.state).items.len()
     }
 
     /// Whether the queue currently holds no items.
@@ -65,9 +67,9 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues `item`, blocking while the queue is full.
     pub fn push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_unpoisoned(&self.state);
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock");
+            state = wait_unpoisoned(&self.not_full, state);
         }
         if state.closed {
             return Err(PushError::Closed);
@@ -80,7 +82,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues `item` without blocking; fails fast when full or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_unpoisoned(&self.state);
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -96,7 +98,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues the next item, blocking while the queue is empty. Returns
     /// `None` once the queue is closed *and* fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -106,21 +108,21 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock");
+            state = wait_unpoisoned(&self.not_empty, state);
         }
     }
 
     /// Closes the queue: pending items are still handed out, new pushes fail,
     /// and blocked producers / consumers wake up.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock").closed
+        lock_unpoisoned(&self.state).closed
     }
 }
 
@@ -204,5 +206,30 @@ mod tests {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), 100);
+    }
+
+    /// Regression test: a worker panicking while holding the queue lock
+    /// must not wedge the queue for every other producer and consumer —
+    /// the serving path recovers from poison instead of unwrapping.
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        queue.push(1).unwrap();
+        let poisoner = Arc::clone(&queue);
+        thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("worker died holding the queue lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(queue.state.is_poisoned());
+
+        queue.push(2).unwrap();
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        queue.close();
+        assert!(queue.is_closed());
+        assert_eq!(queue.pop(), None);
     }
 }

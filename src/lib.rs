@@ -28,7 +28,7 @@
 //! `examples/preview_service.rs` for the serving layer.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use baseline;
 pub use datagen;
