@@ -42,9 +42,16 @@ cargo run --release -p bench --bin preview-serve -- \
 
 echo "==> obs-bench smoke workload (emits BENCH_obs.json)"
 # Observability overhead gate: the disabled recorder must cost < 1% on the
-# serving path and full span recording < 5% (best paired round wins), and
-# the exported ObsSnapshot JSON must parse and enumerate every stage and
-# counter with exact request counts.
+# serving path and full span recording — including the trace-tree pipeline,
+# exercised via head sampling — < 5% (best paired round wins). The exported
+# ObsSnapshot JSON must parse and enumerate every stage and counter with
+# exact request counts. A tail-sampling scenario then injects one slow and
+# one slow+panicking request and asserts: both trace trees retained with
+# correct parent links, the slow tree's stage spans summing to its root,
+# the latency histogram's top bucket carrying the slow trace id as its
+# exemplar, the SLO burn rate flipping 0 -> positive, a single joined
+# "slow+panic" dump, and the Prometheus text export re-parsing numerically
+# equal to the snapshot.
 cargo run --release -p bench --bin obs-bench -- \
     --out BENCH_obs.json --check
 

@@ -15,14 +15,30 @@
 //!
 //! A floor miss re-measures the whole sweep a couple of times (keeping the
 //! per-series minima) before failing, so a CI load spike cannot flake the
-//! gate. Independently of timing, one unmeasured enabled pass produces an
+//! gate. The enabled passes run with head sampling on, so the gated path
+//! includes the full trace-tree pipeline (span parenting, retention
+//! decisions), not just histogram recording.
+//!
+//! Independently of timing, one unmeasured enabled pass produces an
 //! [`ObsSnapshot`](preview_obs::ObsSnapshot) whose JSON must parse with the crate's own parser and
 //! enumerate every stage and counter, with exact request counts in the
 //! request/queue-wait histograms.
 //!
+//! A final *trace check* scenario drives tail-based sampling end to end:
+//! the Zipf workload runs under a slow-request threshold with windowed
+//! metrics and an SLO attached, then one injected-slow request and one
+//! injected-slow-and-panicking request are served from cold graphs. The
+//! scenario asserts both trace trees are retained with correct parent
+//! links, the slow tree's stage spans sum to its root span, the latency
+//! histogram's top bucket carries the slow trace id as its exemplar, the
+//! SLO burn rate flips from zero to positive, the slow+panic request is
+//! dumped exactly once with both reasons joined, and the Prometheus
+//! rendering re-parses numerically equal to the snapshot.
+//!
 //! ```text
 //! cargo run -p bench --release --bin obs-bench
 //! cargo run -p bench --release --bin obs-bench -- --out BENCH_obs.json --check
+//! cargo run -p bench --release --bin obs-bench -- --top   # one-shot dashboard
 //! ```
 
 use std::process::ExitCode;
@@ -33,7 +49,10 @@ use bench::service_workload::{synth_workload, workload_graph, ServiceWorkload, W
 use bench::util::parse_checked as parse;
 use datagen::FreebaseDomain;
 use entity_graph::EntityGraph;
-use preview_obs::{Counter, DumpReason, JsonValue, ObsConfig, Recorder, Stage};
+use preview_obs::{
+    render_top, roundtrip_failures, Counter, DumpReason, JsonValue, ObsConfig, Recorder,
+    RetainReason, SloSpec, Stage, TimeSeriesConfig, TraceTree,
+};
 use preview_service::{GraphRegistry, PreviewService, ServiceConfig};
 
 /// Overhead floors enforced by `--check`.
@@ -48,6 +67,7 @@ struct Options {
     rounds: usize,
     out: Option<String>,
     check: bool,
+    top: bool,
 }
 
 impl Default for Options {
@@ -62,6 +82,7 @@ impl Default for Options {
             rounds: 3,
             out: None,
             check: false,
+            top: false,
         }
     }
 }
@@ -93,6 +114,7 @@ fn parse_args() -> Result<Options, String> {
             "--rounds" => options.rounds = parse(&value_of("--rounds")?, |v: usize| v >= 1)?,
             "--out" => options.out = Some(value_of("--out")?),
             "--check" => options.check = true,
+            "--top" => options.top = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -172,7 +194,9 @@ fn sweep(
     for round in 0..options.rounds {
         let (baseline_s, _) = run_pass(graph, workload, options, Arc::new(Recorder::default()));
         let (disabled_s, _) = run_pass(graph, workload, options, Arc::new(Recorder::default()));
-        let enabled = Arc::new(Recorder::default());
+        // Head sampling on: the enabled gate covers the trace-tree pipeline
+        // (per-request span parenting and retention), not just histograms.
+        let enabled = Arc::new(Recorder::new(ObsConfig::default().with_sample_every(8)));
         enabled.enable();
         let (enabled_s, _) = run_pass(graph, workload, options, Arc::clone(&enabled));
         enabled.disable();
@@ -265,6 +289,231 @@ fn snapshot_failures(json: &str, requests: u64) -> Vec<String> {
     failures
 }
 
+/// Structural checks on one retained trace tree: exactly one root (span id
+/// 1, parent 0), every non-root span's parent resolves, and — when
+/// `check_sum` is set — the direct children of the root account for the
+/// root's duration within clock resolution.
+fn tree_failures(tree: &TraceTree, label: &str, check_sum: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    let roots: Vec<_> = tree.spans.iter().filter(|s| s.parent_id == 0).collect();
+    if roots.len() != 1 {
+        failures.push(format!(
+            "{label}: {} roots, expected exactly 1",
+            roots.len()
+        ));
+        return failures;
+    }
+    let root = roots[0];
+    if root.stage != Stage::Request {
+        failures.push(format!("{label}: root stage is {:?}", root.stage.name()));
+    }
+    for span in &tree.spans {
+        if span.parent_id != 0 && !tree.spans.iter().any(|s| s.span_id == span.parent_id) {
+            failures.push(format!(
+                "{label}: span {} ({}) has unresolvable parent {}",
+                span.span_id,
+                span.stage.name(),
+                span.parent_id
+            ));
+        }
+    }
+    if check_sum {
+        let child_sum: u64 = tree
+            .spans
+            .iter()
+            .filter(|s| s.parent_id == root.span_id)
+            .map(|s| s.duration_us)
+            .sum();
+        // Root = queue wait + compute + bookkeeping; the untracked gaps
+        // (resolve, stats, clock quantization) must stay within 10% of the
+        // root or 20ms, whichever is larger.
+        let tolerance = (root.duration_us / 10).max(20_000);
+        if child_sum > root.duration_us || root.duration_us - child_sum > tolerance {
+            failures.push(format!(
+                "{label}: stage spans sum to {child_sum}us vs root {}us (tolerance {tolerance}us)",
+                root.duration_us
+            ));
+        }
+    }
+    failures
+}
+
+/// Outcome of the tail-sampling end-to-end scenario.
+struct TraceCheck {
+    burn_before: f64,
+    burn_after: f64,
+    retained: usize,
+    failures: Vec<String>,
+    snapshot: preview_obs::ObsSnapshot,
+}
+
+/// Drives tail-based sampling end to end: the Zipf workload under a
+/// slow-request threshold + windowed metrics + one SLO, then an injected
+/// 400ms request on a cold graph and an injected slow-and-panicking
+/// request on another, asserting retention, parent links, span sums,
+/// exemplar linkage, dump dedup, SLO burn flip, and export round-trip.
+fn trace_check(graph: &EntityGraph, workload: &ServiceWorkload, options: &Options) -> TraceCheck {
+    const SLOW_THRESHOLD_US: u64 = 250_000;
+    const SLO_THRESHOLD_US: u64 = 50_000;
+    let mut failures = Vec::new();
+
+    let recorder = Arc::new(Recorder::new(
+        ObsConfig::default()
+            .with_slow_threshold(SLOW_THRESHOLD_US)
+            .with_stage_threshold(Stage::Discovery, 200_000),
+    ));
+    recorder.enable();
+    let registry = Arc::new(GraphRegistry::new());
+    registry
+        .register_precomputed(&workload.graph_name, graph.clone(), &workload.configs)
+        .expect("scoring the workload graph succeeds");
+    // Plainly-registered cold graphs: their first request always computes,
+    // so the injected delay/panic fire inside a real discovery span.
+    registry.register("slowg", graph.clone());
+    registry.register("panicg", graph.clone());
+    let service = PreviewService::start_with_recorder(
+        ServiceConfig {
+            workers: options.workers,
+            queue_capacity: 256,
+            cache_capacity: 512,
+            cache_shards: 8,
+        },
+        registry,
+        Arc::clone(&recorder),
+    );
+    service.configure_timeseries(TimeSeriesConfig {
+        resolution_us: 0,
+        window_ticks: 60,
+    });
+    service.add_slo(SloSpec::new("latency-p99", 0.99, SLO_THRESHOLD_US));
+    service.tick_metrics(); // seed the baseline
+
+    // Phase 1: the plain workload, submitted sequentially so queue wait
+    // cannot push honest requests over the SLO threshold.
+    for request in &workload.requests {
+        service
+            .submit_wait(request.clone())
+            .expect("workload requests succeed");
+    }
+    service.tick_metrics();
+    let before = service.snapshot();
+    let burn_before = before.slos[0].slow_burn;
+    if burn_before != 0.0 {
+        failures.push(format!(
+            "SLO burn is {burn_before} before any injected slowness"
+        ));
+    }
+    if !before.traces.is_empty() {
+        failures.push(format!(
+            "{} trees retained before any retention trigger",
+            before.traces.len()
+        ));
+    }
+
+    // Phase 2: one injected-slow request on a cold graph.
+    service.inject_delay_next(400_000);
+    let mut slow_request = workload.requests[0].clone();
+    slow_request.graph = "slowg".to_string();
+    let slow_response = service
+        .submit_wait(slow_request)
+        .expect("slow request succeeds");
+    service.tick_metrics();
+    let slow_trace = slow_response.trace.expect("worker-served response traced");
+
+    // Phase 3: one injected slow-and-panicking request on another cold
+    // graph; the caller sees the typed panic error.
+    service.inject_delay_next(300_000);
+    service.inject_panic_next();
+    let mut panic_request = workload.requests[0].clone();
+    panic_request.graph = "panicg".to_string();
+    if service.submit_wait(panic_request).is_ok() {
+        failures.push("injected panic did not surface as an error".to_string());
+    }
+
+    let snapshot = service.snapshot();
+    let burn_after = snapshot.slos[0].slow_burn;
+    if burn_after <= 0.0 {
+        failures.push(format!(
+            "SLO burn did not flip positive after the injected slow tail ({burn_after})"
+        ));
+    }
+
+    // Retention: exactly the two injected requests, each with the right
+    // typed reasons, well-formed parent links, and the slow tree's stage
+    // spans summing to its root span.
+    match snapshot.traces.iter().find(|t| t.trace == slow_trace) {
+        None => failures.push("injected slow request's tree not retained".to_string()),
+        Some(tree) => {
+            if tree.reasons != vec![RetainReason::Slow] {
+                failures.push(format!("slow tree reasons {:?}", tree.reasons));
+            }
+            if !tree.detail.contains("graph=slowg") {
+                failures.push(format!("slow tree detail {:?}", tree.detail));
+            }
+            failures.extend(tree_failures(tree, "slow tree", true));
+        }
+    }
+    match snapshot
+        .traces
+        .iter()
+        .find(|t| t.reasons.contains(&RetainReason::Panic))
+    {
+        None => failures.push("panicking request's tree not retained".to_string()),
+        Some(tree) => {
+            if tree.reasons != vec![RetainReason::Slow, RetainReason::Panic] {
+                failures.push(format!("panic tree reasons {:?}", tree.reasons));
+            }
+            if !tree.detail.contains("graph=panicg") {
+                failures.push(format!("panic tree detail {:?}", tree.detail));
+            }
+            failures.extend(tree_failures(tree, "panic tree", false));
+        }
+    }
+
+    // Dump dedup: the slow-and-panicked request is dumped once, with both
+    // reasons joined — not once per reason.
+    let dumps = recorder.dumps();
+    let joined = dumps.iter().filter(|d| d.reason == "slow+panic").count();
+    if joined != 1 {
+        failures.push(format!("{joined} slow+panic dumps, expected exactly 1"));
+    }
+
+    // Exemplar linkage: the top non-empty service-latency bucket (the
+    // injected 400ms request) carries the slow trace id.
+    match &snapshot.service_latency {
+        None => failures.push("service latency histogram missing".to_string()),
+        Some(latency) => {
+            let top = latency.bucket_counts().iter().rposition(|&c| c > 0);
+            match top {
+                None => failures.push("service latency histogram empty".to_string()),
+                Some(bucket) => {
+                    let exemplar = latency.bucket_exemplars()[bucket];
+                    if exemplar != slow_trace.as_u64() {
+                        failures.push(format!(
+                            "top-bucket exemplar {exemplar:#x} != slow trace {:#x}",
+                            slow_trace.as_u64()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // The Prometheus rendering of this snapshot re-parses numerically equal.
+    for failure in roundtrip_failures(&snapshot) {
+        failures.push(format!("prometheus round-trip: {failure}"));
+    }
+
+    recorder.disable();
+    TraceCheck {
+        burn_before,
+        burn_after,
+        retained: snapshot.traces.len(),
+        failures,
+        snapshot,
+    }
+}
+
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(options) => options,
@@ -322,6 +571,17 @@ fn main() -> ExitCode {
     drop(service);
     let schema_failures = snapshot_failures(&snapshot_json, workload.requests.len() as u64);
 
+    // Tail-sampling end-to-end scenario (trace retention, exemplars, SLO
+    // burn flip, dump dedup, Prometheus round-trip).
+    eprintln!("[obs-bench] running trace-retention scenario ...");
+    let trace = trace_check(&graph, &workload, &options);
+    for failure in &trace.failures {
+        eprintln!("[obs-bench] trace check: {failure}");
+    }
+    if options.top {
+        println!("{}", render_top(&trace.snapshot));
+    }
+
     let json = format!(
         concat!(
             "{{\"workload\":{{\"domain\":\"{}\",\"scale\":{},\"seed\":{},",
@@ -329,6 +589,8 @@ fn main() -> ExitCode {
             " \"series\":{{\"baseline_s\":{:.6},\"disabled_s\":{:.6},\"enabled_s\":{:.6}}},\n",
             " \"overhead\":{{\"disabled\":{:.6},\"enabled\":{:.6}}},\n",
             " \"check\":{{\"disabled_floor\":{},\"enabled_floor\":{},\"snapshot_sound\":{}}},\n",
+            " \"trace_check\":{{\"burn_before\":{:.6},\"burn_after\":{:.6},",
+            "\"retained\":{},\"sound\":{}}},\n",
             " \"snapshot\":{}}}"
         ),
         workload.graph_name,
@@ -346,6 +608,10 @@ fn main() -> ExitCode {
         DISABLED_OVERHEAD_FLOOR,
         ENABLED_OVERHEAD_FLOOR,
         schema_failures.is_empty(),
+        trace.burn_before,
+        trace.burn_after,
+        trace.retained,
+        trace.failures.is_empty(),
         snapshot_json,
     );
     println!("{json}");
@@ -359,6 +625,7 @@ fn main() -> ExitCode {
 
     if options.check {
         let mut failures = schema_failures;
+        failures.extend(trace.failures);
         if minima.disabled_overhead > DISABLED_OVERHEAD_FLOOR {
             failures.push(format!(
                 "disabled overhead {:.2}% above the {:.0}% floor",
@@ -380,9 +647,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "[obs-bench] checks passed: disabled {:+.2}%, enabled {:+.2}%, snapshot sound",
+            "[obs-bench] checks passed: disabled {:+.2}%, enabled {:+.2}%, snapshot sound, \
+             trace retention sound (burn {:.3} -> {:.3})",
             minima.disabled_overhead * 100.0,
-            minima.enabled_overhead * 100.0
+            minima.enabled_overhead * 100.0,
+            trace.burn_before,
+            trace.burn_after
         );
     }
     ExitCode::SUCCESS

@@ -69,9 +69,13 @@ impl BestFirstDiscovery {
         let mut span = preview_obs::span!(Stage::BestFirstSearch);
         let outcome = search(scored, space, budget);
         span.set_attr(outcome.stats.nodes_expanded);
-        preview_obs::counter_add(Counter::NodesExpanded, outcome.stats.nodes_expanded);
-        preview_obs::counter_add(Counter::NodesPruned, outcome.stats.nodes_pruned);
-        preview_obs::counter_add(Counter::BoundCutoffs, outcome.stats.bound_cutoffs);
+        // One batched report: a single enabled-check and thread-local
+        // lookup instead of one per counter.
+        preview_obs::counter_add_many(&[
+            (Counter::NodesExpanded, outcome.stats.nodes_expanded),
+            (Counter::NodesPruned, outcome.stats.nodes_pruned),
+            (Counter::BoundCutoffs, outcome.stats.bound_cutoffs),
+        ]);
         Ok(outcome)
     }
 }

@@ -173,6 +173,11 @@ impl ScoredSchema {
         config: &ScoringConfig,
     ) -> Result<Self> {
         let schema = sharded.graph().schema_graph().clone();
+        // Capture the trace position once, before the fork-join sections:
+        // pool helper threads never record spans (the determinism pin), so
+        // the orchestration-level spans around them parent through this
+        // explicit handoff rather than any thread-local span stack.
+        let trace_context = preview_obs::current_context();
         let key_scores = match config.key {
             KeyScoring::Coverage => key::coverage_scores(&schema),
             KeyScoring::RandomWalk => key::random_walk_scores(&schema, &config.random_walk)?,
@@ -183,16 +188,18 @@ impl ScoredSchema {
                 (cov.clone(), cov)
             }
             NonKeyScoring::Entropy => {
-                let _span = preview_obs::span!(
+                let _span = preview_obs::enter_in_context(
+                    trace_context,
                     preview_obs::Stage::EntropyScoring,
-                    edges = schema.edges().len()
+                    schema.edges().len() as u64,
                 );
                 crate::sharded::sharded_entropy_scores_with(sharded, &schema, config.threads)
             }
         };
-        let _span = preview_obs::span!(
+        let _span = preview_obs::enter_in_context(
+            trace_context,
             preview_obs::Stage::CandidateGen,
-            edges = schema.edges().len()
+            schema.edges().len() as u64,
         );
         let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
         let prefix_sums = candidates::prefix_sums(&candidates);
@@ -219,6 +226,9 @@ impl ScoredSchema {
         schema: SchemaGraph,
         config: &ScoringConfig,
     ) -> Result<Self> {
+        // Same explicit handoff as `build_sharded`: capture once, parent
+        // the orchestration spans around the pool sections through it.
+        let trace_context = preview_obs::current_context();
         let key_scores = match config.key {
             KeyScoring::Coverage => key::coverage_scores(&schema),
             KeyScoring::RandomWalk => key::random_walk_scores(&schema, &config.random_walk)?,
@@ -229,16 +239,18 @@ impl ScoredSchema {
                 (cov.clone(), cov)
             }
             NonKeyScoring::Entropy => {
-                let _span = preview_obs::span!(
+                let _span = preview_obs::enter_in_context(
+                    trace_context,
                     preview_obs::Stage::EntropyScoring,
-                    edges = schema.edges().len()
+                    schema.edges().len() as u64,
                 );
                 nonkey::entropy_scores_with(graph, &schema, config.threads)
             }
         };
-        let _span = preview_obs::span!(
+        let _span = preview_obs::enter_in_context(
+            trace_context,
             preview_obs::Stage::CandidateGen,
-            edges = schema.edges().len()
+            schema.edges().len() as u64,
         );
         let candidates = candidates::candidate_lists(&schema, &nonkey_outgoing, &nonkey_incoming);
         let prefix_sums = candidates::prefix_sums(&candidates);

@@ -1,0 +1,29 @@
+//@ path: crates/preview-service/src/engine.rs
+//! Fixture: trace-id minting from the ingress sequence number. Trace
+//! identity is a pure function of arrival order — deterministic,
+//! replayable, and invisible to the ambient-randomness rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A request-scoped trace identifier (zero is reserved for "no trace").
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Derives the id for the `seq`-th accepted request.
+    pub fn from_seq(seq: u64) -> TraceId {
+        TraceId(seq.wrapping_add(1).max(1))
+    }
+}
+
+/// Ingress counter: each submission takes the next sequence number.
+pub struct Ingress {
+    seq: AtomicU64,
+}
+
+impl Ingress {
+    /// Mints the next trace id — no entropy source anywhere in the path.
+    pub fn mint(&self) -> TraceId {
+        // lint: ordering-ok(monotonic id mint; only uniqueness matters, not ordering with other state)
+        TraceId::from_seq(self.seq.fetch_add(1, Ordering::Relaxed))
+    }
+}

@@ -1,0 +1,14 @@
+//@ path: crates/preview-service/src/engine.rs
+//! Fixture: trace ids drawn from the thread-local RNG. Random ids look
+//! harmless but break replay — the same request sequence yields different
+//! trace identities every run, so retained trees, exemplars, and goldens
+//! cannot be compared across runs.
+
+/// A request-scoped trace identifier.
+pub struct TraceId(u64);
+
+/// Mints a "unique" id from ambient entropy — unreplayable.
+pub fn mint() -> TraceId {
+    let mut rng = rand::thread_rng();
+    TraceId(rand::Rng::gen(&mut rng))
+}

@@ -4,7 +4,7 @@
 //! Every completed span is published into the ring with a per-slot seqlock
 //! built from safe atomics (the workspace forbids `unsafe`): the writer
 //! claims a slot by a single `fetch_add` on the global cursor, marks the
-//! slot's sequence odd (write in progress), stores the four payload words,
+//! slot's sequence odd (write in progress), stores the six payload words,
 //! then marks it even. A reader snapshots the sequence, copies the words,
 //! and re-checks the sequence — a changed or odd sequence means a torn read
 //! and the slot is skipped. A writer that laps the ring while a reader is
@@ -31,6 +31,13 @@ pub struct SpanEvent {
     pub duration_us: u64,
     /// Free-form attribute (e.g. a rel-type id or candidate count).
     pub attr: u64,
+    /// Raw trace id of the request this span belonged to; `0` when the span
+    /// ran outside any request trace (publish path, bare attachment).
+    pub trace: u64,
+    /// This span's id within its trace (`0` when untraced).
+    pub span_id: u32,
+    /// The parent span's id within its trace (`0` = root or untraced).
+    pub parent_span: u32,
 }
 
 impl SpanEvent {
@@ -38,7 +45,11 @@ impl SpanEvent {
         (self.stage as u64) | (u64::from(self.depth) << 8) | (u64::from(self.thread) << 16)
     }
 
-    fn unpack(words: [u64; 4]) -> Option<SpanEvent> {
+    fn pack_word5(&self) -> u64 {
+        u64::from(self.span_id) | (u64::from(self.parent_span) << 32)
+    }
+
+    fn unpack(words: [u64; 6]) -> Option<SpanEvent> {
         let stage = Stage::from_raw((words[0] & 0xff) as u8)?;
         Some(SpanEvent {
             stage,
@@ -47,19 +58,26 @@ impl SpanEvent {
             start_us: words[1],
             duration_us: words[2],
             attr: words[3],
+            trace: words[4],
+            span_id: (words[5] & 0xffff_ffff) as u32,
+            parent_span: (words[5] >> 32) as u32,
         })
     }
 
     /// Renders the event as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"stage\":\"{}\",\"depth\":{},\"thread\":{},\"start_us\":{},\"duration_us\":{},\"attr\":{}}}",
+            "{{\"stage\":\"{}\",\"depth\":{},\"thread\":{},\"start_us\":{},\"duration_us\":{},\
+             \"attr\":{},\"trace\":{},\"span_id\":{},\"parent_span\":{}}}",
             self.stage.name(),
             self.depth,
             self.thread,
             self.start_us,
             self.duration_us,
-            self.attr
+            self.attr,
+            self.trace,
+            self.span_id,
+            self.parent_span
         )
     }
 }
@@ -68,7 +86,7 @@ struct Slot {
     /// Even = consistent, odd = write in progress; 0 = never written.
     /// The ticket that wrote the slot is recoverable as `(seq - 2) / 2`.
     seq: AtomicU64,
-    words: [AtomicU64; 4],
+    words: [AtomicU64; 6],
 }
 
 impl Slot {
@@ -76,6 +94,8 @@ impl Slot {
         Slot {
             seq: AtomicU64::new(0),
             words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
@@ -126,7 +146,7 @@ impl FlightRing {
     }
 
     /// Publishes an event, overwriting the oldest slot when full.
-    /// Wait-free for writers: one `fetch_add` plus six stores.
+    /// Wait-free for writers: one `fetch_add` plus eight stores.
     ///
     /// Memory-ordering recipe (the classic safe-atomics seqlock writer):
     /// mark the slot odd, `fence(Release)` so the payload stores cannot
@@ -153,6 +173,10 @@ impl FlightRing {
         slot.words[2].store(event.duration_us, Ordering::Relaxed);
         // lint: ordering-ok(payload ordered by the fences and the final Release store)
         slot.words[3].store(event.attr, Ordering::Relaxed);
+        // lint: ordering-ok(payload ordered by the fences and the final Release store)
+        slot.words[4].store(event.trace, Ordering::Relaxed);
+        // lint: ordering-ok(payload ordered by the fences and the final Release store)
+        slot.words[5].store(event.pack_word5(), Ordering::Relaxed);
         // lint: ordering-ok(Release publish: a reader that Acquires this even value sees the whole payload)
         slot.seq.store(2 * ticket + 2, Ordering::Release);
     }
@@ -179,6 +203,10 @@ impl FlightRing {
                 slot.words[2].load(Ordering::Relaxed),
                 // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
                 slot.words[3].load(Ordering::Relaxed),
+                // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
+                slot.words[4].load(Ordering::Relaxed),
+                // lint: ordering-ok(payload loads validated by the seq re-check after the Acquire fence)
+                slot.words[5].load(Ordering::Relaxed),
             ];
             // Acquire fence: the payload loads above cannot be reordered
             // below the sequence re-check (a plain Acquire *load* would
@@ -244,6 +272,9 @@ mod tests {
             start_us,
             duration_us: 42,
             attr: 5,
+            trace: 9,
+            span_id: 3,
+            parent_span: 1,
         }
     }
 
@@ -259,6 +290,9 @@ mod tests {
             assert_eq!(e.start_us, i as u64);
             assert_eq!(e.stage, Stage::Discovery);
             assert_eq!(e.thread, 7);
+            assert_eq!(e.trace, 9);
+            assert_eq!(e.span_id, 3);
+            assert_eq!(e.parent_span, 1);
         }
     }
 
@@ -300,6 +334,9 @@ mod tests {
                             start_us: v,
                             duration_us: v,
                             attr: v,
+                            trace: v,
+                            span_id: v as u32 & 0xffff,
+                            parent_span: v as u32 & 0xffff,
                         });
                     }
                 })
@@ -309,6 +346,7 @@ mod tests {
             for e in ring.snapshot() {
                 assert_eq!(e.start_us, e.duration_us);
                 assert_eq!(e.start_us, e.attr);
+                assert_eq!(e.start_us, e.trace);
                 assert_eq!(e.thread as u64, e.start_us / 1_000_000);
             }
         }

@@ -65,6 +65,10 @@ pub fn bucket_lower(index: usize) -> u64 {
 #[derive(Debug)]
 pub struct Histogram {
     counts: Vec<AtomicU64>,
+    /// Most recent non-zero exemplar (a raw trace id) per bucket; `0` means
+    /// the bucket has no exemplar yet. Written only by
+    /// [`record_with_exemplar`](Histogram::record_with_exemplar).
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -81,6 +85,7 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -106,6 +111,18 @@ impl Histogram {
         self.record(duration.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Records one value and, when `exemplar` is non-zero, stamps it as the
+    /// bucket's most recent exemplar (a raw trace id) — the link from a
+    /// tail-latency bucket to the retained trace that landed there.
+    #[inline]
+    pub fn record_with_exemplar(&self, value: u64, exemplar: u64) {
+        self.record(value);
+        if exemplar != 0 {
+            // lint: ordering-ok(last-writer-wins diagnostic stamp; any recent exemplar is acceptable)
+            self.exemplars[bucket_index(value)].store(exemplar, Ordering::Relaxed);
+        }
+    }
+
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
         // lint: ordering-ok(statistics read; exact only once writers quiesce, as documented)
@@ -125,6 +142,12 @@ impl Histogram {
                 // lint: ordering-ok(per-bucket reads; the doc above states snapshots race in-flight records)
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                // lint: ordering-ok(per-bucket reads; the doc above states snapshots race in-flight records)
+                .map(|e| e.load(Ordering::Relaxed))
+                .collect(),
             // lint: ordering-ok(per-counter reads; the doc above states snapshots race in-flight records)
             count: self.count.load(Ordering::Relaxed),
             // lint: ordering-ok(per-counter reads; the doc above states snapshots race in-flight records)
@@ -139,6 +162,7 @@ impl Histogram {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     counts: Vec<u64>,
+    exemplars: Vec<u64>,
     count: u64,
     sum: u64,
     max: u64,
@@ -155,6 +179,7 @@ impl HistogramSnapshot {
     pub fn empty() -> Self {
         Self {
             counts: vec![0; BUCKETS],
+            exemplars: vec![0; BUCKETS],
             count: 0,
             sum: 0,
             max: 0,
@@ -195,6 +220,22 @@ impl HistogramSnapshot {
         &self.counts
     }
 
+    /// The per-bucket exemplars — the raw trace id most recently recorded
+    /// into each bucket, `0` where none (length [`BUCKETS`]).
+    pub fn bucket_exemplars(&self) -> &[u64] {
+        &self.exemplars
+    }
+
+    /// Number of recorded values strictly greater than `threshold` that the
+    /// bucket layout can prove: only buckets whose *lower* bound exceeds
+    /// `threshold` are counted, so values sharing the threshold's bucket are
+    /// excluded (an undercount of at most one bucket width — the SLO layer
+    /// documents this quantization).
+    pub fn count_above(&self, threshold: u64) -> u64 {
+        let first = bucket_index(threshold) + 1;
+        self.counts[first.min(BUCKETS)..].iter().sum()
+    }
+
     /// Nearest-rank quantile, reported as the lower bound of the bucket the
     /// rank-`⌈q·n⌉` value landed in (`q` in `0.0..=1.0`; `0` when empty).
     ///
@@ -219,14 +260,46 @@ impl HistogramSnapshot {
 
     /// Adds every counter of `other` into `self`. Merging snapshots of two
     /// histograms is bucket-for-bucket identical to recording both value
-    /// streams into one histogram.
+    /// streams into one histogram. `other`'s non-zero exemplars win (it is
+    /// the later window when merging time-series deltas).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine += theirs;
         }
+        for (mine, &theirs) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            if theirs != 0 {
+                *mine = theirs;
+            }
+        }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// The bucket-wise difference `self - earlier` between two cumulative
+    /// snapshots of the *same* histogram, `earlier` taken first.
+    ///
+    /// Counts, count and sum subtract exactly. The maximum is not
+    /// subtractive: the delta reports `self`'s max when anything was
+    /// recorded in the window and `0` otherwise — a cumulative max is
+    /// monotone and unchanged across an empty window, which keeps
+    /// delta-then-merge associative (the time-series proptests pin this).
+    /// Exemplars carry `self`'s stamps (cumulative exemplars never reset,
+    /// so the later snapshot's stamps are the window's freshest links).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(earlier.count);
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(later, first)| later.saturating_sub(*first))
+                .collect(),
+            exemplars: self.exemplars.clone(),
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: if count > 0 { self.max } else { 0 },
+        }
     }
 }
 
@@ -307,5 +380,62 @@ mod tests {
         assert_eq!(s.quantile(0.99), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn exemplars_keep_the_most_recent_stamp_per_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(10, 0xaa);
+        h.record_with_exemplar(10, 0xbb);
+        h.record_with_exemplar(10, 0); // zero never overwrites
+        h.record_with_exemplar(5_000, 0xcc);
+        let s = h.snapshot();
+        assert_eq!(s.bucket_exemplars()[bucket_index(10)], 0xbb);
+        assert_eq!(s.bucket_exemplars()[bucket_index(5_000)], 0xcc);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn count_above_counts_full_buckets_past_the_threshold() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count_above(0), 5);
+        assert_eq!(s.count_above(100), 2);
+        assert_eq!(s.count_above(10_000), 0);
+        assert_eq!(HistogramSnapshot::empty().count_above(0), 0);
+    }
+
+    #[test]
+    fn delta_since_recovers_exactly_whats_recorded_in_the_window() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(500);
+        let earlier = h.snapshot();
+        h.record_with_exemplar(500, 7);
+        h.record(9_000);
+        let later = h.snapshot();
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 500 + 9_000);
+        assert_eq!(delta.max(), later.max());
+        assert_eq!(delta.bucket_counts()[bucket_index(10)], 0);
+        assert_eq!(delta.bucket_counts()[bucket_index(500)], 1);
+        assert_eq!(delta.bucket_counts()[bucket_index(9_000)], 1);
+        assert_eq!(delta.bucket_exemplars()[bucket_index(500)], 7);
+
+        // An empty window reports a zero max and zero counts.
+        let idle = later.delta_since(&later);
+        assert_eq!(idle.count(), 0);
+        assert_eq!(idle.max(), 0);
+
+        // delta + earlier merges back to the later cumulative totals.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.count(), later.count());
+        assert_eq!(rebuilt.sum(), later.sum());
+        assert_eq!(rebuilt.bucket_counts(), later.bucket_counts());
     }
 }

@@ -17,15 +17,30 @@
 //!   [`FlightDump`]s, per-shard memory — exports through one
 //!   [`ObsSnapshot::to_json`] schema shared by all bench binaries.
 //!
+//! The crate observes at three layers:
+//!
+//! 1. **Per-request trace trees** — a [`TraceId`] minted at service
+//!    ingress links every span of one request into a parent-linked
+//!    [`TraceTree`]; the bounded [`TraceStore`] retains trees tail-based
+//!    (slow / errored / panicked / 1-in-N sampled, see [`RetainReason`])
+//!    and histogram buckets carry the latest trace as an exemplar.
+//! 2. **Aggregate histograms** — exact log-linear per-stage [`Histogram`]s
+//!    and [`Counter`]s, cumulative since process start.
+//! 3. **Windowed SLOs** — a [`TimeSeries`] ring of snapshot deltas feeding
+//!    sliding-window rates/quantiles and [`SloSpec`] burn-rate evaluation.
+//!
 //! # Layout
 //!
 //! | Piece | What it is |
 //! |---|---|
 //! | [`Stage`] / [`Counter`] | the closed taxonomy instrumented across the stack |
-//! | [`Recorder`] | per-stage [`Histogram`]s + counters + the flight ring |
+//! | [`Recorder`] | per-stage [`Histogram`]s + counters + the flight ring + the [`TraceStore`] |
 //! | [`span!`] / [`SpanGuard`] | RAII stage timing on the attached recorder |
+//! | [`TraceGuard`] / [`TraceContext`] | per-request tree building and the fork-join handoff |
 //! | [`FlightRing`] / [`FlightDump`] | seqlock ring of recent span events; dumped on panic / slow request / demand |
+//! | [`TimeSeries`] / [`SloSpec`] | windowed deltas, rates, and burn-rate evaluation |
 //! | [`ObsSnapshot`] | the JSON export consumed by `PreviewService::snapshot()` and every bench |
+//! | [`render_prometheus`] / [`render_top`] | text-exposition and dashboard exporters over the snapshot |
 //! | [`JsonValue`] | minimal parser used by `obs-bench --check` to validate the export |
 //!
 //! # Example
@@ -50,23 +65,37 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod export;
 mod flight;
 mod histogram;
 mod json;
 mod recorder;
 mod rss;
+mod slo;
 mod snapshot;
 mod stage;
+mod timeseries;
+mod trace;
 
+pub use export::{
+    parse_prometheus_text, render_prometheus, render_top, roundtrip_failures, snapshot_is_blank,
+    PromSample,
+};
 pub use flight::{FlightDump, FlightRing, SpanEvent};
 pub use histogram::{bucket_index, bucket_lower, Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{write_json_f64, write_json_string, JsonValue};
 pub use recorder::{
-    counter_add, enter, enter_with, AttachGuard, DumpReason, ObsConfig, Recorder, SpanGuard,
+    counter_add, counter_add_many, current_context, enter, enter_in_context, enter_with,
+    AttachGuard, DumpReason, ObsConfig, Recorder, SpanGuard, TraceGuard,
 };
 pub use rss::peak_rss_bytes;
-pub use snapshot::{MemorySection, ObsSnapshot, ShardMemory};
+pub use slo::{SloSpec, SloStatus};
+pub use snapshot::{MemorySection, ObsSnapshot, RouteCount, ShardMemory};
 pub use stage::{Counter, Stage, COUNTER_COUNT, STAGE_COUNT};
+pub use timeseries::{MetricsCumulative, TickDelta, TimeSeries, TimeSeriesConfig, WindowSummary};
+pub use trace::{
+    RetainReason, TraceContext, TraceId, TraceOutcome, TraceSpan, TraceStore, TraceTree,
+};
 
 /// Compile-time guarantees for the types that cross thread boundaries: the
 /// worker pool shares one `Arc<Recorder>` across every worker and the
@@ -84,6 +113,7 @@ mod static_assertions {
         assert_send_sync::<Recorder>();
         assert_send_sync::<Histogram>();
         assert_send_sync::<FlightRing>();
+        assert_send_sync::<TraceStore>();
         assert_send_sync_clone::<HistogramSnapshot>();
         assert_send_sync_clone::<ObsSnapshot>();
         assert_send_sync_clone::<FlightDump>();
@@ -91,5 +121,14 @@ mod static_assertions {
         assert_send_sync_clone::<Stage>();
         assert_send_sync_clone::<Counter>();
         assert_send_sync_clone::<ObsConfig>();
+        assert_send_sync_clone::<TraceId>();
+        assert_send_sync_clone::<TraceContext>();
+        assert_send_sync_clone::<TraceTree>();
+        assert_send_sync_clone::<RetainReason>();
+        assert_send_sync_clone::<RouteCount>();
+        assert_send_sync_clone::<SloSpec>();
+        assert_send_sync_clone::<SloStatus>();
+        assert_send_sync_clone::<WindowSummary>();
+        assert_send_sync_clone::<MetricsCumulative>();
     };
 }

@@ -22,11 +22,15 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::flight::{FlightDump, FlightRing, SpanEvent};
 use crate::histogram::Histogram;
 use crate::stage::{Counter, Stage, COUNTER_COUNT, STAGE_COUNT};
+use crate::trace::{
+    ActiveTrace, RetainReason, TraceContext, TraceId, TraceOutcome, TraceSpan, TraceStore,
+    TraceTree, ROOT_SPAN_ID,
+};
 
 /// Number of recorders currently enabled, across the whole process. The
 /// [`enter`] fast path is one relaxed load of this.
@@ -42,6 +46,9 @@ thread_local! {
     static DEPTH: Cell<u32> = const { Cell::new(0) };
     /// This thread's small id, assigned on first use.
     static THREAD_ID: Cell<Option<u32>> = const { Cell::new(None) };
+    /// The trace the current request is building, between
+    /// [`Recorder::begin_trace`] and [`TraceGuard::finish`].
+    static TRACE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
 }
 
 fn thread_id() -> u32 {
@@ -62,10 +69,21 @@ pub struct ObsConfig {
     /// Flight-ring capacity in events (rounded up to a power of two).
     pub ring_capacity: usize,
     /// Requests slower than this many microseconds trigger a flight dump
-    /// (`None` disables slow-request dumps).
+    /// and qualify their trace tree for retention (`None` disables the
+    /// whole-request slow threshold).
     pub slow_threshold_us: Option<u64>,
     /// Most recent dumps retained; older dumps are discarded.
     pub max_dumps: usize,
+    /// Most recent trace trees retained by tail-based sampling.
+    pub trace_capacity: usize,
+    /// Head-samples every Nth trace for retention regardless of latency
+    /// (`0` disables head sampling).
+    pub sample_every: u64,
+    /// Per-stage slow thresholds in microseconds: a single span of a stage
+    /// exceeding its threshold marks the whole request
+    /// [slow](RetainReason::Slow) even if the total stays under
+    /// [`slow_threshold_us`](ObsConfig::slow_threshold_us).
+    pub stage_thresholds_us: [Option<u64>; STAGE_COUNT],
 }
 
 impl Default for ObsConfig {
@@ -74,7 +92,31 @@ impl Default for ObsConfig {
             ring_capacity: 1024,
             slow_threshold_us: None,
             max_dumps: 16,
+            trace_capacity: 32,
+            sample_every: 0,
+            stage_thresholds_us: [None; STAGE_COUNT],
         }
+    }
+}
+
+impl ObsConfig {
+    /// Returns the config with the whole-request slow threshold set.
+    pub fn with_slow_threshold(mut self, threshold_us: u64) -> ObsConfig {
+        self.slow_threshold_us = Some(threshold_us);
+        self
+    }
+
+    /// Returns the config with 1-in-`every` head sampling enabled
+    /// (`0` disables it).
+    pub fn with_sample_every(mut self, every: u64) -> ObsConfig {
+        self.sample_every = every;
+        self
+    }
+
+    /// Returns the config with a per-stage slow threshold set.
+    pub fn with_stage_threshold(mut self, stage: Stage, threshold_us: u64) -> ObsConfig {
+        self.stage_thresholds_us[stage as usize] = Some(threshold_us);
+        self
     }
 }
 
@@ -113,6 +155,7 @@ pub struct Recorder {
     counters: [AtomicU64; COUNTER_COUNT],
     ring: FlightRing,
     dumps: Mutex<VecDeque<FlightDump>>,
+    traces: TraceStore,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -142,6 +185,7 @@ impl Recorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             ring: FlightRing::new(config.ring_capacity),
             dumps: Mutex::new(VecDeque::new()),
+            traces: TraceStore::new(config.trace_capacity),
         }
     }
 
@@ -190,7 +234,30 @@ impl Recorder {
     /// Also available to callers that measure a duration themselves, e.g.
     /// queue wait computed from an enqueue timestamp.
     pub fn record_span(&self, stage: Stage, depth: u8, start_us: u64, duration_us: u64, attr: u64) {
-        self.stages[stage as usize].record(duration_us);
+        self.record_span_traced(stage, depth, start_us, duration_us, attr, 0, 0, 0);
+    }
+
+    /// [`record_span`](Recorder::record_span) with trace linkage: a non-zero
+    /// `trace` stamps the stage histogram bucket's exemplar and rides along
+    /// in the flight-ring event together with the span's parent link.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_traced(
+        &self,
+        stage: Stage,
+        depth: u8,
+        start_us: u64,
+        duration_us: u64,
+        attr: u64,
+        trace: u64,
+        span_id: u32,
+        parent_span: u32,
+    ) {
+        let histogram = &self.stages[stage as usize];
+        if trace != 0 {
+            histogram.record_with_exemplar(duration_us, trace);
+        } else {
+            histogram.record(duration_us);
+        }
         self.ring.push(&SpanEvent {
             stage,
             depth,
@@ -198,6 +265,9 @@ impl Recorder {
             start_us,
             duration_us,
             attr,
+            trace,
+            span_id,
+            parent_span,
         });
     }
 
@@ -285,6 +355,70 @@ impl Recorder {
             .cloned()
             .collect()
     }
+
+    /// The tail-sampled trace-tree store.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Captures one flight dump for a request that qualified for dump-worthy
+    /// retention reasons ([slow](RetainReason::Slow) and/or
+    /// [panic](RetainReason::Panic)) — a request qualifying both ways is
+    /// dumped *once*, with the joined reason string (`"slow+panic"`) and
+    /// both counters bumped. Non-dump-worthy reasons are ignored.
+    pub fn capture_dump_for(&self, reasons: &[RetainReason], detail: &str) -> Option<FlightDump> {
+        let mut names: Vec<&str> = Vec::new();
+        for reason in reasons {
+            match reason {
+                RetainReason::Slow => {
+                    self.add_counter(Counter::SlowDumps, 1);
+                    names.push(RetainReason::Slow.name());
+                }
+                RetainReason::Panic => {
+                    self.add_counter(Counter::PanicDumps, 1);
+                    names.push(RetainReason::Panic.name());
+                }
+                RetainReason::Error | RetainReason::Sampled => {}
+            }
+        }
+        if names.is_empty() {
+            return None;
+        }
+        let dump = FlightDump {
+            reason: names.join("+"),
+            detail: detail.to_string(),
+            events: self.ring.snapshot(),
+        };
+        // Same bounded rotation and poison recovery as `capture_dump`.
+        let mut dumps = self.dumps.lock().unwrap_or_else(PoisonError::into_inner);
+        if dumps.len() >= self.config.max_dumps.max(1) {
+            dumps.pop_front();
+        }
+        dumps.push_back(dump.clone());
+        Some(dump)
+    }
+
+    /// Starts building a trace tree for `trace` on the current thread.
+    ///
+    /// Called by the worker once per dequeued request, before any span
+    /// opens; `enqueued` anchors the synthetic root span so queue wait is
+    /// part of the tree. Returns an inactive guard — and records nothing —
+    /// when the recorder is disabled. The guard must be
+    /// [finished](TraceGuard::finish) on the same thread; dropping it
+    /// unfinished discards the partial trace.
+    pub fn begin_trace(self: &Arc<Recorder>, trace: TraceId, enqueued: Instant) -> TraceGuard {
+        if !self.is_enabled() {
+            return TraceGuard(None);
+        }
+        TRACE.with(|cell| {
+            *cell.borrow_mut() = Some(ActiveTrace::new(trace));
+        });
+        TraceGuard(Some(TraceInner {
+            recorder: Arc::clone(self),
+            trace,
+            enqueued,
+        }))
+    }
 }
 
 impl Drop for Recorder {
@@ -309,6 +443,150 @@ impl Drop for AttachGuard {
     }
 }
 
+/// The per-request trace being built; returned by [`Recorder::begin_trace`].
+///
+/// While the guard is live, every span opened on this thread joins the
+/// trace with a parent link. [`finish`](TraceGuard::finish) synthesises the
+/// queue-wait and root request spans, decides tail-based retention, and
+/// captures at most one flight dump for slow/panicked requests. Dropping
+/// the guard without finishing discards the partial trace.
+#[derive(Debug)]
+pub struct TraceGuard(Option<TraceInner>);
+
+#[derive(Debug)]
+struct TraceInner {
+    recorder: Arc<Recorder>,
+    trace: TraceId,
+    enqueued: Instant,
+}
+
+impl TraceGuard {
+    /// Whether this guard is actually collecting a trace (the recorder was
+    /// enabled when the request was dequeued).
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Completes the trace: synthesises the queue-wait child and the root
+    /// request span (anchored at the enqueue instant, so child stage spans
+    /// sum to the root within clock resolution), evaluates every
+    /// [`RetainReason`], and — when any applies — retains the tree and
+    /// captures a single flight dump for the dump-worthy reasons.
+    ///
+    /// `detail` is free-form worker context (graph name, latency, panic
+    /// message) stored on both the tree and the dump.
+    pub fn finish(mut self, queue_wait: Duration, outcome: TraceOutcome, detail: &str) {
+        let Some(inner) = self.0.take() else { return };
+        let Some(mut active) = TRACE.with(|cell| cell.borrow_mut().take()) else {
+            return;
+        };
+        let recorder = &inner.recorder;
+        let trace = inner.trace.as_u64();
+        let root_start_us = inner
+            .enqueued
+            .saturating_duration_since(recorder.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let total_us = inner
+            .enqueued
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let queue_wait_us = queue_wait.as_micros().min(u128::from(u64::MAX)) as u64;
+
+        // Queue wait predates the worker, so its span is synthesised here
+        // from the enqueue timestamp instead of being guard-recorded.
+        let (queue_id, queue_parent) = active.open(Some(ROOT_SPAN_ID));
+        active.close(TraceSpan {
+            span_id: queue_id,
+            parent_id: queue_parent,
+            stage: Stage::QueueWait,
+            thread: thread_id(),
+            start_us: root_start_us,
+            duration_us: queue_wait_us,
+            attr: 0,
+        });
+        recorder.record_span_traced(
+            Stage::QueueWait,
+            1,
+            root_start_us,
+            queue_wait_us,
+            0,
+            trace,
+            queue_id,
+            queue_parent,
+        );
+
+        // The root span covers the whole request, queue wait included; its
+        // attribute is the number of child spans in the finished tree. Both
+        // synthetic spans reach the flight ring *before* any dump below, so
+        // a panicking request's dump shows its full span trail.
+        let child_count = active.spans.len() as u64;
+        active.close(TraceSpan {
+            span_id: ROOT_SPAN_ID,
+            parent_id: 0,
+            stage: Stage::Request,
+            thread: thread_id(),
+            start_us: root_start_us,
+            duration_us: total_us,
+            attr: child_count,
+        });
+        recorder.record_span_traced(
+            Stage::Request,
+            0,
+            root_start_us,
+            total_us,
+            child_count,
+            trace,
+            ROOT_SPAN_ID,
+            0,
+        );
+
+        let config = recorder.config();
+        let mut reasons = Vec::new();
+        let over_total = matches!(config.slow_threshold_us, Some(t) if total_us > t);
+        let over_stage = active.spans.iter().any(|span| {
+            matches!(
+                config.stage_thresholds_us[span.stage as usize],
+                Some(t) if span.duration_us > t
+            )
+        });
+        if over_total || over_stage {
+            reasons.push(RetainReason::Slow);
+        }
+        match outcome {
+            TraceOutcome::Ok => {}
+            TraceOutcome::Error => reasons.push(RetainReason::Error),
+            TraceOutcome::Panic => reasons.push(RetainReason::Panic),
+        }
+        if config.sample_every > 0 && (trace - 1) % config.sample_every == 0 {
+            reasons.push(RetainReason::Sampled);
+        }
+        if reasons.is_empty() {
+            return;
+        }
+        recorder.capture_dump_for(&reasons, detail);
+        recorder.traces.retain(TraceTree {
+            trace: inner.trace,
+            reasons,
+            detail: detail.to_string(),
+            spans: active.spans,
+        });
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        // Finishing clears the slot; an unfinished guard must too, so a
+        // worker bailing out early cannot leak spans into the next request.
+        if self.0.is_some() {
+            TRACE.with(|cell| {
+                *cell.borrow_mut() = None;
+            });
+        }
+    }
+}
+
 /// A live span; recorded when dropped. Produced by [`enter`] / [`span!`](crate::span).
 #[derive(Debug)]
 pub struct SpanGuard(Option<ActiveSpan>);
@@ -320,6 +598,10 @@ struct ActiveSpan {
     depth: u8,
     attr: u64,
     start: Instant,
+    /// Raw trace id (`0` when no trace is active on this thread).
+    trace: u64,
+    span_id: u32,
+    parent_id: u32,
 }
 
 impl SpanGuard {
@@ -352,12 +634,35 @@ impl Drop for SpanGuard {
                 .as_micros()
                 .min(u128::from(u64::MAX)) as u64;
             let duration_us = active.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            active.recorder.record_span(
+            if active.trace != 0 {
+                // Append the completed span to the thread's trace tree.
+                // This runs during panic unwinding too, so an unwinding
+                // request still carries its partial tree into retention.
+                TRACE.with(|cell| {
+                    if let Some(current) = cell.borrow_mut().as_mut() {
+                        if current.trace.as_u64() == active.trace {
+                            current.close(TraceSpan {
+                                span_id: active.span_id,
+                                parent_id: active.parent_id,
+                                stage: active.stage,
+                                thread: thread_id(),
+                                start_us,
+                                duration_us,
+                                attr: active.attr,
+                            });
+                        }
+                    }
+                });
+            }
+            active.recorder.record_span_traced(
                 active.stage,
                 active.depth,
                 start_us,
                 duration_us,
                 active.attr,
+                active.trace,
+                active.span_id,
+                active.parent_id,
             );
         }
     }
@@ -377,18 +682,82 @@ pub fn enter(stage: Stage) -> SpanGuard {
 
 /// Adds `n` to `counter` on the current thread's attached recorder, if any.
 ///
-/// Counters are always live — [`Recorder::add_counter`] accumulates whether
-/// or not the recorder is enabled — so this helper deliberately skips the
-/// enabled fast path. Threads without an attached recorder (fork-join
-/// helpers, plain library callers) drop the increment: library code can
-/// report counters unconditionally and only instrumented serving stacks
-/// collect them.
+/// Like [`enter`], the fast path is a single relaxed load of the global
+/// enabled count: a fully-disabled recorder set pays exactly one load per
+/// event, with the thread-local lookup in the cold path (the disabled
+/// overhead gate in `obs-bench` pins this). Beyond that gate, counters are
+/// always live — [`Recorder::add_counter`] accumulates whether or not the
+/// *attached* recorder is the enabled one. Threads without an attached
+/// recorder (fork-join helpers, plain library callers) drop the increment:
+/// library code can report counters unconditionally and only instrumented
+/// serving stacks collect them.
+#[inline]
 pub fn counter_add(counter: Counter, n: u64) {
+    // lint: ordering-ok(disabled-recorder fast path; a stale zero only skips a count near an enable transition)
+    if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    counter_add_slow(&[(counter, n)]);
+}
+
+/// Adds a batch of counter increments in one call: the same single-load
+/// fast path as [`counter_add`], and one thread-local lookup for the whole
+/// batch instead of one per counter. Use at call sites that report several
+/// counters back-to-back (e.g. best-first search statistics).
+#[inline]
+pub fn counter_add_many(counters: &[(Counter, u64)]) {
+    // lint: ordering-ok(disabled-recorder fast path; a stale zero only skips counts near an enable transition)
+    if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    counter_add_slow(counters);
+}
+
+#[cold]
+fn counter_add_slow(counters: &[(Counter, u64)]) {
     CURRENT.with(|cell| {
         if let Some(recorder) = cell.borrow().as_ref() {
-            recorder.add_counter(counter, n);
+            for &(counter, n) in counters {
+                recorder.add_counter(counter, n);
+            }
         }
     });
+}
+
+/// The current thread's trace position, for handing across an orchestration
+/// boundary: the active trace plus the span id new children should parent
+/// to. `None` — after a single relaxed load on the disabled path — when no
+/// trace is being built on this thread.
+///
+/// Capture the context *before* a fork-join pool call and reopen spans at
+/// the orchestration level with [`enter_in_context`]; spans never fire
+/// inside pool closures (the `trace-in-fjpool-closure` lint pins this), so
+/// the handoff is explicit and the parallel section stays deterministic.
+#[inline]
+pub fn current_context() -> Option<TraceContext> {
+    // lint: ordering-ok(disabled-recorder fast path; a stale zero only skips one context capture near an enable transition)
+    if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    TRACE.with(|cell| {
+        cell.borrow().as_ref().map(|active| TraceContext {
+            trace: active.trace,
+            parent: active.current_parent(),
+        })
+    })
+}
+
+/// [`enter_with`], but parenting the span to an explicit [`TraceContext`]
+/// captured earlier with [`current_context`] instead of the thread's open
+/// span stack. Falls back to stack parenting when `context` is `None` or
+/// names a different trace than the one active on this thread.
+#[inline]
+pub fn enter_in_context(context: Option<TraceContext>, stage: Stage, attr: u64) -> SpanGuard {
+    // lint: ordering-ok(disabled-recorder fast path; a stale zero only skips a span near an enable transition)
+    if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
+        return SpanGuard::noop();
+    }
+    enter_slow(stage, attr, context)
 }
 
 /// [`enter`], with a free-form attribute attached to the span event.
@@ -398,11 +767,11 @@ pub fn enter_with(stage: Stage, attr: u64) -> SpanGuard {
     if ENABLED_RECORDERS.load(Ordering::Relaxed) == 0 {
         return SpanGuard::noop();
     }
-    enter_slow(stage, attr)
+    enter_slow(stage, attr, None)
 }
 
 #[cold]
-fn enter_slow(stage: Stage, attr: u64) -> SpanGuard {
+fn enter_slow(stage: Stage, attr: u64, context: Option<TraceContext>) -> SpanGuard {
     CURRENT.with(|cell| {
         let current = cell.borrow();
         match current.as_ref() {
@@ -412,12 +781,30 @@ fn enter_slow(stage: Stage, attr: u64) -> SpanGuard {
                     d.set(v + 1);
                     v
                 });
+                let (trace, span_id, parent_id) = TRACE.with(|t| {
+                    match t.borrow_mut().as_mut() {
+                        Some(active) => {
+                            // An explicit context wins only when it names
+                            // this thread's trace; a stale handoff from a
+                            // different request falls back to the stack.
+                            let explicit = context
+                                .filter(|ctx| ctx.trace == active.trace)
+                                .map(|ctx| ctx.parent);
+                            let (id, parent) = active.open(explicit);
+                            (active.trace.as_u64(), id, parent)
+                        }
+                        None => (0, 0, 0),
+                    }
+                });
                 SpanGuard(Some(ActiveSpan {
                     recorder: Arc::clone(recorder),
                     stage,
                     depth: depth.min(u32::from(u8::MAX)) as u8,
                     attr,
                     start: Instant::now(),
+                    trace,
+                    span_id,
+                    parent_id,
                 }))
             }
             _ => SpanGuard::noop(),
@@ -612,5 +999,130 @@ mod tests {
         assert_eq!(retained.len(), 1);
         assert_eq!(retained[0].detail, "worker died");
         assert_eq!(recorder.counter(Counter::PanicDumps), 1);
+    }
+
+    #[test]
+    fn traces_link_spans_to_parents_and_head_sampling_retains() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::new(ObsConfig::default().with_sample_every(1)));
+        recorder.enable();
+        let _attach = recorder.attach();
+        let tguard = recorder.begin_trace(TraceId::from_seq(6), Instant::now());
+        assert!(tguard.is_active());
+        {
+            let _outer = span!(Stage::Discovery);
+            let context = current_context();
+            assert_eq!(context.unwrap().trace, TraceId::from_seq(6));
+            let _inner = enter_in_context(context, Stage::Algorithm, 5);
+        }
+        tguard.finish(Duration::from_micros(100), TraceOutcome::Ok, "graph=g");
+        recorder.disable();
+
+        let trees = recorder.traces().trees();
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.reasons, vec![RetainReason::Sampled]);
+        assert_eq!(tree.detail, "graph=g");
+        let root = *tree.root().unwrap();
+        assert_eq!(root.stage, Stage::Request);
+        assert_eq!(root.attr, 3, "three child spans in the tree");
+        // Every non-root parent link resolves to a span in the tree.
+        let ids: Vec<u32> = tree.spans.iter().map(|s| s.span_id).collect();
+        for span in &tree.spans {
+            assert!(span.parent_id == 0 || ids.contains(&span.parent_id));
+        }
+        let find = |stage: Stage| tree.spans.iter().find(|s| s.stage == stage).unwrap();
+        let discovery = find(Stage::Discovery);
+        let algorithm = find(Stage::Algorithm);
+        assert_eq!(discovery.parent_id, root.span_id);
+        assert_eq!(
+            algorithm.parent_id, discovery.span_id,
+            "context handoff parents correctly"
+        );
+        assert_eq!(algorithm.attr, 5);
+        let queue = find(Stage::QueueWait);
+        assert_eq!(queue.parent_id, root.span_id);
+        assert_eq!(queue.duration_us, 100);
+        // The request histogram's exemplar points back at this trace, and a
+        // sampled-only request captures no flight dump.
+        let snapshot = recorder.stage_histogram(Stage::Request).snapshot();
+        let raw = TraceId::from_seq(6).as_u64();
+        assert!(snapshot.bucket_exemplars().contains(&raw));
+        assert!(recorder.dumps().is_empty());
+    }
+
+    #[test]
+    fn slow_and_panicked_requests_are_dumped_once_with_joined_reasons() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::new(ObsConfig::default().with_slow_threshold(0)));
+        recorder.enable();
+        let _attach = recorder.attach();
+        let tguard = recorder.begin_trace(TraceId::from_seq(0), Instant::now());
+        std::thread::sleep(Duration::from_millis(2));
+        tguard.finish(Duration::ZERO, TraceOutcome::Panic, "graph=g panic=boom");
+        recorder.disable();
+
+        let trees = recorder.traces().trees();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(
+            trees[0].reasons,
+            vec![RetainReason::Slow, RetainReason::Panic]
+        );
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1, "slow+panic retains one dump, not two");
+        assert_eq!(dumps[0].reason, "slow+panic");
+        assert_eq!(dumps[0].detail, "graph=g panic=boom");
+        assert_eq!(recorder.counter(Counter::SlowDumps), 1);
+        assert_eq!(recorder.counter(Counter::PanicDumps), 1);
+    }
+
+    #[test]
+    fn a_per_stage_threshold_marks_the_request_slow() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::new(
+            ObsConfig::default().with_stage_threshold(Stage::QueueWait, 50),
+        ));
+        recorder.enable();
+        let _attach = recorder.attach();
+        let tguard = recorder.begin_trace(TraceId::from_seq(1), Instant::now());
+        tguard.finish(Duration::from_micros(100), TraceOutcome::Ok, "graph=g");
+        recorder.disable();
+        let trees = recorder.traces().trees();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].reasons, vec![RetainReason::Slow]);
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "slow");
+    }
+
+    #[test]
+    fn begin_trace_on_a_disabled_recorder_is_inert() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::default());
+        let tguard = recorder.begin_trace(TraceId::from_seq(0), Instant::now());
+        assert!(!tguard.is_active());
+        tguard.finish(Duration::ZERO, TraceOutcome::Ok, "");
+        assert!(recorder.traces().is_empty());
+        assert_eq!(recorder.events_recorded(), 0);
+    }
+
+    #[test]
+    fn counter_helpers_pay_one_load_when_nothing_is_enabled() {
+        let _serial = serial();
+        let recorder = Arc::new(Recorder::default());
+        let _attach = recorder.attach();
+        counter_add(Counter::Publishes, 3);
+        counter_add_many(&[(Counter::Publishes, 2), (Counter::CacheCarried, 1)]);
+        assert_eq!(
+            recorder.counter(Counter::Publishes),
+            0,
+            "the fast path returns before touching thread-locals"
+        );
+        recorder.enable();
+        counter_add(Counter::Publishes, 3);
+        counter_add_many(&[(Counter::Publishes, 2), (Counter::CacheCarried, 1)]);
+        recorder.disable();
+        assert_eq!(recorder.counter(Counter::Publishes), 5);
+        assert_eq!(recorder.counter(Counter::CacheCarried), 1);
     }
 }

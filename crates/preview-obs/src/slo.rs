@@ -1,0 +1,206 @@
+//! Latency SLO specifications and multi-window burn-rate evaluation.
+//!
+//! An [`SloSpec`] states an objective such as "99% of requests complete
+//! within 50 ms". Evaluated against a [`TimeSeries`], it yields an
+//! [`SloStatus`] with two burn rates in the style of error-budget
+//! alerting: the **slow** burn over the whole retained window (is the
+//! budget being spent faster than sustainable?) and the **fast** burn over
+//! the most recent quarter of the window (is it burning *right now*?).
+//! A burn rate of `1.0` spends the budget exactly at the objective;
+//! [`SloStatus::breached`] requires both windows above `1.0`, which keeps
+//! a single slow tick from paging while still catching sustained burns
+//! quickly.
+
+use crate::json::write_json_f64;
+use crate::timeseries::TimeSeries;
+
+/// A latency service-level objective: "`objective` of requests complete
+/// within `threshold_us`", with `quantile` naming the tracked percentile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Human-readable name, used as the `slo` label in exports.
+    pub name: String,
+    /// The tracked latency quantile (e.g. `0.99`).
+    pub quantile: f64,
+    /// The latency threshold in microseconds.
+    pub threshold_us: u64,
+    /// Fraction of requests that must meet the threshold (defaults to
+    /// `quantile`, the usual "p99 under X" reading).
+    pub objective: f64,
+}
+
+impl SloSpec {
+    /// An SLO tracking `quantile` against `threshold_us`, with the
+    /// objective defaulting to the quantile itself.
+    pub fn new(name: &str, quantile: f64, threshold_us: u64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            quantile,
+            threshold_us,
+            objective: quantile,
+        }
+    }
+
+    /// Returns the spec with a different objective fraction.
+    pub fn with_objective(mut self, objective: f64) -> SloSpec {
+        self.objective = objective;
+        self
+    }
+
+    /// Evaluates the spec against the series' current window.
+    pub fn evaluate(&self, series: &TimeSeries) -> SloStatus {
+        let slow = series.window_summary(0);
+        let fast = series.window_summary((series.tick_count() / 4).max(1));
+        let bad_fraction = |summary: &crate::timeseries::WindowSummary| {
+            if summary.requests == 0 {
+                0.0
+            } else {
+                summary.latency.count_above(self.threshold_us) as f64 / summary.requests as f64
+            }
+        };
+        let fast_bad_fraction = bad_fraction(&fast);
+        let slow_bad_fraction = bad_fraction(&slow);
+        // The error budget is the allowed bad fraction; clamp away zero so
+        // a 100% objective still yields finite burn rates.
+        let budget = (1.0 - self.objective).max(1e-9);
+        let fast_burn = fast_bad_fraction / budget;
+        let slow_burn = slow_bad_fraction / budget;
+        let observed_quantile_us = slow.quantile(self.quantile);
+        SloStatus {
+            name: self.name.clone(),
+            threshold_us: self.threshold_us,
+            objective: self.objective,
+            observed_quantile_us,
+            met: observed_quantile_us <= self.threshold_us,
+            fast_bad_fraction,
+            slow_bad_fraction,
+            fast_burn,
+            slow_burn,
+            breached: fast_burn > 1.0 && slow_burn > 1.0,
+        }
+    }
+}
+
+/// The result of evaluating an [`SloSpec`] against a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: String,
+    /// The spec's latency threshold in microseconds.
+    pub threshold_us: u64,
+    /// The spec's objective fraction.
+    pub objective: f64,
+    /// The tracked quantile observed over the whole window, microseconds.
+    pub observed_quantile_us: u64,
+    /// Whether the observed quantile currently meets the threshold.
+    pub met: bool,
+    /// Fraction of requests over threshold in the fast (recent) window.
+    pub fast_bad_fraction: f64,
+    /// Fraction of requests over threshold in the slow (whole) window.
+    pub slow_bad_fraction: f64,
+    /// Budget burn rate in the fast window (`1.0` = spending exactly at
+    /// the objective).
+    pub fast_burn: f64,
+    /// Budget burn rate in the slow window.
+    pub slow_burn: f64,
+    /// Whether both windows burn above `1.0` (the paging condition).
+    pub breached: bool,
+}
+
+impl SloStatus {
+    /// Renders the status as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str("{\"name\":");
+        crate::json::write_json_string(&mut out, &self.name);
+        out.push_str(&format!(
+            ",\"threshold_us\":{},\"objective\":",
+            self.threshold_us
+        ));
+        write_json_f64(&mut out, self.objective);
+        out.push_str(&format!(
+            ",\"observed_quantile_us\":{},\"met\":{},\"fast_burn\":",
+            self.observed_quantile_us, self.met
+        ));
+        write_json_f64(&mut out, self.fast_burn);
+        out.push_str(",\"slow_burn\":");
+        write_json_f64(&mut out, self.slow_burn);
+        out.push_str(&format!(",\"breached\":{}}}", self.breached));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::stage::Counter;
+    use crate::timeseries::{MetricsCumulative, TimeSeriesConfig};
+
+    fn sample(at_us: u64, hist: &Histogram) -> MetricsCumulative {
+        MetricsCumulative {
+            at_us,
+            counters: Counter::ALL.iter().map(|&c| (c, 0)).collect(),
+            service_latency: hist.snapshot(),
+        }
+    }
+
+    #[test]
+    fn a_healthy_window_shows_zero_burn() {
+        let hist = Histogram::new();
+        let mut series = TimeSeries::new(TimeSeriesConfig {
+            resolution_us: 0,
+            window_ticks: 8,
+        });
+        series.tick(sample(0, &hist));
+        for step in 1..=4u64 {
+            hist.record(1_000);
+            series.tick(sample(step * 1_000_000, &hist));
+        }
+        let status = SloSpec::new("latency-p99", 0.99, 50_000).evaluate(&series);
+        assert!(status.met);
+        assert_eq!(status.fast_burn, 0.0);
+        assert_eq!(status.slow_burn, 0.0);
+        assert!(!status.breached);
+    }
+
+    #[test]
+    fn a_slow_tail_flips_the_burn_rate_positive_and_breaches() {
+        let hist = Histogram::new();
+        let mut series = TimeSeries::new(TimeSeriesConfig {
+            resolution_us: 0,
+            window_ticks: 8,
+        });
+        series.tick(sample(0, &hist));
+        hist.record(1_000);
+        series.tick(sample(1_000_000, &hist));
+        let before = SloSpec::new("latency-p99", 0.99, 50_000).evaluate(&series);
+        assert_eq!(before.slow_burn, 0.0);
+
+        // One violating request in the newest tick: 1 bad of 2 total is a
+        // 50% bad fraction against a 1% budget — a 50x burn in both
+        // windows (the fast window is the most recent quarter, which holds
+        // the violating tick).
+        hist.record(400_000);
+        series.tick(sample(2_000_000, &hist));
+        let spec = SloSpec::new("latency-p99", 0.99, 50_000);
+        let after = spec.evaluate(&series);
+        assert!(after.slow_burn > 1.0);
+        assert!(after.fast_burn > 1.0);
+        assert!(after.breached);
+        assert!(!after.met);
+        assert!(after.observed_quantile_us > 50_000);
+        let json = after.to_json();
+        assert!(json.contains("\"name\":\"latency-p99\""));
+        assert!(json.contains("\"breached\":true"));
+    }
+
+    #[test]
+    fn an_empty_series_is_met_with_zero_burns() {
+        let series = TimeSeries::default();
+        let status = SloSpec::new("latency-p99", 0.99, 1).evaluate(&series);
+        assert!(status.met);
+        assert!(!status.breached);
+        assert_eq!(status.observed_quantile_us, 0);
+    }
+}

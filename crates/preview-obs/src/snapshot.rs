@@ -8,10 +8,13 @@
 //! enumeration. All durations are microseconds.
 
 use crate::flight::FlightDump;
-use crate::histogram::HistogramSnapshot;
-use crate::json::write_json_f64;
+use crate::histogram::{bucket_lower, HistogramSnapshot};
+use crate::json::{write_json_f64, write_json_string};
 use crate::recorder::Recorder;
+use crate::slo::SloStatus;
 use crate::stage::{Counter, Stage};
+use crate::timeseries::WindowSummary;
+use crate::trace::{TraceId, TraceTree};
 
 /// Memory accounting for one shard, mirrored from the graph layer's
 /// per-shard report.
@@ -49,11 +52,24 @@ pub struct MemorySection {
     pub shards: Vec<ShardMemory>,
 }
 
+/// Requests served for one `(graph, algorithm)` route — the bounded label
+/// set the Prometheus exporter is allowed to emit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteCount {
+    /// The requested graph's name.
+    pub graph: String,
+    /// The resolved algorithm's stable name.
+    pub algorithm: String,
+    /// Requests completed for this route.
+    pub requests: u64,
+}
+
 /// A point-in-time export of a [`Recorder`] plus serving-layer context.
 ///
 /// Produced by [`Recorder::snapshot`]; the serving layer fills in
-/// [`service_latency`](Self::service_latency) and
-/// [`memory`](Self::memory) before rendering.
+/// [`service_latency`](Self::service_latency), [`memory`](Self::memory),
+/// [`routes`](Self::routes), [`window`](Self::window), and
+/// [`slos`](Self::slos) before rendering.
 #[derive(Debug, Clone)]
 pub struct ObsSnapshot {
     /// Whether the recorder was enabled at snapshot time.
@@ -73,6 +89,14 @@ pub struct ObsSnapshot {
     pub peak_rss_bytes: Option<u64>,
     /// Retained flight-recorder dumps, oldest first.
     pub dumps: Vec<FlightDump>,
+    /// Tail-sampled trace trees, oldest first.
+    pub traces: Vec<TraceTree>,
+    /// Per-route request totals, when the serving layer provides them.
+    pub routes: Vec<RouteCount>,
+    /// Sliding-window rates and quantiles, when a time series is running.
+    pub window: Option<WindowSummary>,
+    /// Evaluated SLO statuses, when the serving layer registered specs.
+    pub slos: Vec<SloStatus>,
 }
 
 impl Recorder {
@@ -92,6 +116,10 @@ impl Recorder {
             memory: None,
             peak_rss_bytes: crate::peak_rss_bytes(),
             dumps: self.dumps(),
+            traces: self.traces().trees(),
+            routes: Vec::new(),
+            window: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -105,12 +133,27 @@ fn write_histogram(out: &mut String, hist: &HistogramSnapshot) {
     ));
     write_json_f64(out, hist.mean());
     out.push_str(&format!(
-        ",\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{}}}",
+        ",\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"exemplars\":[",
         hist.quantile(0.50),
         hist.quantile(0.90),
         hist.quantile(0.99),
         hist.quantile(0.999)
     ));
+    let mut first = true;
+    for (index, &exemplar) in hist.bucket_exemplars().iter().enumerate() {
+        let Some(trace) = TraceId::from_raw(exemplar) else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"bucket_lower_us\":{},\"trace\":\"{trace}\"}}",
+            bucket_lower(index)
+        ));
+    }
+    out.push_str("]}");
 }
 
 impl ObsSnapshot {
@@ -183,6 +226,36 @@ impl ObsSnapshot {
                 out.push(',');
             }
             out.push_str(&dump.to_json());
+        }
+        out.push_str("],\"traces\":[");
+        for (index, tree) in self.traces.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&tree.to_json());
+        }
+        out.push_str("],\"routes\":[");
+        for (index, route) in self.routes.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"graph\":");
+            write_json_string(&mut out, &route.graph);
+            out.push_str(",\"algorithm\":");
+            write_json_string(&mut out, &route.algorithm);
+            out.push_str(&format!(",\"requests\":{}}}", route.requests));
+        }
+        out.push_str("],\"window\":");
+        match &self.window {
+            Some(window) => out.push_str(&window.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"slos\":[");
+        for (index, slo) in self.slos.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&slo.to_json());
         }
         out.push_str("]}");
         out
@@ -278,6 +351,64 @@ mod tests {
         let parsed = JsonValue::parse(&snapshot.to_json()).unwrap();
         assert_eq!(parsed.get("service_latency"), Some(&JsonValue::Null));
         assert_eq!(parsed.get("memory"), Some(&JsonValue::Null));
+        assert_eq!(parsed.get("window"), Some(&JsonValue::Null));
         assert_eq!(parsed.get("enabled"), Some(&JsonValue::Bool(false)));
+        assert!(parsed.get("traces").unwrap().as_array().unwrap().is_empty());
+        assert!(parsed.get("routes").unwrap().as_array().unwrap().is_empty());
+        assert!(parsed.get("slos").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_carries_routes_window_slos_and_exemplars() {
+        use crate::slo::SloSpec;
+        use crate::stage::Counter;
+        use crate::timeseries::{MetricsCumulative, TimeSeries, TimeSeriesConfig};
+
+        let recorder = Recorder::new(ObsConfig::default());
+        let latency = crate::Histogram::new();
+        let mut series = TimeSeries::new(TimeSeriesConfig {
+            resolution_us: 0,
+            window_ticks: 4,
+        });
+        let sample = |at_us: u64, latency: &crate::Histogram| MetricsCumulative {
+            at_us,
+            counters: Counter::ALL.iter().map(|&c| (c, 0)).collect(),
+            service_latency: latency.snapshot(),
+        };
+        series.tick(sample(0, &latency));
+        latency.record_with_exemplar(150, 0x2a);
+        series.tick(sample(1_000_000, &latency));
+
+        let mut snapshot = recorder.snapshot();
+        snapshot.service_latency = Some(latency.snapshot());
+        snapshot.routes = vec![RouteCount {
+            graph: "fig1".to_string(),
+            algorithm: "dynamic-programming".to_string(),
+            requests: 7,
+        }];
+        snapshot.window = Some(series.window_summary(0));
+        snapshot.slos = vec![SloSpec::new("latency-p99", 0.99, 50_000).evaluate(&series)];
+
+        let parsed = JsonValue::parse(&snapshot.to_json()).unwrap();
+        let routes = parsed.get("routes").unwrap().as_array().unwrap();
+        assert_eq!(routes[0].get("graph").unwrap().as_str(), Some("fig1"));
+        assert_eq!(routes[0].get("requests").unwrap().as_u64(), Some(7));
+        let window = parsed.get("window").unwrap();
+        assert_eq!(window.get("requests").unwrap().as_u64(), Some(1));
+        let slos = parsed.get("slos").unwrap().as_array().unwrap();
+        assert_eq!(slos[0].get("name").unwrap().as_str(), Some("latency-p99"));
+        assert_eq!(slos[0].get("breached"), Some(&JsonValue::Bool(false)));
+        let exemplars = parsed
+            .get("service_latency")
+            .unwrap()
+            .get("exemplars")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(
+            exemplars[0].get("trace").unwrap().as_str(),
+            Some("000000000000002a")
+        );
     }
 }

@@ -1,0 +1,334 @@
+//! Windowed time-series metrics: a bounded ring of periodic snapshot
+//! deltas.
+//!
+//! The aggregate [`Histogram`](crate::Histogram)s and counters are
+//! cumulative since process start — good for totals, useless for "is the
+//! p99 burning *right now*". This module turns periodic cumulative samples
+//! ([`MetricsCumulative`], stamped with the recorder's monotonic epoch
+//! clock) into per-tick deltas ([`TickDelta`]) kept in a bounded window,
+//! from which [`WindowSummary`] derives rates and sliding-window quantiles
+//! and the [`slo`](crate::slo) layer derives burn rates.
+//!
+//! Delta-merge round-trips exactly: merging every tick of a window
+//! reproduces the histogram recorded over that window bucket-for-bucket
+//! (the time-series proptests pin associativity and eviction exactness).
+
+use std::collections::VecDeque;
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::write_json_f64;
+use crate::stage::Counter;
+
+/// Configuration for a [`TimeSeries`] ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeSeriesConfig {
+    /// Minimum spacing between ticks accepted by [`TimeSeries::offer`],
+    /// in microseconds of the sample clock.
+    pub resolution_us: u64,
+    /// Number of most-recent ticks retained (the sliding window).
+    pub window_ticks: usize,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        TimeSeriesConfig {
+            resolution_us: 1_000_000,
+            window_ticks: 60,
+        }
+    }
+}
+
+/// One cumulative metrics sample: counters and the service-latency
+/// histogram as of `at_us` on the recorder's monotonic epoch clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsCumulative {
+    /// Sample instant, microseconds since the recorder epoch.
+    pub at_us: u64,
+    /// Cumulative counter values, in [`Counter::ALL`] order.
+    pub counters: Vec<(Counter, u64)>,
+    /// Cumulative service-latency histogram.
+    pub service_latency: HistogramSnapshot,
+}
+
+/// The delta between two consecutive cumulative samples: what happened
+/// during one tick of the window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickDelta {
+    /// Tick start, microseconds since the recorder epoch.
+    pub start_us: u64,
+    /// Tick end, microseconds since the recorder epoch.
+    pub end_us: u64,
+    /// Counter increments during the tick, in [`Counter::ALL`] order.
+    pub counters: Vec<(Counter, u64)>,
+    /// Service latency recorded during the tick.
+    pub service_latency: HistogramSnapshot,
+}
+
+/// A bounded ring of [`TickDelta`]s built from periodic cumulative samples.
+///
+/// The first sample is the baseline and produces no tick; each later
+/// sample closes one tick covering the interval since the previous sample.
+/// Sample clocks are clamped monotone, so a caller replaying stale
+/// timestamps cannot produce negative intervals.
+#[derive(Debug)]
+pub struct TimeSeries {
+    config: TimeSeriesConfig,
+    last: Option<MetricsCumulative>,
+    ticks: VecDeque<TickDelta>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new(TimeSeriesConfig::default())
+    }
+}
+
+impl TimeSeries {
+    /// An empty series with the given configuration (window clamped ≥ 1).
+    pub fn new(mut config: TimeSeriesConfig) -> TimeSeries {
+        config.window_ticks = config.window_ticks.max(1);
+        TimeSeries {
+            config,
+            last: None,
+            ticks: VecDeque::new(),
+        }
+    }
+
+    /// The configuration this series was built with.
+    pub fn config(&self) -> &TimeSeriesConfig {
+        &self.config
+    }
+
+    /// Ingests a cumulative sample unconditionally. Returns whether a tick
+    /// was produced (the first sample only establishes the baseline).
+    pub fn tick(&mut self, mut sample: MetricsCumulative) -> bool {
+        let Some(last) = self.last.take() else {
+            self.last = Some(sample);
+            return false;
+        };
+        sample.at_us = sample.at_us.max(last.at_us);
+        let counters = sample
+            .counters
+            .iter()
+            .zip(&last.counters)
+            .map(|(&(counter, later), &(_, earlier))| (counter, later.saturating_sub(earlier)))
+            .collect();
+        self.ticks.push_back(TickDelta {
+            start_us: last.at_us,
+            end_us: sample.at_us,
+            counters,
+            service_latency: sample.service_latency.delta_since(&last.service_latency),
+        });
+        while self.ticks.len() > self.config.window_ticks {
+            self.ticks.pop_front();
+        }
+        self.last = Some(sample);
+        true
+    }
+
+    /// [`tick`](TimeSeries::tick), but only when at least
+    /// [`resolution_us`](TimeSeriesConfig::resolution_us) has elapsed since
+    /// the previous sample (the first sample is always accepted as the
+    /// baseline). Returns whether a tick was produced.
+    pub fn offer(&mut self, sample: MetricsCumulative) -> bool {
+        match &self.last {
+            None => {
+                self.last = Some(sample);
+                false
+            }
+            Some(last) if sample.at_us.saturating_sub(last.at_us) >= self.config.resolution_us => {
+                self.tick(sample)
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Number of ticks currently in the window.
+    pub fn tick_count(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// The retained ticks, oldest first.
+    pub fn ticks(&self) -> impl Iterator<Item = &TickDelta> {
+        self.ticks.iter()
+    }
+
+    /// Summarises the most recent `last_n` ticks (`0` means the whole
+    /// window): merged latency, summed counters, and the request rate.
+    pub fn window_summary(&self, last_n: usize) -> WindowSummary {
+        let take = if last_n == 0 {
+            self.ticks.len()
+        } else {
+            last_n.min(self.ticks.len())
+        };
+        let skip = self.ticks.len() - take;
+        let mut latency = HistogramSnapshot::empty();
+        let mut counters: Vec<(Counter, u64)> =
+            Counter::ALL.iter().map(|&counter| (counter, 0)).collect();
+        let mut span_us = 0u64;
+        for tick in self.ticks.iter().skip(skip) {
+            latency.merge(&tick.service_latency);
+            span_us = span_us.saturating_add(tick.end_us.saturating_sub(tick.start_us));
+            for (total, &(_, delta)) in counters.iter_mut().zip(&tick.counters) {
+                total.1 = total.1.saturating_add(delta);
+            }
+        }
+        let requests = latency.count();
+        let rate_per_s = if span_us > 0 {
+            requests as f64 / (span_us as f64 / 1_000_000.0)
+        } else {
+            0.0
+        };
+        WindowSummary {
+            ticks: take,
+            span_us,
+            requests,
+            rate_per_s,
+            latency,
+            counters,
+        }
+    }
+}
+
+/// Rates, counters, and the merged latency histogram over a window of
+/// ticks. Produced by [`TimeSeries::window_summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSummary {
+    /// Number of ticks summarised.
+    pub ticks: usize,
+    /// Total wall span covered, microseconds.
+    pub span_us: u64,
+    /// Completed requests in the window.
+    pub requests: u64,
+    /// Requests per second over the window span.
+    pub rate_per_s: f64,
+    /// Service latency recorded in the window.
+    pub latency: HistogramSnapshot,
+    /// Counter increments in the window, in [`Counter::ALL`] order.
+    pub counters: Vec<(Counter, u64)>,
+}
+
+impl WindowSummary {
+    /// Sliding-window latency quantile (microseconds, nearest-rank on
+    /// histogram buckets).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"ticks\":{},\"span_us\":{},\"requests\":{},\"rate_per_s\":",
+            self.ticks, self.span_us, self.requests
+        );
+        write_json_f64(&mut out, self.rate_per_s);
+        out.push_str(&format!(
+            ",\"p50_us\":{},\"p99_us\":{},\"counters\":{{",
+            self.quantile(0.5),
+            self.quantile(0.99)
+        ));
+        for (index, (counter, value)) in self.counters.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", counter.name(), value));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample(at_us: u64, hist: &Histogram, publishes: u64) -> MetricsCumulative {
+        MetricsCumulative {
+            at_us,
+            counters: Counter::ALL
+                .iter()
+                .map(|&counter| {
+                    let value = if counter == Counter::Publishes {
+                        publishes
+                    } else {
+                        0
+                    };
+                    (counter, value)
+                })
+                .collect(),
+            service_latency: hist.snapshot(),
+        }
+    }
+
+    #[test]
+    fn first_sample_is_a_baseline_and_later_samples_close_ticks() {
+        let hist = Histogram::new();
+        let mut series = TimeSeries::default();
+        assert!(!series.tick(sample(0, &hist, 0)));
+        hist.record(100);
+        hist.record(200);
+        assert!(series.tick(sample(1_000_000, &hist, 3)));
+        assert_eq!(series.tick_count(), 1);
+        let tick = series.ticks().next().unwrap();
+        assert_eq!((tick.start_us, tick.end_us), (0, 1_000_000));
+        assert_eq!(tick.service_latency.count(), 2);
+        assert_eq!(tick.counters[Counter::Publishes as usize].1, 3);
+    }
+
+    #[test]
+    fn offer_respects_the_resolution_gate() {
+        let hist = Histogram::new();
+        let mut series = TimeSeries::new(TimeSeriesConfig {
+            resolution_us: 1_000,
+            window_ticks: 8,
+        });
+        assert!(!series.offer(sample(0, &hist, 0)), "baseline");
+        assert!(!series.offer(sample(500, &hist, 0)), "too soon");
+        assert!(series.offer(sample(1_500, &hist, 0)));
+        assert!(!series.offer(sample(1_600, &hist, 0)));
+        assert_eq!(series.tick_count(), 1);
+    }
+
+    #[test]
+    fn window_evicts_exactly_to_capacity_and_summaries_merge() {
+        let hist = Histogram::new();
+        let mut series = TimeSeries::new(TimeSeriesConfig {
+            resolution_us: 0,
+            window_ticks: 3,
+        });
+        series.tick(sample(0, &hist, 0));
+        for step in 1..=5u64 {
+            hist.record(step * 10);
+            series.tick(sample(step * 1_000, &hist, step));
+        }
+        assert_eq!(series.tick_count(), 3, "exactly the newest three ticks");
+        let starts: Vec<u64> = series.ticks().map(|t| t.start_us).collect();
+        assert_eq!(starts, vec![2_000, 3_000, 4_000]);
+
+        let window = series.window_summary(0);
+        assert_eq!(window.ticks, 3);
+        assert_eq!(window.span_us, 3_000);
+        assert_eq!(window.requests, 3, "one recording per retained tick");
+        assert_eq!(window.counters[Counter::Publishes as usize].1, 3);
+        assert!((window.rate_per_s - 1_000.0).abs() < 1e-9);
+        assert_eq!(window.latency.max(), hist.snapshot().max());
+
+        let fast = series.window_summary(1);
+        assert_eq!(fast.ticks, 1);
+        assert_eq!(fast.requests, 1);
+        let json = window.to_json();
+        assert!(json.contains("\"requests\":3"));
+        assert!(json.contains("\"publishes\":3"));
+    }
+
+    #[test]
+    fn stale_sample_clocks_are_clamped_monotone() {
+        let hist = Histogram::new();
+        let mut series = TimeSeries::default();
+        series.tick(sample(5_000, &hist, 0));
+        assert!(series.tick(sample(1_000, &hist, 0)), "clamped, not dropped");
+        let tick = series.ticks().next().unwrap();
+        assert_eq!((tick.start_us, tick.end_us), (5_000, 5_000));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the Prometheus text exporter: render → parse with
+//! the minimal line-format reader → numeric comparison against the source
+//! snapshot, label-value escaping round-trips, and cumulative bucket
+//! monotonicity checked independently of emission order.
+//!
+//! The vendored proptest supports integer-range strategies only, so all
+//! randomness is derived from a proptest-chosen seed via `ChaCha8Rng`.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use preview_obs::{
+    parse_prometheus_text, render_prometheus, roundtrip_failures, Counter, Histogram, ObsConfig,
+    Recorder, RouteCount, SloStatus, Stage,
+};
+
+/// Characters deliberately including everything the text format must
+/// escape or that could confuse a naive splitter.
+const LABEL_ALPHABET: &[char] = &[
+    'a', 'b', 'z', '0', '-', '_', '.', ' ', '"', '\\', '\n', '{', '}', ',', '=',
+];
+
+fn random_label(rng: &mut ChaCha8Rng) -> String {
+    let len = rng.gen_range(1usize..12);
+    (0..len)
+        .map(|_| LABEL_ALPHABET[rng.gen_range(0..LABEL_ALPHABET.len())])
+        .collect()
+}
+
+/// A snapshot with random per-stage recordings, counters, service
+/// latency, hostile route labels, and directly-constructed SLO statuses.
+fn random_snapshot(seed: u64) -> preview_obs::ObsSnapshot {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let recorder = Recorder::new(ObsConfig::default());
+    for _ in 0..rng.gen_range(0usize..200) {
+        let stage = Stage::ALL[rng.gen_range(0..Stage::ALL.len())];
+        let exp = rng.gen_range(0u32..30);
+        recorder.record_span(stage, 0, 0, rng.gen_range(0..=(1u64 << exp)), 0);
+    }
+    for _ in 0..rng.gen_range(0usize..20) {
+        let counter = Counter::ALL[rng.gen_range(0..Counter::ALL.len())];
+        recorder.add_counter(counter, rng.gen_range(0u64..1_000));
+    }
+    let mut snapshot = recorder.snapshot();
+
+    if rng.gen_range(0u32..4) > 0 {
+        let latency = Histogram::new();
+        for _ in 0..rng.gen_range(1usize..100) {
+            latency.record_with_exemplar(rng.gen_range(0u64..10_000_000), rng.gen_range(1u64..99));
+        }
+        snapshot.service_latency = Some(latency.snapshot());
+    }
+
+    for _ in 0..rng.gen_range(0usize..4) {
+        snapshot.routes.push(RouteCount {
+            graph: random_label(&mut rng),
+            algorithm: random_label(&mut rng),
+            requests: rng.gen_range(0u64..100_000),
+        });
+    }
+
+    for index in 0..rng.gen_range(0usize..3) {
+        let fast = rng.gen_range(0u64..5_000) as f64 / 100.0;
+        let slow = rng.gen_range(0u64..5_000) as f64 / 100.0;
+        snapshot.slos.push(SloStatus {
+            name: format!("slo-{index}-{}", random_label(&mut rng)),
+            threshold_us: rng.gen_range(1u64..1_000_000),
+            objective: 0.99,
+            observed_quantile_us: rng.gen_range(0u64..1_000_000),
+            met: fast <= 1.0,
+            fast_bad_fraction: fast / 100.0,
+            slow_bad_fraction: slow / 100.0,
+            fast_burn: fast,
+            slow_burn: slow,
+            breached: fast > 1.0 && slow > 1.0,
+        });
+    }
+    snapshot
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full export re-parses numerically equal to the snapshot it was
+    /// rendered from: every counter, cumulative bucket, sum, count, route,
+    /// and SLO gauge.
+    #[test]
+    fn export_roundtrips_numerically(seed in 0u64..10_000) {
+        let snapshot = random_snapshot(seed);
+        let failures = roundtrip_failures(&snapshot);
+        prop_assert!(failures.is_empty(), "round-trip failures: {:?}", failures);
+    }
+
+    /// Hostile label values (quotes, backslashes, newlines, braces,
+    /// commas) survive the escape/unescape round-trip byte-for-byte, and
+    /// duplicate routes aside, every emitted route is recovered.
+    #[test]
+    fn label_escaping_round_trips(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let recorder = Recorder::new(ObsConfig::default());
+        let mut snapshot = recorder.snapshot();
+        let graph = random_label(&mut rng);
+        let algorithm = random_label(&mut rng);
+        snapshot.routes.push(RouteCount {
+            graph: graph.clone(),
+            algorithm: algorithm.clone(),
+            requests: 7,
+        });
+        let samples = parse_prometheus_text(&render_prometheus(&snapshot))
+            .map_err(TestCaseError::fail)?;
+        let route = samples
+            .iter()
+            .find(|s| s.name == "preview_requests_total")
+            .expect("route sample present");
+        prop_assert_eq!(route.label("graph"), Some(graph.as_str()));
+        prop_assert_eq!(route.label("algorithm"), Some(algorithm.as_str()));
+        prop_assert_eq!(route.value, 7.0);
+    }
+
+    /// Independently of the round-trip comparison: for every histogram
+    /// series in the parsed output, cumulative bucket values are
+    /// non-decreasing in `le` order and the `+Inf` bucket equals the
+    /// series count.
+    #[test]
+    fn cumulative_buckets_are_monotone(seed in 0u64..10_000) {
+        let snapshot = random_snapshot(seed);
+        let samples = parse_prometheus_text(&render_prometheus(&snapshot))
+            .map_err(TestCaseError::fail)?;
+
+        let mut series: Vec<String> = samples
+            .iter()
+            .filter(|s| s.name.ends_with("_bucket"))
+            .map(|s| format!("{}|{}", s.name, s.label("stage").unwrap_or("")))
+            .collect();
+        series.sort();
+        series.dedup();
+
+        for key in series {
+            let (name, stage) = key.split_once('|').unwrap();
+            let mut buckets: Vec<(f64, f64)> = samples
+                .iter()
+                .filter(|s| {
+                    s.name == name && s.label("stage").unwrap_or("") == stage
+                })
+                .map(|s| {
+                    let le = s.label("le").expect("bucket has le");
+                    let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                    (le, s.value)
+                })
+                .collect();
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut previous = 0.0;
+            for (le, value) in &buckets {
+                prop_assert!(
+                    *value >= previous,
+                    "{} le={} went backwards: {} < {}", name, le, value, previous
+                );
+                previous = *value;
+            }
+            let (last_le, last_value) = buckets.last().unwrap();
+            prop_assert!(last_le.is_infinite(), "{name} missing +Inf bucket");
+            let count_name = format!("{}_count", name.trim_end_matches("_bucket"));
+            let count = samples
+                .iter()
+                .find(|s| s.name == count_name && s.label("stage").unwrap_or("") == stage)
+                .expect("count sample present");
+            prop_assert_eq!(*last_value, count.value);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the windowed time-series ring: delta-merge
+//! associativity (merging per-tick deltas reproduces the cumulative
+//! difference exactly, however the stream is split) and window eviction
+//! exactness (the ring retains precisely the newest `window_ticks` ticks).
+//!
+//! The vendored proptest supports integer-range strategies only, so the
+//! sample streams are derived from a proptest-chosen seed via `ChaCha8Rng`.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use preview_obs::{
+    Counter, Histogram, HistogramSnapshot, MetricsCumulative, TimeSeries, TimeSeriesConfig,
+};
+
+/// A monotone stream of cumulative samples: one shared histogram and
+/// counter vector that only grow, snapshotted at increasing instants.
+fn cumulative_stream(seed: u64, ticks: usize) -> Vec<MetricsCumulative> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let hist = Histogram::new();
+    let mut counters: Vec<(Counter, u64)> = Counter::ALL.iter().map(|&c| (c, 0)).collect();
+    let mut at_us = 0u64;
+    let mut stream = Vec::with_capacity(ticks + 1);
+    for _ in 0..=ticks {
+        stream.push(MetricsCumulative {
+            at_us,
+            counters: counters.clone(),
+            service_latency: hist.snapshot(),
+        });
+        at_us += rng.gen_range(1u64..2_000_000);
+        for _ in 0..rng.gen_range(0usize..20) {
+            let exp = rng.gen_range(0u32..24);
+            hist.record_with_exemplar(rng.gen_range(0..=(1u64 << exp)), rng.gen_range(1u64..999));
+        }
+        for entry in counters.iter_mut() {
+            entry.1 += rng.gen_range(0u64..50);
+        }
+    }
+    stream
+}
+
+fn series_with(window_ticks: usize) -> TimeSeries {
+    TimeSeries::new(TimeSeriesConfig {
+        resolution_us: 0,
+        window_ticks,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging every retained tick delta reproduces the cumulative
+    /// difference between the last sample and the baseline exactly —
+    /// counts, sums, bucket vectors, and counters — regardless of how many
+    /// intermediate samples the stream was cut into.
+    #[test]
+    fn delta_merge_is_associative(seed in 0u64..10_000, ticks in 1usize..40) {
+        let stream = cumulative_stream(seed, ticks);
+        let mut series = series_with(ticks + 1);
+        for sample in &stream {
+            series.tick(sample.clone());
+        }
+        prop_assert_eq!(series.tick_count(), ticks);
+
+        let mut merged = HistogramSnapshot::empty();
+        for tick in series.ticks() {
+            merged.merge(&tick.service_latency);
+        }
+        let first = &stream[0];
+        let last = &stream[stream.len() - 1];
+        let direct = last.service_latency.delta_since(&first.service_latency);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.sum(), direct.sum());
+        prop_assert_eq!(merged.bucket_counts(), direct.bucket_counts());
+
+        // Counter deltas telescope the same way.
+        let window = series.window_summary(0);
+        for (index, &(_, total)) in window.counters.iter().enumerate() {
+            let expected = last.counters[index].1 - first.counters[index].1;
+            prop_assert_eq!(total, expected);
+        }
+
+        // The same stream cut at any single midpoint merges to the same
+        // totals: (a..m merged) + (m..z merged) == a..z.
+        let mid = 1 + (seed as usize % ticks.max(1));
+        let mut left = HistogramSnapshot::empty();
+        let mut right = HistogramSnapshot::empty();
+        for (index, tick) in series.ticks().enumerate() {
+            if index < mid {
+                left.merge(&tick.service_latency);
+            } else {
+                right.merge(&tick.service_latency);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(left.count(), direct.count());
+        prop_assert_eq!(left.sum(), direct.sum());
+    }
+
+    /// The ring retains exactly the newest `window_ticks` ticks: count,
+    /// identity (start/end instants), and the merged window equal to the
+    /// cumulative difference from the eviction horizon.
+    #[test]
+    fn window_eviction_is_exact(
+        seed in 0u64..10_000,
+        ticks in 1usize..40,
+        window in 1usize..12,
+    ) {
+        let stream = cumulative_stream(seed, ticks);
+        let mut series = series_with(window);
+        for sample in &stream {
+            series.tick(sample.clone());
+        }
+        let kept = ticks.min(window);
+        prop_assert_eq!(series.tick_count(), kept);
+
+        // Retained ticks are precisely the newest ones, in order.
+        let expected_bounds: Vec<(u64, u64)> = (ticks - kept..ticks)
+            .map(|index| (stream[index].at_us, stream[index + 1].at_us))
+            .collect();
+        let actual_bounds: Vec<(u64, u64)> = series
+            .ticks()
+            .map(|tick| (tick.start_us, tick.end_us))
+            .collect();
+        prop_assert_eq!(actual_bounds, expected_bounds);
+
+        // And the window summary equals the cumulative delta from the
+        // eviction horizon — nothing older leaks in, nothing newer is lost.
+        let horizon = &stream[ticks - kept];
+        let last = &stream[stream.len() - 1];
+        let direct = last.service_latency.delta_since(&horizon.service_latency);
+        let window_summary = series.window_summary(0);
+        prop_assert_eq!(window_summary.requests, direct.count());
+        prop_assert_eq!(window_summary.latency.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(
+            window_summary.span_us,
+            last.at_us - horizon.at_us
+        );
+    }
+}

@@ -2,13 +2,16 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use entity_graph::{DeltaSummary, GraphDelta};
-use preview_obs::{Counter, DumpReason, MemorySection, ObsSnapshot, Recorder, ShardMemory, Stage};
+use preview_obs::{
+    Counter, DumpReason, MemorySection, MetricsCumulative, ObsSnapshot, Recorder, ShardMemory,
+    SloSpec, Stage, TimeSeries, TimeSeriesConfig, TraceId, TraceOutcome,
+};
 
 use preview_core::{AnytimeBudget, BestFirstDiscovery};
 
@@ -68,6 +71,9 @@ struct Job {
     /// Enqueue time, for queue-wait latency accounting only.
     // lint: allow(wall-clock, queue-wait measurement feeds stats only; results never depend on it)
     enqueued: Instant,
+    /// Trace id minted at ingress from the request sequence number — the
+    /// worker reuses it as the root of this request's span tree.
+    trace: TraceId,
     reply: mpsc::Sender<ServiceResult<PreviewResponse>>,
 }
 
@@ -87,10 +93,18 @@ struct Shared {
     /// The observability recorder every worker attaches at startup. Disabled
     /// by default: spans then cost one relaxed atomic load each.
     obs: Arc<Recorder>,
-    /// Test-only fault injection: when set, the next computed request panics
-    /// inside its span stack, exercising the panic-dump path end to end.
-    #[cfg(test)]
+    /// Ingress sequence number; each submitted request takes the next value
+    /// and derives its [`TraceId`] from it, so trace identity is a pure
+    /// function of arrival order — no ambient randomness.
+    seq: AtomicU64,
+    /// Fault injection (see [`PreviewService::inject_panic_next`]): when
+    /// set, the next computed request panics inside its span stack,
+    /// exercising the panic-dump and panic-retention paths end to end.
     inject_panic: AtomicBool,
+    /// Fault injection (see [`PreviewService::inject_delay_next`]): the next
+    /// computed request sleeps this many microseconds inside its discovery
+    /// span, exercising slow-request retention and SLO burn end to end.
+    inject_delay_us: AtomicU64,
 }
 
 impl Shared {
@@ -132,6 +146,7 @@ impl Shared {
             queue_wait,
             compute: start.elapsed(),
             optimality_gap: None,
+            trace: None,
         })
     }
 
@@ -170,6 +185,7 @@ impl Shared {
             queue_wait,
             compute: start.elapsed(),
             optimality_gap: Some(outcome.optimality_gap()),
+            trace: None,
         })
     }
 
@@ -225,8 +241,14 @@ impl Shared {
         key: &CacheKey,
     ) -> ServiceResult<Arc<CachedPreview>> {
         let _discovery = preview_obs::span!(Stage::Discovery);
-        #[cfg(test)]
+        // lint: ordering-ok(one-shot fault-injection latch; SeqCst keeps arm/fire strictly ordered)
+        let delay_us = self.inject_delay_us.swap(0, Ordering::SeqCst);
+        if delay_us > 0 {
+            thread::sleep(Duration::from_micros(delay_us));
+        }
+        // lint: ordering-ok(one-shot fault-injection latch; SeqCst keeps arm/fire strictly ordered)
         if self.inject_panic.swap(false, Ordering::SeqCst) {
+            // lint: allow(request-path-unwrap, deliberate fault injection exercising the panic-dump path)
             panic!("injected test panic");
         }
         let graph = self.registry.resolve(&request.graph, request.version)?;
@@ -336,6 +358,16 @@ pub struct PreviewService {
     queue: Arc<BoundedQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
     shutting_down: AtomicBool,
+    /// Windowed metrics ring + SLO specs, fed by [`tick_metrics`]
+    /// (PreviewService::tick_metrics).
+    metrics: Mutex<MetricsState>,
+}
+
+/// The windowed-metrics layer: a ring of cumulative-sample deltas plus the
+/// SLOs evaluated against it.
+struct MetricsState {
+    series: TimeSeries,
+    slos: Vec<SloSpec>,
 }
 
 impl std::fmt::Debug for PreviewService {
@@ -371,8 +403,9 @@ impl PreviewService {
             inflight: Mutex::new(HashMap::new()),
             stats: StatsRecorder::new(),
             obs: recorder,
-            #[cfg(test)]
+            seq: AtomicU64::new(0),
             inject_panic: AtomicBool::new(false),
+            inject_delay_us: AtomicU64::new(0),
         });
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let workers = (0..config.workers.max(1))
@@ -391,6 +424,10 @@ impl PreviewService {
             queue,
             workers,
             shutting_down: AtomicBool::new(false),
+            metrics: Mutex::new(MetricsState {
+                series: TimeSeries::new(TimeSeriesConfig::default()),
+                slos: Vec::new(),
+            }),
         }
     }
 
@@ -411,14 +448,83 @@ impl PreviewService {
     }
 
     /// A unified observability snapshot: counters, per-stage histograms,
-    /// retained flight dumps, the exact end-to-end service latency
-    /// histogram, and the memory breakdown of the latest sharded graph
-    /// version (when one is registered).
+    /// retained flight dumps and trace trees, per-route request counts, the
+    /// exact end-to-end service latency histogram (with trace-id
+    /// exemplars), the current metrics window and SLO statuses, and the
+    /// memory breakdown of the latest sharded graph version (when one is
+    /// registered).
     pub fn snapshot(&self) -> ObsSnapshot {
         let mut snapshot = self.shared.obs.snapshot();
         snapshot.service_latency = Some(self.shared.stats.latency_histogram());
+        snapshot.routes = self.shared.stats.routes();
         snapshot.memory = self.latest_sharded_memory();
+        {
+            let metrics = lock_unpoisoned(&self.metrics);
+            if metrics.series.tick_count() > 0 {
+                snapshot.window = Some(metrics.series.window_summary(0));
+            }
+            snapshot.slos = metrics
+                .slos
+                .iter()
+                .map(|slo| slo.evaluate(&metrics.series))
+                .collect();
+        }
         snapshot
+    }
+
+    /// Replaces the windowed-metrics configuration (ring resolution and
+    /// window length). Any previously accumulated ticks are discarded; the
+    /// next [`tick_metrics`](Self::tick_metrics) call re-seeds the baseline.
+    pub fn configure_timeseries(&self, config: TimeSeriesConfig) {
+        lock_unpoisoned(&self.metrics).series = TimeSeries::new(config);
+    }
+
+    /// Registers an SLO to be evaluated against the metrics window on every
+    /// [`snapshot`](Self::snapshot).
+    pub fn add_slo(&self, slo: SloSpec) {
+        lock_unpoisoned(&self.metrics).slos.push(slo);
+    }
+
+    /// Takes one cumulative metrics sample (service counters + the exact
+    /// end-to-end latency histogram) and offers it to the windowed ring.
+    /// Call this periodically — e.g. once per scrape. Returns `true` when
+    /// the sample closed a tick (the first call only seeds the baseline,
+    /// and calls inside the configured resolution are coalesced).
+    pub fn tick_metrics(&self) -> bool {
+        let obs = &self.shared.obs;
+        let sample = MetricsCumulative {
+            at_us: obs.epoch_us(),
+            counters: Counter::ALL.iter().map(|&c| (c, obs.counter(c))).collect(),
+            service_latency: self.shared.stats.latency_histogram(),
+        };
+        lock_unpoisoned(&self.metrics).series.offer(sample)
+    }
+
+    /// The current [`snapshot`](Self::snapshot) rendered in Prometheus text
+    /// exposition format (suitable for a `/metrics` scrape endpoint).
+    pub fn prometheus_text(&self) -> String {
+        preview_obs::render_prometheus(&self.snapshot())
+    }
+
+    /// Fault injection: the next *computed* (cache-missing) request panics
+    /// inside its span stack. The worker survives; the caller receives
+    /// [`ServiceError::Panicked`]. Exercises the panic-dump and
+    /// panic-retention paths end to end — meant for tests and
+    /// observability drills, not production traffic.
+    pub fn inject_panic_next(&self) {
+        // lint: ordering-ok(one-shot fault-injection latch; SeqCst keeps arm/fire strictly ordered)
+        self.shared.inject_panic.store(true, Ordering::SeqCst);
+    }
+
+    /// Fault injection: the next *computed* (cache-missing) request sleeps
+    /// `delay_us` microseconds inside its discovery span, exercising
+    /// slow-request retention and SLO burn-rate paths end to end. Meant for
+    /// tests and observability drills, not production traffic.
+    pub fn inject_delay_next(&self, delay_us: u64) {
+        self.shared
+            .inject_delay_us
+            // lint: ordering-ok(one-shot fault-injection latch; SeqCst keeps arm/fire strictly ordered)
+            .store(delay_us, Ordering::SeqCst);
     }
 
     /// Memory report of the first registered graph whose latest version has
@@ -466,6 +572,10 @@ impl PreviewService {
             request,
             // lint: allow(wall-clock, queue-wait measurement feeds stats only)
             enqueued: Instant::now(),
+            // Trace identity is the ingress sequence number — deterministic
+            // per arrival order, never ambient randomness.
+            // lint: ordering-ok(monotonic id mint; only uniqueness matters, not ordering with other state)
+            trace: TraceId::from_seq(self.shared.seq.fetch_add(1, Ordering::Relaxed)),
             reply: tx,
         };
         let pushed = if block {
@@ -643,48 +753,87 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
     let _attach = shared.obs.attach();
     while let Some(job) = queue.pop() {
         let queue_wait = job.enqueued.elapsed();
-        if shared.obs.is_enabled() {
-            // Queue wait has no live guard — the span ended before the
-            // worker saw the job — so it is recorded from the timestamp.
-            shared.obs.record_duration(Stage::QueueWait, queue_wait);
-        }
+        // Open the request's trace before any span fires: every span the
+        // request records on this thread then parents into one tree rooted
+        // at the ingress-minted trace id. Inert when the recorder is off.
+        let tguard = shared.obs.begin_trace(job.trace, job.enqueued);
         // Isolate panics per request: a buggy graph/space combination must
         // not take the worker (and with it the whole pool) down — the caller
-        // gets a typed error and the worker moves on to the next job. The
-        // request span lives *inside* the unwind boundary: an unwinding
-        // request drops its guards on the way out, so its whole span trail
-        // reaches the flight ring before the panic dump below is captured.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            let _request = preview_obs::span!(Stage::Request);
+        // gets a typed error and the worker moves on to the next job. Spans
+        // live *inside* the unwind boundary: an unwinding request drops its
+        // guards on the way out, so its whole span trail reaches the flight
+        // ring (and the trace tree) before the dump below is captured. The
+        // root Request span itself is synthesized by `TraceGuard::finish`,
+        // covering enqueue-to-finish rather than just the compute section.
+        let mut result = catch_unwind(AssertUnwindSafe(|| {
             shared.execute(&job.request, queue_wait)
         }))
         .unwrap_or_else(|payload| {
             // `as_ref`, not `&payload`: a `&Box<dyn Any>` coerces to
             // `&dyn Any` *as the box itself*, which no downcast matches.
-            let message = panic_message(payload.as_ref());
-            shared.obs.capture_dump(
-                DumpReason::Panic,
-                &format!("graph={} panic={message}", job.request.graph),
-            );
-            Err(ServiceError::Panicked { message })
+            Err(ServiceError::Panicked {
+                message: panic_message(payload.as_ref()),
+            })
         });
-        match &result {
+        let mut latency_us = 0u64;
+        let (outcome, detail) = match &mut result {
             Ok(response) => {
+                response.trace = Some(job.trace);
                 let latency = response.latency();
-                shared.stats.record_completed(latency);
-                if shared.obs.config().slow_threshold_us.is_some() {
-                    let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-                    shared.obs.maybe_dump_slow(
-                        latency_us,
-                        &format!("graph={} latency_us={latency_us}", job.request.graph),
-                    );
-                }
+                latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+                shared.stats.record_completed(latency, Some(job.trace));
+                shared
+                    .stats
+                    .record_route(&response.graph, response.algorithm.name());
+                (
+                    TraceOutcome::Ok,
+                    format!("graph={} latency_us={latency_us}", job.request.graph),
+                )
             }
-            Err(_) => shared.stats.record_failed(),
+            Err(ServiceError::Panicked { message }) => {
+                shared.stats.record_failed();
+                (
+                    TraceOutcome::Panic,
+                    format!("graph={} panic={message}", job.request.graph),
+                )
+            }
+            Err(other) => {
+                shared.stats.record_failed();
+                (
+                    TraceOutcome::Error,
+                    format!("graph={} error={other}", job.request.graph),
+                )
+            }
+        };
+        // Finish the trace *before* the reply is sent: once the client
+        // unblocks, the retained tree / dump must already be observable.
+        if tguard.is_active() {
+            // Finish closes the tree (synthesizing the QueueWait child and
+            // the root Request span), decides retention — slow / error /
+            // panic / head-sampled — and captures at most one flight dump
+            // with the joined reasons.
+            tguard.finish(queue_wait, outcome, &detail);
+        } else {
+            // Recorder disabled (or enabled mid-request): keep the plain
+            // dump paths alive so panics and slow requests are still caught.
+            match outcome {
+                TraceOutcome::Panic => {
+                    shared.obs.capture_dump(DumpReason::Panic, &detail);
+                }
+                TraceOutcome::Ok if shared.obs.config().slow_threshold_us.is_some() => {
+                    shared.obs.maybe_dump_slow(latency_us, &detail);
+                }
+                _ => {}
+            }
         }
-        // The client may have dropped its handle; that is not an error.
-        let _response = preview_obs::span!(Stage::Response);
-        let _ = job.reply.send(result);
+        {
+            // The client may have dropped its handle; that is not an error.
+            // This span fires after the trace closed, so it feeds the
+            // aggregate Response histogram only — the send sits outside the
+            // request's own tree by construction.
+            let _response = preview_obs::span!(Stage::Response);
+            let _ = job.reply.send(result);
+        }
     }
 }
 
@@ -892,7 +1041,7 @@ mod tests {
             Arc::clone(&recorder),
         );
 
-        service.shared.inject_panic.store(true, Ordering::SeqCst);
+        service.inject_panic_next();
         let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
         let err = service.submit_wait(request.clone()).unwrap_err();
         assert!(matches!(err, ServiceError::Panicked { .. }));
@@ -981,6 +1130,136 @@ mod tests {
             );
         }
         assert!(recorder.events_recorded() >= 4);
+    }
+
+    /// Satellite: byte-identity holds with the *full* trace pipeline on —
+    /// trace trees, per-stage thresholds, and head sampling retaining every
+    /// request — at `threads = 4`. Results and score bits must match an
+    /// uninstrumented service exactly.
+    #[test]
+    fn trace_trees_and_tail_sampling_never_change_responses() {
+        let plain = fig1_service(ServiceConfig::default());
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        let recorder = Arc::new(Recorder::new(
+            preview_obs::ObsConfig::default()
+                .with_slow_threshold(0)
+                .with_sample_every(1)
+                .with_stage_threshold(Stage::Discovery, 0),
+        ));
+        recorder.enable();
+        let traced = PreviewService::start_with_recorder(
+            ServiceConfig::default(),
+            registry,
+            Arc::clone(&recorder),
+        );
+
+        for (k, n) in [(1, 2), (2, 6), (2, 4)] {
+            let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(k, n).unwrap())
+                .with_threads(4);
+            let expected = plain.submit_wait(request.clone()).unwrap();
+            let observed = traced.submit_wait(request).unwrap();
+            assert_eq!(observed.preview, expected.preview);
+            assert_eq!(observed.score.to_bits(), expected.score.to_bits());
+            // Worker-served responses always carry their ingress trace id
+            // (it is minted from the sequence number, not the recorder).
+            assert!(observed.trace.is_some());
+        }
+        recorder.disable();
+
+        // Every request was retained (threshold 0 + sample-every 1) and
+        // every tree is well-formed: exactly one root, all parents resolve.
+        let trees = recorder.traces().trees();
+        assert_eq!(trees.len(), 3);
+        for tree in &trees {
+            let root = tree.root().expect("tree has a root");
+            assert_eq!(root.stage, Stage::Request);
+            for span in &tree.spans {
+                if span.parent_id != 0 {
+                    assert!(
+                        tree.spans.iter().any(|s| s.span_id == span.parent_id),
+                        "span {} has unresolvable parent {}",
+                        span.span_id,
+                        span.parent_id
+                    );
+                }
+            }
+        }
+        // Trace ids are distinct and sequence-derived.
+        let mut ids: Vec<u64> = trees.iter().map(|t| t.trace.as_u64()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn metrics_window_slos_and_prometheus_export_flow_through_the_service() {
+        let service = fig1_service(ServiceConfig::with_workers(1));
+        service.configure_timeseries(TimeSeriesConfig {
+            resolution_us: 0,
+            window_ticks: 16,
+        });
+        service.add_slo(SloSpec::new("latency-p99", 0.99, 10_000_000));
+
+        assert!(!service.tick_metrics(), "first sample only seeds");
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        service.submit_wait(request).unwrap();
+        assert!(service.tick_metrics(), "second sample closes a tick");
+
+        let snapshot = service.snapshot();
+        let window = snapshot.window.as_ref().expect("window present");
+        assert_eq!(window.requests, 1);
+        assert_eq!(snapshot.slos.len(), 1);
+        let slo = &snapshot.slos[0];
+        assert_eq!(slo.name, "latency-p99");
+        assert!(slo.met, "a 10s threshold cannot be missed here");
+        assert!(!slo.breached);
+        assert_eq!(snapshot.routes.len(), 1);
+        assert_eq!(snapshot.routes[0].graph, "fig1");
+        assert_eq!(snapshot.routes[0].requests, 1);
+
+        // The Prometheus rendering re-parses numerically equal.
+        let failures = preview_obs::roundtrip_failures(&snapshot);
+        assert!(failures.is_empty(), "round-trip failures: {failures:?}");
+        let text = service.prometheus_text();
+        assert!(text.contains("# TYPE preview_request_latency_us histogram"));
+        assert!(text.contains("preview_requests_total{graph=\"fig1\",algorithm="));
+        assert!(text.contains("preview_slo_burn_rate{slo=\"latency-p99\",window=\"fast\"}"));
+    }
+
+    #[test]
+    fn injected_delay_marks_the_request_slow_and_retains_its_tree() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.register("fig1", fixtures::figure1_graph());
+        let recorder = Arc::new(Recorder::new(
+            preview_obs::ObsConfig::default().with_slow_threshold(5_000),
+        ));
+        recorder.enable();
+        let service = PreviewService::start_with_recorder(
+            ServiceConfig::with_workers(1),
+            registry,
+            Arc::clone(&recorder),
+        );
+        service.inject_delay_next(20_000);
+        let request = crate::PreviewRequest::new("fig1", PreviewSpace::concise(2, 6).unwrap());
+        let response = service.submit_wait(request).unwrap();
+        recorder.disable();
+        assert!(response.latency() >= Duration::from_micros(20_000));
+
+        let trees = recorder.traces().trees();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].reasons, vec![preview_obs::RetainReason::Slow]);
+        assert_eq!(Some(trees[0].trace), response.trace);
+        // The same id is the exemplar of the service-latency bucket the
+        // request landed in.
+        let latency = service.snapshot().service_latency.unwrap();
+        assert!(latency
+            .bucket_exemplars()
+            .iter()
+            .any(|&t| t == trees[0].trace.as_u64()));
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "slow");
     }
 
     #[test]

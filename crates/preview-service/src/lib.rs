@@ -82,8 +82,11 @@ pub use stats::ServiceStats;
 pub use entity_graph::{DeltaSummary, GraphDelta};
 
 // Re-exported so callers can configure, enable and snapshot the service's
-// observability recorder without importing `preview-obs` directly.
-pub use preview_obs::{ObsConfig, ObsSnapshot, Recorder};
+// observability recorder — and its trace-tree, windowed-metrics and SLO
+// layers — without importing `preview-obs` directly.
+pub use preview_obs::{
+    ObsConfig, ObsSnapshot, Recorder, SloSpec, SloStatus, TimeSeriesConfig, TraceId, TraceTree,
+};
 
 /// Compile-time guarantees that everything shared across worker threads is
 /// `Send + Sync` (and cheaply shareable where `Clone` is claimed). A failure

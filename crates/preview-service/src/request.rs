@@ -289,6 +289,11 @@ pub struct PreviewResponse {
     /// means "not proven optimal" — the budget expired at the moment the
     /// frontier bound met the incumbent.
     pub optimality_gap: Option<f64>,
+    /// The request's trace id, when it was served through the worker pool
+    /// (inline execution has no ingress sequence number and carries
+    /// `None`). Joins the response to its retained trace tree and to
+    /// histogram exemplars in the observability snapshot.
+    pub trace: Option<preview_obs::TraceId>,
 }
 
 impl PreviewResponse {

@@ -11,10 +11,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use preview_obs::{Histogram, HistogramSnapshot};
+use preview_obs::{Histogram, HistogramSnapshot, RouteCount, TraceId};
 
 use crate::cache::CacheStats;
 use crate::sync::lock_unpoisoned;
+
+/// Upper bound on distinct (graph, algorithm) routes tracked for the
+/// Prometheus `preview_requests_total` family. Label cardinality must stay
+/// bounded no matter how many graphs a long-running service registers;
+/// routes beyond the cap are folded into a single overflow bucket.
+const ROUTE_CAP: usize = 64;
+
+/// Label pair used for requests whose route fell past [`ROUTE_CAP`].
+const ROUTE_OVERFLOW: &str = "_overflow";
 
 /// Upper bound on retained latency samples. Percentiles beyond this many
 /// completions come from a uniform reservoir (Vitter's Algorithm R), so a
@@ -134,6 +143,9 @@ pub(crate) struct StatsRecorder {
     latencies: Mutex<LatencyReservoir>,
     /// Exact latency distribution: lock-free, every completion counted.
     latency_hist: Histogram,
+    /// Per-(graph, algorithm) completion counts, capped at [`ROUTE_CAP`]
+    /// distinct routes so export label cardinality stays bounded.
+    routes: Mutex<Vec<RouteCount>>,
 }
 
 impl StatsRecorder {
@@ -149,6 +161,7 @@ impl StatsRecorder {
             cache_invalidated: AtomicU64::new(0),
             latencies: Mutex::new(LatencyReservoir::new()),
             latency_hist: Histogram::new(),
+            routes: Mutex::new(Vec::new()),
         }
     }
 
@@ -171,17 +184,66 @@ impl StatsRecorder {
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_completed(&self, latency: Duration) {
+    /// Records one successful completion. When the request was served with
+    /// a trace, the latency bucket it lands in keeps the [`TraceId`] as its
+    /// exemplar, so export consumers can jump from a histogram bucket to a
+    /// concrete retained trace tree.
+    pub(crate) fn record_completed(&self, latency: Duration, trace: Option<TraceId>) {
         // lint: ordering-ok(independent monotonic counter; snapshot tolerates skew)
         self.completed.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.latency_hist.record(us);
+        match trace {
+            Some(trace) => self.latency_hist.record_with_exemplar(us, trace.as_u64()),
+            None => self.latency_hist.record(us),
+        }
         lock_unpoisoned(&self.latencies).record(us);
     }
 
     /// The exact latency distribution (for the observability snapshot).
     pub(crate) fn latency_histogram(&self) -> HistogramSnapshot {
         self.latency_hist.snapshot()
+    }
+
+    /// Counts one completion against its `(graph, algorithm)` route. The
+    /// route table is capped at [`ROUTE_CAP`] entries; later routes fold
+    /// into a shared `_overflow` row so export label cardinality stays
+    /// bounded regardless of registry size.
+    pub(crate) fn record_route(&self, graph: &str, algorithm: &str) {
+        let mut routes = lock_unpoisoned(&self.routes);
+        if let Some(entry) = routes
+            .iter_mut()
+            .find(|r| r.graph == graph && r.algorithm == algorithm)
+        {
+            entry.requests += 1;
+            return;
+        }
+        if routes.len() < ROUTE_CAP {
+            routes.push(RouteCount {
+                graph: graph.to_string(),
+                algorithm: algorithm.to_string(),
+                requests: 1,
+            });
+            return;
+        }
+        if let Some(entry) = routes
+            .iter_mut()
+            .find(|r| r.graph == ROUTE_OVERFLOW && r.algorithm == ROUTE_OVERFLOW)
+        {
+            entry.requests += 1;
+        } else {
+            // The cap already counts the overflow row we are about to add;
+            // replace the last in-cap row's slot by growing once past it.
+            routes.push(RouteCount {
+                graph: ROUTE_OVERFLOW.to_string(),
+                algorithm: ROUTE_OVERFLOW.to_string(),
+                requests: 1,
+            });
+        }
+    }
+
+    /// The per-route completion counts (for the observability snapshot).
+    pub(crate) fn routes(&self) -> Vec<RouteCount> {
+        lock_unpoisoned(&self.routes).clone()
     }
 
     pub(crate) fn record_failed(&self) {
@@ -357,8 +419,8 @@ mod tests {
         let recorder = StatsRecorder::new();
         recorder.record_submitted();
         recorder.record_submitted();
-        recorder.record_completed(Duration::from_micros(100));
-        recorder.record_completed(Duration::from_micros(300));
+        recorder.record_completed(Duration::from_micros(100), None);
+        recorder.record_completed(Duration::from_micros(300), None);
         recorder.record_failed();
         let stats = recorder.snapshot(CacheStats::default(), 3);
         assert_eq!(stats.submitted, 2);
@@ -373,6 +435,29 @@ mod tests {
         assert_eq!(stats.latency_max_us, 300);
         assert!((stats.latency_mean_us - 200.0).abs() < 1e-9);
         assert!(stats.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn routes_fold_into_overflow_past_the_cap_and_exemplars_stick() {
+        let recorder = StatsRecorder::new();
+        for index in 0..ROUTE_CAP + 10 {
+            recorder.record_route(&format!("graph-{index}"), "vanilla");
+        }
+        recorder.record_route("graph-0", "vanilla");
+        let routes = recorder.routes();
+        assert_eq!(routes.len(), ROUTE_CAP + 1);
+        let overflow = routes
+            .iter()
+            .find(|r| r.graph == ROUTE_OVERFLOW)
+            .expect("overflow route present");
+        assert_eq!(overflow.requests, 10);
+        let first = routes.iter().find(|r| r.graph == "graph-0").unwrap();
+        assert_eq!(first.requests, 2);
+
+        // A traced completion stamps its bucket's exemplar.
+        recorder.record_completed(Duration::from_micros(500), TraceId::from_raw(42));
+        let hist = recorder.latency_histogram();
+        assert!(hist.bucket_exemplars().contains(&42));
     }
 
     /// Pins the histogram-vs-reference quantile error bound the exact
@@ -392,7 +477,7 @@ mod tests {
             // latencies (quadratic ramp spreads mass across octaves).
             let mut all: Vec<u64> = (1..=n).map(|i| 50 + i * i % 9_973 + i / 3).collect();
             for &us in &all {
-                recorder.record_completed(Duration::from_micros(us));
+                recorder.record_completed(Duration::from_micros(us), None);
             }
             all.sort_unstable();
             let stats = recorder.snapshot(CacheStats::default(), 0);
